@@ -1,0 +1,101 @@
+"""Ablations over per-sketch parameters beyond the paper's sweeps.
+
+* SHE-CM hash count k at fixed memory (the paper fixes k=8; the CM
+  trade-off — fewer rows, less noise-per-row — shifts under SHE because
+  young counters are discarded too);
+* legal-band edge beta for SHE-HLL and SHE-MH (Fig. 7's alpha story,
+  replayed for the band's other edge on the two-sided estimators).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core import SheCountMin, SheHyperLogLog, SheMinHash
+from repro.datasets import caida_like, relevant_pair
+from repro.exact import ExactJaccard, ExactWindow
+from repro.harness.report import render_table
+
+
+def test_ablation_cm_hash_count(benchmark, results_dir):
+    window = 1 << 12
+    trace = caida_like(6 * window, 2 * window, seed=31).items
+
+    def run():
+        rows = []
+        for k in (2, 4, 8, 16):
+            ares = []
+            for seed in range(2):
+                cm = SheCountMin(window, 1 << 14, num_hashes=k, alpha=1.0, seed=seed + 1)
+                ew = ExactWindow(window)
+                step = window // 2
+                for lo in range(0, trace.size, step):
+                    cm.insert_many(trace[lo : lo + step])
+                    ew.insert_many(trace[lo : lo + step])
+                    if lo >= 2 * window:
+                        keys = ew.distinct_keys()[:300]
+                        t = ew.frequency_many(keys).astype(float)
+                        e = cm.frequency_many(keys)
+                        ares.append(float(np.mean(np.abs(e - t) / t)))
+            rows.append((k, float(np.mean(ares))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation_cm_hashes",
+        render_table(
+            "Ablation: SHE-CM hash count at fixed memory (ARE)",
+            ["k", "ARE"],
+            [[str(k), f"{a:.4f}"] for k, a in rows],
+        ),
+    )
+    by = dict(rows)
+    # k=8 (the paper's pick) must not be dominated by the extremes
+    assert by[8] <= 1.5 * min(by.values())
+
+
+def test_ablation_estimator_beta(benchmark, results_dir):
+    window = 1 << 12
+
+    def run():
+        trace = caida_like(6 * window, 2 * window, seed=32).items
+        a, b = relevant_pair(6 * window, window, overlap=0.5, seed=33)
+        rows = []
+        for beta in (0.95, 0.9, 0.8):
+            hll_err, mh_err = [], []
+            for seed in range(2):
+                hll = SheHyperLogLog(window, 2048, beta=beta, seed=seed + 5)
+                ewh = ExactWindow(window)
+                mh = SheMinHash(window, 512, beta=beta, seed=seed + 6)
+                ej = ExactJaccard(window)
+                step = window // 2
+                for lo in range(0, 6 * window, step):
+                    hll.insert_many(trace[lo : lo + step])
+                    ewh.insert_many(trace[lo : lo + step])
+                    mh.insert_many(0, a.items[lo : lo + step])
+                    mh.insert_many(1, b.items[lo : lo + step])
+                    ej.insert_many(0, a.items[lo : lo + step])
+                    ej.insert_many(1, b.items[lo : lo + step])
+                    if lo >= 2 * window:
+                        hll_err.append(
+                            abs(hll.cardinality() - ewh.cardinality()) / ewh.cardinality()
+                        )
+                        true_s = ej.similarity()
+                        if true_s > 0:
+                            mh_err.append(abs(mh.similarity() - true_s) / true_s)
+            rows.append((beta, float(np.mean(hll_err)), float(np.mean(mh_err))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation_estimator_beta",
+        render_table(
+            "Ablation: legal-band edge beta for SHE-HLL / SHE-MH (RE)",
+            ["beta", "SHE-HLL RE", "SHE-MH RE"],
+            [[f"{b:g}", f"{h:.4f}", f"{m:.4f}"] for b, h, m in rows],
+        ),
+    )
+    # a wider band (more cells) must not be catastrophically worse
+    errs = {b: (h, m) for b, h, m in rows}
+    assert errs[0.8][0] < 3 * errs[0.95][0] + 0.05

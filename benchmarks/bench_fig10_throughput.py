@@ -1,0 +1,37 @@
+"""Fig. 10: insertion throughput on the three datasets.
+
+Paper shape: SHE is much faster than the queue/decay baselines and of
+the same order as the fixed-window ideal — on every dataset.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness import fig10_throughput
+
+
+def _by_label(result):
+    return {s.label: np.asarray(s.y, dtype=float) for s in result.series}
+
+
+def test_fig10a_hll_throughput(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig10_throughput("a", bench_scale, n_items=150_000),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "fig10a", result.table())
+    by = _by_label(result)
+    assert np.all(by["SHE-HLL"] > by["SHLL"])  # on every dataset
+
+
+def test_fig10b_bm_throughput(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig10_throughput("b", bench_scale, n_items=150_000),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "fig10b", result.table())
+    by = _by_label(result)
+    assert np.all(by["SHE-BM"] > by["CVS"])
+    assert np.all(by["SHE-BM"] > by["Ideal"] / 10)

@@ -1,0 +1,25 @@
+"""Fig. 11: SHE vs the fixed-window ideal across all five sketches.
+
+Paper shape: SHE's processing speed is comparable to the original
+algorithms — the sliding-window machinery costs a small constant, not
+an asymptotic slowdown.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness import fig11_throughput
+
+
+def test_fig11_throughput(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig11_throughput(bench_scale, n_items=150_000),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "fig11", result.table())
+    ideal = np.asarray(result.series[0].y, dtype=float)
+    she = np.asarray(result.series[1].y, dtype=float)
+    # same order of magnitude on every sketch
+    assert np.all(she > ideal / 10)
+    assert np.all(she > 0)

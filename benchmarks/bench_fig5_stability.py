@@ -1,0 +1,29 @@
+"""Fig. 5 (a-e): stability of the five SHE sketches as the window slides.
+
+Paper shape: with sufficient memory each algorithm's error stays flat
+over time — no drift as the window slides.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.harness import fig5_stability
+
+
+@pytest.mark.parametrize("task,letter", [("bm", "a"), ("hll", "b"), ("cm", "c"), ("bf", "d"), ("mh", "e")])
+def test_fig5_stability(benchmark, results_dir, bench_scale, task, letter):
+    result = benchmark.pedantic(
+        lambda: fig5_stability(task, bench_scale), rounds=1, iterations=1
+    )
+    emit(results_dir, f"fig5{letter}", result.table())
+    # stability: at the largest memory the error must not trend upward —
+    # compare the first and last halves of the time series.  §7.2 notes
+    # stability "especially for SHE-BF and SHE-CM"; the small-sample
+    # estimators (BM/HLL/MH) are intrinsically noisier, so their band
+    # is wider.
+    best = result.series[-1]
+    ys = np.asarray(best.y, dtype=float)
+    first, second = ys[: len(ys) // 2], ys[len(ys) // 2 :]
+    slack = (2.0, 0.05) if task in ("bf", "cm") else (4.0, 0.25)
+    assert np.mean(second) < max(slack[0] * np.mean(first), np.mean(first) + slack[1])

@@ -1,0 +1,25 @@
+"""Fig. 6 (a-e): SHE across window sizes at fixed memory.
+
+Paper shape: the error stays of the same order as the window grows
+16-fold with the structure size held constant.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.harness import fig6_window_sizes
+
+
+@pytest.mark.parametrize("task,letter", [("bm", "a"), ("hll", "b"), ("cm", "c"), ("bf", "d"), ("mh", "e")])
+def test_fig6_window_adaptation(benchmark, results_dir, small_scale, task, letter):
+    result = benchmark.pedantic(
+        lambda: fig6_window_sizes(task, small_scale), rounds=1, iterations=1
+    )
+    emit(results_dir, f"fig6{letter}", result.table())
+    # adaptation: at the largest memory the error does not explode with N
+    best = result.series[-1]
+    ys = np.asarray(best.y, dtype=float)
+    finite = ys[np.isfinite(ys)]
+    assert finite.size >= 2
+    assert finite[-1] < 10 * max(finite[0], 0.01)

@@ -1,0 +1,30 @@
+"""Fig. 7: the effect of the cleaning stretch alpha.
+
+Paper shape: (a) the Eq.-2 optimal alpha tracks the best fixed choice
+for SHE-BF across memories; (b) SHE-BM is insensitive within the
+empirical 0.1-0.4 band.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness import fig7a_bf_alpha, fig7b_bm_alpha
+
+
+def test_fig7a_bf_alpha(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(lambda: fig7a_bf_alpha(bench_scale), rounds=1, iterations=1)
+    emit(results_dir, "fig7a", result.table())
+    by_label = {s.label: np.asarray(s.y, dtype=float) for s in result.series}
+    opt = by_label["optimal"]
+    # the optimal-alpha curve is never far above the best fixed curve
+    others = np.vstack([v for k, v in by_label.items() if k != "optimal"])
+    best_fixed = others.min(axis=0)
+    assert np.all(opt <= 5 * best_fixed + 1e-4)
+
+
+def test_fig7b_bm_alpha(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(lambda: fig7b_bm_alpha(bench_scale), rounds=1, iterations=1)
+    emit(results_dir, "fig7b", result.table())
+    # all three alphas give usable estimators at the largest memory
+    for s in result.series:
+        assert np.asarray(s.y, dtype=float)[-1] < 0.5

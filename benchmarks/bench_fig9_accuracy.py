@@ -1,0 +1,76 @@
+"""Fig. 9 (a-e): accuracy of SHE vs competitors vs the Ideal, by memory.
+
+The paper's headline comparisons.  Shapes asserted per panel:
+
+* (a) SHE-BM beats TSV/CVS at small budgets; SWAMP only exists at the
+  top of the sweep (its O(W) floor).
+* (b) SHE-HLL beats SHLL at equal (live) memory.
+* (c) SHE-CM beats ECM where memory is scarce.
+* (d) SHE-BF's FPR is >= 10x below TOBF/TBF under the sweep's budgets.
+* (e) SHE-MH beats the straw-man MinHash.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.harness import fig9_accuracy
+
+
+def _series(result):
+    """label -> {x: y}; series may cover different memory subsets."""
+    return {s.label: dict(zip(s.x, s.y)) for s in result.series}
+
+
+def _mean_over(by, label, xs):
+    vals = [by[label][x] for x in xs if x in by[label]]
+    return float(np.mean(vals)) if vals else float("nan")
+
+
+def test_fig9a_cardinality_bitmap(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(lambda: fig9_accuracy("a", bench_scale), rounds=1, iterations=1)
+    emit(results_dir, "fig9a", result.table())
+    by = _series(result)
+    low = sorted(by["SHE-BM"])[:3]  # the small-memory regime
+    assert _mean_over(by, "SHE-BM", low) < 0.5 * _mean_over(by, "TSV", low)
+    # SWAMP exists only at the top of the sweep (its O(W) floor)
+    if "SWAMP" in by:
+        assert all(x not in by["SWAMP"] for x in low)
+
+
+def test_fig9b_cardinality_hll(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(lambda: fig9_accuracy("b", bench_scale), rounds=1, iterations=1)
+    emit(results_dir, "fig9b", result.table())
+    by = _series(result)
+    xs = sorted(by["SHE-HLL"])
+    assert _mean_over(by, "SHE-HLL", xs) < _mean_over(by, "SHLL", xs)
+
+
+def test_fig9c_frequency(benchmark, results_dir, small_scale):
+    result = benchmark.pedantic(lambda: fig9_accuracy("c", small_scale), rounds=1, iterations=1)
+    emit(results_dir, "fig9c", result.table())
+    by = _series(result)
+    xs = sorted(by["SHE-CM"])
+    if "ECM" in by:
+        assert _mean_over(by, "SHE-CM", xs) < _mean_over(by, "ECM", xs)
+    assert _mean_over(by, "SHE-CM", xs) < 2.0
+
+
+def test_fig9d_membership(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(lambda: fig9_accuracy("d", bench_scale), rounds=1, iterations=1)
+    emit(results_dir, "fig9d", result.table())
+    by = _series(result)
+    mid = sorted(by["SHE-BF"])[1:]  # past the leftmost (saturated) point
+    assert _mean_over(by, "SHE-BF", mid) * 10 < _mean_over(by, "TOBF", mid) + 1e-9
+
+
+def test_fig9e_similarity(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig9_accuracy("e", bench_scale, memories=[4096, 8192, 16384]),
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "fig9e", result.table())
+    by = _series(result)
+    xs = sorted(by["SHE-MH"])
+    assert _mean_over(by, "SHE-MH", xs) < _mean_over(by, "Straw", xs)

@@ -1,0 +1,17 @@
+"""Table 2: FPGA resource utilisation (calibrated model vs paper)."""
+
+from conftest import emit
+
+from repro.harness import PAPER_TABLE2, table2_resources
+from repro.hardware import SHE_BF_DESIGN, SHE_BM_DESIGN, estimate_resources
+
+
+def test_table2_resources(benchmark, results_dir):
+    text = benchmark.pedantic(table2_resources, rounds=3, iterations=1)
+    emit(results_dir, "table2", text)
+    bm = estimate_resources(SHE_BM_DESIGN)
+    bf = estimate_resources(SHE_BF_DESIGN)
+    # paper shape: BM exact by calibration, BF within 0.5%, no BRAM
+    assert bm.lut == PAPER_TABLE2["SHE-BM"]["lut"]
+    assert abs(bf.lut - PAPER_TABLE2["SHE-BF"]["lut"]) / PAPER_TABLE2["SHE-BF"]["lut"] < 0.005
+    assert bm.bram36 == bf.bram36 == 0

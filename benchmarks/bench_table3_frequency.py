@@ -1,0 +1,16 @@
+"""Table 3: clock frequency model + pipeline items/cycle simulation."""
+
+from conftest import emit
+
+from repro.harness import PAPER_TABLE3, table3_frequency
+from repro.hardware import SHE_BF_DESIGN, SHE_BM_DESIGN, estimate_clock_mhz
+
+
+def test_table3_frequency(benchmark, results_dir):
+    text = benchmark.pedantic(table3_frequency, rounds=1, iterations=1)
+    emit(results_dir, "table3", text)
+    bm = estimate_clock_mhz(SHE_BM_DESIGN)
+    bf = estimate_clock_mhz(SHE_BF_DESIGN)
+    assert abs(bm - PAPER_TABLE3["SHE-BM"]) < 0.01
+    assert abs(bf - PAPER_TABLE3["SHE-BF"]) / PAPER_TABLE3["SHE-BF"] < 0.005
+    assert bm > bf  # paper ordering

@@ -1,0 +1,67 @@
+"""Capacity planning: from accuracy targets to deployed sketches.
+
+The workflow a production user actually follows: "I need membership at
+FPR <= 1e-3 and cardinality at RE <= 5% over the last N items — what do
+I configure, and how much SRAM does it cost?"  The designers assemble
+the paper's §5 equations into concrete parameter sets (with the
+equation behind every choice), and this script validates the deployed
+sketches against their own predictions on a live stream.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.analysis import design_bitmap, design_bloom_filter
+from repro.datasets import caida_like, distinct_stream
+from repro.exact import ExactWindow
+
+WINDOW = 1 << 12
+EXPECTED_CARD = WINDOW  # plan for the worst case: all-distinct traffic
+
+
+def main() -> None:
+    # ---- membership: FPR <= 1e-3 ---------------------------------------
+    bf_design = design_bloom_filter(WINDOW, EXPECTED_CARD, target_fpr=1e-3)
+    print("SHE-BF design:")
+    print(f"  M={bf_design.num_bits} bits, k={bf_design.num_hashes}, "
+          f"alpha={bf_design.alpha:.2f}, w={bf_design.group_width} "
+          f"({bf_design.memory_bytes} B, predicted FPR {bf_design.predicted_fpr:.2e})")
+    for r in bf_design.rationale:
+        print(f"    - {r}")
+
+    bf = bf_design.build(seed=11)
+    stream = distinct_stream(6 * WINDOW, seed=11).items  # worst case
+    bf.insert_many(stream)
+    probes = (np.uint64(1) << np.uint64(59)) + np.arange(20_000, dtype=np.uint64)
+    measured = float(bf.contains_many(probes).mean())
+    print(f"  measured FPR on a worst-case stream: {measured:.2e}\n")
+
+    # ---- cardinality: RE <= 5 % -----------------------------------------
+    trace = caida_like(6 * WINDOW, 2 * WINDOW, seed=12).items
+    probe_window = ExactWindow(WINDOW)
+    probe_window.insert_many(trace[: 3 * WINDOW])
+    card = probe_window.cardinality()
+    bm_design = design_bitmap(WINDOW, card, target_re=0.05)
+    print("SHE-BM design:")
+    print(f"  M={bm_design.num_bits} bits, alpha={bm_design.alpha:.2f}, "
+          f"beta={bm_design.beta:.2f} ({bm_design.memory_bytes} B; "
+          f"bias<= {bm_design.predicted_bias_bound:.3f}, "
+          f"std~ {bm_design.predicted_std:.3f})")
+    for r in bm_design.rationale:
+        print(f"    - {r}")
+
+    bm = bm_design.build(seed=12)
+    oracle = ExactWindow(WINDOW)
+    errs = []
+    step = WINDOW // 2
+    for lo in range(0, trace.size, step):
+        bm.insert_many(trace[lo : lo + step])
+        oracle.insert_many(trace[lo : lo + step])
+        if lo >= 2 * WINDOW:
+            errs.append(abs(bm.cardinality() - oracle.cardinality()) / oracle.cardinality())
+    print(f"  measured mean RE: {np.mean(errs):.3f} (target 0.05)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""FPGA pipeline demo: co-simulation, constraints, Tables 2-3.
+
+Walks the hardware story of §2.3 + §6 end to end:
+
+1. run the four-stage SHE-BM RTL model and show it is bit-exact with
+   the Python hardware frame (co-simulation);
+2. check the three §2.3 constraints on SHE's pipeline (they hold) and
+   on SWAMP's (they don't — the "domino effect" shows up as
+   multi-address accesses and a shared region);
+3. print the calibrated resource/clock model next to the paper's
+   Table 2 / Table 3.
+
+Run:  python examples/fpga_pipeline_demo.py
+"""
+
+import numpy as np
+
+from repro.core import SheBitmap
+from repro.harness import table2_resources, table3_frequency
+from repro.hardware import SheBmRtl, check_constraints, swamp_pipeline_report
+
+WINDOW = 512
+
+
+def main() -> None:
+    rng = np.random.default_rng(6)
+    stream = rng.integers(0, 1 << 16, size=4096, dtype=np.uint64)
+
+    # 1. co-simulation -----------------------------------------------------
+    rtl = SheBmRtl(WINDOW, num_bits=1024, alpha=0.2, seed=2)
+    ref = SheBitmap(WINDOW, 1024, alpha=0.2, frame="hardware", seed=2)
+    run = rtl.insert_stream(stream)
+    ref.insert_many(stream)
+    exact = np.array_equal(rtl.cell_bits(), ref.frame.cells) and np.array_equal(
+        rtl.mark_bits(), ref.frame.marks
+    )
+    print(f"co-simulation: RTL == reference frame: {exact}")
+    print(
+        f"pipeline: {run.items} items in {run.cycles} cycles "
+        f"({run.items_per_cycle:.4f} items/cycle)"
+    )
+    for st in run.stage_stats:
+        print(
+            f"  stage {st.name:12s} regions={list(st.regions)!r:28s} "
+            f"max addr/item={st.max_distinct_addresses_per_item} "
+            f"max bits/item={st.max_bits_per_item}"
+        )
+
+    # 2. constraints ---------------------------------------------------------
+    she_report = check_constraints(rtl.pipeline, run)
+    print(f"\nSHE-BM hardware friendly: {she_report.hardware_friendly}")
+    swamp = swamp_pipeline_report(WINDOW, 4096)
+    print(f"SWAMP  hardware friendly: {swamp.hardware_friendly}")
+    for v in swamp.violations:
+        print(f"  {v}")
+
+    # 3. the published tables ---------------------------------------------------
+    print()
+    print(table2_resources())
+    print(table3_frequency())
+
+
+if __name__ == "__main__":
+    main()

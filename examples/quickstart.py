@@ -1,0 +1,67 @@
+"""Quickstart: the five SHE sketches in five minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ExactJaccard,
+    ExactWindow,
+    SheBitmap,
+    SheBloomFilter,
+    SheCountMin,
+    SheHyperLogLog,
+    SheMinHash,
+)
+from repro.datasets import caida_like, relevant_pair
+
+WINDOW = 1 << 13  # sliding window: the most recent 8192 items
+
+
+def main() -> None:
+    trace = caida_like(n_items=6 * WINDOW, n_distinct=2 * WINDOW, seed=1).items
+    oracle = ExactWindow(WINDOW)
+
+    # -- membership: did this key appear in the last N items? ------------
+    bf = SheBloomFilter(WINDOW, num_bits=1 << 17)  # alpha=3, k=8 defaults
+    bf.insert_many(trace)
+    oracle.insert_many(trace)
+    member = int(oracle.distinct_keys()[0])
+    print(f"membership: key {member:#x} in window -> {bf.contains(member)}")
+    print(f"membership: absent key -> {bf.contains(0xDEAD_BEEF_0000)}")
+
+    # -- cardinality: how many distinct keys in the window? --------------
+    bm = SheBitmap(WINDOW, num_bits=1 << 14)
+    hll = SheHyperLogLog(WINDOW, num_registers=2048)
+    bm.insert_many(trace)
+    hll.insert_many(trace)
+    print(
+        f"cardinality: exact {oracle.cardinality()}, "
+        f"SHE-BM {bm.cardinality():.0f} ({bm.memory_bytes} B), "
+        f"SHE-HLL {hll.cardinality():.0f} ({hll.memory_bytes} B)"
+    )
+
+    # -- frequency: how often did this key appear? ------------------------
+    cm = SheCountMin(WINDOW, num_counters=1 << 15)
+    cm.insert_many(trace)
+    hot = int(oracle.distinct_keys()[np.argmax(oracle.frequency_many(oracle.distinct_keys()))])
+    print(
+        f"frequency: hottest key exact {oracle.frequency(hot)}, "
+        f"SHE-CM {cm.frequency(hot):.0f}"
+    )
+
+    # -- similarity: Jaccard index of two windowed streams ----------------
+    a, b = relevant_pair(4 * WINDOW, WINDOW, overlap=0.5, seed=2)
+    mh = SheMinHash(WINDOW, num_counters=512)
+    jac = ExactJaccard(WINDOW)
+    for lo in range(0, 4 * WINDOW, WINDOW // 2):
+        mh.insert_many(0, a.items[lo : lo + WINDOW // 2])
+        mh.insert_many(1, b.items[lo : lo + WINDOW // 2])
+        jac.insert_many(0, a.items[lo : lo + WINDOW // 2])
+        jac.insert_many(1, b.items[lo : lo + WINDOW // 2])
+    print(f"similarity: exact {jac.similarity():.3f}, SHE-MH {mh.similarity():.3f}")
+
+
+if __name__ == "__main__":
+    main()

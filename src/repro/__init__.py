@@ -1,0 +1,62 @@
+"""repro — reproduction of *SHE: A Generic Framework for Data Stream
+Mining over Sliding Windows* (Wu, Fan, Shi et al., ICPP 2022).
+
+The package re-implements, in Python:
+
+* the SHE framework (software sweep + hardware group/time-mark
+  versions) and its five instantiations (``repro.core``);
+* the original fixed-window sketches and the paper's "ideal goal"
+  replay wrappers (``repro.fixed``);
+* every sliding-window competitor of §7 — SWAMP, SHLL, CVS, TSV, TOBF,
+  TBF, ECM, straw-man MinHash (``repro.baselines``);
+* exact oracles, dataset generators, metrics and the per-figure
+  experiment harness (``repro.exact``, ``repro.datasets``,
+  ``repro.metrics``, ``repro.harness``);
+* an FPGA pipeline/constraint/resource substrate standing in for the
+  paper's Virtex-7 implementation (``repro.hardware``).
+
+Quickstart::
+
+    import numpy as np
+    from repro import SheBloomFilter
+
+    bf = SheBloomFilter(window=65536, num_bits=1 << 20)
+    bf.insert_many(np.arange(100_000, dtype=np.uint64))
+    bf.contains(99_999)   # True: inside the window
+    bf.contains(1)        # False w.h.p.: expired
+"""
+
+from repro.core import (
+    GenericSheSketch,
+    TimedStream,
+    merge_sketches,
+    mergeable,
+    SheBitmap,
+    SheBloomFilter,
+    SheConfig,
+    SheCountMin,
+    SheHyperLogLog,
+    SheMinHash,
+)
+from repro.exact import ExactJaccard, ExactWindow
+from repro.persist import load_sketch, save_sketch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GenericSheSketch",
+    "SheBitmap",
+    "SheBloomFilter",
+    "SheConfig",
+    "SheCountMin",
+    "SheHyperLogLog",
+    "SheMinHash",
+    "TimedStream",
+    "ExactWindow",
+    "ExactJaccard",
+    "load_sketch",
+    "save_sketch",
+    "merge_sketches",
+    "mergeable",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""§5 analysis: Eqs. 1-5, Monte Carlo validation, parameter designers."""
+
+from repro.analysis.design import (
+    BfDesign,
+    BmDesign,
+    design_bitmap,
+    design_bloom_filter,
+)
+from repro.analysis.montecarlo import (
+    simulate_bf_fpr,
+    simulate_bm_bias,
+    simulate_ondemand_failures,
+)
+from repro.analysis.bounds import (
+    bm_estimator_std,
+    bm_legal_cells,
+    bm_relative_error_bound,
+    hll_relative_error_bound,
+    mh_bias_bound,
+)
+from repro.analysis.ondemand import (
+    expected_failed_groups,
+    max_groups_for_error,
+    ondemand_design_value,
+)
+from repro.analysis.optimal_alpha import (
+    bf_q_parameter,
+    fpr_model,
+    optimal_alpha,
+    optimal_r,
+)
+
+__all__ = [
+    "BfDesign",
+    "BmDesign",
+    "design_bitmap",
+    "design_bloom_filter",
+    "simulate_bf_fpr",
+    "simulate_bm_bias",
+    "simulate_ondemand_failures",
+    "bm_estimator_std",
+    "bm_legal_cells",
+    "bm_relative_error_bound",
+    "hll_relative_error_bound",
+    "mh_bias_bound",
+    "expected_failed_groups",
+    "max_groups_for_error",
+    "ondemand_design_value",
+    "bf_q_parameter",
+    "fpr_model",
+    "optimal_alpha",
+    "optimal_r",
+]

@@ -1,0 +1,64 @@
+"""Eqs. 3-5 — error bounds for the SHE estimators (§5.3).
+
+All three bounds share the same mechanism: legal groups have ages
+spread over ``[(1-ish)N, (1+alpha)N]``, so aged groups over-count by at
+most the extra arrivals and near-perfect groups under-count
+symmetrically; averaging leaves a residual proportional to ``alpha``.
+
+* SHE-BM (Eq. 3):  |E[C_hat] - C| / C <= alpha*T / (4*C)
+* SHE-HLL (Eq. 4): same leading term, ``* (1 + O(alpha*T/C))``
+* SHE-MH (Eq. 5):  |E[S_hat] - S| <= e/4 + e^2/6,  e = 2*alpha*T/S_union
+
+plus the §5.3 variance note for SHE-BM: the legal-bit count
+``m_l = (2 - 2/(1+alpha)) * m`` shrinks as alpha shrinks, so alpha
+trades bias (small alpha) against variance (large alpha).
+"""
+
+from __future__ import annotations
+
+from repro.common.validation import require_in_range, require_positive_float
+
+__all__ = [
+    "bm_relative_error_bound",
+    "hll_relative_error_bound",
+    "mh_bias_bound",
+    "bm_legal_cells",
+    "bm_estimator_std",
+]
+
+
+def bm_relative_error_bound(alpha: float, window: float, cardinality: float) -> float:
+    """Eq. 3: SHE-BM bias bound ``alpha*T / (4*C)``."""
+    require_positive_float("alpha", alpha)
+    require_positive_float("window", window)
+    require_positive_float("cardinality", cardinality)
+    return alpha * window / (4.0 * cardinality)
+
+
+def hll_relative_error_bound(alpha: float, window: float, cardinality: float) -> float:
+    """Eq. 4: SHE-HLL bias bound with its first-order correction."""
+    base = bm_relative_error_bound(alpha, window, cardinality)
+    return base * (1.0 + alpha * window / cardinality)
+
+
+def mh_bias_bound(alpha: float, window: float, union_size: float) -> float:
+    """Eq. 5: SHE-MH bias bound ``e/4 + e^2/6`` with ``e = 2*alpha*T/S_u``."""
+    require_positive_float("alpha", alpha)
+    require_positive_float("window", window)
+    require_positive_float("union_size", union_size)
+    eps = 2.0 * alpha * window / union_size
+    return eps / 4.0 + eps * eps / 6.0
+
+
+def bm_legal_cells(alpha: float, num_cells: int) -> float:
+    """§5.3: expected legal-cell count ``m_l = (2 - 2/(1+alpha)) * m``."""
+    require_positive_float("alpha", alpha)
+    require_positive_float("num_cells", num_cells)
+    return (2.0 - 2.0 / (1.0 + alpha)) * num_cells
+
+
+def bm_estimator_std(alpha: float, num_cells: int, zero_fraction: float) -> float:
+    """§5.3 variance note: std of the zero-fraction estimate, sqrt(p/m_l)."""
+    p = require_in_range("zero_fraction", zero_fraction, 0.0, 1.0)
+    ml = bm_legal_cells(alpha, num_cells)
+    return (p / ml) ** 0.5

@@ -1,0 +1,239 @@
+"""Parameter design: turn accuracy targets into SHE configurations.
+
+The paper gives the pieces — Eq. 1 bounds the group count, Eq. 2 picks
+alpha for SHE-BF, Eq. 3 relates alpha to SHE-BM's bias, the standard
+sketch formulas size the arrays — but a user still has to assemble
+them.  These designers do the assembly: given a window, an expected
+window cardinality and a target error (or a memory cap), they return a
+ready-to-construct parameter set, each choice annotated with the
+equation that produced it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.bounds import bm_relative_error_bound
+from repro.analysis.ondemand import max_groups_for_error, ondemand_design_value
+from repro.analysis.optimal_alpha import bf_q_parameter, fpr_model, optimal_r
+from repro.common.validation import require_in_range, require_positive_float, require_positive_int
+
+__all__ = ["BfDesign", "BmDesign", "design_bloom_filter", "design_bitmap"]
+
+
+@dataclass(frozen=True)
+class BfDesign:
+    """A SHE-BF configuration with its predicted operating point."""
+
+    window: int
+    num_bits: int
+    num_hashes: int
+    alpha: float
+    group_width: int
+    predicted_fpr: float
+    rationale: tuple[str, ...] = field(default=())
+
+    @property
+    def memory_bytes(self) -> int:
+        groups = max(1, self.num_bits // self.group_width)
+        return (self.num_bits + groups + 7) // 8
+
+    def build(self, *, frame: str = "hardware", seed: int = 1):
+        """Construct the SheBloomFilter this design describes."""
+        from repro.core import SheBloomFilter
+
+        return SheBloomFilter(
+            self.window,
+            self.num_bits,
+            num_hashes=self.num_hashes,
+            alpha=self.alpha,
+            group_width=self.group_width,
+            frame=frame,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class BmDesign:
+    """A SHE-BM configuration with its predicted operating point."""
+
+    window: int
+    num_bits: int
+    alpha: float
+    beta: float
+    group_width: int
+    predicted_bias_bound: float
+    predicted_std: float
+    rationale: tuple[str, ...] = field(default=())
+
+    @property
+    def memory_bytes(self) -> int:
+        groups = max(1, self.num_bits // self.group_width)
+        return (self.num_bits + groups + 7) // 8
+
+    def build(self, *, frame: str = "hardware", seed: int = 2):
+        """Construct the SheBitmap this design describes."""
+        from repro.core import SheBitmap
+
+        return SheBitmap(
+            self.window,
+            self.num_bits,
+            alpha=self.alpha,
+            beta=self.beta,
+            group_width=self.group_width,
+            frame=frame,
+            seed=seed,
+        )
+
+
+def _round_up_groups(num_bits: int, group_width: int) -> int:
+    return max(group_width, (num_bits + group_width - 1) // group_width * group_width)
+
+
+def design_bloom_filter(
+    window: int,
+    cardinality: float,
+    target_fpr: float,
+    *,
+    num_hashes: int = 8,
+    group_width: int = 64,
+    ondemand_eps: float = 0.01,
+) -> BfDesign:
+    """Size a SHE-BF for a target false-positive rate.
+
+    Procedure:
+      1. binary-search the bit count M so §5.2's ``FPR(R)`` at the
+         Eq.-2-optimal R meets the target;
+      2. set ``alpha = R0 - 1`` (Eq. 2) at that M;
+      3. verify the group width against Eq. 1's cleaning-failure bound
+         (widening groups if the chosen ones would miss cleanings).
+    """
+    require_positive_int("window", window)
+    require_positive_float("cardinality", cardinality)
+    require_in_range("target_fpr", target_fpr, 0.0, 1.0, inclusive=False)
+    rationale = []
+
+    def achieved(m: int) -> tuple[float, float]:
+        q = bf_q_parameter(cardinality, num_hashes, m)
+        r0 = optimal_r(q)
+        return fpr_model(r0, q, num_hashes), r0 - 1.0
+
+    lo_bits = max(2 * group_width, int(cardinality))
+    hi_bits = lo_bits
+    while achieved(hi_bits)[0] > target_fpr:
+        hi_bits *= 2
+        if hi_bits > 1 << 40:
+            raise ValueError(
+                f"target FPR {target_fpr} unreachable below 2^40 bits "
+                f"(cardinality {cardinality}, k={num_hashes})"
+            )
+    while lo_bits + group_width < hi_bits:
+        mid = (lo_bits + hi_bits) // 2
+        if achieved(mid)[0] <= target_fpr:
+            hi_bits = mid
+        else:
+            lo_bits = mid
+    num_bits = _round_up_groups(hi_bits, group_width)
+    fpr, alpha = achieved(num_bits)
+    rationale.append(
+        f"M={num_bits} bits: smallest array whose Eq.-2-optimal FPR(R) "
+        f"= {fpr:.2e} meets the {target_fpr:.2e} target"
+    )
+    rationale.append(f"alpha={alpha:.2f} from Eq. 2 at Q={bf_q_parameter(cardinality, num_hashes, num_bits):.3f}")
+
+    w = group_width
+    groups = num_bits // w
+    while (
+        w < num_bits
+        and ondemand_design_value(groups, alpha, cardinality, num_hashes) > ondemand_eps
+    ):
+        w *= 2
+        groups = max(1, num_bits // w)
+    if w != group_width:
+        num_bits = _round_up_groups(num_bits, w)
+        fpr, alpha = achieved(num_bits)
+        rationale.append(
+            f"group width widened to {w} so Eq. 1's cleaning-failure "
+            f"value stays under {ondemand_eps} (M re-rounded to {num_bits})"
+        )
+    else:
+        rationale.append(
+            f"group width {w} ok: Eq. 1 value "
+            f"{ondemand_design_value(groups, alpha, cardinality, num_hashes):.2e} "
+            f"<= {ondemand_eps}"
+        )
+
+    return BfDesign(
+        window=window,
+        num_bits=num_bits,
+        num_hashes=num_hashes,
+        alpha=alpha,
+        group_width=w,
+        predicted_fpr=fpr,
+        rationale=tuple(rationale),
+    )
+
+
+def design_bitmap(
+    window: int,
+    cardinality: float,
+    target_re: float,
+    *,
+    group_width: int = 64,
+    symmetric_band: bool = True,
+) -> BmDesign:
+    """Size a SHE-BM for a target relative error.
+
+    Splits the target between Eq. 3's bias (choosing alpha) and the
+    linear-counting variance (choosing M via §5.3's legal-cell count).
+    ``symmetric_band`` applies the ablation-backed ``beta = 1 - alpha``
+    (halves the bias floor; pass False for the paper's fixed 0.9).
+    """
+    require_positive_int("window", window)
+    require_positive_float("cardinality", cardinality)
+    require_positive_float("target_re", target_re)
+    rationale = []
+
+    # bias half-budget via Eq. 3: alpha = 4*C*eps_bias / T
+    eps_bias = target_re / 2.0
+    alpha = max(0.05, min(4.0 * cardinality * eps_bias / window, 1.0))
+    rationale.append(
+        f"alpha={alpha:.3f}: Eq. 3 bias alpha*T/(4C) = "
+        f"{bm_relative_error_bound(alpha, window, cardinality):.3f} "
+        f"<= half the target"
+    )
+    beta = max(0.5, 1.0 - alpha) if symmetric_band else 0.9
+    rationale.append(
+        f"beta={beta:.2f} ({'symmetric band (ablation)' if symmetric_band else 'paper default'})"
+    )
+
+    # variance half-budget: std of -M ln(u/m_l) ~ sqrt((e^rho - rho - 1)) /
+    # (rho sqrt(m_l)) with rho = C/M; solve numerically for M
+    eps_var = target_re / 2.0
+    legal_fraction = 1.0 - beta / (1.0 + alpha)
+
+    def predicted_std(m: int) -> float:
+        rho = cardinality / m
+        ml = max(1.0, legal_fraction * m)
+        return math.sqrt(max(math.expm1(rho) - rho, 1e-12)) / (max(rho, 1e-9) * math.sqrt(ml))
+
+    m = max(2 * group_width, int(cardinality / 4))
+    while predicted_std(m) > eps_var and m < 1 << 40:
+        m *= 2
+    num_bits = _round_up_groups(m, group_width)
+    rationale.append(
+        f"M={num_bits} bits: predicted estimator std "
+        f"{predicted_std(num_bits):.3f} <= half the target"
+    )
+
+    return BmDesign(
+        window=window,
+        num_bits=num_bits,
+        alpha=alpha,
+        beta=beta,
+        group_width=group_width,
+        predicted_bias_bound=bm_relative_error_bound(alpha, window, cardinality),
+        predicted_std=predicted_std(num_bits),
+        rationale=tuple(rationale),
+    )

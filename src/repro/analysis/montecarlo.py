@@ -1,0 +1,120 @@
+"""Monte Carlo validation of the §5 analysis.
+
+The closed forms of Eqs. 1-3 rest on modelling assumptions (uniform
+hashing, uniform ages, worst-case F(x)); these simulators check each
+against the *actual mechanism*, so the analysis module is tested
+against reality and not only against itself:
+
+* :func:`simulate_ondemand_failures` — throw ``(1+alpha)*C*H`` balls
+  into ``G`` group-bins and count empty bins, the event Eq. 1 bounds;
+* :func:`simulate_bf_fpr` — build a real SHE-BF over a distinct stream
+  and measure the FPR that §5.2's ``FPR(R)`` formula predicts;
+* :func:`simulate_bm_bias` — measure SHE-BM's signed cardinality error
+  against Eq. 3's ``alpha*T/(4C)`` envelope.
+
+Each returns (simulated, analytic) so callers — tests and the ablation
+benches — can assert agreement bands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bounds import bm_relative_error_bound
+from repro.analysis.ondemand import expected_failed_groups
+from repro.analysis.optimal_alpha import bf_q_parameter, fpr_model
+from repro.common.validation import require_positive_int
+
+__all__ = [
+    "simulate_ondemand_failures",
+    "simulate_bf_fpr",
+    "simulate_bm_bias",
+]
+
+
+def simulate_ondemand_failures(
+    num_groups: int,
+    alpha: float,
+    cardinality: int,
+    touches: int,
+    *,
+    trials: int = 200,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Empirical vs analytic E[# groups missing a cleaning per cycle]."""
+    require_positive_int("num_groups", num_groups)
+    rng = np.random.default_rng(seed)
+    updates = int((1.0 + alpha) * cardinality * touches)
+    missed = 0
+    for _ in range(trials):
+        hit = np.zeros(num_groups, dtype=bool)
+        hit[rng.integers(0, num_groups, size=updates)] = True
+        missed += num_groups - int(np.count_nonzero(hit))
+    simulated = missed / trials
+    analytic = expected_failed_groups(num_groups, alpha, cardinality, touches)
+    return simulated, analytic
+
+
+def simulate_bf_fpr(
+    window: int,
+    num_bits: int,
+    num_hashes: int,
+    alpha: float,
+    *,
+    n_queries: int = 4000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Empirical SHE-BF FPR on a distinct stream vs §5.2's FPR(R)."""
+    from repro.core import SheBloomFilter
+    from repro.datasets import distinct_stream
+
+    bf = SheBloomFilter(
+        window, num_bits, num_hashes=num_hashes, alpha=alpha, seed=seed
+    )
+    stream = distinct_stream(
+        window * (3 + int(np.ceil(alpha))), seed=seed
+    ).items
+    bf.insert_many(stream)
+    probes = (np.uint64(1) << np.uint64(58)) + np.asarray(
+        np.arange(n_queries), dtype=np.uint64
+    )
+    simulated = float(bf.contains_many(probes).mean())
+    q = bf_q_parameter(window, num_hashes, bf.num_bits)
+    analytic = fpr_model(1.0 + alpha, q, num_hashes)
+    return simulated, analytic
+
+
+def simulate_bm_bias(
+    window: int,
+    num_bits: int,
+    alpha: float,
+    *,
+    trials: int = 6,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Empirical |mean signed RE| of SHE-BM vs Eq. 3's bound.
+
+    Uses a uniform all-distinct stream (C ~ N), the regime where the
+    Eq. 3 envelope is tightest.
+    """
+    from repro.core import SheBitmap
+    from repro.exact import ExactWindow
+
+    rng = np.random.default_rng(seed)
+    errs = []
+    for trial in range(trials):
+        bm = SheBitmap(
+            window, num_bits, alpha=alpha, beta=1.0 - min(alpha, 0.5), seed=trial
+        )
+        ew = ExactWindow(window)
+        stream = rng.integers(0, 1 << 44, size=4 * window, dtype=np.uint64)
+        step = max(1, window // 2)
+        for lo in range(0, stream.size, step):
+            bm.insert_many(stream[lo : lo + step])
+            ew.insert_many(stream[lo : lo + step])
+            if lo >= 2 * window:
+                true_c = ew.cardinality()
+                errs.append((bm.cardinality() - true_c) / true_c)
+    simulated = abs(float(np.mean(errs)))
+    analytic = bm_relative_error_bound(alpha, window, window)  # C ~ N
+    return simulated, analytic

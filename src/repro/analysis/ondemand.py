@@ -1,0 +1,68 @@
+"""Eq. 1 — error of on-demand cleaning (§5.1).
+
+A group is cleaned lazily, only when an item maps into it.  A group
+that receives no insertion during a whole cleaning cycle keeps stale
+cells (and, after two cycles, a wrapped mark).  With ``G`` groups,
+window cardinality ``C``, ``H`` cells touched per insertion and
+cleaning cycle ``(1+alpha)N``, the expected number of groups that fail
+to refresh in a cycle is ``E = G * (1 - 1/G)^((1+alpha)*C*H)
+~ G * exp(-(1+alpha)*C*H/G)``; Eq. 1 turns ``E <= eps`` into the
+group-count design rule ``G*ln(G) / ((1+alpha)*C*H) <= eps``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.validation import (
+    require_positive_float,
+    require_positive_int,
+)
+
+__all__ = [
+    "expected_failed_groups",
+    "ondemand_design_value",
+    "max_groups_for_error",
+]
+
+
+def expected_failed_groups(num_groups: int, alpha: float, cardinality: float, touches: int) -> float:
+    """E[# groups missing their cleaning in one cycle] (exact form)."""
+    g = require_positive_int("num_groups", num_groups)
+    require_positive_float("alpha", alpha)
+    require_positive_float("cardinality", cardinality)
+    h = require_positive_int("touches", touches)
+    updates = (1.0 + alpha) * cardinality * h
+    if g == 1:
+        return 0.0 if updates > 0 else 1.0
+    return g * (1.0 - 1.0 / g) ** updates
+
+
+def ondemand_design_value(num_groups: int, alpha: float, cardinality: float, touches: int) -> float:
+    """Left-hand side of Eq. 1: ``G*ln(G) / ((1+alpha)*C*H)``."""
+    g = require_positive_int("num_groups", num_groups)
+    require_positive_float("alpha", alpha)
+    require_positive_float("cardinality", cardinality)
+    h = require_positive_int("touches", touches)
+    return g * math.log(max(g, 2)) / ((1.0 + alpha) * cardinality * h)
+
+
+def max_groups_for_error(eps: float, alpha: float, cardinality: float, touches: int) -> int:
+    """Largest group count G satisfying Eq. 1 for tolerance ``eps``.
+
+    Monotone in G, so a doubling search + bisection suffices.
+    """
+    require_positive_float("eps", eps)
+    hi = 2
+    while ondemand_design_value(hi, alpha, cardinality, touches) <= eps:
+        hi *= 2
+        if hi > 1 << 40:
+            return hi
+    lo = max(1, hi // 2)
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if ondemand_design_value(mid, alpha, cardinality, touches) <= eps:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,71 @@
+"""Eq. 2 — the optimal cleaning stretch for SHE-BF (§5.2).
+
+For a mapped bit of age ``r*N`` the zero probability is ``P0(r) = Q^r``
+with ``Q = (1 - 1/w)^(C*H/G) ~ exp(-C*H/M)``.  Averaging the "provides
+zero-evidence" probability over ages uniform on ``[0, R)`` (young bits,
+``r < 1``, never testify) gives
+
+    FPR(R) = [1 - (Q^R - Q) / (ln(Q) * R)]^H.
+
+Minimising is equivalent to minimising ``g(R) = (Q^R - Q)/R``, whose
+stationary point solves ``Q^R * (R*ln(Q) - 1) + Q = 0`` — a single root
+in ``R > 1`` because the derivative is monotone.  The optimal stretch
+is ``alpha = R0 - 1``; at the paper's defaults (k = 8 hashes, their
+memory-to-cardinality ratio) this lands near 3, the §7.1 setting.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.optimize import brentq
+
+from repro.common.validation import require_in_range, require_positive_float, require_positive_int
+
+__all__ = ["bf_q_parameter", "fpr_model", "optimal_r", "optimal_alpha"]
+
+
+def bf_q_parameter(cardinality: float, num_hashes: int, num_bits: int) -> float:
+    """``Q = (1 - 1/M)^(C*H)``: zero-probability decay per window of age."""
+    require_positive_float("cardinality", cardinality)
+    require_positive_int("num_hashes", num_hashes)
+    m = require_positive_int("num_bits", num_bits)
+    if m < 2:
+        raise ValueError("num_bits must be >= 2 for a meaningful Q")
+    return (1.0 - 1.0 / m) ** (cardinality * num_hashes)
+
+
+def fpr_model(r: float, q: float, num_hashes: int) -> float:
+    """Closed-form FPR(R) of §5.2 for cycle stretch ``R = 1 + alpha``."""
+    require_positive_float("r", r)
+    require_in_range("q", q, 0.0, 1.0, inclusive=False)
+    h = require_positive_int("num_hashes", num_hashes)
+    if r <= 1.0:
+        # no aged band at all: every mapped bit is young, nothing testifies
+        return 1.0
+    evidence = (q**r - q) / (math.log(q) * r)
+    return (1.0 - evidence) ** h
+
+
+def optimal_r(q: float) -> float:
+    """Root of ``Q^R * (R*ln(Q) - 1) + Q = 0`` — the FPR-minimising R."""
+    require_in_range("q", q, 0.0, 1.0, inclusive=False)
+    lnq = math.log(q)
+
+    def f(r: float) -> float:
+        return q**r * (r * lnq - 1.0) + q
+
+    lo = 1.0
+    # f(1) = Q*ln(Q) < 0; f -> Q > 0 as R -> inf
+    hi = 2.0
+    while f(hi) < 0:
+        hi *= 2.0
+        if hi > 1e9:
+            raise RuntimeError(f"optimal R did not bracket for Q={q}")
+    return float(brentq(f, lo, hi, xtol=1e-10))
+
+
+def optimal_alpha(cardinality: float, num_hashes: int, num_bits: int) -> float:
+    """Eq. 2: the optimal cleaning stretch ``alpha = R0 - 1``."""
+    q = bf_q_parameter(cardinality, num_hashes, num_bits)
+    return optimal_r(q) - 1.0

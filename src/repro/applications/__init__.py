@@ -1,0 +1,6 @@
+"""Applied structures over the SHE sketches (the intro's use cases)."""
+
+from repro.applications.anomaly import AnomalyEvent, CardinalityAnomalyDetector
+from repro.applications.heavy_hitters import HeavyHitters
+
+__all__ = ["AnomalyEvent", "CardinalityAnomalyDetector", "HeavyHitters"]

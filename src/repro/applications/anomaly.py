@@ -1,0 +1,106 @@
+"""Cardinality-based anomaly detection on top of SHE-BM / SHE-HLL.
+
+The scan/anomaly detector the paper's intro gestures at: track the
+distinct-key count of the most recent window and flag excursions from
+a running baseline.  Uses an exponentially-weighted baseline with a
+robust (median-absolute-deviation-like) spread estimate so a single
+excursion doesn't poison the baseline it is judged against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import require_positive_float, require_positive_int
+
+__all__ = ["CardinalityAnomalyDetector", "AnomalyEvent"]
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One flagged excursion."""
+
+    t: int
+    estimate: float
+    baseline: float
+    score: float
+
+
+class CardinalityAnomalyDetector:
+    """EWMA baseline + deviation score over windowed cardinality.
+
+    Args:
+        sketch: any cardinality sketch (SHE-BM, SHE-HLL, ...).
+        check_every: items between checks (typically N/4).
+        score_threshold: flag when |estimate - baseline| exceeds this
+            many spread units.
+        warmup_checks: checks consumed building the baseline before any
+            flagging happens.
+        ewma: baseline smoothing factor.
+    """
+
+    def __init__(
+        self,
+        sketch,
+        *,
+        check_every: int,
+        score_threshold: float = 4.0,
+        warmup_checks: int = 4,
+        ewma: float = 0.15,
+    ):
+        self.sketch = sketch
+        self.check_every = require_positive_int("check_every", check_every)
+        self.score_threshold = require_positive_float("score_threshold", score_threshold)
+        self.warmup_checks = require_positive_int("warmup_checks", warmup_checks)
+        self.ewma = require_positive_float("ewma", ewma)
+        self._baseline: float | None = None
+        self._spread: float = 0.0
+        self._checks = 0
+        self._since_check = 0
+        self.events: list[AnomalyEvent] = []
+
+    def insert_many(self, keys) -> list[AnomalyEvent]:
+        """Ingest a batch; returns any events the batch triggered."""
+        new: list[AnomalyEvent] = []
+        import numpy as np
+
+        keys = np.asarray(keys, dtype=np.uint64)
+        pos = 0
+        while pos < keys.size:
+            take = min(self.check_every - self._since_check, keys.size - pos)
+            self.sketch.insert_many(keys[pos : pos + take])
+            self._since_check += take
+            pos += take
+            if self._since_check >= self.check_every:
+                self._since_check = 0
+                event = self._check()
+                if event is not None:
+                    new.append(event)
+        self.events.extend(new)
+        return new
+
+    def _check(self) -> AnomalyEvent | None:
+        est = float(self.sketch.cardinality())
+        self._checks += 1
+        if self._baseline is None:
+            self._baseline = est
+            self._spread = max(est * 0.1, 1.0)
+            return None
+        deviation = abs(est - self._baseline)
+        score = deviation / max(self._spread, 1e-9)
+        flagged = self._checks > self.warmup_checks and score >= self.score_threshold
+        if flagged:
+            event = AnomalyEvent(
+                t=self.sketch.now(), estimate=est, baseline=self._baseline, score=score
+            )
+        else:
+            # only non-anomalous checks update the baseline (robustness)
+            self._baseline += self.ewma * (est - self._baseline)
+            self._spread += self.ewma * (deviation - self._spread)
+            self._spread = max(self._spread, max(self._baseline * 0.02, 1.0))
+            event = None
+        return event
+
+    @property
+    def baseline(self) -> float | None:
+        return self._baseline

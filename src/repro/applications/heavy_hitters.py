@@ -1,0 +1,116 @@
+"""Sliding-window heavy hitters on top of SHE-CM.
+
+The paper's introduction motivates SHE with financial trackers and
+QoS/intrusion monitors; the bread-and-butter query of those systems is
+"which keys exceed a frequency threshold over the last N items?".
+Count-Min alone answers point queries; this module adds the classic
+candidate-set construction: keep a small exact map of the keys whose
+*estimated* windowed count ever crossed the threshold, re-validating
+(and expiring) candidates against the sketch on demand.
+
+Because SHE-CM never underestimates through mature counters, a true
+heavy hitter is always admitted to the candidate set (no false
+dismissals while it stays hot); collisions can admit impostors, which
+the re-validation prunes as the window slides — the usual CM
+heavy-hitter guarantee, transplanted onto sliding windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import as_key_array, require_positive_float, require_positive_int
+from repro.core.she_cm import SheCountMin
+
+__all__ = ["HeavyHitters"]
+
+
+class HeavyHitters:
+    """Threshold heavy hitters over the most recent N items.
+
+    Args:
+        window: sliding-window size N.
+        threshold: report keys whose windowed count >= this.
+        num_counters: SHE-CM size (or pass a prebuilt ``sketch``).
+        max_candidates: cap on tracked candidates (oldest-estimate
+            entries are evicted first when full).
+        sketch: optionally supply a configured :class:`SheCountMin`.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        threshold: float,
+        *,
+        num_counters: int = 1 << 14,
+        max_candidates: int = 1024,
+        sketch: SheCountMin | None = None,
+        seed: int = 40,
+    ):
+        require_positive_int("window", window)
+        self.threshold = require_positive_float("threshold", threshold)
+        self.max_candidates = require_positive_int("max_candidates", max_candidates)
+        self.sketch = (
+            sketch
+            if sketch is not None
+            else SheCountMin(window, num_counters, seed=seed)
+        )
+        if self.sketch.config.window != window:
+            raise ValueError(
+                f"sketch window {self.sketch.config.window} != {window}"
+            )
+        self._candidates: dict[int, float] = {}
+
+    def insert_many(self, keys) -> None:
+        """Ingest a batch; admit keys whose estimate crosses the threshold."""
+        keys = as_key_array(keys)
+        if keys.size == 0:
+            return
+        self.sketch.insert_many(keys)
+        # batch-estimate the batch's distinct keys once
+        distinct = np.unique(keys)
+        est = self.sketch.frequency_many(distinct)
+        hot = distinct[est >= self.threshold]
+        for k, e in zip(hot.tolist(), est[est >= self.threshold].tolist()):
+            self._candidates[int(k)] = float(e)
+        if len(self._candidates) > self.max_candidates:
+            self._revalidate()
+            if len(self._candidates) > self.max_candidates:
+                keep = sorted(
+                    self._candidates.items(), key=lambda kv: -kv[1]
+                )[: self.max_candidates]
+                self._candidates = dict(keep)
+
+    def insert(self, key: int) -> None:
+        """Ingest one item."""
+        self.insert_many(np.asarray([key], dtype=np.uint64))
+
+    def _revalidate(self) -> None:
+        """Re-estimate every candidate; drop the ones that cooled off."""
+        if not self._candidates:
+            return
+        keys = np.fromiter(self._candidates.keys(), dtype=np.uint64)
+        est = self.sketch.frequency_many(keys)
+        self._candidates = {
+            int(k): float(e)
+            for k, e in zip(keys.tolist(), est.tolist())
+            if e >= self.threshold
+        }
+
+    def heavy_hitters(self) -> list[tuple[int, float]]:
+        """Current heavy hitters as (key, estimated count), hottest first."""
+        self._revalidate()
+        return sorted(self._candidates.items(), key=lambda kv: -kv[1])
+
+    def is_heavy(self, key: int) -> bool:
+        """Does ``key`` currently estimate at or above the threshold?"""
+        return self.sketch.frequency(int(key)) >= self.threshold
+
+    @property
+    def memory_bytes(self) -> int:
+        """Sketch plus candidate map (16 B per tracked entry)."""
+        return self.sketch.memory_bytes + 16 * self.max_candidates
+
+    def reset(self) -> None:
+        self.sketch.reset()
+        self._candidates.clear()

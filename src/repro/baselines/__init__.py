@@ -1,0 +1,24 @@
+"""Sliding-window competitor algorithms from §2.2 / §7.1."""
+
+from repro.baselines.cvs import CounterVectorSketch
+from repro.baselines.ecm import EcmSketch
+from repro.baselines.expohist import ExponentialHistogram
+from repro.baselines.shll import SlidingHyperLogLog
+from repro.baselines.strawman_minhash import StrawmanMinHash
+from repro.baselines.swamp import Swamp, TinyTable
+from repro.baselines.tbf import TimingBloomFilter
+from repro.baselines.tobf import TimeOutBloomFilter
+from repro.baselines.tsv import TimestampVector
+
+__all__ = [
+    "CounterVectorSketch",
+    "EcmSketch",
+    "ExponentialHistogram",
+    "SlidingHyperLogLog",
+    "StrawmanMinHash",
+    "Swamp",
+    "TinyTable",
+    "TimingBloomFilter",
+    "TimeOutBloomFilter",
+    "TimestampVector",
+]

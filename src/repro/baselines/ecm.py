@@ -1,0 +1,135 @@
+"""ECM-sketch (Papapetrou, Garofalakis & Deligiannakis, VLDB '12).
+
+A Count-Min sketch whose counters are replaced by Exponential
+Histograms: each of the k hashed "counters" is a windowed DGIM counter,
+so frequency queries return the minimum *windowed* count.  Accurate
+expiry, but each counter costs O(k_eh * log N) buckets of timestamp +
+size — the memory pressure that makes it lose to SHE-CM at small
+budgets (Fig. 9c).
+
+Following §7.1 we use 4 hash functions.  ``memory_bytes`` reports the
+live bucket footprint; :meth:`from_memory` sizes the counter array from
+the *budgeted* per-counter bucket bound the ECM paper provisions for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import HashFamily
+from repro.common.validation import as_key_array, require_positive_int
+from repro.baselines.expohist import ExponentialHistogram
+
+__all__ = ["EcmSketch"]
+
+
+class EcmSketch:
+    """Count-Min over Exponential-Histogram counters.
+
+    Args:
+        window: sliding-window size N.
+        num_counters: number of EH counters M.
+        num_hashes: CM hash functions (paper setting: 4).
+        eh_k: per-EH inverse-error knob.
+        seed: hash seed.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        num_counters: int,
+        num_hashes: int = 4,
+        *,
+        eh_k: int = 8,
+        seed: int = 37,
+    ):
+        self.window = require_positive_int("window", window)
+        self.num_counters = require_positive_int("num_counters", num_counters)
+        self.num_hashes = require_positive_int("num_hashes", num_hashes)
+        self.eh_k = require_positive_int("eh_k", eh_k)
+        self._hash = HashFamily(self.num_hashes, seed=seed)
+        self.counters = [
+            ExponentialHistogram(window, eh_k) for _ in range(self.num_counters)
+        ]
+        self.t = 0
+
+    @classmethod
+    def budget_buckets_per_counter(cls, window: int, eh_k: int = 8) -> int:
+        """Bucket provisioning per counter: (k/2 + 2) per size class."""
+        classes = max(1, int(np.ceil(np.log2(window + 1))) + 1)
+        return (eh_k // 2 + 2) * classes
+
+    @classmethod
+    def from_memory(
+        cls,
+        window: int,
+        memory_bytes: int,
+        num_hashes: int = 4,
+        *,
+        eh_k: int = 8,
+        seed: int = 37,
+    ) -> "EcmSketch":
+        """Size the counter array from the provisioned bucket budget."""
+        require_positive_int("memory_bytes", memory_bytes)
+        per_counter_bits = (
+            cls.budget_buckets_per_counter(window, eh_k)
+            * ExponentialHistogram.BUCKET_BITS
+        )
+        m = (memory_bytes * 8) // per_counter_bits
+        if m < 1:
+            raise ValueError(
+                f"{memory_bytes} B holds no EH counter "
+                f"(~{per_counter_bits // 8} B each at window {window})"
+            )
+        return cls(window, m, num_hashes, eh_k=eh_k, seed=seed)
+
+    def insert(self, key: int) -> None:
+        """Add 1 to the k hashed EH counters at the current time."""
+        self.insert_many(np.asarray([key], dtype=np.uint64))
+
+    def insert_many(self, keys) -> None:
+        """Insert a batch in arrival order."""
+        keys = as_key_array(keys)
+        if keys.size == 0:
+            return
+        idx = self._hash.indices(keys, self.num_counters)
+        counters = self.counters
+        t = self.t
+        for row in idx:
+            for j in row:
+                counters[j].add(t)
+            t += 1
+        self.t = t
+
+    def frequency(self, key: int) -> float:
+        """Min over the k hashed windowed counts."""
+        return float(self.frequency_many(np.asarray([key], dtype=np.uint64))[0])
+
+    def frequency_many(self, keys) -> np.ndarray:
+        """Vectorised frequency estimates."""
+        keys = as_key_array(keys)
+        idx = self._hash.indices(keys, self.num_counters)
+        t = self.t
+        out = np.empty(idx.shape[0], dtype=np.float64)
+        for i, row in enumerate(idx):
+            out[i] = min(self.counters[j].query(t) for j in row)
+        return out
+
+    @property
+    def memory_bytes(self) -> int:
+        """Live footprint: every bucket in every counter."""
+        buckets = sum(c.num_buckets for c in self.counters)
+        return (buckets * ExponentialHistogram.BUCKET_BITS + 7) // 8
+
+    @property
+    def budgeted_memory_bytes(self) -> int:
+        """Provisioned footprint the structure was sized for."""
+        per = self.budget_buckets_per_counter(self.window, self.eh_k)
+        return (
+            self.num_counters * per * ExponentialHistogram.BUCKET_BITS + 7
+        ) // 8
+
+    def reset(self) -> None:
+        for c in self.counters:
+            c.reset()
+        self.t = 0

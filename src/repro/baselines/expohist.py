@@ -1,0 +1,113 @@
+"""Exponential Histogram (Datar, Gionis, Indyk & Motwani, 2002).
+
+The windowed counter ECM-sketch builds on: counts how many 1s occurred
+in the last N time units with relative error <= 1/k, using O(k log N)
+buckets of exponentially growing sizes.  When more than ``k//2 + 2``
+buckets of one size exist, the two oldest merge into one of the next
+size (keeping the newer timestamp), cascading upward.
+
+Buckets are stored one deque per size class (newest at the left); the
+EH invariant — bucket sizes are non-decreasing with age — means a
+merged bucket is always newer than everything already in the next
+class, so merging is an O(1) deque rotation and the whole structure is
+O(1) amortised per update.
+
+Query sums all unexpired buckets minus half the oldest (its true
+overlap with the window is unknown) — the classic DGIM estimator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.validation import require_non_negative_int, require_positive_int
+
+__all__ = ["ExponentialHistogram"]
+
+
+class ExponentialHistogram:
+    """DGIM counter over a sliding window.
+
+    Args:
+        window: window size N in time units.
+        k: inverse relative-error knob; estimate error <= 1/k.
+    """
+
+    #: bits charged per bucket: 32-bit timestamp + 8-bit size exponent
+    BUCKET_BITS = 40
+
+    def __init__(self, window: int, k: int = 8):
+        self.window = require_positive_int("window", window)
+        self.k = require_positive_int("k", k)
+        self._cap = self.k // 2 + 2
+        # per-exponent deques of "newest timestamp in bucket", newest left
+        self._classes: list[deque[int]] = [deque()]
+        self._total = 0  # sum of live bucket sizes
+        self._last_t = -1
+
+    def add(self, t: int, amount: int = 1) -> None:
+        """Record ``amount`` ones at time ``t`` (non-decreasing)."""
+        require_non_negative_int("t", t)
+        if t < self._last_t:
+            raise ValueError(
+                f"timestamps must be non-decreasing, got {t} < {self._last_t}"
+            )
+        self._last_t = t
+        classes = self._classes
+        for _ in range(amount):
+            classes[0].appendleft(t)
+            self._total += 1
+            e = 0
+            while len(classes[e]) > self._cap:
+                # merge the two oldest buckets of class e; the merged
+                # bucket keeps the newer timestamp and is newer than
+                # everything already in class e+1
+                older = classes[e].pop()
+                newer = classes[e].pop()
+                del older
+                if e + 1 >= len(classes):
+                    classes.append(deque())
+                classes[e + 1].appendleft(newer)
+                e += 1
+        self._expire(t)
+
+    def _expire(self, t_now: int) -> None:
+        """Drop buckets wholly outside the window (oldest = largest class)."""
+        horizon = t_now - self.window
+        for e in range(len(self._classes) - 1, -1, -1):
+            cls = self._classes[e]
+            while cls and cls[-1] <= horizon:
+                cls.pop()
+                self._total -= 1 << e
+            if cls:
+                break  # smaller classes are strictly newer
+
+    def query(self, t_now: int) -> float:
+        """Estimated count of 1s in ``(t_now - N, t_now]``.
+
+        The oldest bucket straddles the window edge: its newest event
+        (the stored timestamp) is provably inside, the other ``size-1``
+        are unknown, so we count half of them — exact when the oldest
+        bucket has size 1, the classic DGIM midpoint otherwise.
+        """
+        self._expire(t_now)
+        if self._total == 0:
+            return 0.0
+        # the oldest live bucket sits in the largest non-empty class
+        for e in range(len(self._classes) - 1, -1, -1):
+            if self._classes[e]:
+                return self._total - ((1 << e) - 1) / 2.0
+        return 0.0  # pragma: no cover - guarded by _total above
+
+    @property
+    def num_buckets(self) -> int:
+        return sum(len(c) for c in self._classes)
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self.num_buckets * self.BUCKET_BITS + 7) // 8
+
+    def reset(self) -> None:
+        self._classes = [deque()]
+        self._total = 0
+        self._last_t = -1

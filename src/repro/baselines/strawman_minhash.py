@@ -1,0 +1,103 @@
+"""Straw-man sliding MinHash (§7.1's SHE-MH comparison point).
+
+MinHash "modified by adding a 64-bit timestamp for each pair of
+counters to indicate if the counters need to be cleaned": the timestamp
+records when the stored minimum was last (re)set.  On insertion, an
+expired counter restarts from the new hash; otherwise the usual min-
+merge applies (refreshing the timestamp only when the new value wins).
+
+The structural flaw the paper exploits: a small minimum *sticks* for a
+full window from the moment it was set, even if the item that produced
+it left the window long ago — so the effective window per counter
+stretches up to 2N and drifts per counter, biasing the similarity
+estimate.  Memory: 2 * M * (24 + 64) bits, the timestamps tripling the
+per-counter cost versus SHE-MH's single mark bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import splitmix64
+from repro.common.validation import as_key_array, require_positive_int
+
+__all__ = ["StrawmanMinHash"]
+
+_HASH_BITS = 24
+_EMPTY = (1 << _HASH_BITS) - 1
+_TS_BITS = 64
+
+
+class StrawmanMinHash:
+    """Two-stream MinHash with per-counter expiry timestamps."""
+
+    def __init__(self, window: int, num_counters: int, *, seed: int = 38):
+        self.window = require_positive_int("window", window)
+        self.num_counters = require_positive_int("num_counters", num_counters)
+        cols = np.arange(self.num_counters, dtype=np.uint64)
+        self._col_seeds = splitmix64(
+            cols * np.uint64(0x9E3779B97F4A7C15) + np.uint64(seed)
+        )
+        self.minima = np.full((2, self.num_counters), _EMPTY, dtype=np.uint32)
+        self.stamps = np.full((2, self.num_counters), -1, dtype=np.int64)
+        self.counts = [0, 0]
+
+    @classmethod
+    def from_memory(cls, window: int, memory_bytes: int, *, seed: int = 38) -> "StrawmanMinHash":
+        """Size for a total budget covering values + timestamps, both sides."""
+        require_positive_int("memory_bytes", memory_bytes)
+        per_counter_bits = 2 * (_HASH_BITS + _TS_BITS)
+        m = (memory_bytes * 8) // per_counter_bits
+        if m < 1:
+            raise ValueError(f"{memory_bytes} B holds no timestamped counter pair")
+        return cls(window, m, seed=seed)
+
+    def _column_hashes(self, keys: np.ndarray) -> np.ndarray:
+        return (
+            splitmix64(keys[:, None] ^ self._col_seeds[None, :])
+            & np.uint64(_EMPTY)
+        ).astype(np.uint32)
+
+    def insert(self, side: int, key: int) -> None:
+        """Insert one item into stream ``side``."""
+        self.insert_many(side, np.asarray([key], dtype=np.uint64))
+
+    def insert_many(self, side: int, keys) -> None:
+        """Insert a batch into one stream (item-at-a-time semantics)."""
+        if side not in (0, 1):
+            raise ValueError(f"side must be 0 or 1, got {side}")
+        keys = as_key_array(keys)
+        if keys.size == 0:
+            return
+        vals = self._column_hashes(keys)  # (B, M)
+        minima = self.minima[side]
+        stamps = self.stamps[side]
+        t = self.counts[side]
+        for b in range(keys.size):
+            expired = stamps <= t - self.window
+            take = expired | (vals[b] < minima)
+            minima[take] = vals[b][take]
+            stamps[take] = t
+            t += 1
+        self.counts[side] = t
+
+    def similarity(self) -> float:
+        """Match fraction over counter pairs valid on both sides."""
+        v0 = self.stamps[0] > self.counts[0] - self.window
+        v1 = self.stamps[1] > self.counts[1] - self.window
+        valid = v0 & v1
+        k = int(np.count_nonzero(valid))
+        if k == 0:
+            return 0.0
+        u = int(np.count_nonzero(self.minima[0][valid] == self.minima[1][valid]))
+        return u / k
+
+    @property
+    def memory_bytes(self) -> int:
+        bits = 2 * self.num_counters * (_HASH_BITS + _TS_BITS)
+        return (bits + 7) // 8
+
+    def reset(self) -> None:
+        self.minima.fill(_EMPTY)
+        self.stamps.fill(-1)
+        self.counts = [0, 0]

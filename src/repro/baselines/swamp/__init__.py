@@ -1,0 +1,6 @@
+"""SWAMP baseline (fingerprint queue + TinyTable)."""
+
+from repro.baselines.swamp.swamp import Swamp
+from repro.baselines.swamp.tinytable import TinyTable
+
+__all__ = ["Swamp", "TinyTable"]

@@ -1,0 +1,163 @@
+"""SWAMP (Assaf et al., INFOCOM '18) — the paper's main generic rival.
+
+A cyclic queue holds the f-bit fingerprints of the last W items; a
+TinyTable counts them.  On arrival the oldest fingerprint is evicted
+from both.  One structure then answers membership (``ISMEMBER``:
+fingerprint present), cardinality (``DISTINCT`` MLE over observed
+distinct fingerprints) and frequency (fingerprint count) — the
+versatility §2.2 credits it with, at ``O(W)`` space, which is the
+weakness Fig. 9 exploits.
+
+Memory model: ``W`` queue slots of f bits plus a TinyTable sized for
+``(1 + gamma) * W`` entries, matching the SWAMP paper's ~1.2 load
+budget.  :meth:`from_memory` inverts this to pick the largest feasible
+fingerprint width for a byte budget — exactly how the paper's
+memory-sweep figures trade accuracy for space.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.hashing import HashFamily
+from repro.common.validation import as_key_array, require_positive_int
+from repro.baselines.swamp.tinytable import TinyTable
+
+__all__ = ["Swamp"]
+
+
+class Swamp:
+    """Sliding-window fingerprint queue + counting table.
+
+    Args:
+        window: W, the number of items kept.
+        fingerprint_bits: fingerprint width f (1..60).
+        gamma: TinyTable over-provisioning factor (default 0.2).
+        seed: fingerprint hash seed.
+    """
+
+    def __init__(self, window: int, fingerprint_bits: int, *, gamma: float = 0.2, seed: int = 31):
+        self.window = require_positive_int("window", window)
+        if not 1 <= fingerprint_bits <= 60:
+            raise ValueError(
+                f"fingerprint_bits must be in [1, 60], got {fingerprint_bits}"
+            )
+        self.fingerprint_bits = int(fingerprint_bits)
+        self.gamma = float(gamma)
+        self._fp_space = 1 << self.fingerprint_bits
+        self._hash = HashFamily(1, seed=seed)
+        self._queue = np.zeros(self.window, dtype=np.uint64)
+        cap = int(math.ceil((1.0 + gamma) * window))
+        # buckets cannot outnumber a quarter of the fingerprint space,
+        # or bucketing degenerates for narrow fingerprints
+        buckets = max(1, min(cap // 4, self._fp_space // 4))
+        self.table = TinyTable(
+            capacity=cap,
+            fingerprint_bits=self.fingerprint_bits,
+            num_buckets=buckets,
+        )
+        self.t = 0
+
+    @staticmethod
+    def _memory_bits(window: int, fingerprint_bits: int, gamma: float) -> int:
+        """Mirror of ``memory_bytes`` without building the structure."""
+        cap = int(math.ceil((1.0 + gamma) * window))
+        buckets = max(1, min(cap // 4, (1 << fingerprint_bits) // 4))
+        rem = max(1, fingerprint_bits - max(0, int(math.log2(buckets))))
+        return window * fingerprint_bits + cap * (rem + TinyTable.COUNTER_BITS)
+
+    @classmethod
+    def from_memory(cls, window: int, memory_bytes: int, *, gamma: float = 0.2, seed: int = 31) -> "Swamp":
+        """Choose the widest fingerprint whose structure fits the budget.
+
+        SWAMP's space is O(W) regardless of f — below its floor (about
+        ``W * (1 + 5*(1+gamma)) / 8`` bytes) this raises, mirroring the
+        empty leftmost points of the paper's memory sweeps.
+        """
+        require_positive_int("memory_bytes", memory_bytes)
+        total_bits = memory_bytes * 8
+        best = 0
+        for f in range(1, 61):  # memory is monotone in f
+            if cls._memory_bits(window, f, gamma) <= total_bits:
+                best = f
+            else:
+                break
+        if best == 0:
+            floor_bytes = (cls._memory_bits(window, 1, gamma) + 7) // 8
+            raise ValueError(
+                f"{memory_bytes} B cannot hold a SWAMP of window {window} "
+                f"(its O(W) floor is ~{floor_bytes} B)"
+            )
+        return cls(window, best, gamma=gamma, seed=seed)
+
+    # -- stream -----------------------------------------------------------
+
+    def _fingerprint(self, keys: np.ndarray) -> np.ndarray:
+        return self._hash.values(keys)[:, 0] % np.uint64(self._fp_space)
+
+    def insert(self, key: int) -> None:
+        """Insert one item, evicting the item leaving the window."""
+        self.insert_many(np.asarray([key], dtype=np.uint64))
+
+    def insert_many(self, keys) -> None:
+        """Insert a batch in arrival order."""
+        keys = as_key_array(keys)
+        if keys.size == 0:
+            return
+        fps = self._fingerprint(keys)
+        for fp in fps:
+            pos = self.t % self.window
+            if self.t >= self.window:
+                self.table.remove(int(self._queue[pos]))
+            self._queue[pos] = fp
+            self.table.add(int(fp))
+            self.t += 1
+
+    # -- estimators (the SWAMP paper's query suite) -------------------------
+
+    def contains(self, key: int) -> bool:
+        """ISMEMBER: is the key's fingerprint in the window?"""
+        fp = int(self._fingerprint(np.asarray([key], dtype=np.uint64))[0])
+        return fp in self.table
+
+    def contains_many(self, keys) -> np.ndarray:
+        """Vectorised ISMEMBER."""
+        fps = self._fingerprint(as_key_array(keys))
+        return np.fromiter((int(fp) in self.table for fp in fps), dtype=bool)
+
+    def cardinality(self) -> float:
+        """DISTINCT: MLE inversion of observed distinct fingerprints.
+
+        With D distinct keys hashing into L = 2^f fingerprints, the
+        expected distinct-fingerprint count is L*(1 - (1 - 1/L)^D);
+        inverting at the observed d gives the MLE.
+        """
+        d = self.table.distinct
+        L = self._fp_space
+        if d >= L:
+            d = L - 1  # fingerprint space saturated
+        if d == 0:
+            return 0.0
+        return math.log1p(-d / L) / math.log1p(-1.0 / L)
+
+    def frequency(self, key: int) -> int:
+        """FREQUENCY: the fingerprint's count (overestimates on collision)."""
+        fp = int(self._fingerprint(np.asarray([key], dtype=np.uint64))[0])
+        return self.table.count(fp)
+
+    def frequency_many(self, keys) -> np.ndarray:
+        """Vectorised FREQUENCY."""
+        fps = self._fingerprint(as_key_array(keys))
+        return np.fromiter((self.table.count(int(fp)) for fp in fps), dtype=np.int64)
+
+    @property
+    def memory_bytes(self) -> int:
+        queue_bits = self.window * self.fingerprint_bits
+        return (queue_bits + 7) // 8 + self.table.memory_bytes
+
+    def reset(self) -> None:
+        self._queue.fill(0)
+        self.table.reset()
+        self.t = 0

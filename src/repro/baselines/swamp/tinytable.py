@@ -1,0 +1,117 @@
+"""TinyTable-style counting fingerprint table (SWAMP's substrate).
+
+SWAMP (Assaf et al., INFOCOM '18) stores the fingerprints of the W
+window items in a TinyTable (Einziger & Friedman 2015): a bucketed,
+chained fingerprint store supporting add / remove / count.  We keep the
+same *behaviour* — exact multiset counting of truncated fingerprints,
+with bucket chaining — and account memory the way TinyTable does: a
+fixed slot capacity of ``(1 + gamma) * W`` entries, each holding the
+fingerprint remainder plus a small counter field.
+
+The error SWAMP exhibits comes entirely from fingerprint truncation
+(two distinct keys sharing an f-bit fingerprint), which this structure
+reproduces exactly.  The paper's §2.3 argument — chained buckets cause
+unbounded concurrent memory access ("domino effect") on hardware — is
+modelled by :mod:`repro.hardware.constraints`, which inspects the
+bucket-spill statistics this class records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import require_positive_int
+
+__all__ = ["TinyTable"]
+
+
+class TinyTable:
+    """Bucketed counting table of fingerprints.
+
+    Args:
+        capacity: slot budget (entries the table is sized for).
+        fingerprint_bits: width f of stored fingerprints.
+        num_buckets: buckets the fingerprint space is split over
+            (defaults to ``capacity // 4`` as in TinyTable's 4-slot
+            buckets).
+    """
+
+    #: counter field width charged per slot (TinyTable varint ~ 4 bits)
+    COUNTER_BITS = 4
+
+    def __init__(self, capacity: int, fingerprint_bits: int, num_buckets: int | None = None):
+        self.capacity = require_positive_int("capacity", capacity)
+        self.fingerprint_bits = require_positive_int("fingerprint_bits", fingerprint_bits)
+        if num_buckets is None:
+            num_buckets = max(1, capacity // 4)
+        self.num_buckets = require_positive_int("num_buckets", num_buckets)
+        # bucket -> {remainder: count}; exact chaining, like TinyTable's
+        # overflow-to-neighbour but without capacity loss.
+        self._buckets: list[dict[int, int]] = [dict() for _ in range(self.num_buckets)]
+        self._distinct = 0
+        self._size = 0
+        #: how many entries ever spilled past a 4-slot bucket (the
+        #: "domino effect" statistic the constraint checker reads)
+        self.spill_events = 0
+
+    def _locate(self, fingerprint: int) -> tuple[int, int]:
+        b = fingerprint % self.num_buckets
+        rem = fingerprint // self.num_buckets
+        return b, rem
+
+    def add(self, fingerprint: int) -> None:
+        """Insert one occurrence of ``fingerprint``."""
+        b, rem = self._locate(int(fingerprint))
+        bucket = self._buckets[b]
+        if rem not in bucket:
+            self._distinct += 1
+            if len(bucket) >= 4:
+                self.spill_events += 1
+        bucket[rem] = bucket.get(rem, 0) + 1
+        self._size += 1
+
+    def remove(self, fingerprint: int) -> None:
+        """Remove one occurrence of ``fingerprint`` (must be present)."""
+        b, rem = self._locate(int(fingerprint))
+        bucket = self._buckets[b]
+        cnt = bucket.get(rem)
+        if cnt is None:
+            raise KeyError(f"fingerprint {fingerprint} not present")
+        if cnt == 1:
+            del bucket[rem]
+            self._distinct -= 1
+        else:
+            bucket[rem] = cnt - 1
+        self._size -= 1
+
+    def count(self, fingerprint: int) -> int:
+        """Multiplicity of ``fingerprint`` in the table."""
+        b, rem = self._locate(int(fingerprint))
+        return self._buckets[b].get(rem, 0)
+
+    def __contains__(self, fingerprint: int) -> bool:
+        return self.count(fingerprint) > 0
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct fingerprints stored."""
+        return self._distinct
+
+    @property
+    def size(self) -> int:
+        """Total stored occurrences."""
+        return self._size
+
+    @property
+    def memory_bytes(self) -> int:
+        """Budgeted memory: capacity slots x (remainder + counter bits)."""
+        rem_bits = max(1, self.fingerprint_bits - max(0, int(np.log2(self.num_buckets))))
+        bits = self.capacity * (rem_bits + self.COUNTER_BITS)
+        return (bits + 7) // 8
+
+    def reset(self) -> None:
+        for b in self._buckets:
+            b.clear()
+        self._distinct = 0
+        self._size = 0
+        self.spill_events = 0

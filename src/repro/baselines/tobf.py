@@ -1,0 +1,76 @@
+"""Time-Out Bloom Filter (Kong et al., ICOIN '06).
+
+A Bloom filter whose bits are replaced by full arrival timestamps: an
+insertion stamps all k hashed slots; a query reports *present* only if
+every hashed slot was stamped within the window.  Like TSV, expiry is
+exact but each slot costs 64 bits (§7.1), so at equal memory TOBF has
+far fewer slots than SHE-BF has bits — the 100x FPR gap of Fig. 9d.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import HashFamily
+from repro.common.validation import as_key_array, require_positive_int
+
+__all__ = ["TimeOutBloomFilter"]
+
+_TS_BITS = 64
+
+
+class TimeOutBloomFilter:
+    """Bloom filter over 64-bit timestamp slots."""
+
+    def __init__(self, window: int, num_slots: int, num_hashes: int = 8, *, seed: int = 35):
+        self.window = require_positive_int("window", window)
+        self.num_slots = require_positive_int("num_slots", num_slots)
+        self.num_hashes = require_positive_int("num_hashes", num_hashes)
+        self._hash = HashFamily(self.num_hashes, seed=seed)
+        self.stamps = np.full(self.num_slots, -1, dtype=np.int64)
+        self.t = 0
+
+    @classmethod
+    def from_memory(
+        cls, window: int, memory_bytes: int, num_hashes: int = 8, *, seed: int = 35
+    ) -> "TimeOutBloomFilter":
+        """Size for a budget of 64-bit slots."""
+        require_positive_int("memory_bytes", memory_bytes)
+        m = (memory_bytes * 8) // _TS_BITS
+        if m < 1:
+            raise ValueError(f"{memory_bytes} B holds no 64-bit timestamp slot")
+        return cls(window, m, num_hashes, seed=seed)
+
+    def insert(self, key: int) -> None:
+        """Stamp the k hashed slots with the current time."""
+        self.insert_many(np.asarray([key], dtype=np.uint64))
+
+    def insert_many(self, keys) -> None:
+        """Vectorised batch insert."""
+        keys = as_key_array(keys)
+        if keys.size == 0:
+            return
+        idx = self._hash.indices(keys, self.num_slots)
+        times = np.repeat(self.t + np.arange(keys.size, dtype=np.int64), self.num_hashes)
+        np.maximum.at(self.stamps, idx.reshape(-1), times)
+        self.t += int(keys.size)
+
+    def contains(self, key: int) -> bool:
+        """Present iff every hashed slot is stamped within the window."""
+        return bool(self.contains_many(np.asarray([key], dtype=np.uint64))[0])
+
+    def contains_many(self, keys) -> np.ndarray:
+        """Vectorised membership."""
+        keys = as_key_array(keys)
+        idx = self._hash.indices(keys, self.num_slots)
+        horizon = max(self.t - self.window, 0)
+        fresh = self.stamps[idx.reshape(-1)].reshape(idx.shape) >= horizon
+        return np.all(fresh, axis=1)
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self.num_slots * _TS_BITS + 7) // 8
+
+    def reset(self) -> None:
+        self.stamps.fill(-1)
+        self.t = 0

@@ -1,0 +1,45 @@
+"""Shared substrate: hashing, validation and structural types."""
+
+from repro.common.hashing import (
+    BobHash,
+    HashFamily,
+    canonical_key,
+    canonical_keys,
+    fingerprints,
+    leading_zeros_32,
+    splitmix64,
+)
+from repro.common.types import (
+    CardinalitySketch,
+    FrequencySketch,
+    MembershipSketch,
+    SimilaritySketch,
+    SlidingSketch,
+)
+from repro.common.validation import (
+    as_key_array,
+    require_in_range,
+    require_non_negative_int,
+    require_positive_float,
+    require_positive_int,
+)
+
+__all__ = [
+    "BobHash",
+    "HashFamily",
+    "canonical_key",
+    "canonical_keys",
+    "fingerprints",
+    "leading_zeros_32",
+    "splitmix64",
+    "SlidingSketch",
+    "MembershipSketch",
+    "CardinalitySketch",
+    "FrequencySketch",
+    "SimilaritySketch",
+    "as_key_array",
+    "require_in_range",
+    "require_non_negative_int",
+    "require_positive_float",
+    "require_positive_int",
+]

@@ -1,0 +1,68 @@
+"""Shared structural types for the repository.
+
+Two protocols describe what the harness and the metrics code rely on:
+every sliding-window structure is a :class:`SlidingSketch` (insert keys
+tagged with arrival order, report its memory budget), and task-specific
+query mixins narrow what a structure can answer.  The protocols are
+``runtime_checkable`` so tests can assert conformance.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "SlidingSketch",
+    "MembershipSketch",
+    "CardinalitySketch",
+    "FrequencySketch",
+    "SimilaritySketch",
+]
+
+
+@runtime_checkable
+class SlidingSketch(Protocol):
+    """Anything that ingests a stream and accounts for its memory."""
+
+    @property
+    def memory_bytes(self) -> int:
+        """Memory budget occupied by the structure, in bytes."""
+        ...
+
+    def insert(self, key: int) -> None:
+        """Insert one item; arrival time is the running item count."""
+        ...
+
+    def insert_many(self, keys: np.ndarray) -> None:
+        """Insert a batch of items in arrival order."""
+        ...
+
+
+@runtime_checkable
+class MembershipSketch(Protocol):
+    """Answers: did ``key`` appear within the sliding window?"""
+
+    def contains(self, key: int) -> bool: ...
+
+
+@runtime_checkable
+class CardinalitySketch(Protocol):
+    """Estimates the number of distinct keys in the sliding window."""
+
+    def cardinality(self) -> float: ...
+
+
+@runtime_checkable
+class FrequencySketch(Protocol):
+    """Estimates per-key frequency within the sliding window."""
+
+    def frequency(self, key: int) -> float: ...
+
+
+@runtime_checkable
+class SimilaritySketch(Protocol):
+    """Estimates the Jaccard similarity of two windowed streams."""
+
+    def similarity(self) -> float: ...

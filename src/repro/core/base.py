@@ -1,0 +1,95 @@
+"""Shared plumbing for the five SHE sketches.
+
+Each SHE sketch owns one (or, for MinHash, two) *frames* — the cleaning
+machinery of §3.2/§3.3 — plus the hash family and query strategy of the
+original algorithm.  This module centralises frame construction, the
+item clock, and memory accounting so the per-algorithm modules contain
+only what the paper actually specifies for them.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.common.validation import as_key_array, require_non_negative_int
+from repro.core.config import SheConfig
+from repro.core.hardware_frame import HardwareFrame
+from repro.core.software_frame import SoftwareFrame
+
+__all__ = ["FrameKind", "make_frame", "SheSketchBase"]
+
+FrameKind = Literal["hardware", "software"]
+
+
+def make_frame(
+    kind: FrameKind,
+    config: SheConfig,
+    num_cells: int,
+    *,
+    dtype,
+    empty_value: int,
+    cell_bits: int,
+):
+    """Build the requested frame variant with a uniform signature."""
+    if kind == "hardware":
+        return HardwareFrame(
+            config,
+            num_cells,
+            dtype=dtype,
+            empty_value=empty_value,
+            cell_bits=cell_bits,
+        )
+    if kind == "software":
+        return SoftwareFrame(
+            config,
+            num_cells,
+            dtype=dtype,
+            empty_value=empty_value,
+            cell_bits=cell_bits,
+        )
+    raise ValueError(f"frame kind must be 'hardware' or 'software', got {kind!r}")
+
+
+class SheSketchBase:
+    """Item clock + common insert/query scaffolding for SHE sketches.
+
+    Subclasses implement ``_insert_at(keys, times)`` to place a batch of
+    keys whose arrival times are consecutive integers.  The base class
+    maintains ``self.t`` — the count-based clock: the number of items
+    inserted so far, which is also the arrival time of the *next* item.
+    """
+
+    def __init__(self) -> None:
+        self.t = 0
+
+    # -- clock -------------------------------------------------------------
+
+    def now(self) -> int:
+        """Current time = number of items inserted so far."""
+        return self.t
+
+    def _resolve_time(self, t: int | None) -> int:
+        """Queries default to 'now'; explicit times allow replay tests."""
+        if t is None:
+            return self.t
+        return require_non_negative_int("t", t)
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(self, key: int) -> None:
+        """Insert one item at the current time."""
+        self.insert_many(np.asarray([key], dtype=np.uint64))
+
+    def insert_many(self, keys) -> None:
+        """Insert a batch of items at consecutive times, oldest first."""
+        arr = as_key_array(keys)
+        if arr.size == 0:
+            return
+        times = self.t + np.arange(arr.size, dtype=np.int64)
+        self._insert_at(arr, times)
+        self.t += int(arr.size)
+
+    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+        raise NotImplementedError

@@ -1,0 +1,77 @@
+"""Configuration shared by both SHE frame implementations.
+
+The framework (§3) is parameterised by the sliding-window size ``N``,
+the cleaning-cycle stretch ``alpha`` (``Tcycle = (1 + alpha) * N``), the
+group width ``w`` (hardware version only; the software version sweeps
+individual cells) and the legal-age band lower fraction ``beta`` used by
+two-sided estimators (§4.1: ages in ``[beta*N, Tcycle)`` are *legal*).
+
+Time is discrete and count-based: the p-th inserted item arrives at
+time ``t = p`` (0-indexed).  Time-based windows map onto this under the
+paper's uniform-arrival assumption (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.validation import (
+    require_in_range,
+    require_positive_float,
+    require_positive_int,
+)
+
+__all__ = ["SheConfig"]
+
+
+@dataclass(frozen=True)
+class SheConfig:
+    """Parameters of a SHE frame.
+
+    Attributes:
+        window: sliding-window size ``N`` in items.
+        alpha: cleaning stretch; ``Tcycle = round((1 + alpha) * N)``.
+        group_width: cells per group ``w`` (hardware version).
+        beta: lower edge of the legal age band as a fraction of ``N``.
+    """
+
+    window: int
+    alpha: float = 0.2
+    group_width: int = 64
+    beta: float = 0.9
+
+    def __post_init__(self) -> None:
+        require_positive_int("window", self.window)
+        require_positive_float("alpha", self.alpha)
+        require_positive_int("group_width", self.group_width)
+        require_in_range("beta", self.beta, 0.0, 1.0)
+
+    @property
+    def t_cycle(self) -> int:
+        """Cleaning-cycle length ``Tcycle = (1 + alpha) * N`` in time units."""
+        t = int(round((1.0 + self.alpha) * self.window))
+        # Tcycle must strictly exceed N or there are no aged cells at all.
+        return max(t, self.window + 1)
+
+    @property
+    def legal_low(self) -> int:
+        """Lower edge of the legal age band, ``beta * N`` in time units."""
+        return int(self.beta * self.window)
+
+    def cells_for_memory(self, memory_bytes: int, cell_bits: int) -> int:
+        """How many cells fit a memory budget, counting the 1-bit marks.
+
+        Each group of ``w`` cells carries one time-mark bit, so a cell
+        costs ``cell_bits + 1/w`` bits.  Returns a multiple of ``w``.
+        """
+        require_positive_int("memory_bytes", memory_bytes)
+        require_positive_int("cell_bits", cell_bits)
+        total_bits = memory_bytes * 8
+        per_group_bits = self.group_width * cell_bits + 1
+        groups = total_bits // per_group_bits
+        if groups < 1:
+            raise ValueError(
+                f"memory budget of {memory_bytes} B cannot hold even one "
+                f"group of {self.group_width} cells x {cell_bits} bits"
+            )
+        return groups * self.group_width

@@ -1,0 +1,148 @@
+"""Common Sketch Model (CSM) — the ⟨C, K, F⟩ abstraction of §3.1 / Fig. 2.
+
+The paper characterises a fixed-window sketch by a triple:
+
+* ``C`` — cell type (bit or counter),
+* ``K`` — how many cells one insertion touches,
+* ``F`` — the update function applied independently to each touched
+  cell, ``y <- F(x, y)``.
+
+Enumerating the update functions (rather than accepting arbitrary
+callables) is what makes the framework *hardware-realisable*: each
+:class:`UpdateKind` maps onto a one-cycle ALU op in the pipeline model
+(:mod:`repro.hardware.she_rtl`).  The five canonical instantiations
+from Fig. 2 are provided as module constants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CellType",
+    "UpdateKind",
+    "CsmSpec",
+    "BLOOM_FILTER_SPEC",
+    "BITMAP_SPEC",
+    "HYPERLOGLOG_SPEC",
+    "COUNT_MIN_SPEC",
+    "MINHASH_SPEC",
+]
+
+
+class CellType(enum.Enum):
+    """Cell type ``C`` of the CSM triple."""
+
+    BIT = "bit"
+    COUNTER = "counter"
+
+
+class UpdateKind(enum.Enum):
+    """Update function ``F`` of the CSM triple (Fig. 2, rightmost column)."""
+
+    SET_ONE = "set_one"          # Bloom filter / Bitmap: F(x, y) = 1
+    MAX_RANK = "max_rank"        # HyperLogLog: F(x, y) = max(rank(x), y)
+    ADD_ONE = "add_one"          # Count-Min: F(x, y) = y + 1
+    MIN_HASH = "min_hash"        # MinHash: F(x, y) = min(hash(x), y)
+
+
+@dataclass(frozen=True)
+class CsmSpec:
+    """One row of Fig. 2: a fixed-window sketch the framework can lift.
+
+    Attributes:
+        name: human-readable algorithm name.
+        cell_type: bit or counter cells.
+        locations: ``K`` — cells touched per insertion.  ``"all"`` means
+            every cell (MinHash touches all ``M`` counters).
+        update: the update function ``F``.
+        default_cell_bits: hardware width of one cell.
+        empty_value: cell value after cleaning (identity of ``F``).
+        one_sided: True when the original sketch has one-sided error,
+            in which case SHE must ignore *all* young cells (§3.2).
+    """
+
+    name: str
+    cell_type: CellType
+    locations: int | str
+    update: UpdateKind
+    default_cell_bits: int
+    empty_value: int
+    one_sided: bool
+
+    def __post_init__(self) -> None:
+        if isinstance(self.locations, str) and self.locations != "all":
+            raise ValueError("locations must be a positive int or 'all'")
+        if isinstance(self.locations, int) and self.locations < 1:
+            raise ValueError(f"locations must be >= 1, got {self.locations}")
+
+    def apply(self, values: np.ndarray, cells: np.ndarray) -> np.ndarray:
+        """Apply ``F`` elementwise: new cell contents given hash values.
+
+        ``values`` carries what ``F`` needs per touched cell: the HLL
+        rank for MAX_RANK, the hash value for MIN_HASH, ignored for
+        SET_ONE / ADD_ONE.
+        """
+        if self.update is UpdateKind.SET_ONE:
+            return np.ones_like(cells)
+        if self.update is UpdateKind.ADD_ONE:
+            return cells + 1
+        if self.update is UpdateKind.MAX_RANK:
+            return np.maximum(cells, values.astype(cells.dtype))
+        if self.update is UpdateKind.MIN_HASH:
+            return np.minimum(cells, values.astype(cells.dtype))
+        raise AssertionError(f"unhandled update kind {self.update!r}")
+
+
+BLOOM_FILTER_SPEC = CsmSpec(
+    name="Bloom filter",
+    cell_type=CellType.BIT,
+    locations=8,
+    update=UpdateKind.SET_ONE,
+    default_cell_bits=1,
+    empty_value=0,
+    one_sided=True,
+)
+
+BITMAP_SPEC = CsmSpec(
+    name="Bitmap",
+    cell_type=CellType.BIT,
+    locations=1,
+    update=UpdateKind.SET_ONE,
+    default_cell_bits=1,
+    empty_value=0,
+    one_sided=False,
+)
+
+HYPERLOGLOG_SPEC = CsmSpec(
+    name="HyperLogLog",
+    cell_type=CellType.COUNTER,
+    locations=1,
+    update=UpdateKind.MAX_RANK,
+    default_cell_bits=5,
+    empty_value=0,
+    one_sided=False,
+)
+
+COUNT_MIN_SPEC = CsmSpec(
+    name="Count-Min Sketch",
+    cell_type=CellType.COUNTER,
+    locations=8,
+    update=UpdateKind.ADD_ONE,
+    default_cell_bits=32,
+    empty_value=0,
+    one_sided=True,
+)
+
+MINHASH_SPEC = CsmSpec(
+    name="MinHash",
+    cell_type=CellType.COUNTER,
+    locations="all",
+    update=UpdateKind.MIN_HASH,
+    default_cell_bits=24,
+    empty_value=(1 << 24) - 1,
+    one_sided=False,
+)

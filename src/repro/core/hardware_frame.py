@@ -1,0 +1,153 @@
+"""Hardware-version SHE frame: grouped cells with 1-bit time marks (§3.3).
+
+The cell array is split into ``G`` groups of ``w`` contiguous cells.
+Each group ``gid`` has a fixed time offset ``d_gid = -floor(Tcycle *
+gid / G)`` and a stored 1-bit mark ``m[gid]``.  The *current* mark of a
+group, ``floor((t + d_gid) / Tcycle) mod 2``, flips once per cleaning
+cycle; whenever a touched group's stored mark disagrees, the whole group
+is lazily reset (Algorithm 1: ``CheckGroup``).  The group's *age* —
+time since its virtual cleaning instant — is ``(t + d_gid) mod Tcycle``.
+
+This reproduces on-demand + group cleaning exactly, including the known
+failure mode: a group untouched for two full cycles wraps its mark back
+to the current value and stale cells survive (quantified by Eq. 1;
+see :mod:`repro.analysis.ondemand`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import require_positive_int
+from repro.core.config import SheConfig
+
+__all__ = ["HardwareFrame"]
+
+
+class HardwareFrame:
+    """Grouped, time-marked cell array — the SHE hardware version.
+
+    Args:
+        config: frame parameters (window, alpha, group width, beta).
+        num_cells: total number of cells ``M`` (multiple of ``w``).
+        dtype: NumPy dtype of a cell.
+        empty_value: value a cleaned cell takes (0 for BF/BM/CM/HLL,
+            the max hash value for MinHash).
+        cell_bits: bits a cell costs on hardware (for memory accounting;
+            may be narrower than the NumPy dtype used to store it).
+    """
+
+    def __init__(
+        self,
+        config: SheConfig,
+        num_cells: int,
+        *,
+        dtype=np.uint8,
+        empty_value: int = 0,
+        cell_bits: int = 1,
+    ):
+        self.config = config
+        self.num_cells = require_positive_int("num_cells", num_cells)
+        self.group_width = config.group_width
+        if self.num_cells % self.group_width != 0:
+            raise ValueError(
+                f"num_cells ({num_cells}) must be a multiple of the group "
+                f"width ({self.group_width})"
+            )
+        self.num_groups = self.num_cells // self.group_width
+        self.t_cycle = config.t_cycle
+        self.window = config.window
+        self.cell_bits = require_positive_int("cell_bits", cell_bits)
+        self.empty_value = empty_value
+        self.cells = np.full(self.num_cells, empty_value, dtype=dtype)
+        # d_gid = -floor(Tcycle * gid / G): offsets evenly spaced over a cycle.
+        gids = np.arange(self.num_groups, dtype=np.int64)
+        self.offsets = -((self.t_cycle * gids) // self.num_groups)
+        # Initialise stored marks to the current marks at t = 0 so the
+        # (already empty) array does not need a spurious first cleaning.
+        self.marks = self._current_marks_all(0)
+
+    # -- mark arithmetic ---------------------------------------------------
+
+    def _current_marks(self, gids: np.ndarray, t: int) -> np.ndarray:
+        """Current 1-bit marks of ``gids`` at time ``t`` (Algorithm 1 l.2)."""
+        return (((t + self.offsets[gids]) // self.t_cycle) % 2).astype(np.uint8)
+
+    def _current_marks_all(self, t: int) -> np.ndarray:
+        return (((t + self.offsets) // self.t_cycle) % 2).astype(np.uint8)
+
+    def group_of(self, indices: np.ndarray) -> np.ndarray:
+        """Group id of each cell index."""
+        return np.asarray(indices, dtype=np.int64) // self.group_width
+
+    # -- cleaning ----------------------------------------------------------
+
+    def check_groups(self, gids: np.ndarray, t: int) -> None:
+        """``CheckGroup`` for a batch of group ids: lazily reset stale ones."""
+        gids = np.unique(np.asarray(gids, dtype=np.int64))
+        cur = self._current_marks(gids, t)
+        mask = self.marks[gids] != cur
+        stale = gids[mask]
+        if stale.size:
+            view = self.cells.reshape(self.num_groups, self.group_width)
+            view[stale] = self.empty_value
+            self.marks[stale] = cur[mask]
+
+    def check_all_groups(self, t: int) -> None:
+        """Check every group — used by whole-array queries (BM/HLL/MH)."""
+        cur = self._current_marks_all(t)
+        stale = self.marks != cur
+        if np.any(stale):
+            view = self.cells.reshape(self.num_groups, self.group_width)
+            view[stale] = self.empty_value
+            self.marks[stale] = cur[stale]
+
+    # -- frame protocol ----------------------------------------------------
+
+    def prepare_insert(self, indices: np.ndarray, t: int) -> None:
+        """Clean the groups the insertion touches (on-demand cleaning)."""
+        self.check_groups(self.group_of(indices), t)
+
+    def prepare_query(self, indices: np.ndarray, t: int) -> None:
+        """Clean the groups a point query touches before reading them."""
+        self.check_groups(self.group_of(indices), t)
+
+    def prepare_query_all(self, t: int) -> None:
+        """Clean every group before a whole-array query."""
+        self.check_all_groups(t)
+
+    def ages(self, indices: np.ndarray, t: int) -> np.ndarray:
+        """Age (time since virtual cleaning) of each cell's group."""
+        gids = self.group_of(indices)
+        return (t + self.offsets[gids]) % self.t_cycle
+
+    def group_ages(self, t: int) -> np.ndarray:
+        """Ages of all ``G`` groups, shape ``(G,)``."""
+        return (t + self.offsets) % self.t_cycle
+
+    def all_cell_ages(self, t: int) -> np.ndarray:
+        """Ages of all ``M`` cells (each cell inherits its group's age)."""
+        return np.repeat(self.group_ages(t), self.group_width)
+
+    def mature_mask(self, indices: np.ndarray, t: int) -> np.ndarray:
+        """True where the cell is perfect or aged (age >= N), §3.2."""
+        return self.ages(indices, t) >= self.window
+
+    def legal_mask(self, indices: np.ndarray, t: int) -> np.ndarray:
+        """True where the cell's age lies in the legal band [beta*N, Tcycle)."""
+        return self.ages(indices, t) >= self.config.legal_low
+
+    def legal_groups(self, t: int) -> np.ndarray:
+        """Boolean mask over groups whose age is in the legal band."""
+        return self.group_ages(t) >= self.config.legal_low
+
+    def reset(self) -> None:
+        """Return the frame to its empty t=0 state."""
+        self.cells.fill(self.empty_value)
+        self.marks = self._current_marks_all(0)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Hardware memory: M cells of ``cell_bits`` plus one mark bit/group."""
+        bits = self.num_cells * self.cell_bits + self.num_groups
+        return (bits + 7) // 8

@@ -1,0 +1,125 @@
+"""Merging SHE sketches — distributed sliding-window monitoring.
+
+The fixed-window originals are all mergeable (OR bits, max registers,
+sum counters, min hashes), which is how distributed deployments
+aggregate per-link monitors into one view.  SHE preserves mergeability
+*provided the clocks align*: two sketches observing substreams of the
+same time axis (e.g. two switch ports timestamped by a shared counter)
+have identical group offsets, cycle lengths and virtual ages, so after
+forcing both frames to their common query time the cell-wise combine of
+the originals is exactly the SHE sketch of the union stream.
+
+What cannot merge: sketches with different windows, alphas, sizes or
+hash seeds (the combine would be meaningless), or count-based clocks
+that drifted apart (ages would disagree); :func:`merge_sketches`
+rejects all of those loudly.
+
+Caveat (documented, tested): lazy cleaning means a group may be stale
+in one operand and fresh in the other; forcing ``prepare_query_all`` at
+the common time before combining resolves every mark, so the merge is
+exact *when every group is touched at least once per cycle in each
+substream* — Eq. 1's condition, comfortably true for the grouped
+sketches (w = 64).  For the w = 1 sketches (HLL, MinHash) a substream
+can skip a register across two mark flips and retain stale content the
+union stream would have cleaned; the deviation is one-sided (stale
+cells only inflate max-combines) and vanishes in the paper's
+C >> M operating regime.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.core.she_bf import SheBloomFilter
+from repro.core.she_bm import SheBitmap
+from repro.core.she_cm import SheCountMin
+from repro.core.she_hll import SheHyperLogLog
+from repro.core.she_mh import SheMinHash
+
+__all__ = ["merge_sketches", "mergeable"]
+
+_COMBINE = {
+    SheBloomFilter: np.maximum,   # OR on 0/1 bits
+    SheBitmap: np.maximum,        # OR on 0/1 bits
+    SheHyperLogLog: np.maximum,   # max rank
+    SheCountMin: lambda a, b: a + b,  # counts add
+    SheMinHash: np.minimum,       # min hash values
+}
+
+
+def _config_key(sketch) -> tuple:
+    cfg = sketch.config
+    if isinstance(sketch, SheMinHash):
+        seeds = tuple(int(s) for s in sketch._col_seeds[:4])
+        return (type(sketch), cfg.window, cfg.t_cycle, sketch.num_counters, seeds)
+    cells = sketch.frame.num_cells
+    seeds = tuple(int(s) for s in sketch.hashes.seeds) if hasattr(sketch, "hashes") else (
+        tuple(int(s) for s in sketch._select.seeds) + tuple(int(s) for s in sketch._value.seeds)
+    )
+    return (
+        type(sketch),
+        cfg.window,
+        cfg.t_cycle,
+        cfg.group_width,
+        cells,
+        type(sketch.frame).__name__ if not isinstance(sketch, SheMinHash) else None,
+        seeds,
+    )
+
+
+def mergeable(a, b) -> bool:
+    """True iff ``a`` and ``b`` are combinable (same type, geometry, seeds)."""
+    if type(a) is not type(b) or type(a) not in _COMBINE:
+        return False
+    try:
+        return _config_key(a) == _config_key(b)
+    except AttributeError:
+        return False
+
+
+def merge_sketches(a, b, *, t: int | None = None):
+    """Merge ``b`` into a *new* sketch equal to observing both streams.
+
+    Args:
+        a, b: two SHE sketches of identical type/configuration whose
+            clocks refer to the same time axis.
+        t: the common query time; defaults to the later clock.  Both
+            operands' frames are brought to ``t`` before combining.
+
+    Returns:
+        A new sketch (a's type) positioned at time ``t``.
+    """
+    if not mergeable(a, b):
+        raise ValueError(
+            f"cannot merge {type(a).__name__} with {type(b).__name__}: "
+            "types, geometry, frame kind and hash seeds must all match"
+        )
+    combine = _COMBINE[type(a)]
+
+    if isinstance(a, SheMinHash):
+        t0 = t if t is not None else max(a.counts[0], b.counts[0])
+        t1 = t if t is not None else max(a.counts[1], b.counts[1])
+        out = copy.deepcopy(a)
+        for side, tt in ((0, t0), (1, t1)):
+            a.frames[side].prepare_query_all(tt)
+            b.frames[side].prepare_query_all(tt)
+            out.frames[side].prepare_query_all(tt)
+            out.frames[side].cells[:] = combine(
+                a.frames[side].cells, b.frames[side].cells
+            )
+            if hasattr(out.frames[side], "marks"):
+                out.frames[side].marks[:] = a.frames[side].marks
+        out.counts = [t0, t1]
+        return out
+
+    tt = t if t is not None else max(a.t, b.t)
+    out = copy.deepcopy(a)
+    for s in (a, b, out):
+        s.frame.prepare_query_all(tt)
+    out.frame.cells[:] = combine(a.frame.cells, b.frame.cells)
+    if hasattr(out.frame, "marks"):
+        out.frame.marks[:] = a.frame.marks  # identical after prepare at tt
+    out.t = tt
+    return out

@@ -1,0 +1,184 @@
+"""SHE-MH: MinHash under SHE (§4.5).
+
+Two counter arrays ``C1``/``C2`` track two streams; every insertion
+updates **all** ``M`` counters with ``min(H_i(x), C_i)`` (classic
+M-permutation MinHash), subject to SHE cleaning with one counter per
+group (``w = 1``).  A cleaned counter holds the "empty" value — the
+maximum 24-bit hash — which is the identity of min.  Similarity is the
+match fraction ``u / k`` over the ``k`` counters whose age is legal on
+*both* sides (§4.5; Eq. 5 bounds the bias by ``~alpha*T/(2*S_union)``).
+
+Because one insertion touches every counter, the generic touch-list
+batching of :mod:`repro.core.batch` would materialise ``B x M`` touches;
+instead we process the stream in chunks and compute, per counter, the
+suffix of the chunk that survives its last cleaning, exactly as derived
+in that module's docstring, then take suffix-minima column-wise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import splitmix64
+from repro.common.validation import as_key_array, require_positive_int
+from repro.core.base import FrameKind, make_frame
+from repro.core.config import SheConfig
+from repro.core.hardware_frame import HardwareFrame
+from repro.core.software_frame import SoftwareFrame
+
+__all__ = ["SheMinHash"]
+
+_HASH_BITS = 24
+_EMPTY = (1 << _HASH_BITS) - 1
+_CHUNK = 2048
+
+
+class SheMinHash:
+    """Sliding-window MinHash similarity estimator with SHE cleaning.
+
+    Args:
+        window: sliding-window size N (items, per stream).
+        num_counters: number of MinHash functions / counters M per side.
+        alpha: cleaning stretch (paper default 0.2).
+        beta: lower edge of the legal age band.
+        frame: ``"hardware"`` or ``"software"``.
+        seed: seed for the M column hash functions (shared by both sides,
+            as MinHash requires).
+    """
+
+    cell_bits = _HASH_BITS
+
+    def __init__(
+        self,
+        window: int,
+        num_counters: int,
+        *,
+        alpha: float = 0.2,
+        beta: float = 0.9,
+        frame: FrameKind = "hardware",
+        seed: int = 5,
+    ):
+        self.num_counters = require_positive_int("num_counters", num_counters)
+        self.config = SheConfig(window=window, alpha=alpha, group_width=1, beta=beta)
+        rng_state = np.uint64(seed)
+        cols = np.arange(self.num_counters, dtype=np.uint64)
+        self._col_seeds = splitmix64(cols * np.uint64(0x9E3779B97F4A7C15) + rng_state)
+        self.frames = tuple(
+            make_frame(
+                frame,
+                self.config,
+                self.num_counters,
+                dtype=np.uint32,
+                empty_value=_EMPTY,
+                cell_bits=self.cell_bits,
+            )
+            for _ in range(2)
+        )
+        self.counts = [0, 0]  # per-side item clocks
+
+    @classmethod
+    def from_memory(
+        cls,
+        window: int,
+        memory_bytes: int,
+        *,
+        alpha: float = 0.2,
+        beta: float = 0.9,
+        frame: FrameKind = "hardware",
+        seed: int = 5,
+    ) -> "SheMinHash":
+        """Size for a total budget covering both counter arrays + marks."""
+        cfg = SheConfig(window=window, alpha=alpha, group_width=1, beta=beta)
+        m = cfg.cells_for_memory(memory_bytes // 2, cls.cell_bits)
+        return cls(window, m, alpha=alpha, beta=beta, frame=frame, seed=seed)
+
+    # -- insertion ---------------------------------------------------------
+
+    def _column_hashes(self, keys: np.ndarray) -> np.ndarray:
+        """24-bit hash of every key under every column function: (B, M)."""
+        return (
+            splitmix64(keys[:, None] ^ self._col_seeds[None, :])
+            & np.uint64(_EMPTY)
+        ).astype(np.uint32)
+
+    def insert(self, side: int, key: int) -> None:
+        """Insert one item into stream ``side`` (0 or 1)."""
+        self.insert_many(side, np.asarray([key], dtype=np.uint64))
+
+    def insert_many(self, side: int, keys) -> None:
+        """Insert a batch into stream ``side`` at consecutive times."""
+        if side not in (0, 1):
+            raise ValueError(f"side must be 0 or 1, got {side}")
+        keys = as_key_array(keys)
+        frame = self.frames[side]
+        t = self.counts[side]
+        for lo in range(0, keys.size, _CHUNK):
+            chunk = keys[lo : lo + _CHUNK]
+            self._insert_chunk(frame, chunk, t + lo)
+        self.counts[side] += int(keys.size)
+
+    def _insert_chunk(self, frame, keys: np.ndarray, t0: int) -> None:
+        b = keys.size
+        t1 = t0 + b - 1
+        values = self._column_hashes(keys)  # (B, M)
+        # suffix minima over the chunk: sm[i, j] = min(values[i:, j])
+        sm = np.minimum.accumulate(values[::-1], axis=0)[::-1]
+        m = self.num_counters
+
+        if isinstance(frame, HardwareFrame):
+            d = frame.offsets
+            tc = frame.t_cycle
+            e_first = (t0 + d) // tc
+            e_last = (t1 + d) // tc
+            flipped = e_last > e_first
+            # survivors start at the last flip inside the chunk
+            start = np.zeros(m, dtype=np.int64)
+            flip_t = e_last * tc - d
+            start[flipped] = flip_t[flipped] - t0
+            cleaned = flipped | (frame.marks != (e_last % 2).astype(np.uint8))
+            frame.marks[:] = (e_last % 2).astype(np.uint8)
+        elif isinstance(frame, SoftwareFrame):
+            frame.advance(t0)
+            j = np.arange(m, dtype=np.int64)
+            big_b = frame._boundaries_at(t1)
+            b_j = ((big_b - j) // m) * m + j
+            clean_t = -((-b_j * frame.t_cycle) // m)
+            cleaned = clean_t > t0
+            start = np.clip(clean_t - t0, 0, b - 1)
+            frame.advance(t1)
+        else:  # pragma: no cover - closed set of frames
+            raise TypeError(f"unsupported frame type {type(frame).__name__}")
+
+        candidate = sm[start, np.arange(m)]
+        frame.cells[cleaned] = frame.empty_value
+        np.minimum(frame.cells, candidate, out=frame.cells)
+
+    # -- query ---------------------------------------------------------------
+
+    def similarity(self, t: int | None = None) -> float:
+        """Estimate the Jaccard similarity of the two windowed streams.
+
+        Uses each side's own clock unless an explicit time is given;
+        only counters legal on *both* sides participate.
+        """
+        t0 = self.counts[0] if t is None else t
+        t1 = self.counts[1] if t is None else t
+        f0, f1 = self.frames
+        f0.prepare_query_all(t0)
+        f1.prepare_query_all(t1)
+        legal = f0.legal_groups(t0) & f1.legal_groups(t1)
+        k = int(np.count_nonzero(legal))
+        if k == 0:
+            return 0.0
+        u = int(np.count_nonzero(f0.cells[legal] == f1.cells[legal]))
+        return u / k
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.frames[0].memory_bytes + self.frames[1].memory_bytes
+
+    def reset(self) -> None:
+        """Clear both sides and rewind the clocks."""
+        for f in self.frames:
+            f.reset()
+        self.counts = [0, 0]

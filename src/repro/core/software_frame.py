@@ -1,0 +1,153 @@
+"""Software-version SHE frame: a sweeping per-cell cleaning process (§3.2).
+
+A virtual cleaning pointer moves over the ``M`` cells at constant speed,
+covering the whole array once every ``Tcycle`` time units, resetting
+each cell as it passes, then wrapping around.  In continuous terms the
+pointer position at time ``t`` is ``p(t) = M * t / Tcycle``; cell ``j``
+is cleaned whenever ``p(t)`` crosses ``j + c*M`` for integer ``c``.
+
+We keep everything in exact integer arithmetic: the pointer has crossed
+``B(t) = floor(t * M / Tcycle)`` cell boundaries by time ``t``, so
+advancing from ``t0`` to ``t1`` resets cell indices ``(B(t0), B(t1)]``
+modulo ``M`` (everything, if more than ``M`` boundaries were crossed).
+
+A cell's age is the time since its latest crossing; comparisons against
+the window ``N`` use the common numerator ``age * M`` to stay integral.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import require_positive_int
+from repro.core.config import SheConfig
+
+__all__ = ["SoftwareFrame"]
+
+
+class SoftwareFrame:
+    """Cell array cleaned by a constant-speed circular sweep.
+
+    Mirrors the :class:`~repro.core.hardware_frame.HardwareFrame` API so
+    the five SHE sketches run on either frame unchanged.  The software
+    version has no groups or marks — cleaning is per cell and *eager*
+    relative to the stream (applied lazily in code, but the state after
+    ``prepare_*`` is exactly what an always-running sweeper would leave).
+    """
+
+    def __init__(
+        self,
+        config: SheConfig,
+        num_cells: int,
+        *,
+        dtype=np.uint8,
+        empty_value: int = 0,
+        cell_bits: int = 1,
+    ):
+        self.config = config
+        self.num_cells = require_positive_int("num_cells", num_cells)
+        # kept for API parity; the sweep ignores grouping
+        self.group_width = 1
+        self.num_groups = self.num_cells
+        self.t_cycle = config.t_cycle
+        self.window = config.window
+        self.cell_bits = require_positive_int("cell_bits", cell_bits)
+        self.empty_value = empty_value
+        self.cells = np.full(self.num_cells, empty_value, dtype=dtype)
+        # number of cell boundaries the sweeper has crossed so far
+        self._boundaries_done = 0
+
+    # -- sweep bookkeeping ---------------------------------------------------
+
+    def _boundaries_at(self, t: int) -> int:
+        """Index of the last boundary crossed by time ``t``.
+
+        Boundary ``b`` (cleaning cell ``b % M``) is crossed at time
+        ``ceil(b * Tcycle / M)``, so boundaries ``0..floor(t*M/Tcycle)``
+        have all been crossed by integer time ``t`` — boundary 0 at
+        ``t = 0``, matching §3.2's "starts from the leftmost cell".
+        """
+        return (t * self.num_cells) // self.t_cycle
+
+    def advance(self, t: int) -> None:
+        """Apply all cleanings the sweeper performed up to time ``t``.
+
+        Cleans the cells of boundaries ``(done, B(t)]``; boundary 0 is
+        consumed at construction (the array starts empty).
+        """
+        b1 = self._boundaries_at(t)
+        b0 = self._boundaries_done
+        if b1 <= b0:
+            return
+        count = b1 - b0
+        if count >= self.num_cells:
+            self.cells.fill(self.empty_value)
+        else:
+            start = (b0 + 1) % self.num_cells
+            end = start + count
+            if end <= self.num_cells:
+                self.cells[start:end] = self.empty_value
+            else:
+                self.cells[start:] = self.empty_value
+                self.cells[: end - self.num_cells] = self.empty_value
+        self._boundaries_done = b1
+
+    # -- frame protocol --------------------------------------------------------
+
+    def prepare_insert(self, indices: np.ndarray, t: int) -> None:
+        self.advance(t)
+
+    def prepare_query(self, indices: np.ndarray, t: int) -> None:
+        self.advance(t)
+
+    def prepare_query_all(self, t: int) -> None:
+        self.advance(t)
+
+    def group_of(self, indices: np.ndarray) -> np.ndarray:
+        """Each cell is its own group in the software version."""
+        return np.asarray(indices, dtype=np.int64)
+
+    def _age_numerators(self, indices: np.ndarray, t: int) -> np.ndarray:
+        """Cell ages multiplied by ``M`` (exact integers).
+
+        Cell ``j`` was last cleaned at the crossing ``b_j``: the largest
+        integer congruent to ``j`` (mod M) with ``b_j <= B(t)``, which
+        happened at time ``ceil(b_j * Tcycle / M)``.
+        """
+        j = np.asarray(indices, dtype=np.int64)
+        big_b = self._boundaries_at(t)
+        b_j = ((big_b - j) // self.num_cells) * self.num_cells + j
+        clean_t = -((-b_j * self.t_cycle) // self.num_cells)  # ceil div
+        return (t - clean_t) * self.num_cells
+
+    def ages(self, indices: np.ndarray, t: int) -> np.ndarray:
+        """Cell ages in (integer-floored) time units."""
+        return self._age_numerators(indices, t) // self.num_cells
+
+    def all_cell_ages(self, t: int) -> np.ndarray:
+        return self.ages(np.arange(self.num_cells), t)
+
+    def group_ages(self, t: int) -> np.ndarray:
+        """Per-"group" ages; groups are single cells here."""
+        return self.all_cell_ages(t)
+
+    def mature_mask(self, indices: np.ndarray, t: int) -> np.ndarray:
+        """True where age >= N (perfect or aged cells)."""
+        return self._age_numerators(indices, t) >= self.window * self.num_cells
+
+    def legal_mask(self, indices: np.ndarray, t: int) -> np.ndarray:
+        """True where age >= beta*N (legal band for estimators)."""
+        return self._age_numerators(indices, t) >= self.config.legal_low * self.num_cells
+
+    def legal_groups(self, t: int) -> np.ndarray:
+        return self.legal_mask(np.arange(self.num_cells), t)
+
+    def reset(self) -> None:
+        self.cells.fill(self.empty_value)
+        self._boundaries_done = 0
+
+    @property
+    def memory_bytes(self) -> int:
+        """Software memory: just the cells (no marks, no timestamps)."""
+        bits = self.num_cells * self.cell_bits
+        return (bits + 7) // 8

@@ -1,0 +1,82 @@
+"""Time-based sliding windows (§3.1).
+
+The SHE machinery is clock-agnostic: ages, marks and the sweep are all
+functions of an integer time ``t``.  The five sketch classes drive that
+clock with the item count (count-based windows); this module drives it
+with *explicit timestamps* instead, giving time-based windows ("items
+of the last N seconds") with zero change to the cleaning logic — which
+is exactly how §5's analysis transfers ("for time-based sliding window,
+we assume that the items arrive at a uniform speed").
+
+``TimedStream`` wraps any single-stream SHE sketch (SHE-BF, SHE-BM,
+SHE-HLL, SHE-CM or a generic lift).  Timestamps are non-decreasing
+integers in any unit (ticks, microseconds, ...); the wrapped sketch's
+``window``/``alpha`` are interpreted in that unit.  Queries answered
+"as of" a wall-clock instant take it via their ``t`` parameter.
+
+Example::
+
+    base = SheBloomFilter(window=1_000_000, num_bits=1 << 20)  # 1 s in us
+    timed = TimedStream(base)
+    timed.insert(key, t_us)
+    timed.contains(key)                  # over the last second of arrivals
+    base.contains(key, t=now_us)         # over the last second of wall time
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import as_key_array
+
+__all__ = ["TimedStream"]
+
+
+class TimedStream:
+    """Drive a count-based SHE sketch with explicit timestamps.
+
+    Two-stream sketches (SHE-MH) are not supported: their chunked
+    insertion assumes a dense per-side clock.  Wrap each side's data in
+    a dense re-timestamped stream instead if needed.
+    """
+
+    def __init__(self, sketch):
+        if hasattr(sketch, "counts"):
+            raise TypeError(
+                "TimedStream supports single-stream sketches only "
+                f"(got {type(sketch).__name__})"
+            )
+        self.sketch = sketch
+        self._last_t = 0
+
+    def insert(self, key: int, t: int) -> None:
+        """Insert one item with its arrival timestamp."""
+        self.insert_many(np.asarray([key], dtype=np.uint64), np.asarray([t]))
+
+    def insert_many(self, keys, times) -> None:
+        """Insert a batch of (key, timestamp) pairs in arrival order."""
+        keys = as_key_array(keys)
+        times = np.asarray(times, dtype=np.int64)
+        if keys.shape != times.shape:
+            raise ValueError(
+                f"keys ({keys.shape}) and times ({times.shape}) must align"
+            )
+        if keys.size == 0:
+            return
+        if times.min() < 0:
+            raise ValueError("timestamps must be non-negative")
+        if np.any(np.diff(times) < 0) or times[0] < self._last_t:
+            raise ValueError("timestamps must be non-decreasing")
+        self.sketch._insert_at(keys, times)
+        self._last_t = int(times[-1])
+        # default query time = just after the latest arrival
+        self.sketch.t = self._last_t + 1
+
+    def now(self) -> int:
+        """The wrapped clock: latest timestamp + 1."""
+        return self._last_t + 1
+
+    def __getattr__(self, name):
+        # queries (contains / cardinality / frequency / memory_bytes /
+        # reset ...) pass straight through to the wrapped sketch
+        return getattr(self.sketch, name)

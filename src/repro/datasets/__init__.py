@@ -1,0 +1,29 @@
+"""Synthetic dataset generators standing in for the paper's traces."""
+
+from repro.datasets.traces import (
+    DATASETS,
+    Trace,
+    caida_like,
+    campus_like,
+    distinct_stream,
+    relevant_pair,
+    webpage_like,
+)
+from repro.datasets.loaders import load_csv, load_npy, load_text, load_trace
+from repro.datasets.zipf import BoundedZipf, zipf_probabilities
+
+__all__ = [
+    "DATASETS",
+    "Trace",
+    "caida_like",
+    "campus_like",
+    "distinct_stream",
+    "relevant_pair",
+    "webpage_like",
+    "BoundedZipf",
+    "zipf_probabilities",
+    "load_csv",
+    "load_npy",
+    "load_text",
+    "load_trace",
+]

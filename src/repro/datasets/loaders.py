@@ -1,0 +1,117 @@
+"""Load real traces into sketch-ready key arrays.
+
+The reproduction ships synthetic generators, but a user with an actual
+trace (a CAIDA export, a web log, a packet CSV) needs a path into the
+library.  Three formats cover the common cases:
+
+* ``.npy`` — integer key arrays, used as-is;
+* text (``.txt``/``.log``) — one key per line; integers load directly,
+  anything else (IP strings, URLs) goes through FNV-1a
+  (:func:`repro.common.hashing.canonical_key`);
+* ``.csv`` — pick a column by index or header name, same key rules.
+
+All loaders return ``uint64`` arrays in file order — arrival order is
+the stream order, which is load-bearing for sliding windows.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.hashing import canonical_key
+
+__all__ = ["load_npy", "load_text", "load_csv", "load_trace"]
+
+
+def load_npy(path: str | Path) -> np.ndarray:
+    """Load an integer key array saved with ``np.save``."""
+    arr = np.load(Path(path))
+    if arr.dtype.kind not in "iu":
+        raise TypeError(f"{path}: expected integer keys, got dtype {arr.dtype}")
+    return arr.astype(np.uint64, copy=False).reshape(-1)
+
+
+def _to_key(token: str) -> int:
+    token = token.strip()
+    if not token:
+        raise ValueError("empty key token")
+    try:
+        return int(token) & 0xFFFFFFFFFFFFFFFF
+    except ValueError:
+        return canonical_key(token)
+
+
+def load_text(path: str | Path, *, skip_blank: bool = True) -> np.ndarray:
+    """One key per line; non-integer lines hash via FNV-1a."""
+    keys: list[int] = []
+    with open(Path(path), "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                if skip_blank:
+                    continue
+                raise ValueError(f"{path}:{lineno}: blank line")
+            keys.append(_to_key(line))
+    return np.asarray(keys, dtype=np.uint64)
+
+
+def load_csv(
+    path: str | Path,
+    column: int | str = 0,
+    *,
+    has_header: bool | None = None,
+    delimiter: str = ",",
+) -> np.ndarray:
+    """Load one CSV column as keys.
+
+    Args:
+        column: index, or header name (implies a header row).
+        has_header: force header presence; default: inferred (True when
+            ``column`` is a name, else False).
+        delimiter: field separator.
+    """
+    path = Path(path)
+    by_name = isinstance(column, str)
+    if has_header is None:
+        has_header = by_name
+    if by_name and not has_header:
+        raise ValueError("selecting a column by name requires a header row")
+
+    keys: list[int] = []
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        idx: int | None = None if by_name else int(column)
+        for rowno, row in enumerate(reader):
+            if not row:
+                continue
+            if rowno == 0 and has_header:
+                if by_name:
+                    try:
+                        idx = row.index(column)
+                    except ValueError as exc:
+                        raise KeyError(
+                            f"{path}: no column named {column!r}; "
+                            f"headers: {row}"
+                        ) from exc
+                continue
+            if idx is None or idx >= len(row):
+                raise ValueError(
+                    f"{path}: row {rowno + 1} has {len(row)} fields, "
+                    f"need column {column!r}"
+                )
+            keys.append(_to_key(row[idx]))
+    return np.asarray(keys, dtype=np.uint64)
+
+
+def load_trace(path: str | Path, **kwargs) -> np.ndarray:
+    """Dispatch on extension: .npy / .csv / anything-else-as-text."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".npy":
+        return load_npy(path)
+    if suffix == ".csv":
+        return load_csv(path, **kwargs)
+    return load_text(path, **kwargs)

@@ -1,0 +1,176 @@
+"""Synthetic stand-ins for the paper's traces (§7.1).
+
+The paper's algorithms consume only (key, arrival-order) pairs, and all
+five accuracy metrics are functions of the key-frequency law and the
+per-window cardinality.  Each generator below matches the corresponding
+trace's reported statistics:
+
+* **CAIDA**: ~30M packets with ~600K distinct srcIPs per trace — about
+  50 packets per distinct key, a mild Zipf.  We default to a reduced
+  scale (2M items / 40K distinct keeps the same items-per-distinct
+  ratio and window-cardinality ratio at the default N = 2^16) with
+  knobs to go full scale.
+* **Campus** (gateway IP traces): campus gateways see heavier-tailed
+  srcIP mixes — higher skew, smaller universe.
+* **Webpage** (Frequent Itemset Mining repository): web-page item
+  streams are flatter — low skew, larger universe relative to length.
+* **Distinct Stream**: every item unique (frequency 1) — the paper's
+  adversarial case for SHE-BF, where nothing in the filter ever
+  re-arms a cleaned bit.
+* **Relevant Stream** (IMC10-flavoured): two streams with a controlled
+  key-pool overlap and optional temporal drift, for SHE-MH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.validation import require_positive_int
+from repro.datasets.zipf import BoundedZipf
+
+__all__ = [
+    "Trace",
+    "caida_like",
+    "campus_like",
+    "webpage_like",
+    "distinct_stream",
+    "relevant_pair",
+    "DATASETS",
+]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A generated stream plus the knobs that produced it."""
+
+    name: str
+    items: np.ndarray
+    universe: int
+    skew: float
+    seed: int
+
+    @property
+    def num_items(self) -> int:
+        return int(self.items.size)
+
+
+def caida_like(
+    n_items: int = 2_000_000,
+    n_distinct: int = 40_000,
+    *,
+    skew: float = 1.05,
+    seed: int = 100,
+) -> Trace:
+    """CAIDA-shaped trace: mild Zipf, ~50 items per distinct key."""
+    require_positive_int("n_items", n_items)
+    z = BoundedZipf(n_distinct, skew, shift=2.0, seed=seed)
+    return Trace("CAIDA", z.sample(n_items), n_distinct, skew, seed)
+
+
+def campus_like(
+    n_items: int = 2_000_000,
+    n_distinct: int = 20_000,
+    *,
+    skew: float = 1.3,
+    seed: int = 101,
+) -> Trace:
+    """Campus-gateway-shaped trace: heavier skew, smaller universe."""
+    require_positive_int("n_items", n_items)
+    z = BoundedZipf(n_distinct, skew, shift=1.0, seed=seed)
+    return Trace("Campus", z.sample(n_items), n_distinct, skew, seed)
+
+
+def webpage_like(
+    n_items: int = 2_000_000,
+    n_distinct: int = 120_000,
+    *,
+    skew: float = 0.8,
+    seed: int = 102,
+) -> Trace:
+    """Webpage-itemset-shaped trace: flat distribution, wide universe."""
+    require_positive_int("n_items", n_items)
+    z = BoundedZipf(n_distinct, skew, shift=0.0, seed=seed)
+    return Trace("Webpage", z.sample(n_items), n_distinct, skew, seed)
+
+
+def distinct_stream(n_items: int, *, seed: int = 103) -> Trace:
+    """Worst-case stream for SHE-BF: every item appears exactly once."""
+    require_positive_int("n_items", n_items)
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 1 << 32, dtype=np.uint64)
+    # unique keys: a strided walk through uint64 space (injective)
+    items = base + np.arange(n_items, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+    return Trace("Distinct", items, n_items, 0.0, seed)
+
+
+def relevant_pair(
+    n_items: int = 500_000,
+    n_distinct: int = 100_000,
+    *,
+    overlap: float = 0.5,
+    skew: float = 0.6,
+    drift_period: int = 0,
+    seed: int = 104,
+) -> tuple[Trace, Trace]:
+    """Two IMC10-flavoured streams with a controlled key-pool overlap.
+
+    Each stream draws from ``n_distinct`` keys; a fraction ``overlap``
+    of each pool is shared.  With ``drift_period > 0`` the shared
+    fraction oscillates over time, giving the time-varying similarity
+    Fig. 5e's stability experiment slides over.
+    """
+    require_positive_int("n_items", n_items)
+    require_positive_int("n_distinct", n_distinct)
+    if not 0.0 <= overlap <= 1.0:
+        raise ValueError(f"overlap must be in [0, 1], got {overlap}")
+    n_shared = int(overlap * n_distinct)
+    n_own = n_distinct - n_shared
+    rng = np.random.default_rng(seed)
+    # carve three disjoint key ranges: shared, own-0, own-1
+    all_keys = rng.permutation(
+        rng.integers(0, 1 << 48, size=3 * n_distinct, dtype=np.uint64)
+    )
+    shared = all_keys[:n_shared]
+    own = (all_keys[n_shared : n_shared + n_own], all_keys[2 * n_distinct : 2 * n_distinct + n_own])
+
+    z = BoundedZipf(n_distinct, skew, seed=seed + 1)
+    streams = []
+    for side in range(2):
+        pool = np.concatenate([shared, own[side]])
+        # permute so popular ranks mix shared and own keys
+        pool = np.random.default_rng(seed + 2).permutation(pool)
+        ranks = z.rng.integers(0, n_distinct, size=n_items)  # uniform fallback
+        # zipf-weighted ranks via the sampler's CDF
+        u = np.random.default_rng(seed + 3 + side).random(n_items)
+        ranks = np.searchsorted(np.cumsum(
+            np.asarray(_rank_pmf(n_distinct, skew)), dtype=np.float64), u)
+        ranks = np.minimum(ranks, n_distinct - 1)
+        items = pool[ranks]
+        if drift_period > 0 and side == 0:
+            # oscillate: in odd half-periods side 0 swaps its shared-pool
+            # draws for private aliases, collapsing the realised overlap
+            shared_set = np.isin(items, shared)
+            phase = (np.arange(n_items) // drift_period) % 2 == 1
+            swap = shared_set & phase
+            items = items.copy()
+            items[swap] = items[swap] ^ np.uint64(1 << 55)
+        streams.append(
+            Trace(f"Relevant-{side}", items, n_distinct, skew, seed)
+        )
+    return streams[0], streams[1]
+
+
+def _rank_pmf(universe: int, skew: float) -> np.ndarray:
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    w = ranks ** (-skew)
+    return w / w.sum()
+
+
+#: name -> generator for the three throughput datasets of Fig. 10
+DATASETS = {
+    "CAIDA": caida_like,
+    "Campus": campus_like,
+    "Webpage": webpage_like,
+}

@@ -1,0 +1,85 @@
+"""Bounded Zipf sampling — the workhorse behind the synthetic traces.
+
+NumPy's ``Generator.zipf`` samples an *unbounded* Zipf, which cannot
+match a trace with a known distinct-key universe.  Real packet traces
+(CAIDA and friends) are well described by a Zipf-Mandelbrot law over a
+finite universe; we sample ranks from that law via inverse-CDF lookup
+(``searchsorted`` on a precomputed CDF), then map ranks through a
+seeded permutation so key identity is uncorrelated with popularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import require_positive_int
+
+__all__ = ["zipf_probabilities", "BoundedZipf"]
+
+
+def zipf_probabilities(universe: int, skew: float, shift: float = 0.0) -> np.ndarray:
+    """Zipf-Mandelbrot pmf over ranks ``1..universe``: p(r) ~ (r+q)^-s."""
+    require_positive_int("universe", universe)
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = (ranks + shift) ** (-skew)
+    return weights / weights.sum()
+
+
+class BoundedZipf:
+    """Inverse-CDF sampler of keys with Zipf-Mandelbrot frequencies.
+
+    Args:
+        universe: number of distinct keys.
+        skew: Zipf exponent s (0 = uniform).
+        shift: Mandelbrot flattening parameter q.
+        seed: RNG seed (drives both sampling and the key permutation).
+        key_bits: keys are drawn from ``[0, 2^key_bits)`` via a random
+            injection, mimicking e.g. IPv4 source addresses.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        skew: float,
+        *,
+        shift: float = 0.0,
+        seed: int = 0,
+        key_bits: int = 32,
+    ):
+        self.universe = require_positive_int("universe", universe)
+        self.skew = float(skew)
+        self.rng = np.random.default_rng(seed)
+        self._cdf = np.cumsum(zipf_probabilities(universe, skew, shift))
+        self._cdf[-1] = 1.0
+        # random injective rank -> key map (sampling without replacement
+        # from the key space would be huge; use a keyed permutation of a
+        # random base instead: collisions over 2^key_bits are negligible
+        # for universes << 2^(key_bits/2)... to be safe, deduplicate)
+        space = 1 << key_bits
+        keys = self.rng.integers(0, space, size=universe, dtype=np.uint64)
+        keys = np.unique(keys)
+        while keys.size < universe:
+            extra = self.rng.integers(
+                0, space, size=universe - keys.size + 16, dtype=np.uint64
+            )
+            keys = np.unique(np.concatenate([keys, extra]))
+        self.keys = self.rng.permutation(keys[:universe])
+
+    def sample(self, n: int) -> np.ndarray:
+        """Draw ``n`` stream items (uint64 keys) i.i.d. from the law."""
+        require_positive_int("n", n)
+        u = self.rng.random(n)
+        ranks = np.searchsorted(self._cdf, u, side="right")
+        return self.keys[np.minimum(ranks, self.universe - 1)]
+
+    def rank_of(self, keys: np.ndarray) -> np.ndarray:
+        """Popularity rank (0 = most popular) of each key, -1 if unknown."""
+        order = np.argsort(self.keys, kind="stable")
+        sorted_keys = self.keys[order]
+        pos = np.searchsorted(sorted_keys, keys)
+        pos = np.minimum(pos, self.universe - 1)
+        found = sorted_keys[pos] == keys
+        out = np.where(found, order[pos], -1)
+        return out.astype(np.int64)

@@ -1,0 +1,6 @@
+"""Exact sliding-window oracles (ground truth for all metrics)."""
+
+from repro.exact.similarity import ExactJaccard, jaccard
+from repro.exact.window import ExactWindow
+
+__all__ = ["ExactWindow", "ExactJaccard", "jaccard"]

@@ -1,0 +1,51 @@
+"""Exact windowed Jaccard similarity — ground truth for SHE-MH.
+
+Tracks two :class:`~repro.exact.window.ExactWindow` instances and
+reports the Jaccard index of their distinct-key sets, the quantity
+§2.1 defines and Fig. 9e / Fig. 5e / Fig. 6e measure.
+"""
+
+from __future__ import annotations
+
+from repro.common.validation import require_positive_int
+from repro.exact.window import ExactWindow
+
+__all__ = ["ExactJaccard", "jaccard"]
+
+
+def jaccard(a: set, b: set) -> float:
+    """Jaccard index of two sets; 0 for two empty sets (disjoint limit)."""
+    if not a and not b:
+        return 0.0
+    inter = len(a & b)
+    union = len(a) + len(b) - inter
+    return inter / union
+
+
+class ExactJaccard:
+    """Exact Jaccard similarity between two sliding windows."""
+
+    def __init__(self, window: int):
+        self.window = require_positive_int("window", window)
+        self.sides = (ExactWindow(window), ExactWindow(window))
+
+    def insert(self, side: int, key: int) -> None:
+        """Insert one item into stream ``side`` (0 or 1)."""
+        if side not in (0, 1):
+            raise ValueError(f"side must be 0 or 1, got {side}")
+        self.sides[side].insert(key)
+
+    def insert_many(self, side: int, keys) -> None:
+        """Insert a batch into one stream."""
+        if side not in (0, 1):
+            raise ValueError(f"side must be 0 or 1, got {side}")
+        self.sides[side].insert_many(keys)
+
+    def similarity(self) -> float:
+        """Exact Jaccard index of the two current windows."""
+        return jaccard(self.sides[0].key_set(), self.sides[1].key_set())
+
+    def reset(self) -> None:
+        """Empty both windows."""
+        for s in self.sides:
+            s.reset()

@@ -1,0 +1,107 @@
+"""Exact sliding-window oracle — ground truth for every accuracy metric.
+
+Maintains the multiset of the last N items with a ring buffer plus a
+hash-map of counts, giving O(1) insert and exact answers for the three
+single-stream tasks (membership, cardinality, frequency).  This is the
+reference every sketch is measured against; it is deliberately simple
+and memory-hungry (that very cost is SWAMP's weakness the paper
+exploits, and here it is the *oracle*, not a competitor).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.common.validation import as_key_array, require_positive_int
+
+__all__ = ["ExactWindow"]
+
+
+class ExactWindow:
+    """Exact multiset view of the most recent N stream items."""
+
+    def __init__(self, window: int):
+        self.window = require_positive_int("window", window)
+        self._ring = np.zeros(self.window, dtype=np.uint64)
+        self._counts: Counter = Counter()
+        self.t = 0
+
+    def insert(self, key: int) -> None:
+        """Insert one item, expiring the one that leaves the window."""
+        pos = self.t % self.window
+        if self.t >= self.window:
+            old = int(self._ring[pos])
+            left = self._counts[old] - 1
+            if left:
+                self._counts[old] = left
+            else:
+                del self._counts[old]
+        k = int(key)
+        self._ring[pos] = k
+        self._counts[k] += 1
+        self.t += 1
+
+    def insert_many(self, keys) -> None:
+        """Insert a batch in arrival order."""
+        for k in as_key_array(keys):
+            self.insert(int(k))
+
+    def contains(self, key: int) -> bool:
+        """Exact membership of ``key`` in the current window."""
+        return int(key) in self._counts
+
+    def contains_many(self, keys) -> np.ndarray:
+        """Vectorised exact membership."""
+        return np.fromiter(
+            (int(k) in self._counts for k in as_key_array(keys)),
+            dtype=bool,
+        )
+
+    def frequency(self, key: int) -> int:
+        """Exact count of ``key`` in the current window."""
+        return self._counts.get(int(key), 0)
+
+    def frequency_many(self, keys) -> np.ndarray:
+        """Vectorised exact frequencies."""
+        return np.fromiter(
+            (self._counts.get(int(k), 0) for k in as_key_array(keys)),
+            dtype=np.int64,
+        )
+
+    def cardinality(self) -> int:
+        """Exact number of distinct keys in the current window."""
+        return len(self._counts)
+
+    def distinct_keys(self) -> np.ndarray:
+        """The distinct keys currently in the window."""
+        return np.fromiter(self._counts.keys(), dtype=np.uint64)
+
+    def key_set(self) -> set[int]:
+        """The window's distinct keys as a Python set."""
+        return set(self._counts.keys())
+
+    def items(self) -> np.ndarray:
+        """The window contents in arrival order (oldest first)."""
+        n = min(self.t, self.window)
+        if self.t <= self.window:
+            return self._ring[:n].copy()
+        pos = self.t % self.window
+        return np.concatenate([self._ring[pos:], self._ring[:pos]])
+
+    @property
+    def memory_bytes(self) -> int:
+        """Honest footprint: the ring plus ~16 B per live hash-map entry.
+
+        This O(W) cost is exactly why exact structures (and SWAMP) lose
+        the paper's memory sweeps — the oracle is for ground truth, not
+        for competing.
+        """
+        return self.window * 8 + len(self._counts) * 16
+
+    def reset(self) -> None:
+        """Empty the window and rewind the clock."""
+        self._ring.fill(0)
+        self._counts.clear()
+        self.t = 0

@@ -1,0 +1,27 @@
+"""Original fixed-window sketches + the paper's "ideal goal" wrappers."""
+
+from repro.fixed.bitmap import Bitmap
+from repro.fixed.bloom import BloomFilter
+from repro.fixed.countmin import CountMinSketch
+from repro.fixed.hyperloglog import HyperLogLog
+from repro.fixed.ideal import (
+    IdealCardinalityBitmap,
+    IdealCardinalityHLL,
+    IdealFrequency,
+    IdealMembership,
+    IdealSimilarity,
+)
+from repro.fixed.minhash import MinHash
+
+__all__ = [
+    "Bitmap",
+    "BloomFilter",
+    "CountMinSketch",
+    "HyperLogLog",
+    "MinHash",
+    "IdealMembership",
+    "IdealCardinalityBitmap",
+    "IdealCardinalityHLL",
+    "IdealFrequency",
+    "IdealSimilarity",
+]

@@ -1,0 +1,49 @@
+"""The original fixed-window Bitmap / linear counter (§2.1, Whang 1990).
+
+Cardinality is estimated from the zero-bit fraction by maximum
+likelihood: ``C_hat = -n * ln(u / n)`` with ``u`` zero bits among ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import HashFamily
+from repro.common.validation import as_key_array, require_positive_int
+
+__all__ = ["Bitmap"]
+
+
+class Bitmap:
+    """Plain n-bit probabilistic counting bitmap."""
+
+    def __init__(self, num_bits: int, *, seed: int = 12):
+        self.num_bits = require_positive_int("num_bits", num_bits)
+        self.hashes = HashFamily(1, seed=seed)
+        self.bits = np.zeros(self.num_bits, dtype=np.uint8)
+
+    def insert(self, key: int) -> None:
+        """Set the single hashed bit for ``key``."""
+        self.insert_many(np.asarray([key], dtype=np.uint64))
+
+    def insert_many(self, keys) -> None:
+        """Vectorised batch insert."""
+        keys = as_key_array(keys)
+        if keys.size == 0:
+            return
+        idx = self.hashes.indices(keys, self.num_bits)[:, 0]
+        self.bits[idx] = 1
+
+    def cardinality(self) -> float:
+        """MLE cardinality estimate ``-n * ln(u/n)``."""
+        zeros = self.num_bits - int(np.count_nonzero(self.bits))
+        if zeros == 0:
+            zeros = 0.5  # saturated array: report the max resolvable value
+        return -float(self.num_bits) * float(np.log(zeros / self.num_bits))
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self.num_bits + 7) // 8
+
+    def reset(self) -> None:
+        self.bits.fill(0)

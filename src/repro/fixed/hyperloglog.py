@@ -1,0 +1,59 @@
+"""The original fixed-window HyperLogLog (§2.1, Flajolet et al. 2007).
+
+m 5-bit registers; register ``Hc(x) % m`` keeps the maximum rank
+(leading-zero count of ``Hz(x)`` + 1).  The estimator is the harmonic
+mean ``alpha_m * m^2 / sum(2^-reg)`` with the standard small-range
+(linear counting) correction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import HashFamily, leading_zeros_32
+from repro.common.validation import as_key_array, require_positive_int
+from repro.core.she_hll import hll_alpha
+
+__all__ = ["HyperLogLog"]
+
+
+class HyperLogLog:
+    """Plain HyperLogLog cardinality estimator."""
+
+    def __init__(self, num_registers: int, *, seed: int = 13):
+        self.num_registers = require_positive_int("num_registers", num_registers)
+        fam = HashFamily(2, seed=seed)
+        self._select = HashFamily(1, seed=int(fam.seeds[0]))
+        self._value = HashFamily(1, seed=int(fam.seeds[1]))
+        self.registers = np.zeros(self.num_registers, dtype=np.uint8)
+
+    def insert(self, key: int) -> None:
+        """Max-merge the rank of ``key`` into its register."""
+        self.insert_many(np.asarray([key], dtype=np.uint64))
+
+    def insert_many(self, keys) -> None:
+        """Vectorised batch insert."""
+        keys = as_key_array(keys)
+        if keys.size == 0:
+            return
+        idx = self._select.indices(keys, self.num_registers)[:, 0]
+        ranks = np.minimum(leading_zeros_32(self._value.values(keys)[:, 0]) + 1, 31)
+        np.maximum.at(self.registers, idx, ranks.astype(np.uint8))
+
+    def cardinality(self) -> float:
+        """Harmonic-mean estimate with linear-counting correction."""
+        m = self.num_registers
+        z = float(np.sum(np.exp2(-self.registers.astype(np.float64))))
+        est = hll_alpha(m) * m * m / z
+        if est <= 2.5 * m:
+            zeros = int(np.count_nonzero(self.registers == 0))
+            if zeros > 0:
+                est = m * float(np.log(m / zeros))
+        return est
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self.num_registers * 5 + 7) // 8
+
+    def reset(self) -> None:
+        self.registers.fill(0)

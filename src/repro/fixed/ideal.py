@@ -1,0 +1,165 @@
+"""The paper's "ideal goal": fixed-window sketches replayed on the window.
+
+§7.3: *"The ideal goal for each measurement task is the accuracy
+achieved if we treat the sliding window task as a fixed window task.
+For example, we insert all items in the sliding window to an empty
+Bloom filter, and calculate the membership accuracy by it."*
+
+Each wrapper keeps an exact window (oracle memory is *not* charged — the
+ideal is an accuracy target, not a feasible competitor), and on every
+query replays the current window contents through a fresh fixed-window
+sketch sized to the compared memory budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.validation import require_positive_int
+from repro.exact.window import ExactWindow
+from repro.fixed.bitmap import Bitmap
+from repro.fixed.bloom import BloomFilter
+from repro.fixed.countmin import CountMinSketch
+from repro.fixed.hyperloglog import HyperLogLog
+from repro.fixed.minhash import MinHash
+
+__all__ = [
+    "IdealMembership",
+    "IdealCardinalityBitmap",
+    "IdealCardinalityHLL",
+    "IdealFrequency",
+    "IdealSimilarity",
+]
+
+
+class _IdealBase:
+    """Window tracking + replay plumbing shared by the ideal wrappers."""
+
+    def __init__(self, window: int):
+        self.window = require_positive_int("window", window)
+        self.oracle = ExactWindow(window)
+
+    def insert(self, key: int) -> None:
+        self.oracle.insert(key)
+
+    def insert_many(self, keys) -> None:
+        self.oracle.insert_many(keys)
+
+    def reset(self) -> None:
+        self.oracle.reset()
+
+
+class IdealMembership(_IdealBase):
+    """Fresh Bloom filter rebuilt from the exact window at query time."""
+
+    def __init__(self, window: int, num_bits: int, num_hashes: int = 8, *, seed: int = 21):
+        super().__init__(window)
+        self.num_bits = require_positive_int("num_bits", num_bits)
+        self.num_hashes = num_hashes
+        self.seed = seed
+
+    def _rebuild(self) -> BloomFilter:
+        bf = BloomFilter(self.num_bits, self.num_hashes, seed=self.seed)
+        bf.insert_many(self.oracle.distinct_keys())
+        return bf
+
+    def contains(self, key: int) -> bool:
+        return self._rebuild().contains(key)
+
+    def contains_many(self, keys) -> np.ndarray:
+        return self._rebuild().contains_many(keys)
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self.num_bits + 7) // 8
+
+
+class IdealCardinalityBitmap(_IdealBase):
+    """Fresh bitmap rebuilt from the exact window at query time."""
+
+    def __init__(self, window: int, num_bits: int, *, seed: int = 22):
+        super().__init__(window)
+        self.num_bits = require_positive_int("num_bits", num_bits)
+        self.seed = seed
+
+    def cardinality(self) -> float:
+        bm = Bitmap(self.num_bits, seed=self.seed)
+        bm.insert_many(self.oracle.distinct_keys())
+        return bm.cardinality()
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self.num_bits + 7) // 8
+
+
+class IdealCardinalityHLL(_IdealBase):
+    """Fresh HyperLogLog rebuilt from the exact window at query time."""
+
+    def __init__(self, window: int, num_registers: int, *, seed: int = 23):
+        super().__init__(window)
+        self.num_registers = require_positive_int("num_registers", num_registers)
+        self.seed = seed
+
+    def cardinality(self) -> float:
+        hll = HyperLogLog(self.num_registers, seed=self.seed)
+        hll.insert_many(self.oracle.distinct_keys())
+        return hll.cardinality()
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self.num_registers * 5 + 7) // 8
+
+
+class IdealFrequency(_IdealBase):
+    """Fresh Count-Min rebuilt from the exact window at query time."""
+
+    def __init__(self, window: int, num_counters: int, num_hashes: int = 8, *, seed: int = 24):
+        super().__init__(window)
+        self.num_counters = require_positive_int("num_counters", num_counters)
+        self.num_hashes = num_hashes
+        self.seed = seed
+
+    def _rebuild(self) -> CountMinSketch:
+        cm = CountMinSketch(self.num_counters, self.num_hashes, seed=self.seed)
+        cm.insert_many(self.oracle.items())
+        return cm
+
+    def frequency(self, key: int) -> int:
+        return self._rebuild().frequency(key)
+
+    def frequency_many(self, keys) -> np.ndarray:
+        return self._rebuild().frequency_many(keys)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.num_counters * 4
+
+
+class IdealSimilarity:
+    """Fresh MinHash rebuilt from two exact windows at query time."""
+
+    def __init__(self, window: int, num_hashes: int, *, seed: int = 25):
+        self.window = require_positive_int("window", window)
+        self.num_hashes = require_positive_int("num_hashes", num_hashes)
+        self.seed = seed
+        self.sides = (ExactWindow(window), ExactWindow(window))
+
+    def insert(self, side: int, key: int) -> None:
+        self.sides[side].insert(key)
+
+    def insert_many(self, side: int, keys) -> None:
+        self.sides[side].insert_many(keys)
+
+    def similarity(self) -> float:
+        mh = MinHash(self.num_hashes, seed=self.seed)
+        mh.insert_many(0, self.sides[0].distinct_keys())
+        mh.insert_many(1, self.sides[1].distinct_keys())
+        return mh.similarity()
+
+    @property
+    def memory_bytes(self) -> int:
+        return (2 * self.num_hashes * 24 + 7) // 8
+
+    def reset(self) -> None:
+        for s in self.sides:
+            s.reset()

@@ -1,0 +1,62 @@
+"""The original fixed-window MinHash (§2.1, Broder 1997).
+
+The M-hash-function variant the paper lifts: for each of M hash
+functions keep the minimum hash value seen per stream; the similarity
+estimate is the fraction of positions where the two streams' minima
+coincide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import splitmix64
+from repro.common.validation import as_key_array, require_positive_int
+
+__all__ = ["MinHash"]
+
+_HASH_BITS = 24
+_EMPTY = (1 << _HASH_BITS) - 1
+
+
+class MinHash:
+    """Plain two-stream MinHash similarity estimator."""
+
+    def __init__(self, num_hashes: int, *, seed: int = 15):
+        self.num_hashes = require_positive_int("num_hashes", num_hashes)
+        cols = np.arange(self.num_hashes, dtype=np.uint64)
+        self._col_seeds = splitmix64(
+            cols * np.uint64(0x9E3779B97F4A7C15) + np.uint64(seed)
+        )
+        self.minima = np.full((2, self.num_hashes), _EMPTY, dtype=np.uint32)
+
+    def _column_hashes(self, keys: np.ndarray) -> np.ndarray:
+        return (
+            splitmix64(keys[:, None] ^ self._col_seeds[None, :])
+            & np.uint64(_EMPTY)
+        ).astype(np.uint32)
+
+    def insert(self, side: int, key: int) -> None:
+        """Min-merge one item of stream ``side`` into all M positions."""
+        self.insert_many(side, np.asarray([key], dtype=np.uint64))
+
+    def insert_many(self, side: int, keys) -> None:
+        """Vectorised batch insert for one stream."""
+        if side not in (0, 1):
+            raise ValueError(f"side must be 0 or 1, got {side}")
+        keys = as_key_array(keys)
+        if keys.size == 0:
+            return
+        vals = self._column_hashes(keys).min(axis=0)
+        np.minimum(self.minima[side], vals, out=self.minima[side])
+
+    def similarity(self) -> float:
+        """Fraction of matching minima — the Jaccard estimate."""
+        return float(np.count_nonzero(self.minima[0] == self.minima[1])) / self.num_hashes
+
+    @property
+    def memory_bytes(self) -> int:
+        return (2 * self.num_hashes * _HASH_BITS + 7) // 8
+
+    def reset(self) -> None:
+        self.minima.fill(_EMPTY)

@@ -1,0 +1,68 @@
+"""FPGA substrate: SRAM/pipeline simulator, constraint checker, models."""
+
+from repro.hardware.constraints import (
+    DEFAULT_SRAM_BUDGET_BITS,
+    ConstraintReport,
+    check_constraints,
+)
+from repro.hardware.fpga import (
+    SHE_BF_DESIGN,
+    SHE_BM_DESIGN,
+    VIRTEX7_CAPACITY,
+    FpgaDesign,
+    ResourceEstimate,
+    estimate_clock_mhz,
+    estimate_resources,
+    throughput_mips,
+)
+from repro.hardware.memory import AccessRecord, SramRegion
+from repro.hardware.pipeline import Pipeline, PipelineRun, Stage, StageStats
+from repro.hardware.she_rtl import SheBfRtl, SheBmRtl
+from repro.hardware.she_rtl_ext import SheCmRtl, SheHllRtl
+from repro.hardware.swamp_model import SwampRtl, swamp_pipeline_report
+from repro.hardware.switch_model import (
+    TOFINO_LIKE,
+    PlacementReport,
+    RegionRequirement,
+    SketchRequirements,
+    SwitchProfile,
+    plan,
+    plan_minhash,
+    plan_she,
+    plan_swamp,
+)
+
+__all__ = [
+    "DEFAULT_SRAM_BUDGET_BITS",
+    "ConstraintReport",
+    "check_constraints",
+    "SHE_BF_DESIGN",
+    "SHE_BM_DESIGN",
+    "VIRTEX7_CAPACITY",
+    "FpgaDesign",
+    "ResourceEstimate",
+    "estimate_clock_mhz",
+    "estimate_resources",
+    "throughput_mips",
+    "AccessRecord",
+    "SramRegion",
+    "Pipeline",
+    "PipelineRun",
+    "Stage",
+    "StageStats",
+    "SheBfRtl",
+    "SheBmRtl",
+    "SheCmRtl",
+    "SheHllRtl",
+    "SwampRtl",
+    "swamp_pipeline_report",
+    "TOFINO_LIKE",
+    "PlacementReport",
+    "RegionRequirement",
+    "SketchRequirements",
+    "SwitchProfile",
+    "plan",
+    "plan_minhash",
+    "plan_she",
+    "plan_swamp",
+]

@@ -1,0 +1,102 @@
+"""The three hardware constraints of §2.3, as a checker.
+
+1. **Limited SRAM** — total region bits within a budget (a Virtex-7
+   has < 30 MB on-chip; our default budget is far stricter, matching
+   §6's "no more than 128 KB ... undoubtedly fits in SRAM").
+2. **Single-stage memory access** — every region is touched by at most
+   one stage, or read-write hazards appear between in-flight items.
+3. **Limited concurrent memory access** — a stage touches at most one
+   address per region per item, and at most one region word's worth of
+   bits.
+
+The checker consumes a :class:`~repro.hardware.pipeline.Pipeline` and a
+finished :class:`~repro.hardware.pipeline.PipelineRun`; it is used both
+to certify the SHE pipelines and to *fail* the SWAMP model
+(:func:`repro.hardware.swamp_model.swamp_pipeline_report`), reproducing
+the paper's §2.3 argument mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.pipeline import Pipeline, PipelineRun
+
+__all__ = ["ConstraintReport", "check_constraints", "DEFAULT_SRAM_BUDGET_BITS"]
+
+#: default budget: 4 Mbit (§6 uses at most 2 MB for SHE-CM, 128 KB else)
+DEFAULT_SRAM_BUDGET_BITS = 4 * 1024 * 1024 * 8
+
+
+@dataclass(frozen=True)
+class ConstraintReport:
+    """Outcome of checking the three §2.3 constraints."""
+
+    sram_ok: bool
+    single_stage_ok: bool
+    concurrent_ok: bool
+    total_bits: int
+    violations: tuple[str, ...] = ()
+
+    @property
+    def hardware_friendly(self) -> bool:
+        """True iff all three constraints hold."""
+        return self.sram_ok and self.single_stage_ok and self.concurrent_ok
+
+
+def check_constraints(
+    pipeline: Pipeline,
+    run: PipelineRun,
+    *,
+    sram_budget_bits: int = DEFAULT_SRAM_BUDGET_BITS,
+    max_addresses_per_stage: int = 1,
+) -> ConstraintReport:
+    """Evaluate the three constraints against a pipeline and its run."""
+    violations: list[str] = []
+
+    total_bits = sum(r.total_bits for r in pipeline.regions.values())
+    sram_ok = total_bits <= sram_budget_bits
+    if not sram_ok:
+        violations.append(
+            f"constraint 1: {total_bits} bits of SRAM exceed the "
+            f"{sram_budget_bits}-bit budget"
+        )
+
+    single_stage_ok = True
+    for region in pipeline.regions.values():
+        if len(region.touching_stages) > 1:
+            single_stage_ok = False
+            violations.append(
+                f"constraint 2: region {region.name!r} accessed by stages "
+                f"{sorted(region.touching_stages)}"
+            )
+
+    concurrent_ok = True
+    region_words = {r.name: r.word_bits for r in pipeline.regions.values()}
+    for st in run.stage_stats:
+        if st.max_distinct_addresses_per_item > max_addresses_per_stage:
+            concurrent_ok = False
+            violations.append(
+                f"constraint 3: stage {st.name!r} touched "
+                f"{st.max_distinct_addresses_per_item} addresses for one item"
+            )
+        word_limit = max(
+            (region_words[name] for name in st.regions), default=0
+        )
+        if word_limit and st.max_bits_per_item > 2 * word_limit:
+            # one read + one write of the same word is the hardware norm;
+            # anything beyond that cannot fit one stage-cycle
+            concurrent_ok = False
+            violations.append(
+                f"constraint 3: stage {st.name!r} moved "
+                f"{st.max_bits_per_item} bits in one item-cycle "
+                f"(word width {word_limit})"
+            )
+
+    return ConstraintReport(
+        sram_ok=sram_ok,
+        single_stage_ok=single_stage_ok,
+        concurrent_ok=concurrent_ok,
+        total_bits=total_bits,
+        violations=tuple(violations),
+    )

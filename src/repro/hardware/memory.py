@@ -1,0 +1,95 @@
+"""SRAM model for the pipeline simulator (§2.3 constraint 1 and 3).
+
+Hardware pipelines see memory as named regions (register files / SRAM
+blocks) with a fixed word width.  Every read/write is recorded with the
+issuing stage, the address and the width, so the constraint checker can
+verify after a run that (a) each region was touched by exactly one
+stage and (b) no single access exceeded the region's word width — the
+paper's "limited concurrent memory access".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.validation import require_non_negative_int, require_positive_int
+
+__all__ = ["AccessRecord", "SramRegion"]
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One memory access as seen by the constraint checker."""
+
+    stage: str
+    kind: str  # "read" | "write"
+    address: int
+    width_bits: int
+
+
+class SramRegion:
+    """A named on-chip memory region with access accounting.
+
+    Args:
+        name: region name (unique within a pipeline).
+        num_words: addressable words.
+        word_bits: width of one word — the most a single access moves.
+    """
+
+    def __init__(self, name: str, num_words: int, word_bits: int):
+        self.name = str(name)
+        self.num_words = require_positive_int("num_words", num_words)
+        self.word_bits = require_positive_int("word_bits", word_bits)
+        self.words = np.zeros(self.num_words, dtype=np.uint64)
+        if word_bits > 64:
+            # wide words (e.g. a 64-cell group of counters) are stored
+            # as a 2-D backing array of 64-bit lanes
+            lanes = (word_bits + 63) // 64
+            self.words = np.zeros((self.num_words, lanes), dtype=np.uint64)
+        self.accesses: list[AccessRecord] = []
+        #: stages that ever touched this region (constraint 2)
+        self.touching_stages: set[str] = set()
+
+    @property
+    def total_bits(self) -> int:
+        """Region capacity in bits (constraint 1 accounting)."""
+        return self.num_words * self.word_bits
+
+    def _record(self, stage: str, kind: str, address: int, width_bits: int) -> None:
+        require_non_negative_int("address", address)
+        if address >= self.num_words:
+            raise IndexError(
+                f"address {address} out of range for region {self.name!r} "
+                f"({self.num_words} words)"
+            )
+        if width_bits > self.word_bits:
+            raise ValueError(
+                f"access of {width_bits} bits exceeds word width "
+                f"{self.word_bits} of region {self.name!r}"
+            )
+        self.accesses.append(AccessRecord(stage, kind, address, width_bits))
+        self.touching_stages.add(stage)
+
+    def read(self, stage: str, address: int, width_bits: int | None = None):
+        """Read one word, recording the access."""
+        w = self.word_bits if width_bits is None else width_bits
+        self._record(stage, "read", address, w)
+        return self.words[address].copy() if self.words.ndim == 2 else int(self.words[address])
+
+    def write(self, stage: str, address: int, value, width_bits: int | None = None) -> None:
+        """Write one word, recording the access."""
+        w = self.word_bits if width_bits is None else width_bits
+        self._record(stage, "write", address, w)
+        self.words[address] = value
+
+    def clear_log(self) -> None:
+        """Drop the access log (state is kept)."""
+        self.accesses.clear()
+
+    def reset(self) -> None:
+        """Zero the memory and the logs."""
+        self.words.fill(0)
+        self.accesses.clear()
+        self.touching_stages.clear()

@@ -1,0 +1,127 @@
+"""Pipeline execution model (§2.3, §6).
+
+A pipeline is an ordered list of stages; one item enters per clock
+cycle and each stage takes one cycle, so a hazard-free pipeline
+finishes ``n`` items in ``n + depth - 1`` cycles — the "one item per
+cycle" throughput §6's 544 MHz clock translates into 544 Mips.
+
+A stage is a Python callable ``stage_fn(ctx)`` receiving a mutable
+per-item context dict; it reads/writes :class:`SramRegion` objects,
+which record every access.  After a run, :func:`analyze` turns the logs
+into per-stage statistics the constraint checker and the resource model
+consume.  Violations (two stages sharing a region, multi-address access
+within one stage-cycle) do not abort the simulation — they surface in
+the report, because demonstrating *why SWAMP fails on hardware* is part
+of the reproduction (§2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.memory import SramRegion
+
+__all__ = ["Stage", "Pipeline", "StageStats", "PipelineRun"]
+
+
+@dataclass
+class Stage:
+    """One pipeline stage: a name, a transform, and declared regions."""
+
+    name: str
+    fn: "callable"
+    regions: tuple[SramRegion, ...] = ()
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Post-run statistics for one stage."""
+
+    name: str
+    max_accesses_per_item: int
+    max_distinct_addresses_per_item: int
+    max_bits_per_item: int
+    regions: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PipelineRun:
+    """Result of pushing a stream through a pipeline."""
+
+    items: int
+    cycles: int
+    stage_stats: tuple[StageStats, ...]
+
+    @property
+    def items_per_cycle(self) -> float:
+        return self.items / self.cycles if self.cycles else 0.0
+
+
+class Pipeline:
+    """An ordered chain of stages over shared SRAM regions."""
+
+    def __init__(self, stages: list[Stage]):
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages = list(stages)
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"stage names must be unique, got {names}")
+
+    @property
+    def regions(self) -> dict[str, SramRegion]:
+        """All regions any stage declares, by name."""
+        out: dict[str, SramRegion] = {}
+        for s in self.stages:
+            for r in s.regions:
+                out[r.name] = r
+        return out
+
+    @property
+    def depth(self) -> int:
+        return len(self.stages)
+
+    def process(self, items) -> PipelineRun:
+        """Run every item through all stages, then analyse the logs.
+
+        Functionally the stages execute sequentially per item (the
+        pipeline overlap only affects timing, not results, when the
+        single-stage-memory-access constraint holds — the checker
+        verifies exactly that).
+        """
+        # per-(stage, item) counters, built from log watermarks
+        marks = {s.name: [] for s in self.stages}
+        region_list = list(self.regions.values())
+        count = 0
+        for item in items:
+            ctx = {"item": item}
+            for stage in self.stages:
+                before = {r.name: len(r.accesses) for r in region_list}
+                stage.fn(ctx)
+                accs = []
+                for r in region_list:
+                    accs.extend(r.accesses[before[r.name] :])
+                marks[stage.name].append(accs)
+            count += 1
+
+        stats = []
+        for stage in self.stages:
+            per_item = marks[stage.name]
+            max_acc = max((len(a) for a in per_item), default=0)
+            max_addr = max(
+                (len({(rec.address,) for rec in a}) for a in per_item), default=0
+            )
+            max_bits = max(
+                (sum(rec.width_bits for rec in a) for a in per_item), default=0
+            )
+            stats.append(
+                StageStats(
+                    name=stage.name,
+                    max_accesses_per_item=max_acc,
+                    max_distinct_addresses_per_item=max_addr,
+                    max_bits_per_item=max_bits,
+                    regions=tuple(r.name for r in stage.regions),
+                )
+            )
+        cycles = count + self.depth - 1 if count else 0
+        return PipelineRun(items=count, cycles=cycles, stage_stats=tuple(stats))

@@ -1,0 +1,186 @@
+"""Register-transfer-level models of SHE-BM and SHE-BF (§6).
+
+§6 describes the FPGA insertion pipeline in four stages:
+
+1. read + update the 32-bit item counter (the time source);
+2. hash the key to a cell index;
+3. compute the group's current time mark, compare with the stored
+   mark, and update it;
+4. update the mapped bit (resetting the whole group word first when
+   stage 3 saw a stale mark).
+
+:class:`SheBmRtl` executes exactly those stages over
+:class:`~repro.hardware.memory.SramRegion` objects, so every memory
+access is logged and the §2.3 constraints can be *checked*, not
+asserted.  Its cell array is bit-exact with
+:class:`~repro.core.hardware_frame.HardwareFrame` under the same
+parameters — the co-simulation test in
+``tests/hardware/test_cosim.py`` is the keystone of the hardware claim.
+
+:class:`SheBfRtl` is §6's SHE-BF: "the settings are the same as SHE-BM
+but there are 8 identical processes" — eight independent BM lanes with
+different hash functions (a partitioned Bloom filter, the standard way
+to give each hash its own memory port); a key is *present* when every
+lane's mature mapped bit is set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import HashFamily
+from repro.common.validation import as_key_array, require_positive_int
+from repro.hardware.memory import SramRegion
+from repro.hardware.pipeline import Pipeline, PipelineRun, Stage
+
+__all__ = ["SheBmRtl", "SheBfRtl"]
+
+
+class SheBmRtl:
+    """Four-stage SHE-BM insertion pipeline over logged SRAM regions.
+
+    Args:
+        window: sliding-window size N.
+        num_bits: bit-array size M (default 1024, §6's setting).
+        group_width: bits per group word (default 64, §6's setting).
+        alpha: cleaning stretch.
+        seed: hash seed (match the frame being co-simulated).
+    """
+
+    def __init__(
+        self,
+        window: int,
+        num_bits: int = 1024,
+        *,
+        group_width: int = 64,
+        alpha: float = 0.2,
+        seed: int = 2,
+    ):
+        self.window = require_positive_int("window", window)
+        self.num_bits = require_positive_int("num_bits", num_bits)
+        self.group_width = require_positive_int("group_width", group_width)
+        if num_bits % group_width != 0:
+            raise ValueError(
+                f"num_bits ({num_bits}) must be a multiple of group_width "
+                f"({group_width})"
+            )
+        self.num_groups = num_bits // group_width
+        self.t_cycle = max(int(round((1.0 + alpha) * window)), window + 1)
+        gids = np.arange(self.num_groups, dtype=np.int64)
+        self.offsets = -((self.t_cycle * gids) // self.num_groups)
+        self.hash = HashFamily(1, seed=seed)
+
+        self.counter = SramRegion("item_counter", 1, 32)
+        self.marks = SramRegion("time_marks", self.num_groups, 1)
+        self.cells = SramRegion("bit_array", self.num_groups, group_width)
+        # initialise marks to the t=0 current marks, like HardwareFrame
+        init = ((self.offsets // self.t_cycle) % 2).astype(np.uint64)
+        self.marks.words[:] = init
+        self.marks.clear_log()
+
+        self.pipeline = Pipeline(
+            [
+                Stage("s1_counter", self._stage_counter, (self.counter,)),
+                Stage("s2_hash", self._stage_hash, ()),
+                Stage("s3_mark", self._stage_mark, (self.marks,)),
+                Stage("s4_update", self._stage_update, (self.cells,)),
+            ]
+        )
+
+    # -- stages (§6's enumeration) ------------------------------------------
+
+    def _stage_counter(self, ctx: dict) -> None:
+        t = self.counter.read("s1_counter", 0)
+        self.counter.write("s1_counter", 0, t + 1)
+        ctx["t"] = int(t)
+
+    def _stage_hash(self, ctx: dict) -> None:
+        idx = self.hash.index(int(ctx["item"]), 0, self.num_bits)
+        ctx["gid"] = idx // self.group_width
+        ctx["bit"] = idx % self.group_width
+
+    def _stage_mark(self, ctx: dict) -> None:
+        gid = ctx["gid"]
+        cur = ((ctx["t"] + int(self.offsets[gid])) // self.t_cycle) % 2
+        stored = self.marks.read("s3_mark", gid)
+        ctx["stale"] = stored != cur
+        if ctx["stale"]:
+            self.marks.write("s3_mark", gid, cur)
+
+    def _stage_update(self, ctx: dict) -> None:
+        gid = ctx["gid"]
+        word = int(self.cells.read("s4_update", gid))
+        if ctx["stale"]:
+            word = 0  # reset and bit-set land in the same word write
+        word |= 1 << int(ctx["bit"])
+        self.cells.write("s4_update", gid, word)
+
+    # -- driver ----------------------------------------------------------------
+
+    def insert_stream(self, keys) -> PipelineRun:
+        """Push keys through the pipeline; returns timing + stage stats."""
+        return self.pipeline.process(as_key_array(keys).tolist())
+
+    def cell_bits(self) -> np.ndarray:
+        """The bit array as a flat 0/1 vector (for co-simulation)."""
+        out = np.zeros(self.num_bits, dtype=np.uint8)
+        for g in range(self.num_groups):
+            word = int(self.cells.words[g])
+            for j in range(self.group_width):
+                out[g * self.group_width + j] = (word >> j) & 1
+        return out
+
+    def mark_bits(self) -> np.ndarray:
+        """Stored time marks (for co-simulation)."""
+        return self.marks.words.astype(np.uint8).copy()
+
+    @property
+    def now(self) -> int:
+        return int(self.counter.words[0])
+
+
+class SheBfRtl:
+    """§6's SHE-BF: eight parallel SHE-BM lanes, one per hash function."""
+
+    def __init__(
+        self,
+        window: int,
+        num_bits_per_lane: int = 1024,
+        num_lanes: int = 8,
+        *,
+        group_width: int = 64,
+        alpha: float = 3.0,
+        seed: int = 1,
+    ):
+        self.window = require_positive_int("window", window)
+        self.num_lanes = require_positive_int("num_lanes", num_lanes)
+        self.lanes = [
+            SheBmRtl(
+                window,
+                num_bits_per_lane,
+                group_width=group_width,
+                alpha=alpha,
+                seed=seed + 1000 * i,
+            )
+            for i in range(num_lanes)
+        ]
+
+    def insert_stream(self, keys) -> list[PipelineRun]:
+        """Feed all lanes (they run in parallel on hardware)."""
+        keys = as_key_array(keys)
+        return [lane.insert_stream(keys) for lane in self.lanes]
+
+    def contains(self, key: int) -> bool:
+        """AND over lanes of the SHE-BF mature-bit test."""
+        present = True
+        for lane in self.lanes:
+            t = lane.now
+            idx = lane.hash.index(int(key), 0, lane.num_bits)
+            gid = idx // lane.group_width
+            age = (t + int(lane.offsets[gid])) % lane.t_cycle
+            cur = ((t + int(lane.offsets[gid])) // lane.t_cycle) % 2
+            stale = int(lane.marks.words[gid]) != cur
+            bit = 0 if stale else (int(lane.cells.words[gid]) >> (idx % lane.group_width)) & 1
+            if age >= lane.window and not bit:
+                present = False
+        return present

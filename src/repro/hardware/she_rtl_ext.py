@@ -1,0 +1,185 @@
+"""RTL models for the counter-based SHE sketches: SHE-CM and SHE-HLL.
+
+§6 states "the insertion process of SHE-BF and other SHE algorithms is
+barely the same as SHE-BM" — same four stages, with the stage-4 ALU op
+swapped per the CSM update kind (increment for CM, max-rank for HLL)
+and the group word widened to counters.  These models make that claim
+checkable: they run the same logged-SRAM pipeline and are co-simulated
+bit-exactly against the Python frames, and the constraint checker
+verifies the §2.3 discipline holds for counter words too.
+
+SHE-CM on hardware uses one lane per hash function, like SHE-BF.
+SHE-HLL has ``w = 1`` (one counter per group), so its "group word" is a
+single 5-bit register and the mark array is as large as the register
+array — the §4.3 layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import HashFamily, leading_zeros_32
+from repro.common.validation import as_key_array, require_positive_int
+from repro.hardware.memory import SramRegion
+from repro.hardware.pipeline import Pipeline, PipelineRun, Stage
+
+__all__ = ["SheCmRtl", "SheHllRtl"]
+
+
+class SheCmRtl:
+    """One SHE-CM lane: the four-stage pipeline with ADD_ONE updates.
+
+    Args:
+        window: sliding-window size N.
+        num_counters: counters M (multiple of ``group_width``).
+        group_width: counters per group word.
+        counter_bits: width of one counter.
+        alpha: cleaning stretch (paper default 1 for SHE-CM).
+        seed: hash seed (match the frame being co-simulated; one lane
+            models one of the k hash functions).
+    """
+
+    def __init__(
+        self,
+        window: int,
+        num_counters: int = 256,
+        *,
+        group_width: int = 8,
+        counter_bits: int = 32,
+        alpha: float = 1.0,
+        seed: int = 4,
+    ):
+        self.window = require_positive_int("window", window)
+        self.num_counters = require_positive_int("num_counters", num_counters)
+        self.group_width = require_positive_int("group_width", group_width)
+        if num_counters % group_width != 0:
+            raise ValueError(
+                f"num_counters ({num_counters}) must be a multiple of "
+                f"group_width ({group_width})"
+            )
+        if counter_bits != 32:
+            raise ValueError("SheCmRtl models 32-bit counters (the paper's width)")
+        self.counter_bits = counter_bits
+        self.num_groups = num_counters // group_width
+        self.t_cycle = max(int(round((1.0 + alpha) * window)), window + 1)
+        gids = np.arange(self.num_groups, dtype=np.int64)
+        self.offsets = -((self.t_cycle * gids) // self.num_groups)
+        self.hash = HashFamily(1, seed=seed)
+
+        self.counter = SramRegion("item_counter", 1, 32)
+        self.marks = SramRegion("time_marks", self.num_groups, 1)
+        self.cells = SramRegion(
+            "counter_array", self.num_groups, group_width * counter_bits
+        )
+        init = ((self.offsets // self.t_cycle) % 2).astype(np.uint64)
+        self.marks.words[:] = init
+        self.marks.clear_log()
+
+        self.pipeline = Pipeline(
+            [
+                Stage("s1_counter", self._stage_counter, (self.counter,)),
+                Stage("s2_hash", self._stage_hash, ()),
+                Stage("s3_mark", self._stage_mark, (self.marks,)),
+                Stage("s4_update", self._stage_update, (self.cells,)),
+            ]
+        )
+
+    def _stage_counter(self, ctx: dict) -> None:
+        t = self.counter.read("s1_counter", 0)
+        self.counter.write("s1_counter", 0, t + 1)
+        ctx["t"] = int(t)
+
+    def _stage_hash(self, ctx: dict) -> None:
+        idx = self.hash.index(int(ctx["item"]), 0, self.num_counters)
+        ctx["gid"] = idx // self.group_width
+        ctx["lane"] = idx % self.group_width
+
+    def _stage_mark(self, ctx: dict) -> None:
+        gid = ctx["gid"]
+        cur = ((ctx["t"] + int(self.offsets[gid])) // self.t_cycle) % 2
+        stored = self.marks.read("s3_mark", gid)
+        ctx["stale"] = stored != cur
+        if ctx["stale"]:
+            self.marks.write("s3_mark", gid, cur)
+
+    def _stage_update(self, ctx: dict) -> None:
+        word = np.atleast_1d(
+            np.asarray(self.cells.read("s4_update", ctx["gid"]), dtype=np.uint64)
+        )
+        # reinterpret the group word as packed 32-bit counters
+        lanes = word.view(np.uint32)
+        if ctx["stale"]:
+            lanes[:] = 0
+        lanes[ctx["lane"]] += 1
+        self.cells.write("s4_update", ctx["gid"], word)
+
+    def insert_stream(self, keys) -> PipelineRun:
+        """Push keys through the pipeline; returns timing + stage stats."""
+        return self.pipeline.process(as_key_array(keys).tolist())
+
+    def counters_array(self) -> np.ndarray:
+        """The counters as a flat vector (for co-simulation)."""
+        return self.cells.words.view(np.uint32).reshape(-1)[: self.num_counters].copy()
+
+
+class SheHllRtl:
+    """SHE-HLL pipeline: w = 1 (a mark per register), MAX_RANK updates."""
+
+    def __init__(self, window: int, num_registers: int = 256, *, alpha: float = 0.2, seed: int = 3):
+        self.window = require_positive_int("window", window)
+        self.num_registers = require_positive_int("num_registers", num_registers)
+        self.t_cycle = max(int(round((1.0 + alpha) * window)), window + 1)
+        gids = np.arange(self.num_registers, dtype=np.int64)
+        self.offsets = -((self.t_cycle * gids) // self.num_registers)
+        fam = HashFamily(2, seed=seed)
+        self._select = HashFamily(1, seed=int(fam.seeds[0]))
+        self._value = HashFamily(1, seed=int(fam.seeds[1]))
+
+        self.counter = SramRegion("item_counter", 1, 32)
+        self.marks = SramRegion("time_marks", self.num_registers, 1)
+        self.cells = SramRegion("registers", self.num_registers, 5)
+        init = ((self.offsets // self.t_cycle) % 2).astype(np.uint64)
+        self.marks.words[:] = init
+        self.marks.clear_log()
+
+        self.pipeline = Pipeline(
+            [
+                Stage("s1_counter", self._stage_counter, (self.counter,)),
+                Stage("s2_hash", self._stage_hash, ()),
+                Stage("s3_mark", self._stage_mark, (self.marks,)),
+                Stage("s4_update", self._stage_update, (self.cells,)),
+            ]
+        )
+
+    def _stage_counter(self, ctx: dict) -> None:
+        t = self.counter.read("s1_counter", 0)
+        self.counter.write("s1_counter", 0, t + 1)
+        ctx["t"] = int(t)
+
+    def _stage_hash(self, ctx: dict) -> None:
+        key = int(ctx["item"])
+        ctx["gid"] = self._select.index(key, 0, self.num_registers)
+        rank = leading_zeros_32(self._value.value(key, 0)) + 1
+        ctx["rank"] = min(rank, 31)
+
+    def _stage_mark(self, ctx: dict) -> None:
+        gid = ctx["gid"]
+        cur = ((ctx["t"] + int(self.offsets[gid])) // self.t_cycle) % 2
+        stored = self.marks.read("s3_mark", gid)
+        ctx["stale"] = stored != cur
+        if ctx["stale"]:
+            self.marks.write("s3_mark", gid, cur)
+
+    def _stage_update(self, ctx: dict) -> None:
+        reg = int(self.cells.read("s4_update", ctx["gid"]))
+        if ctx["stale"]:
+            reg = 0
+        self.cells.write("s4_update", ctx["gid"], max(reg, ctx["rank"]))
+
+    def insert_stream(self, keys) -> PipelineRun:
+        """Push keys through the pipeline."""
+        return self.pipeline.process(as_key_array(keys).tolist())
+
+    def registers_array(self) -> np.ndarray:
+        """The registers as a vector (for co-simulation)."""
+        return self.cells.words.astype(np.uint8).copy()

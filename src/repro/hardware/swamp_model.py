@@ -1,0 +1,124 @@
+"""Pipeline model of SWAMP — mechanising the §2.3 infeasibility argument.
+
+The paper argues SWAMP cannot run on pipelined hardware: every arrival
+must (a) replace the oldest fingerprint in the cyclic queue, (b) remove
+that fingerprint from the TinyTable and (c) insert the new fingerprint
+— (b) and (c) hit *different* buckets of the same table, and a filled
+bucket spills into its neighbours (the "domino effect"), so either one
+stage performs an unbounded multi-address access (constraint 3) or the
+table is shared between stages (constraint 2).
+
+This module lays SWAMP out the second way (the more charitable one: a
+remove stage and an insert stage) over logged SRAM regions and runs a
+real stream through it.  The constraint checker then *fails* it on
+constraint 2 — and, whenever chaining spills, on constraint 3 as well —
+while total SRAM grows as O(W), stressing constraint 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.hashing import HashFamily
+from repro.common.validation import as_key_array, require_positive_int
+from repro.hardware.constraints import ConstraintReport, check_constraints
+from repro.hardware.memory import SramRegion
+from repro.hardware.pipeline import Pipeline, PipelineRun, Stage
+
+__all__ = ["SwampRtl", "swamp_pipeline_report"]
+
+
+class SwampRtl:
+    """SWAMP mapped (as far as possible) onto pipeline stages."""
+
+    def __init__(self, window: int, fingerprint_bits: int = 16, *, seed: int = 31):
+        self.window = require_positive_int("window", window)
+        self.fp_bits = require_positive_int("fingerprint_bits", fingerprint_bits)
+        self.fp_space = 1 << self.fp_bits
+        self.hash = HashFamily(1, seed=seed)
+
+        self.queue = SramRegion("fp_queue", self.window, self.fp_bits)
+        # TinyTable: 4-slot buckets; each slot one fingerprint remainder
+        self.num_buckets = max(1, (self.window + 3) // 4)
+        slot_bits = 4 * (self.fp_bits + 4)
+        self.table = SramRegion("tiny_table", self.num_buckets, slot_bits)
+        # python-side mirror of bucket contents {bucket: {rem: count}};
+        # the SramRegion records the *accesses*, the mirror the payload
+        self._buckets: list[dict[int, int]] = [dict() for _ in range(self.num_buckets)]
+        self.t = 0
+
+        self.pipeline = Pipeline(
+            [
+                Stage("s1_queue", self._stage_queue, (self.queue,)),
+                Stage("s2_remove", self._stage_remove, (self.table,)),
+                Stage("s3_insert", self._stage_insert, (self.table,)),
+            ]
+        )
+
+    def _fingerprint(self, key: int) -> int:
+        return self.hash.value(int(key), 0) % self.fp_space
+
+    def _bucket_of(self, fp: int) -> tuple[int, int]:
+        return fp % self.num_buckets, fp // self.num_buckets
+
+    def _stage_queue(self, ctx: dict) -> None:
+        pos = self.t % self.window
+        old = self.queue.read("s1_queue", pos) if self.t >= self.window else None
+        fp = self._fingerprint(ctx["item"])
+        self.queue.write("s1_queue", pos, fp)
+        ctx["old_fp"] = old
+        ctx["new_fp"] = fp
+        self.t += 1
+
+    def _touch_chain(self, stage: str, bucket: int, spill: int) -> None:
+        """A bucket access, plus neighbour accesses when chained."""
+        self.table.read(stage, bucket)
+        self.table.write(stage, bucket, 0)
+        for d in range(1, spill + 1):
+            nb = (bucket + d) % self.num_buckets
+            self.table.read(stage, nb)
+            self.table.write(stage, nb, 0)
+
+    def _stage_remove(self, ctx: dict) -> None:
+        old = ctx["old_fp"]
+        if old is None:
+            return
+        b, rem = self._bucket_of(int(old))
+        bucket = self._buckets[b]
+        spill = max(0, len(bucket) - 4)  # entries living in neighbours
+        self._touch_chain("s2_remove", b, spill)
+        cnt = bucket.get(rem, 0)
+        if cnt <= 1:
+            bucket.pop(rem, None)
+        else:
+            bucket[rem] = cnt - 1
+
+    def _stage_insert(self, ctx: dict) -> None:
+        b, rem = self._bucket_of(int(ctx["new_fp"]))
+        bucket = self._buckets[b]
+        spill = max(0, len(bucket) + 1 - 4)  # domino into neighbours
+        self._touch_chain("s3_insert", b, spill)
+        bucket[rem] = bucket.get(rem, 0) + 1
+
+    def insert_stream(self, keys) -> PipelineRun:
+        """Push keys through the (doomed) pipeline."""
+        return self.pipeline.process(as_key_array(keys).tolist())
+
+
+def swamp_pipeline_report(
+    window: int = 1024,
+    n_items: int = 4096,
+    *,
+    fingerprint_bits: int = 16,
+    seed: int = 0,
+) -> ConstraintReport:
+    """Run SWAMP's pipeline model and return its constraint report.
+
+    The report is expected to fail (``hardware_friendly == False``) —
+    the test suite asserts that, reproducing §2.3's conclusion.
+    """
+    rtl = SwampRtl(window, fingerprint_bits, seed=seed)
+    rng = np.random.default_rng(seed)
+    stream = rng.integers(0, 1 << 32, size=n_items, dtype=np.uint64)
+    run = rtl.insert_stream(stream)
+    return check_constraints(rtl.pipeline, run)

@@ -1,0 +1,241 @@
+"""Programmable-switch (RMT / P4) feasibility model.
+
+§1 and §2.3 name programmable switches alongside FPGA/ASIC as SHE's
+target platforms.  A Tofino-class RMT pipeline is *more* restrictive
+than an FPGA: a fixed number of match-action stages, one register
+array per stage with a single stateful-ALU access of bounded width,
+and no recirculation budget to spare.  This module models exactly
+those knobs and answers "does this sketch map onto the pipeline?"
+mechanically — the switch-side counterpart of
+:mod:`repro.hardware.constraints`.
+
+The mapping logic places each memory region of a sketch description
+into its own stage (regions cannot be shared between stages — the
+single-stage-access constraint is structural on RMT), checks the
+per-stage SALU word width against the group word, and accounts SRAM
+per stage.  ``plan_she`` produces the placement for any SHE variant;
+``plan_swamp`` shows SWAMP cannot be placed (its table needs either
+two stages on one region or an unbounded access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.validation import require_positive_int
+
+__all__ = [
+    "SwitchProfile",
+    "TOFINO_LIKE",
+    "RegionRequirement",
+    "SketchRequirements",
+    "PlacementReport",
+    "plan",
+    "plan_she",
+    "plan_minhash",
+    "plan_swamp",
+]
+
+
+@dataclass(frozen=True)
+class SwitchProfile:
+    """Capabilities of one RMT-style switch pipeline."""
+
+    name: str
+    stages: int
+    sram_bits_per_stage: int
+    salu_width_bits: int          # widest single stateful access
+    salus_per_stage: int = 1
+    hash_units_per_stage: int = 1
+
+
+#: a Tofino-1-flavoured profile (public figures: 12 stages, ~1.3 MB
+#: SRAM/stage usable for stateful objects, 128-bit SALU pairs)
+TOFINO_LIKE = SwitchProfile(
+    name="tofino-like",
+    stages=12,
+    sram_bits_per_stage=1_300_000 * 8,
+    salu_width_bits=128,
+    salus_per_stage=4,
+    hash_units_per_stage=2,
+)
+
+
+@dataclass(frozen=True)
+class RegionRequirement:
+    """One stateful object a sketch needs."""
+
+    name: str
+    total_bits: int
+    access_width_bits: int        # bits one packet touches in this region
+    accesses_per_packet: int = 1  # distinct addresses one packet touches
+    writers: int = 1              # pipeline phases needing to mutate it
+
+
+@dataclass(frozen=True)
+class SketchRequirements:
+    """A sketch as the placement engine sees it."""
+
+    name: str
+    regions: tuple[RegionRequirement, ...]
+    hash_computations: int = 1
+
+
+@dataclass
+class PlacementReport:
+    """Outcome of mapping a sketch onto a switch profile."""
+
+    sketch: str
+    profile: str
+    feasible: bool
+    stages_used: int
+    sram_bits_used: int
+    placements: dict[str, int] = field(default_factory=dict)
+    reasons: list[str] = field(default_factory=list)
+
+
+def plan(req: SketchRequirements, profile: SwitchProfile = TOFINO_LIKE) -> PlacementReport:
+    """Greedily place each region in its own stage and check the knobs."""
+    report = PlacementReport(
+        sketch=req.name,
+        profile=profile.name,
+        feasible=True,
+        stages_used=0,
+        sram_bits_used=sum(r.total_bits for r in req.regions),
+    )
+    stage = 0
+    for region in req.regions:
+        if region.writers > 1:
+            report.feasible = False
+            report.reasons.append(
+                f"region {region.name!r} needs {region.writers} writer phases; "
+                "RMT registers admit exactly one stateful access per packet"
+            )
+        if region.accesses_per_packet > 1:
+            report.feasible = False
+            report.reasons.append(
+                f"region {region.name!r} needs {region.accesses_per_packet} "
+                "addresses per packet; a SALU reaches one"
+            )
+        if region.access_width_bits > profile.salu_width_bits:
+            report.feasible = False
+            report.reasons.append(
+                f"region {region.name!r} accesses {region.access_width_bits} bits; "
+                f"SALU width is {profile.salu_width_bits}"
+            )
+        if region.total_bits > profile.sram_bits_per_stage:
+            report.feasible = False
+            report.reasons.append(
+                f"region {region.name!r} needs {region.total_bits} bits; a stage "
+                f"holds {profile.sram_bits_per_stage}"
+            )
+        report.placements[region.name] = stage
+        stage += 1
+    # hashing shares the front stages; each stage offers hash units
+    hash_stages = -(-req.hash_computations // profile.hash_units_per_stage)
+    report.stages_used = max(stage, hash_stages + len(req.regions) - 1)
+    if report.stages_used > profile.stages:
+        report.feasible = False
+        report.reasons.append(
+            f"needs {report.stages_used} stages; pipeline has {profile.stages}"
+        )
+    total_sram = profile.stages * profile.sram_bits_per_stage
+    if report.sram_bits_used > total_sram:
+        report.feasible = False
+        report.reasons.append(
+            f"needs {report.sram_bits_used} SRAM bits; device has {total_sram}"
+        )
+    return report
+
+
+def plan_she(
+    *,
+    num_cells: int,
+    cell_bits: int,
+    group_width: int,
+    num_hashes: int = 1,
+    profile: SwitchProfile = TOFINO_LIKE,
+) -> PlacementReport:
+    """Map one SHE lane (per hash function) onto the pipeline.
+
+    Per lane: an item counter, a 1-bit mark array (one SALU RMW at one
+    address), and the cell array accessed one group word at a time.
+    Lanes for extra hash functions replicate the mark/cell stages, as
+    §6's SHE-BF does on FPGA.
+    """
+    require_positive_int("num_cells", num_cells)
+    groups = max(1, num_cells // group_width)
+    regions = [RegionRequirement("item_counter", 32, 32)]
+    for lane in range(num_hashes):
+        regions.append(RegionRequirement(f"marks_{lane}", groups, 1))
+        regions.append(
+            RegionRequirement(
+                f"cells_{lane}", num_cells * cell_bits, group_width * cell_bits
+            )
+        )
+    req = SketchRequirements(
+        name=f"SHE({num_hashes} lane{'s' if num_hashes > 1 else ''})",
+        regions=tuple(regions),
+        hash_computations=num_hashes,
+    )
+    return plan(req, profile)
+
+
+def plan_swamp(
+    *,
+    window: int,
+    fingerprint_bits: int = 16,
+    profile: SwitchProfile = TOFINO_LIKE,
+) -> PlacementReport:
+    """Map SWAMP onto the pipeline — §2.3 predicts (and we get) failure.
+
+    The fingerprint queue is a single-address RMW (fine), but the
+    TinyTable must be mutated twice per packet (remove the evicted
+    fingerprint, insert the new one, at two different buckets) and a
+    chained insertion touches a bucket neighbourhood.
+    """
+    cap = int(1.2 * window)
+    table_bits = cap * (fingerprint_bits + 4)
+    req = SketchRequirements(
+        name="SWAMP",
+        regions=(
+            RegionRequirement("fp_queue", window * fingerprint_bits, fingerprint_bits),
+            RegionRequirement(
+                "tiny_table",
+                table_bits,
+                4 * (fingerprint_bits + 4),
+                accesses_per_packet=2,  # remove bucket + insert bucket
+                writers=2,              # the two phases both mutate it
+            ),
+        ),
+        hash_computations=1,
+    )
+    return plan(req, profile)
+
+
+def plan_minhash(
+    *,
+    num_counters: int,
+    cell_bits: int = 24,
+    profile: SwitchProfile = TOFINO_LIKE,
+) -> PlacementReport:
+    """Map SHE-MH onto the pipeline — infeasible for any useful M.
+
+    MinHash touches *every* counter per item (K = "all" in the CSM),
+    so one packet needs M distinct stateful accesses; on RMT that means
+    one stage per counter.  This is why §6 implements only SHE-BM and
+    SHE-BF on hardware: the framework makes MinHash *window-correct*,
+    but its access pattern is inherently per-item-O(M) and belongs on
+    the CPU path.
+    """
+    require_positive_int("num_counters", num_counters)
+    regions = tuple(
+        RegionRequirement(f"counter_{i}", cell_bits + 1, cell_bits + 1)
+        for i in range(num_counters)
+    )
+    req = SketchRequirements(
+        name=f"SHE-MH(M={num_counters})",
+        regions=regions,
+        hash_computations=num_counters,
+    )
+    return plan(req, profile)

@@ -1,0 +1,71 @@
+"""Experiment harness: one driver per paper table/figure."""
+
+from repro.harness.builders import (
+    build_cardinality_bitmap,
+    build_cardinality_hll,
+    build_frequency,
+    build_membership,
+    build_similarity,
+)
+from repro.harness.common import DEFAULT_SCALE, Scale, absent_keys
+from repro.harness.experiments_accuracy import (
+    FIG5_TASKS,
+    FIG6_MEMORIES,
+    FIG9_MEMORIES,
+    fig5_stability,
+    fig6_window_sizes,
+    fig7a_bf_alpha,
+    fig7b_bm_alpha,
+    fig8a_fpr_vs_item_age,
+    fig8b_fpr_vs_num_hashes,
+    fig9_accuracy,
+)
+from repro.harness.experiments_system import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    fig10_throughput,
+    fig11_throughput,
+    table2_resources,
+    table3_frequency,
+)
+from repro.harness.report import FigureResult, Series, render_table
+from repro.harness.runners import (
+    run_cardinality,
+    run_frequency,
+    run_membership,
+    run_similarity,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "Scale",
+    "absent_keys",
+    "FIG5_TASKS",
+    "FIG6_MEMORIES",
+    "FIG9_MEMORIES",
+    "fig5_stability",
+    "fig6_window_sizes",
+    "fig7a_bf_alpha",
+    "fig7b_bm_alpha",
+    "fig8a_fpr_vs_item_age",
+    "fig8b_fpr_vs_num_hashes",
+    "fig9_accuracy",
+    "fig10_throughput",
+    "fig11_throughput",
+    "table2_resources",
+    "table3_frequency",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "FigureResult",
+    "Series",
+    "render_table",
+    "run_cardinality",
+    "run_frequency",
+    "run_membership",
+    "run_similarity",
+    "build_membership",
+    "build_cardinality_bitmap",
+    "build_cardinality_hll",
+    "build_frequency",
+    "build_similarity",
+]

@@ -1,0 +1,101 @@
+"""CLI: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.harness list
+    python -m repro.harness fig9a [--full] [--window 4096]
+    python -m repro.harness all [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import (
+    Scale,
+    fig5_stability,
+    fig6_window_sizes,
+    fig7a_bf_alpha,
+    fig7b_bm_alpha,
+    fig8a_fpr_vs_item_age,
+    fig8b_fpr_vs_num_hashes,
+    fig9_accuracy,
+    fig10_throughput,
+    fig11_throughput,
+    table2_resources,
+    table3_frequency,
+)
+
+_TASK_BY_LETTER = dict(zip("abcde", ["bm", "hll", "cm", "bf", "mh"]))
+
+
+def _registry():
+    """target -> callable(scale) returning a FigureResult or a string."""
+    reg = {}
+    for letter, task in _TASK_BY_LETTER.items():
+        reg[f"fig5{letter}"] = lambda s, t=task: fig5_stability(t, s)
+        reg[f"fig6{letter}"] = lambda s, t=task: fig6_window_sizes(t, s)
+        reg[f"fig9{letter}"] = lambda s, p=letter: fig9_accuracy(p, s)
+    reg["fig7a"] = fig7a_bf_alpha
+    reg["fig7b"] = fig7b_bm_alpha
+    reg["fig8a"] = fig8a_fpr_vs_item_age
+    reg["fig8b"] = fig8b_fpr_vs_num_hashes
+    reg["fig10a"] = lambda s: fig10_throughput("a", s)
+    reg["fig10b"] = lambda s: fig10_throughput("b", s)
+    reg["fig11"] = fig11_throughput
+    reg["table2"] = lambda s: table2_resources()
+    reg["table3"] = lambda s: table3_frequency()
+    return reg
+
+
+def main(argv: list[str] | None = None) -> int:
+    reg = _registry()
+    parser = argparse.ArgumentParser(prog="repro.harness", description=__doc__)
+    parser.add_argument("target", help="'list', 'all', or one of: " + " ".join(sorted(reg)))
+    parser.add_argument("--full", action="store_true", help="paper-scale run (slow)")
+    parser.add_argument("--window", type=int, default=None, help="override window size")
+    parser.add_argument("--chart", action="store_true", help="also draw ASCII charts")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="also write <target>.json files into DIR")
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        print("\n".join(sorted(reg)))
+        return 0
+
+    scale = Scale.paper() if args.full else Scale()
+    if args.window is not None:
+        scale = Scale(
+            window=args.window,
+            n_windows=scale.n_windows,
+            warm_windows=scale.warm_windows,
+            trials=scale.trials,
+        )
+
+    targets = sorted(reg) if args.target == "all" else [args.target]
+    for t in targets:
+        if t not in reg:
+            print(f"unknown target {t!r}; try 'list'", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        out = reg[t](scale)
+        if isinstance(out, str):
+            print(out)
+        else:
+            print(out.table())
+            if args.chart:
+                print(out.chart())
+            if args.json:
+                from pathlib import Path
+
+                d = Path(args.json)
+                d.mkdir(parents=True, exist_ok=True)
+                (d / f"{t}.json").write_text(out.to_json())
+        print(f"[{t} took {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

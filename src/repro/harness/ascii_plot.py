@@ -1,0 +1,147 @@
+"""ASCII charts for the figure CLI (matplotlib-free environments).
+
+Renders a :class:`~repro.harness.report.FigureResult` as a fixed-size
+character plot — enough to *see* the crossovers and decades the paper's
+figures show, straight from a terminal.  Log axes are chosen the way
+the paper draws each metric (FPRs on log-y, memory sweeps on log-x).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _to_float(values) -> np.ndarray:
+    out = []
+    for v in values:
+        try:
+            out.append(float(v))
+        except (TypeError, ValueError):
+            out.append(float("nan"))
+    return np.asarray(out, dtype=float)
+
+
+def _axis(values: np.ndarray, log: bool) -> tuple[float, float]:
+    finite = values[np.isfinite(values)]
+    if log:
+        finite = finite[finite > 0]
+    if finite.size == 0:
+        return 0.0, 1.0
+    lo, hi = float(finite.min()), float(finite.max())
+    if log:
+        lo, hi = math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        hi = lo + 1.0
+    return lo, hi
+
+
+def _project(v: float, lo: float, hi: float, steps: int, log: bool) -> int | None:
+    if not np.isfinite(v):
+        return None
+    if log:
+        if v <= 0:
+            return None
+        v = math.log10(v)
+    frac = (v - lo) / (hi - lo)
+    return int(round(frac * (steps - 1)))
+
+
+def ascii_chart(
+    result,
+    *,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool | None = None,
+    log_y: bool | None = None,
+) -> str:
+    """Render a FigureResult's series as an ASCII scatter chart.
+
+    Axis scales default from the metric: error/FPR metrics get log-y
+    when they span over a decade; numeric x gets log-x when it spans
+    over a decade.  Categorical x (strings) is positioned evenly.
+    """
+    numeric_x = all(
+        isinstance(v, (int, float, np.integer, np.floating))
+        for s in result.series
+        for v in s.x
+    )
+    xs_all = (
+        _to_float([v for s in result.series for v in s.x])
+        if numeric_x
+        else None
+    )
+    ys_all = _to_float([v for s in result.series for v in s.y])
+
+    def spans_decade(arr):
+        pos = arr[np.isfinite(arr) & (arr > 0)]
+        return pos.size >= 2 and pos.max() / max(pos.min(), 1e-300) > 10
+
+    if log_y is None:
+        log_y = spans_decade(ys_all)
+    if log_x is None:
+        log_x = bool(numeric_x and spans_decade(xs_all))
+
+    ylo, yhi = _axis(ys_all, log_y)
+    if numeric_x:
+        xlo, xhi = _axis(xs_all, log_x)
+
+    grid = [[" "] * width for _ in range(height)]
+    categories: list = []
+    if not numeric_x:
+        for s in result.series:
+            for v in s.x:
+                if v not in categories:
+                    categories.append(v)
+
+    for si, s in enumerate(result.series):
+        marker = _MARKERS[si % len(_MARKERS)]
+        ys = _to_float(s.y)
+        for i, xv in enumerate(s.x):
+            if numeric_x:
+                col = _project(float(xv), xlo, xhi, width, log_x)
+            else:
+                col = int(
+                    (categories.index(xv) + 0.5) / len(categories) * (width - 1)
+                )
+            row = _project(ys[i], ylo, yhi, height, log_y)
+            if col is None or row is None:
+                continue
+            grid[height - 1 - row][col] = marker
+
+    def fmt_axis(v: float, log: bool) -> str:
+        return f"{10**v:.3g}" if log else f"{v:.3g}"
+
+    lines = [f"{result.name}: {result.title}"]
+    top = fmt_axis(yhi, log_y)
+    bot = fmt_axis(ylo, log_y)
+    pad = max(len(top), len(bot))
+    for r, rowchars in enumerate(grid):
+        label = top if r == 0 else (bot if r == height - 1 else "")
+        lines.append(f"{label.rjust(pad)} |{''.join(rowchars)}|")
+    lines.append(" " * pad + " +" + "-" * width + "+")
+    if numeric_x:
+        left, right = fmt_axis(xlo, log_x), fmt_axis(xhi, log_x)
+        lines.append(
+            " " * pad
+            + "  "
+            + left
+            + " " * max(1, width - len(left) - len(right))
+            + right
+        )
+    else:
+        lines.append(" " * pad + "  " + "  ".join(str(c) for c in categories))
+    lines.append(
+        f"x: {result.x_label}{' (log)' if log_x and numeric_x else ''}   "
+        f"y: {result.y_label}{' (log)' if log_y else ''}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.label}" for i, s in enumerate(result.series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,204 @@
+"""Per-task structure factories used by the figure drivers.
+
+Each builder takes a memory budget in bytes and returns the dict of
+named structures Fig. 9's corresponding panel compares.  Baselines that
+cannot exist at a budget (SWAMP below its O(W) floor, a single EH
+counter not fitting, ...) are *omitted* — the tables show "--" there,
+which is precisely the paper's point about their memory floors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import (
+    CounterVectorSketch,
+    EcmSketch,
+    SlidingHyperLogLog,
+    StrawmanMinHash,
+    Swamp,
+    TimeOutBloomFilter,
+    TimestampVector,
+    TimingBloomFilter,
+)
+from repro.core import (
+    SheBitmap,
+    SheBloomFilter,
+    SheCountMin,
+    SheHyperLogLog,
+    SheMinHash,
+)
+from repro.fixed import (
+    IdealCardinalityBitmap,
+    IdealCardinalityHLL,
+    IdealFrequency,
+    IdealMembership,
+    IdealSimilarity,
+)
+
+__all__ = [
+    "build_membership",
+    "build_cardinality_bitmap",
+    "build_cardinality_hll",
+    "build_frequency",
+    "build_similarity",
+    "shll_registers_for",
+]
+
+#: per-LPFM-entry bits (timestamp + rank) and expected entries/register
+_SHLL_ENTRY_BITS = 69
+_SHLL_EXPECTED_ENTRIES = 3.0
+
+
+def shll_registers_for(memory_bytes: int) -> int:
+    """Register count so SHLL's *expected* live size meets the budget."""
+    m = int(memory_bytes * 8 / (_SHLL_ENTRY_BITS * _SHLL_EXPECTED_ENTRIES))
+    return max(m, 1)
+
+
+def _try(build, out: dict, name: str) -> None:
+    try:
+        out[name] = build()
+    except ValueError:
+        pass  # structure cannot exist at this budget
+
+
+def build_membership(
+    window: int,
+    memory_bytes: int,
+    *,
+    alpha: float = 3.0,
+    num_hashes: int = 8,
+    include_baselines: bool = True,
+    frame: str = "hardware",
+    seed: int = 1,
+) -> dict[str, object]:
+    """Fig. 9d's panel: SHE-BF vs TOBF, TBF, SWAMP and the Ideal."""
+    out: dict[str, object] = {}
+    _try(
+        lambda: SheBloomFilter.from_memory(
+            window, memory_bytes, num_hashes=num_hashes, alpha=alpha, frame=frame, seed=seed
+        ),
+        out,
+        "SHE-BF",
+    )
+    _try(
+        lambda: IdealMembership(window, memory_bytes * 8, num_hashes, seed=seed + 1),
+        out,
+        "Ideal",
+    )
+    if include_baselines:
+        _try(lambda: TimeOutBloomFilter.from_memory(window, memory_bytes, num_hashes, seed=seed + 2), out, "TOBF")
+        _try(lambda: TimingBloomFilter.from_memory(window, memory_bytes, num_hashes, seed=seed + 3), out, "TBF")
+        _try(lambda: Swamp.from_memory(window, memory_bytes, seed=seed + 4), out, "SWAMP")
+    return out
+
+
+def build_cardinality_bitmap(
+    window: int,
+    memory_bytes: int,
+    *,
+    alpha: float = 0.2,
+    include_baselines: bool = True,
+    frame: str = "hardware",
+    seed: int = 2,
+) -> dict[str, object]:
+    """Fig. 9a's panel: SHE-BM vs TSV, CVS, SWAMP and the Ideal."""
+    out: dict[str, object] = {}
+    _try(
+        lambda: SheBitmap.from_memory(window, memory_bytes, alpha=alpha, frame=frame, seed=seed),
+        out,
+        "SHE-BM",
+    )
+    _try(lambda: IdealCardinalityBitmap(window, memory_bytes * 8, seed=seed + 1), out, "Ideal")
+    if include_baselines:
+        _try(lambda: TimestampVector.from_memory(window, memory_bytes, seed=seed + 2), out, "TSV")
+        _try(lambda: CounterVectorSketch.from_memory(window, memory_bytes, seed=seed + 3), out, "CVS")
+        _try(lambda: Swamp.from_memory(window, memory_bytes, seed=seed + 4), out, "SWAMP")
+    return out
+
+
+def build_cardinality_hll(
+    window: int,
+    memory_bytes: int,
+    *,
+    alpha: float = 0.2,
+    include_baselines: bool = True,
+    frame: str = "hardware",
+    seed: int = 3,
+) -> dict[str, object]:
+    """Fig. 9b's panel: SHE-HLL vs SHLL and the Ideal."""
+    out: dict[str, object] = {}
+    _try(
+        lambda: SheHyperLogLog.from_memory(window, memory_bytes, alpha=alpha, frame=frame, seed=seed),
+        out,
+        "SHE-HLL",
+    )
+    _try(
+        lambda: IdealCardinalityHLL(window, max(16, memory_bytes * 8 // 5), seed=seed + 1),
+        out,
+        "Ideal",
+    )
+    if include_baselines:
+        _try(
+            lambda: SlidingHyperLogLog(window, shll_registers_for(memory_bytes), seed=seed + 2),
+            out,
+            "SHLL",
+        )
+    return out
+
+
+def build_frequency(
+    window: int,
+    memory_bytes: int,
+    *,
+    alpha: float = 1.0,
+    num_hashes: int = 8,
+    include_baselines: bool = True,
+    frame: str = "hardware",
+    seed: int = 4,
+) -> dict[str, object]:
+    """Fig. 9c's panel: SHE-CM vs ECM, SWAMP and the Ideal."""
+    out: dict[str, object] = {}
+    _try(
+        lambda: SheCountMin.from_memory(
+            window, memory_bytes, num_hashes=num_hashes, alpha=alpha, frame=frame, seed=seed
+        ),
+        out,
+        "SHE-CM",
+    )
+    _try(
+        lambda: IdealFrequency(window, max(1, memory_bytes // 4), num_hashes, seed=seed + 1),
+        out,
+        "Ideal",
+    )
+    if include_baselines:
+        _try(lambda: EcmSketch.from_memory(window, memory_bytes, 4, seed=seed + 2), out, "ECM")
+        _try(lambda: Swamp.from_memory(window, memory_bytes, seed=seed + 3), out, "SWAMP")
+    return out
+
+
+def build_similarity(
+    window: int,
+    memory_bytes: int,
+    *,
+    alpha: float = 0.2,
+    include_baselines: bool = True,
+    frame: str = "hardware",
+    seed: int = 5,
+) -> dict[str, object]:
+    """Fig. 9e's panel: SHE-MH vs the straw-man MinHash and the Ideal."""
+    out: dict[str, object] = {}
+    _try(
+        lambda: SheMinHash.from_memory(window, memory_bytes, alpha=alpha, frame=frame, seed=seed),
+        out,
+        "SHE-MH",
+    )
+    _try(
+        lambda: IdealSimilarity(window, max(8, memory_bytes * 8 // 48), seed=seed + 1),
+        out,
+        "Ideal",
+    )
+    if include_baselines:
+        _try(lambda: StrawmanMinHash.from_memory(window, memory_bytes, seed=seed + 2), out, "Straw")
+    return out

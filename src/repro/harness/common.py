@@ -1,0 +1,93 @@
+"""Shared experiment plumbing: scales, checkpoint loops, query pools.
+
+The paper runs N = 2^16 (2^21 for HLL) over ~30M-item traces; that is
+hours in Python, so every driver takes a :class:`Scale` with reduced
+defaults — chosen to keep each structure at the same *load* (memory
+per window-cardinality) as the paper — and benchmarks can pass
+``Scale.paper()`` to run full size.  Memory budgets given in "paper
+bytes" are shrunk by the window ratio so the curves live in the same
+regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets import caida_like
+from repro.exact import ExactWindow
+
+__all__ = ["Scale", "stream_checkpoints", "absent_keys", "DEFAULT_SCALE"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How large an experiment runs.
+
+    Attributes:
+        window: sliding-window size N.
+        n_windows: stream length in windows (after warm-up).
+        warm_windows: windows fed before any measurement (§7.1: "feed
+            enough items until the performance is stable").
+        trials: independent repetitions (seeds) averaged together.
+    """
+
+    window: int = 1 << 12
+    n_windows: int = 4
+    warm_windows: int = 2
+    trials: int = 1
+
+    @classmethod
+    def paper(cls) -> "Scale":
+        """The paper's full-size setting (slow in Python)."""
+        return cls(window=1 << 16, n_windows=6, warm_windows=2, trials=1)
+
+    @property
+    def paper_window(self) -> int:
+        return 1 << 16
+
+    def memory(self, paper_bytes: float) -> int:
+        """Scale a paper memory budget by the window ratio (min 64 B)."""
+        scaled = paper_bytes * self.window / self.paper_window
+        return max(24, int(scaled))
+
+    @property
+    def stream_items(self) -> int:
+        return self.window * (self.warm_windows + self.n_windows)
+
+
+DEFAULT_SCALE = Scale()
+
+
+def stream_checkpoints(scale: Scale, *, per_window: int = 2):
+    """Yield (lo, hi, is_measured) chunk bounds over the stream.
+
+    Chunks are ``window / per_window`` items; measurement starts after
+    the warm-up windows.
+    """
+    step = max(1, scale.window // per_window)
+    warm = scale.warm_windows * scale.window
+    total = scale.stream_items
+    for lo in range(0, total, step):
+        hi = min(lo + step, total)
+        yield lo, hi, hi > warm
+
+
+def absent_keys(n: int, seed: int = 999) -> np.ndarray:
+    """Keys guaranteed (w.h.p.) outside any generated trace's key space.
+
+    Trace keys live in [0, 2^48); these sit in a disjoint high range.
+    """
+    rng = np.random.default_rng(seed)
+    base = np.uint64(1) << np.uint64(60)
+    return base + rng.integers(0, 1 << 32, size=n, dtype=np.uint64)
+
+
+def window_sample(oracle: ExactWindow, k: int, seed: int = 0) -> np.ndarray:
+    """Up to ``k`` distinct keys currently in the window (for ARE)."""
+    keys = oracle.distinct_keys()
+    if keys.size <= k:
+        return keys
+    rng = np.random.default_rng(seed)
+    return rng.choice(keys, size=k, replace=False)

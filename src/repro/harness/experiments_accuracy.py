@@ -1,0 +1,511 @@
+"""Drivers for the accuracy figures: Fig. 5, 6, 7, 8 and 9.
+
+Each ``fig*`` function runs the experiment at a :class:`Scale` (reduced
+by default, ``Scale.paper()`` for full size) and returns a
+:class:`~repro.harness.report.FigureResult` whose series mirror the
+lines of the paper's plot.  Memory budgets are given in *paper* bytes
+and shrunk by the window ratio, so every structure operates at the
+paper's load factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import optimal_alpha
+from repro.datasets import caida_like, distinct_stream, relevant_pair
+from repro.harness.builders import (
+    build_cardinality_bitmap,
+    build_cardinality_hll,
+    build_frequency,
+    build_membership,
+    build_similarity,
+)
+from repro.harness.common import Scale, DEFAULT_SCALE
+from repro.harness.report import FigureResult, Series
+from repro.harness.runners import (
+    run_cardinality,
+    run_frequency,
+    run_membership,
+    run_similarity,
+)
+
+__all__ = [
+    "fig5_stability",
+    "fig6_window_sizes",
+    "fig7a_bf_alpha",
+    "fig7b_bm_alpha",
+    "fig8a_fpr_vs_item_age",
+    "fig8b_fpr_vs_num_hashes",
+    "fig9_accuracy",
+    "FIG5_TASKS",
+    "FIG9_MEMORIES",
+]
+
+_KB = 1024
+_MB = 1024 * 1024
+
+#: paper memory sizes per Fig. 5 panel
+FIG5_TASKS = {
+    "bm": [512, 1 * _KB, 2 * _KB],
+    "hll": [256, 1 * _KB, 8 * _KB],
+    "cm": [1 * _MB, 2 * _MB, 4 * _MB],
+    "bf": [32 * _KB, 128 * _KB, 512 * _KB],
+    "mh": [512, 1 * _KB, 2 * _KB],
+}
+
+#: paper memory sweeps per Fig. 9 panel
+FIG9_MEMORIES = {
+    "a": [512, 1 * _KB, 2 * _KB, 4 * _KB, 8 * _KB, 100 * _KB],
+    "b": [1 * _KB, 2 * _KB, 4 * _KB, 8 * _KB, 16 * _KB, 32 * _KB],
+    "c": [int(0.5 * _MB), 1 * _MB, int(1.5 * _MB), 2 * _MB, int(2.5 * _MB)],
+    "d": [32 * _KB, 128 * _KB, 256 * _KB, 384 * _KB, 512 * _KB],
+    "e": [1 * _KB, 2 * _KB, 3 * _KB, 4 * _KB],
+}
+
+
+def _trace(scale: Scale, seed: int) -> np.ndarray:
+    """CAIDA-like items matched to the stream length."""
+    n = scale.stream_items
+    # universe ~2N keeps the window-cardinality ratio C/N in the
+    # paper's CAIDA regime (~0.3-0.5) at any scale
+    distinct = max(1024, 2 * scale.window)
+    return caida_like(n, distinct, seed=seed).items
+
+
+def _hll_trace(scale: Scale, seed: int) -> np.ndarray:
+    """High-cardinality trace for the HLL comparison (Fig. 9b).
+
+    §7.1 sets the HLL window to 2^21 "because HyperLogLog is usually
+    used to estimate massive cardinality": the operating regime is
+    C >> registers.  A near-uniform draw from a 4N universe keeps the
+    window cardinality near 0.9 N, matching the paper's C/m range.
+    """
+    from repro.datasets import BoundedZipf
+
+    z = BoundedZipf(4 * scale.window, 0.3, seed=seed)
+    return z.sample(scale.stream_items)
+
+
+def _pair(scale: Scale, seed: int):
+    n = scale.stream_items
+    a, b = relevant_pair(n, max(2000, n // 10), overlap=0.5, seed=seed)
+    return a.items, b.items
+
+
+def _avg(values: list[float]) -> float:
+    return float(np.mean(values)) if values else float("nan")
+
+
+def _budget(scale: Scale, task_or_panel: str, mem: int) -> int:
+    """Scale a paper budget — except for HLL/MinHash.
+
+    Bitmap/BF/CM sizes track the window cardinality, so their paper
+    budgets shrink with the window ratio.  HLL registers and MinHash
+    counters are precision-driven (error ~ 1/sqrt(M), independent of N),
+    so those panels keep the paper's absolute budgets.
+    """
+    if task_or_panel in ("hll", "mh", "b", "e"):
+        return int(mem)
+    return scale.memory(mem)
+
+
+# ---------------------------------------------------------------- Fig. 5
+
+
+def fig5_stability(
+    task: str,
+    scale: Scale = DEFAULT_SCALE,
+    *,
+    frame: str = "hardware",
+    seed: int = 50,
+) -> FigureResult:
+    """Fig. 5: error vs time (in windows) for three memory sizes."""
+    if task not in FIG5_TASKS:
+        raise ValueError(f"task must be one of {sorted(FIG5_TASKS)}, got {task!r}")
+    memories = FIG5_TASKS[task]
+    result = FigureResult(
+        name=f"Figure 5{'abcde'['bm hll cm bf mh'.split().index(task)]}",
+        title=f"stability of SHE-{task.upper()} as the window slides",
+        x_label="time (windows)",
+        y_label={"bm": "RE", "hll": "RE", "cm": "ARE", "bf": "FPR", "mh": "RE"}[task],
+    )
+    build = {
+        "bm": lambda m: build_cardinality_bitmap(scale.window, m, include_baselines=False, frame=frame),
+        "hll": lambda m: build_cardinality_hll(scale.window, m, include_baselines=False, frame=frame),
+        "cm": lambda m: build_frequency(scale.window, m, include_baselines=False, frame=frame),
+        "bf": lambda m: build_membership(scale.window, m, include_baselines=False, frame=frame),
+        "mh": lambda m: build_similarity(scale.window, m, include_baselines=False, frame=frame),
+    }[task]
+    runner = {
+        "bm": run_cardinality,
+        "hll": run_cardinality,
+        "cm": run_frequency,
+        "bf": run_membership,
+        "mh": run_similarity,
+    }[task]
+
+    if task == "mh":
+        streams = _pair(scale, seed)
+    elif task == "bf":
+        streams = distinct_stream(scale.stream_items, seed=seed).items
+    else:
+        streams = _trace(scale, seed)
+
+    for mem in memories:
+        budget = _budget(scale, task, mem)
+        panel = build(budget)
+        she_name = next(n for n in panel if n.startswith("SHE"))
+        sketch = {she_name: panel[she_name]}
+        res = runner(sketch, streams, scale)
+        label = f"{mem / _KB:g} KB" if mem < _MB else f"{mem / _MB:g} MB"
+        result.series.append(Series(label, res["_checkpoint"], res[she_name]))
+    result.notes.append(
+        f"window N={scale.window}, budgets scaled x{scale.window / scale.paper_window:g} from paper sizes"
+    )
+    return result
+
+
+# ---------------------------------------------------------------- Fig. 6
+
+
+#: paper memory sizes per Fig. 6 panel (held FIXED while the window varies)
+FIG6_MEMORIES = {
+    "bm": [2 * _KB, 4 * _KB, 8 * _KB],
+    "hll": [1 * _KB, 4 * _KB, 16 * _KB],
+    "cm": [1 * _MB, 2 * _MB, 4 * _MB],
+    "bf": [64 * _KB, 256 * _KB, 1 * _MB],
+    "mh": [1 * _KB, 2 * _KB, 4 * _KB],
+}
+
+
+def fig6_window_sizes(
+    task: str,
+    scale: Scale = DEFAULT_SCALE,
+    *,
+    window_factors: tuple[int, ...] = (1, 4, 16),
+    frame: str = "hardware",
+    seed: int = 60,
+) -> FigureResult:
+    """Fig. 6: error vs window size at *fixed* memory budgets.
+
+    The paper's point is adaptation: SHE's error stays near the ideal
+    as N grows with the structure size held constant.  Budgets are the
+    paper's Fig. 6 values scaled once by the top-level window ratio and
+    then kept fixed across the window sweep.
+    """
+    if task not in FIG6_MEMORIES:
+        raise ValueError(f"task must be one of {sorted(FIG6_MEMORIES)}, got {task!r}")
+    memories = FIG6_MEMORIES[task]
+    result = FigureResult(
+        name=f"Figure 6{'abcde'['bm hll cm bf mh'.split().index(task)]}",
+        title=f"SHE-{task.upper()} across window sizes (fixed memory)",
+        x_label="window (items)",
+        y_label={"bm": "RE", "hll": "RE", "cm": "ARE", "bf": "FPR", "mh": "RE"}[task],
+    )
+    build = {
+        "bm": lambda m, w: build_cardinality_bitmap(w, m, include_baselines=False, frame=frame),
+        "hll": lambda m, w: build_cardinality_hll(w, m, include_baselines=False, frame=frame),
+        "cm": lambda m, w: build_frequency(w, m, include_baselines=False, frame=frame),
+        "bf": lambda m, w: build_membership(w, m, include_baselines=False, frame=frame),
+        "mh": lambda m, w: build_similarity(w, m, include_baselines=False, frame=frame),
+    }[task]
+    runner = {
+        "bm": run_cardinality,
+        "hll": run_cardinality,
+        "cm": run_frequency,
+        "bf": run_membership,
+        "mh": run_similarity,
+    }[task]
+
+    base_window = max(256, scale.window // max(window_factors))
+    for mem in memories:
+        budget = _budget(scale, task, mem)
+        xs, ys = [], []
+        for f in window_factors:
+            w = base_window * f
+            sub = Scale(
+                window=w,
+                n_windows=scale.n_windows,
+                warm_windows=scale.warm_windows,
+                trials=scale.trials,
+            )
+            if task == "mh":
+                streams = _pair(sub, seed + f)
+            elif task == "bf":
+                streams = distinct_stream(sub.stream_items, seed=seed + f).items
+            else:
+                streams = _trace(sub, seed + f)
+            panel = build(budget, w)
+            she_name = next(n for n in panel if n.startswith("SHE"))
+            res = runner({she_name: panel[she_name]}, streams, sub)
+            xs.append(w)
+            ys.append(_avg(res[she_name]))
+        label = f"{mem / _KB:g} KB" if mem < _MB else f"{mem / _MB:g} MB"
+        result.series.append(Series(label, xs, ys))
+    result.notes.append("memory held fixed while the window sweeps, as in the paper")
+    return result
+
+
+# ---------------------------------------------------------------- Fig. 7
+
+
+def fig7a_bf_alpha(
+    scale: Scale = DEFAULT_SCALE,
+    *,
+    memories: tuple[int, ...] = (15 * _KB, 30 * _KB, 60 * _KB, 120 * _KB),
+    alphas: tuple[float | str, ...] = (1.0, "optimal", 5.0),
+    frame: str = "hardware",
+    seed: int = 70,
+) -> FigureResult:
+    """Fig. 7a: SHE-BF FPR vs memory for alpha in {1, Eq.-2 optimal, 5}."""
+    result = FigureResult(
+        name="Figure 7a",
+        title="SHE-BF FPR vs memory for several alpha",
+        x_label="memory (paper KB)",
+        y_label="FPR",
+    )
+    stream = _trace(scale, seed)
+    window_card = len(np.unique(stream[-scale.window :]))
+    for a in alphas:
+        xs, ys = [], []
+        for mem in memories:
+            budget = scale.memory(mem)
+            if a == "optimal":
+                alpha = optimal_alpha(window_card, 8, budget * 8)
+                label = "optimal"
+            else:
+                alpha, label = float(a), f"alpha={a:g}"
+            panel = build_membership(
+                scale.window, budget, alpha=alpha, include_baselines=False, frame=frame
+            )
+            res = run_membership({"SHE-BF": panel["SHE-BF"]}, stream, scale, seed=seed)
+            xs.append(mem / _KB)
+            ys.append(_avg(res["SHE-BF"]))
+        result.series.append(Series(label, xs, ys))
+    return result
+
+
+def fig7b_bm_alpha(
+    scale: Scale = DEFAULT_SCALE,
+    *,
+    memories: tuple[int, ...] = (512, 1 * _KB, int(1.5 * _KB), 2 * _KB),
+    alphas: tuple[float, ...] = (0.1, 0.2, 0.4),
+    frame: str = "hardware",
+    seed: int = 71,
+) -> FigureResult:
+    """Fig. 7b: SHE-BM RE vs memory for alpha in {0.1, 0.2, 0.4}."""
+    result = FigureResult(
+        name="Figure 7b",
+        title="SHE-BM RE vs memory for several alpha",
+        x_label="memory (paper KB)",
+        y_label="RE",
+    )
+    stream = _trace(scale, seed)
+    for a in alphas:
+        xs, ys = [], []
+        for mem in memories:
+            budget = scale.memory(mem)
+            panel = build_cardinality_bitmap(
+                scale.window, budget, alpha=a, include_baselines=False, frame=frame
+            )
+            res = run_cardinality({"SHE-BM": panel["SHE-BM"]}, stream, scale)
+            xs.append(mem / _KB)
+            ys.append(_avg(res["SHE-BM"]))
+        result.series.append(Series(f"alpha={a:g}", xs, ys))
+    return result
+
+
+# ---------------------------------------------------------------- Fig. 8
+
+
+def fig8a_fpr_vs_item_age(
+    scale: Scale = DEFAULT_SCALE,
+    *,
+    ages: tuple[float, ...] = (1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0),
+    alpha: float = 3.0,
+    memory_paper_bytes: int = 256 * _KB,
+    trials: int = 5,
+    frame: str = "hardware",
+    seed: int = 80,
+) -> FigureResult:
+    """Fig. 8a: probability an item of a given age still reads present.
+
+    Distinct Stream; an item's "age" is windows since its arrival.  The
+    paper's relaxed window is (1 + alpha) N, so the FPR should decay
+    until the age passes 1 + alpha and flatten at the hash-collision
+    floor.
+    """
+    result = FigureResult(
+        name="Figure 8a",
+        title="SHE-BF FPR vs item age (Distinct Stream)",
+        x_label="item age (windows)",
+        y_label="FPR",
+    )
+    n = scale.stream_items + int(max(ages) * scale.window)
+    xs, ys = [], []
+    for age in ages:
+        hits = 0
+        total = 0
+        for trial in range(trials):
+            stream = distinct_stream(n, seed=seed + 17 * trial).items
+            bf = build_membership(
+                scale.window,
+                scale.memory(memory_paper_bytes),
+                alpha=alpha,
+                include_baselines=False,
+                frame=frame,
+            )["SHE-BF"]
+            bf.insert_many(stream)
+            t = bf.now()
+            back = int(age * scale.window)
+            sample = stream[t - back : t - back + 200]
+            # every sampled item is outside the window (age >= 1): any
+            # "present" answer is a false positive
+            hits += int(np.count_nonzero(bf.contains_many(sample)))
+            total += sample.size
+        xs.append(age)
+        ys.append(hits / total if total else float("nan"))
+    result.series.append(Series(f"alpha={alpha:g}", xs, ys))
+    return result
+
+
+def fig8b_fpr_vs_num_hashes(
+    scale: Scale = DEFAULT_SCALE,
+    *,
+    hash_counts: tuple[int, ...] = (2, 4, 8, 16, 24, 30),
+    memory_paper_bytes: int = 64 * _KB,
+    frame: str = "hardware",
+    seed: int = 81,
+) -> FigureResult:
+    """Fig. 8b: FPR vs #hashes — Eq.-2 optimal alpha vs fixed alpha=3."""
+    result = FigureResult(
+        name="Figure 8b",
+        title="SHE-BF FPR vs number of hash functions (Distinct Stream)",
+        x_label="# hash functions",
+        y_label="FPR",
+    )
+    stream = distinct_stream(scale.stream_items, seed=seed).items
+    budget = scale.memory(memory_paper_bytes)
+    for mode in ("fixed", "optimal"):
+        xs, ys = [], []
+        for k in hash_counts:
+            alpha = 3.0 if mode == "fixed" else optimal_alpha(scale.window, k, budget * 8)
+            panel = build_membership(
+                scale.window,
+                budget,
+                alpha=alpha,
+                num_hashes=k,
+                include_baselines=False,
+                frame=frame,
+            )
+            res = run_membership({"SHE-BF": panel["SHE-BF"]}, stream, scale, seed=seed)
+            xs.append(k)
+            ys.append(_avg(res["SHE-BF"]))
+        result.series.append(Series("alpha=3" if mode == "fixed" else "optimal alpha", xs, ys))
+    return result
+
+
+# ---------------------------------------------------------------- Fig. 9
+
+
+def fig9_accuracy(
+    panel: str,
+    scale: Scale = DEFAULT_SCALE,
+    *,
+    memories: list[int] | None = None,
+    frame: str = "hardware",
+    seed: int = 90,
+) -> FigureResult:
+    """Fig. 9: memory sweep of SHE vs competitors vs Ideal, one panel.
+
+    Panels: 'a' cardinality/bitmap, 'b' cardinality/HLL, 'c' frequency,
+    'd' membership, 'e' similarity.
+    """
+    if panel not in FIG9_MEMORIES:
+        raise ValueError(f"panel must be one of {sorted(FIG9_MEMORIES)}, got {panel!r}")
+    memories = memories if memories is not None else FIG9_MEMORIES[panel]
+    titles = {
+        "a": ("cardinality (Bitmap)", "RE"),
+        "b": ("cardinality (HLL)", "RE"),
+        "c": ("frequency", "ARE"),
+        "d": ("membership", "FPR"),
+        "e": ("similarity", "RE"),
+    }
+    title, metric = titles[panel]
+    result = FigureResult(
+        name=f"Figure 9{panel}",
+        title=f"accuracy comparison: {title}",
+        x_label="memory (paper KB)",
+        y_label=metric,
+    )
+    build = {
+        "a": build_cardinality_bitmap,
+        "b": build_cardinality_hll,
+        "c": build_frequency,
+        "d": build_membership,
+        "e": build_similarity,
+    }[panel]
+    runner = {
+        "a": run_cardinality,
+        "b": run_cardinality,
+        "c": run_frequency,
+        "d": run_membership,
+        "e": run_similarity,
+    }[panel]
+
+    if panel == "b":
+        # HLL panel: a larger window + high-cardinality trace keep the
+        # paper's C >> m regime; budgets scale against the 2^21 window
+        scale = Scale(
+            window=scale.window * 8,
+            n_windows=scale.n_windows,
+            warm_windows=scale.warm_windows,
+            trials=scale.trials,
+        )
+
+    def stream_for(trial_seed: int):
+        if panel == "b":
+            return _hll_trace(scale, trial_seed)
+        if panel == "e":
+            return _pair(scale, trial_seed)
+        return _trace(scale, trial_seed)
+
+    collected: dict[str, Series] = {}
+    for mem in memories:
+        if panel == "b":
+            budget = max(16, int(mem * scale.window / (1 << 21)))
+        else:
+            budget = _budget(scale, panel, mem)
+        # scale.trials independent (stream, sketch-seed) repetitions
+        merged: dict[str, list[float]] = {}
+        per_trial: dict[str, list[float]] = {}
+        for trial in range(max(1, scale.trials)):
+            sketches = build(
+                scale.window, budget, frame=frame, seed=1 + 101 * trial
+            )
+            res = runner(sketches, stream_for(seed + 31 * trial), scale)
+            for name, vals in res.items():
+                if name != "_checkpoint":
+                    merged.setdefault(name, []).extend(vals)
+                    per_trial.setdefault(name, []).append(_avg(vals))
+        for name, vals in merged.items():
+            s = collected.setdefault(name, Series(name, [], [], yerr=[]))
+            s.x.append(mem / _KB)
+            s.y.append(_avg(vals))
+            spreads = per_trial[name]
+            s.yerr.append(float(np.std(spreads)) if len(spreads) > 1 else float("nan"))
+    # stable, paper-like ordering: SHE first, Ideal last
+    order = sorted(
+        collected,
+        key=lambda n: (not n.startswith("SHE"), n == "Ideal", n),
+    )
+    result.series = [collected[n] for n in order]
+    factor = (
+        scale.window / (1 << 21) if panel == "b" else scale.window / scale.paper_window
+    )
+    result.notes.append(
+        f"window N={scale.window}; budgets scaled x{factor:g}; "
+        "missing cells = structure cannot exist at that budget"
+    )
+    return result

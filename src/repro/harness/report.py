@@ -1,0 +1,159 @@
+"""Result containers, table rendering and JSON export for the harness.
+
+Every experiment driver returns a :class:`FigureResult` holding one
+:class:`Series` per plotted line, so benchmarks can print the same
+rows/series the paper's figures chart and EXPERIMENTS.md can quote them
+verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Series", "FigureResult", "render_table", "fmt"]
+
+
+def fmt(x) -> str:
+    """Compact numeric formatting for table cells."""
+    if x is None:
+        return "--"
+    if isinstance(x, str):
+        return x
+    if isinstance(x, (bool, np.bool_)):
+        return "yes" if x else "no"
+    v = float(x)
+    if not np.isfinite(v):
+        return "--"
+    if v == 0:
+        return "0"
+    a = abs(v)
+    if a >= 1e5 or a < 1e-3:
+        return f"{v:.2e}"
+    if a >= 100:
+        return f"{v:.1f}"
+    if a >= 1:
+        return f"{v:.3g}"
+    return f"{v:.4f}"
+
+
+@dataclass
+class Series:
+    """One line of a figure: a label, x/y pairs, optional y spread."""
+
+    label: str
+    x: list
+    y: list
+    yerr: list | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: x has {len(self.x)} points, "
+                f"y has {len(self.y)}"
+            )
+        if self.yerr is not None and len(self.yerr) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: yerr has {len(self.yerr)} points, "
+                f"y has {len(self.y)}"
+            )
+
+
+@dataclass
+class FigureResult:
+    """All series of one paper figure/table, plus rendering."""
+
+    name: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        """Render the series as one fixed-width table (x down, series across)."""
+        xs: list = []
+        for s in self.series:
+            for v in s.x:
+                if v not in xs:
+                    xs.append(v)
+        headers = [self.x_label] + [s.label for s in self.series]
+        rows = []
+        for xv in xs:
+            row = [fmt(xv)]
+            for s in self.series:
+                try:
+                    i = s.x.index(xv)
+                    cell = fmt(s.y[i])
+                    if s.yerr is not None and np.isfinite(s.yerr[i]):
+                        cell += f" ±{fmt(s.yerr[i])}"
+                    row.append(cell)
+                except ValueError:
+                    row.append("--")
+            rows.append(row)
+        body = render_table(f"{self.name}: {self.title}  [y = {self.y_label}]", headers, rows)
+        if self.notes:
+            body += "".join(f"  note: {n}\n" for n in self.notes)
+        return body
+
+    def chart(self, **kwargs) -> str:
+        """ASCII rendering of the figure (see harness.ascii_plot)."""
+        from repro.harness.ascii_plot import ascii_chart
+
+        return ascii_chart(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """Plain-data form for JSON export / downstream plotting."""
+        def clean(v):
+            if isinstance(v, (np.floating, np.integer)):
+                v = float(v)
+            if isinstance(v, float) and not np.isfinite(v):
+                return None
+            return v
+
+        return {
+            "name": self.name,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "notes": list(self.notes),
+            "series": [
+                {
+                    "label": s.label,
+                    "x": [clean(v) for v in s.x],
+                    "y": [clean(v) for v in s.y],
+                    **(
+                        {"yerr": [clean(v) for v in s.yerr]}
+                        if s.yerr is not None
+                        else {}
+                    ),
+                }
+                for s in self.series
+            ],
+        }
+
+    def to_json(self, **kwargs) -> str:
+        """JSON rendering (NaN/inf become null)."""
+        import json
+
+        kwargs.setdefault("indent", 2)
+        return json.dumps(self.to_dict(), **kwargs)
+
+
+def render_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width ASCII table."""
+    cols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != cols:
+            raise ValueError(f"row has {len(row)} cells, expected {cols}: {row}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [title]
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in rows:
+        out.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out) + "\n"

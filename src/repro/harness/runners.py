@@ -1,0 +1,125 @@
+"""Task runners: drive a set of structures over a stream, checkpointing.
+
+Each runner feeds every structure (and the exact oracle) the same
+chunked stream and records the task's §7.1 metric at every half-window
+checkpoint after warm-up.  Structures that raise at construction time
+(e.g. SWAMP below its memory floor) are the *caller's* problem — the
+runners only see built objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exact import ExactJaccard, ExactWindow
+from repro.harness.common import Scale, absent_keys, stream_checkpoints, window_sample
+from repro.metrics import average_relative_error, false_positive_rate, relative_error
+
+__all__ = [
+    "run_membership",
+    "run_cardinality",
+    "run_frequency",
+    "run_similarity",
+]
+
+
+def run_membership(
+    sketches: dict[str, object],
+    stream: np.ndarray,
+    scale: Scale,
+    *,
+    n_queries: int = 2000,
+    seed: int = 0,
+) -> dict[str, list[float]]:
+    """Feed the stream; record FPR on absent keys at each checkpoint."""
+    oracle = ExactWindow(scale.window)
+    queries = absent_keys(n_queries, seed=seed)
+    out: dict[str, list[float]] = {name: [] for name in sketches}
+    out["_checkpoint"] = []
+    for lo, hi, measured in stream_checkpoints(scale):
+        chunk = stream[lo:hi]
+        oracle.insert_many(chunk)
+        for sk in sketches.values():
+            sk.insert_many(chunk)
+        if measured:
+            truth = np.zeros(queries.size, dtype=bool)  # absent by design
+            out["_checkpoint"].append(hi / scale.window)
+            for name, sk in sketches.items():
+                pred = sk.contains_many(queries)
+                out[name].append(false_positive_rate(pred, truth))
+    return out
+
+
+def run_cardinality(
+    sketches: dict[str, object],
+    stream: np.ndarray,
+    scale: Scale,
+) -> dict[str, list[float]]:
+    """Feed the stream; record cardinality RE at each checkpoint."""
+    oracle = ExactWindow(scale.window)
+    out: dict[str, list[float]] = {name: [] for name in sketches}
+    out["_checkpoint"] = []
+    for lo, hi, measured in stream_checkpoints(scale):
+        chunk = stream[lo:hi]
+        oracle.insert_many(chunk)
+        for sk in sketches.values():
+            sk.insert_many(chunk)
+        if measured:
+            true_c = oracle.cardinality()
+            out["_checkpoint"].append(hi / scale.window)
+            for name, sk in sketches.items():
+                out[name].append(relative_error(sk.cardinality(), true_c))
+    return out
+
+
+def run_frequency(
+    sketches: dict[str, object],
+    stream: np.ndarray,
+    scale: Scale,
+    *,
+    n_queries: int = 400,
+    seed: int = 0,
+) -> dict[str, list[float]]:
+    """Feed the stream; record frequency ARE at each checkpoint."""
+    oracle = ExactWindow(scale.window)
+    out: dict[str, list[float]] = {name: [] for name in sketches}
+    out["_checkpoint"] = []
+    for lo, hi, measured in stream_checkpoints(scale):
+        chunk = stream[lo:hi]
+        oracle.insert_many(chunk)
+        for sk in sketches.values():
+            sk.insert_many(chunk)
+        if measured:
+            keys = window_sample(oracle, n_queries, seed=seed)
+            truth = oracle.frequency_many(keys).astype(np.float64)
+            out["_checkpoint"].append(hi / scale.window)
+            for name, sk in sketches.items():
+                est = np.asarray(sk.frequency_many(keys), dtype=np.float64)
+                out[name].append(average_relative_error(est, truth))
+    return out
+
+
+def run_similarity(
+    sketches: dict[str, object],
+    streams: tuple[np.ndarray, np.ndarray],
+    scale: Scale,
+) -> dict[str, list[float]]:
+    """Feed paired streams; record similarity RE at each checkpoint."""
+    oracle = ExactJaccard(scale.window)
+    out: dict[str, list[float]] = {name: [] for name in sketches}
+    out["_checkpoint"] = []
+    s0, s1 = streams
+    for lo, hi, measured in stream_checkpoints(scale):
+        for side, s in ((0, s0), (1, s1)):
+            chunk = s[lo:hi]
+            oracle.insert_many(side, chunk)
+            for sk in sketches.values():
+                sk.insert_many(side, chunk)
+        if measured:
+            true_s = oracle.similarity()
+            out["_checkpoint"].append(hi / scale.window)
+            for name, sk in sketches.items():
+                out[name].append(relative_error(sk.similarity(), true_s))
+    return out

@@ -1,0 +1,16 @@
+"""Evaluation metrics: FPR / RE / ARE and insertion throughput."""
+
+from repro.metrics.accuracy import (
+    average_relative_error,
+    false_positive_rate,
+    relative_error,
+)
+from repro.metrics.throughput import ThroughputResult, measure_throughput
+
+__all__ = [
+    "average_relative_error",
+    "false_positive_rate",
+    "relative_error",
+    "ThroughputResult",
+    "measure_throughput",
+]

@@ -1,0 +1,47 @@
+"""Accuracy metrics from §7.1: FPR, RE and ARE."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["false_positive_rate", "relative_error", "average_relative_error"]
+
+
+def false_positive_rate(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """FPR = false positives / true negatives queried.
+
+    Args:
+        predicted: boolean membership answers.
+        truth: boolean ground truth for the same queries.
+    """
+    predicted = np.asarray(predicted, dtype=bool)
+    truth = np.asarray(truth, dtype=bool)
+    if predicted.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: predicted {predicted.shape} vs truth {truth.shape}"
+        )
+    negatives = ~truth
+    n = int(np.count_nonzero(negatives))
+    if n == 0:
+        return 0.0
+    return float(np.count_nonzero(predicted & negatives)) / n
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """RE = |f - f_hat| / f.  Zero truth with zero estimate counts as 0."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+def average_relative_error(estimates: np.ndarray, truths: np.ndarray) -> float:
+    """ARE = mean over items of |f_i - f_hat_i| / f_i (truths must be > 0)."""
+    estimates = np.asarray(estimates, dtype=np.float64)
+    truths = np.asarray(truths, dtype=np.float64)
+    if estimates.shape != truths.shape:
+        raise ValueError(
+            f"shape mismatch: estimates {estimates.shape} vs truths {truths.shape}"
+        )
+    if np.any(truths <= 0):
+        raise ValueError("ARE needs strictly positive true frequencies")
+    return float(np.mean(np.abs(estimates - truths) / truths))

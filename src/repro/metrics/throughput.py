@@ -1,0 +1,79 @@
+"""Insertion-throughput measurement (§7.4's Mips metric).
+
+The paper reports million insertions per second.  Python absolute
+numbers are of course far below the C++/FPGA ones; what Figs. 10-11
+actually establish is the *relative* ordering — SHE close to the
+fixed-window original, timestamp/queue baselines behind — which
+survives the substrate change because all algorithms here share the
+same NumPy/loop cost model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.validation import require_positive_int
+
+__all__ = ["ThroughputResult", "measure_throughput"]
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Throughput of one structure over one stream."""
+
+    name: str
+    items: int
+    seconds: float
+
+    @property
+    def mips(self) -> float:
+        """Million insertions per second."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.items / self.seconds / 1e6
+
+
+def measure_throughput(
+    sketch,
+    stream: np.ndarray,
+    *,
+    name: str | None = None,
+    chunk: int = 8192,
+    warmup: int = 0,
+    side: int | None = None,
+) -> ThroughputResult:
+    """Time ``insert_many`` over ``stream`` in ``chunk``-sized batches.
+
+    Args:
+        sketch: anything with ``insert_many(keys)`` (or
+            ``insert_many(side, keys)`` when ``side`` is given).
+        stream: keys to insert.
+        name: label for the result (defaults to the class name).
+        chunk: batch size per call — large enough to amortise Python
+            overhead, small enough to exercise cleaning interleave.
+        warmup: items fed (untimed) before measurement so the structure
+            reaches steady state, as §7.1 prescribes.
+        side: for two-stream sketches, which stream to feed.
+    """
+    require_positive_int("chunk", chunk)
+    label = name if name is not None else type(sketch).__name__
+
+    def feed(keys: np.ndarray) -> None:
+        if side is None:
+            sketch.insert_many(keys)
+        else:
+            sketch.insert_many(side, keys)
+
+    if warmup > 0:
+        for lo in range(0, min(warmup, stream.size), chunk):
+            feed(stream[lo : lo + chunk])
+        stream = stream[warmup:]
+
+    start = time.perf_counter()
+    for lo in range(0, stream.size, chunk):
+        feed(stream[lo : lo + chunk])
+    elapsed = time.perf_counter() - start
+    return ThroughputResult(label, int(stream.size), elapsed)

@@ -1,0 +1,177 @@
+"""Save / load SHE sketches as ``.npz`` archives.
+
+A monitoring deployment needs to persist sketch state across restarts
+and ship it between processes; this module round-trips the five SHE
+sketches (and the generic lift) through NumPy's compressed archive
+format.  Everything needed to resume — cells, marks or sweep position,
+the clock, and the constructor parameters — goes into one file;
+hash-family state is reconstructed from the stored seed, so archives
+are portable across machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import SheConfig
+from repro.core.hardware_frame import HardwareFrame
+from repro.core.she_bf import SheBloomFilter
+from repro.core.she_bm import SheBitmap
+from repro.core.she_cm import SheCountMin
+from repro.core.she_hll import SheHyperLogLog
+from repro.core.she_mh import SheMinHash
+
+__all__ = ["save_sketch", "load_sketch"]
+
+_FORMAT_VERSION = 1
+
+_KINDS = {
+    "SheBloomFilter": SheBloomFilter,
+    "SheBitmap": SheBitmap,
+    "SheHyperLogLog": SheHyperLogLog,
+    "SheCountMin": SheCountMin,
+    "SheMinHash": SheMinHash,
+}
+
+
+def _frame_kind(frame) -> str:
+    return "hardware" if isinstance(frame, HardwareFrame) else "software"
+
+
+def _frame_state(frame, prefix: str, arrays: dict, meta: dict) -> None:
+    arrays[f"{prefix}cells"] = frame.cells
+    if isinstance(frame, HardwareFrame):
+        arrays[f"{prefix}marks"] = frame.marks
+    else:
+        meta[f"{prefix}boundaries"] = frame._boundaries_done
+
+
+def _restore_frame(frame, prefix: str, data, meta: dict) -> None:
+    frame.cells[:] = data[f"{prefix}cells"]
+    if isinstance(frame, HardwareFrame):
+        frame.marks[:] = data[f"{prefix}marks"]
+    else:
+        frame._boundaries_done = int(meta[f"{prefix}boundaries"])
+
+
+def _params_of(sketch) -> dict:
+    cfg: SheConfig = sketch.config
+    params = {
+        "window": cfg.window,
+        "alpha": cfg.alpha,
+        "beta": cfg.beta,
+    }
+    if isinstance(sketch, SheBloomFilter):
+        params.update(
+            num_bits=sketch.num_bits,
+            num_hashes=sketch.num_hashes,
+            group_width=cfg.group_width,
+            seed=sketch.hashes.seed,
+        )
+    elif isinstance(sketch, SheBitmap):
+        params.update(
+            num_bits=sketch.num_bits,
+            group_width=cfg.group_width,
+            seed=sketch.hashes.seed,
+        )
+    elif isinstance(sketch, SheHyperLogLog):
+        params.update(num_registers=sketch.num_registers)
+    elif isinstance(sketch, SheCountMin):
+        params.update(
+            num_counters=sketch.num_counters,
+            num_hashes=sketch.num_hashes,
+            group_width=cfg.group_width,
+            seed=sketch.hashes.seed,
+        )
+    elif isinstance(sketch, SheMinHash):
+        params.update(num_counters=sketch.num_counters)
+    return params
+
+
+def save_sketch(sketch, path: str | Path) -> None:
+    """Serialise a SHE sketch to an ``.npz`` archive at ``path``."""
+    kind = type(sketch).__name__
+    if kind not in _KINDS:
+        raise TypeError(f"cannot serialise {kind}; supported: {sorted(_KINDS)}")
+
+    meta: dict = {
+        "format": _FORMAT_VERSION,
+        "kind": kind,
+        "params": _params_of(sketch),
+    }
+    arrays: dict = {}
+    if isinstance(sketch, SheMinHash):
+        meta["frame"] = _frame_kind(sketch.frames[0])
+        meta["counts"] = list(sketch.counts)
+        meta["seed_hint"] = "col_seeds stored"
+        arrays["col_seeds"] = sketch._col_seeds
+        for side, frame in enumerate(sketch.frames):
+            _frame_state(frame, f"f{side}_", arrays, meta)
+    else:
+        meta["frame"] = _frame_kind(sketch.frame)
+        meta["t"] = sketch.t
+        _frame_state(sketch.frame, "f_", arrays, meta)
+        if isinstance(sketch, SheHyperLogLog):
+            arrays["select_seeds"] = sketch._select.seeds.copy()
+            arrays["value_seeds"] = sketch._value.seeds.copy()
+            meta["params"]["seed"] = 0  # reconstructed from stored seeds
+
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_sketch(path: str | Path):
+    """Reconstruct a SHE sketch saved by :func:`save_sketch`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+        if meta.get("format") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported archive format {meta.get('format')!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        kind = meta["kind"]
+        if kind not in _KINDS:
+            raise ValueError(f"unknown sketch kind {kind!r} in archive")
+        cls = _KINDS[kind]
+        params = dict(meta["params"])
+        params["frame"] = meta["frame"]
+
+        if kind == "SheMinHash":
+            window = params.pop("window")
+            m = params.pop("num_counters")
+            sketch = cls(window, m, alpha=params["alpha"], beta=params["beta"], frame=params["frame"])
+            sketch._col_seeds = data["col_seeds"].copy()
+            sketch.counts = [int(c) for c in meta["counts"]]
+            for side, frame in enumerate(sketch.frames):
+                _restore_frame(frame, f"f{side}_", data, meta)
+            return sketch
+
+        window = params.pop("window")
+        if kind == "SheBloomFilter":
+            params.pop("beta", None)  # BF has no legal band
+            sketch = cls(window, params.pop("num_bits"), **params)
+        elif kind == "SheBitmap":
+            sketch = cls(window, params.pop("num_bits"), **params)
+        elif kind == "SheHyperLogLog":
+            sketch = cls(
+                window,
+                params.pop("num_registers"),
+                alpha=params["alpha"],
+                beta=params["beta"],
+                frame=params["frame"],
+            )
+            sketch._select._seeds[:] = data["select_seeds"]
+            sketch._value._seeds[:] = data["value_seeds"]
+        elif kind == "SheCountMin":
+            params.pop("beta", None)  # CM has no legal band
+            sketch = cls(window, params.pop("num_counters"), **params)
+        else:  # pragma: no cover - _KINDS is closed
+            raise AssertionError(kind)
+        sketch.t = int(meta["t"])
+        _restore_frame(sketch.frame, "f_", data, meta)
+        return sketch

@@ -1,0 +1,1 @@
+"""Command-line utilities: dataset generation, sketch ops, inspection."""

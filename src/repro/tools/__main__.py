@@ -1,0 +1,174 @@
+"""repro.tools — operational CLI around the library.
+
+Sub-commands::
+
+    generate   synthesize a trace to a .npy file
+        python -m repro.tools generate caida --items 1000000 --out trace.npy
+    build      stream a trace into a sketch and save it
+        python -m repro.tools build bf --window 65536 --memory 131072 \\
+            --trace trace.npy --out bf.npz
+    query      load a sketch archive and answer a query
+        python -m repro.tools query bf.npz --contains 12345
+        python -m repro.tools query bm.npz --cardinality
+    inspect    summarise a sketch archive
+        python -m repro.tools inspect bf.npz
+    merge      union-merge same-config sketch archives
+        python -m repro.tools merge a.npz b.npz --out all.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import SheBitmap, SheBloomFilter, SheCountMin, SheHyperLogLog
+from repro.datasets import caida_like, campus_like, distinct_stream, webpage_like
+from repro.core.merge import merge_sketches
+from repro.persist import load_sketch, save_sketch
+
+_GENERATORS = {
+    "caida": caida_like,
+    "campus": campus_like,
+    "webpage": webpage_like,
+    "distinct": lambda n_items, n_distinct=None, seed=0: distinct_stream(
+        n_items, seed=seed
+    ),
+}
+
+_SKETCHES = {
+    "bf": lambda window, memory, seed: SheBloomFilter.from_memory(window, memory, seed=seed),
+    "bm": lambda window, memory, seed: SheBitmap.from_memory(window, memory, seed=seed),
+    "hll": lambda window, memory, seed: SheHyperLogLog.from_memory(window, memory, seed=seed),
+    "cm": lambda window, memory, seed: SheCountMin.from_memory(window, memory, seed=seed),
+}
+
+
+def _cmd_generate(args) -> int:
+    gen = _GENERATORS[args.kind]
+    if args.kind == "distinct":
+        trace = gen(args.items, seed=args.seed)
+    else:
+        distinct = args.distinct or max(1024, args.items // 50)
+        trace = gen(args.items, distinct, seed=args.seed)
+    np.save(args.out, trace.items)
+    print(
+        f"wrote {trace.num_items} items "
+        f"({len(np.unique(trace.items))} distinct) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_build(args) -> int:
+    sketch = _SKETCHES[args.sketch](args.window, args.memory, args.seed)
+    trace = np.load(args.trace)
+    chunk = max(1, args.window // 2)
+    for lo in range(0, trace.size, chunk):
+        sketch.insert_many(trace[lo : lo + chunk])
+    save_sketch(sketch, args.out)
+    print(
+        f"built {type(sketch).__name__} over {trace.size} items "
+        f"({sketch.memory_bytes} B) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    sketch = load_sketch(args.archive)
+    if args.contains is not None:
+        if not hasattr(sketch, "contains"):
+            print("sketch does not answer membership", file=sys.stderr)
+            return 2
+        print(json.dumps({"contains": bool(sketch.contains(args.contains))}))
+    elif args.frequency is not None:
+        if not hasattr(sketch, "frequency"):
+            print("sketch does not answer frequency", file=sys.stderr)
+            return 2
+        print(json.dumps({"frequency": float(sketch.frequency(args.frequency))}))
+    elif args.cardinality:
+        if not hasattr(sketch, "cardinality"):
+            print("sketch does not answer cardinality", file=sys.stderr)
+            return 2
+        print(json.dumps({"cardinality": float(sketch.cardinality())}))
+    else:
+        print("nothing to query; pass --contains/--frequency/--cardinality", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    with np.load(args.archive) as data:
+        meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+        sizes = {k: int(np.asarray(data[k]).nbytes) for k in data.files if k != "__meta__"}
+    info = {
+        "kind": meta["kind"],
+        "frame": meta["frame"],
+        "params": meta["params"],
+        "clock": meta.get("t", meta.get("counts")),
+        "stored_arrays": sizes,
+        "archive_bytes": Path(args.archive).stat().st_size,
+    }
+    print(json.dumps(info, indent=2))
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    sketches = [load_sketch(p) for p in args.archives]
+    merged = sketches[0]
+    for other in sketches[1:]:
+        merged = merge_sketches(merged, other, t=args.at)
+    save_sketch(merged, args.out)
+    print(
+        f"merged {len(sketches)} x {type(merged).__name__} "
+        f"at t={merged.t if hasattr(merged, 't') else merged.counts} -> {args.out}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="synthesize a trace")
+    g.add_argument("kind", choices=sorted(_GENERATORS))
+    g.add_argument("--items", type=int, required=True)
+    g.add_argument("--distinct", type=int, default=None)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--out", required=True)
+    g.set_defaults(fn=_cmd_generate)
+
+    b = sub.add_parser("build", help="stream a trace into a sketch")
+    b.add_argument("sketch", choices=sorted(_SKETCHES))
+    b.add_argument("--window", type=int, required=True)
+    b.add_argument("--memory", type=int, required=True, help="budget in bytes")
+    b.add_argument("--trace", required=True)
+    b.add_argument("--seed", type=int, default=1)
+    b.add_argument("--out", required=True)
+    b.set_defaults(fn=_cmd_build)
+
+    q = sub.add_parser("query", help="query a saved sketch")
+    q.add_argument("archive")
+    q.add_argument("--contains", type=int, default=None)
+    q.add_argument("--frequency", type=int, default=None)
+    q.add_argument("--cardinality", action="store_true")
+    q.set_defaults(fn=_cmd_query)
+
+    i = sub.add_parser("inspect", help="summarise a sketch archive")
+    i.add_argument("archive")
+    i.set_defaults(fn=_cmd_inspect)
+
+    m = sub.add_parser("merge", help="union-merge sketch archives")
+    m.add_argument("archives", nargs="+", help="two or more .npz archives")
+    m.add_argument("--out", required=True)
+    m.add_argument("--at", type=int, default=None, help="common query time")
+    m.set_defaults(fn=_cmd_merge)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

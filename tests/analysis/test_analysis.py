@@ -1,0 +1,135 @@
+"""Tests for the §5 mathematical analysis (Eqs. 1-5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bf_q_parameter,
+    bm_estimator_std,
+    bm_legal_cells,
+    bm_relative_error_bound,
+    expected_failed_groups,
+    fpr_model,
+    hll_relative_error_bound,
+    max_groups_for_error,
+    mh_bias_bound,
+    ondemand_design_value,
+    optimal_alpha,
+    optimal_r,
+)
+
+
+class TestOnDemand:
+    def test_expected_failures_decrease_with_updates(self):
+        a = expected_failed_groups(1024, 0.2, 1000, 1)
+        b = expected_failed_groups(1024, 0.2, 10_000, 1)
+        assert b < a
+
+    def test_expected_failures_exact_form(self):
+        g, alpha, c, h = 64, 0.5, 100, 2
+        expected = g * (1 - 1 / g) ** ((1 + alpha) * c * h)
+        assert expected_failed_groups(g, alpha, c, h) == pytest.approx(expected)
+
+    def test_single_group_never_fails_with_traffic(self):
+        assert expected_failed_groups(1, 0.2, 100, 1) == 0.0
+
+    def test_design_value_monotone_in_g(self):
+        vals = [ondemand_design_value(g, 1.0, 10_000, 8) for g in (64, 256, 1024)]
+        assert vals == sorted(vals)
+
+    def test_max_groups_satisfies_inequality(self):
+        g = max_groups_for_error(0.01, 3.0, 65536, 8)
+        assert ondemand_design_value(g, 3.0, 65536, 8) <= 0.01
+        assert ondemand_design_value(g + 1, 3.0, 65536, 8) > 0.01
+
+    def test_paper_default_group_count_is_safe(self):
+        # §6's config: w=64 on a 2^20-bit array -> G=16384; with the
+        # default CAIDA-like load the failure expectation is negligible
+        assert expected_failed_groups(16384, 3.0, 65536, 8) < 1e-10
+
+
+class TestOptimalAlpha:
+    def test_q_parameter_range(self):
+        q = bf_q_parameter(1000, 8, 100_000)
+        assert 0 < q < 1
+
+    def test_q_decreases_with_load(self):
+        assert bf_q_parameter(2000, 8, 65536) < bf_q_parameter(500, 8, 65536)
+
+    def test_optimal_r_is_stationary_point(self):
+        q = 0.8
+        r0 = optimal_r(q)
+        lnq = np.log(q)
+        assert q**r0 * (r0 * lnq - 1) + q == pytest.approx(0.0, abs=1e-8)
+
+    def test_optimal_r_minimises_fpr(self):
+        q = 0.8
+        r0 = optimal_r(q)
+        f0 = fpr_model(r0, q, 8)
+        for r in (r0 * 0.7, r0 * 1.3):
+            assert fpr_model(r, q, 8) >= f0
+
+    def test_paper_alpha_about_three(self):
+        """§7.1: for k=8 at the paper's operating point, alpha ~ 3."""
+        # Q ~ 0.8 is the load where Eq. 2 lands at 3 (see module doc)
+        alpha = optimal_alpha(65536, 8, int(4.5 * 65536 * 8))
+        assert 2.0 < alpha < 4.0
+
+    def test_fpr_model_one_when_no_aged_band(self):
+        assert fpr_model(0.5, 0.8, 8) == 1.0
+
+    def test_fpr_decreases_with_hashes_at_fixed_q(self):
+        assert fpr_model(4.0, 0.9, 16) < fpr_model(4.0, 0.9, 4)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            optimal_r(1.5)
+
+
+class TestBounds:
+    def test_bm_bound_formula(self):
+        assert bm_relative_error_bound(0.2, 65536, 32768) == pytest.approx(0.1)
+
+    def test_bm_bound_shrinks_with_alpha(self):
+        assert bm_relative_error_bound(0.1, 1000, 500) < bm_relative_error_bound(
+            0.4, 1000, 500
+        )
+
+    def test_hll_bound_exceeds_bm(self):
+        assert hll_relative_error_bound(0.2, 1000, 500) > bm_relative_error_bound(
+            0.2, 1000, 500
+        )
+
+    def test_mh_bound_formula(self):
+        eps = 2 * 0.2 * 1000 / 2000
+        assert mh_bias_bound(0.2, 1000, 2000) == pytest.approx(eps / 4 + eps**2 / 6)
+
+    def test_legal_cells_fraction(self):
+        # alpha = 1: m_l = (2 - 2/2) m = m
+        assert bm_legal_cells(1.0, 1024) == pytest.approx(1024)
+        # small alpha -> few legal cells
+        assert bm_legal_cells(0.1, 1024) < 256
+
+    def test_estimator_std_shrinks_with_cells(self):
+        assert bm_estimator_std(0.2, 10_000, 0.5) < bm_estimator_std(0.2, 100, 0.5)
+
+    def test_empirical_bm_bias_within_bound(self):
+        """Eq. 3 must actually hold for the implementation (uniform keys)."""
+        from repro.core import SheBitmap
+        from repro.exact import ExactWindow
+
+        n, alpha = 1024, 0.5
+        rng = np.random.default_rng(0)
+        errs = []
+        for seed in range(5):
+            bm = SheBitmap(n, 1 << 13, alpha=alpha, beta=1.0 - alpha, seed=seed)
+            ew = ExactWindow(n)
+            stream = rng.integers(0, 1 << 40, size=4 * n, dtype=np.uint64)
+            step = n // 2
+            for lo in range(0, stream.size, step):
+                bm.insert_many(stream[lo : lo + step])
+                ew.insert_many(stream[lo : lo + step])
+                if lo >= 2 * n:
+                    errs.append((bm.cardinality() - ew.cardinality()) / ew.cardinality())
+        bound = bm_relative_error_bound(alpha, n, n)  # C ~ N (all distinct)
+        assert abs(np.mean(errs)) <= bound + 0.05

@@ -1,0 +1,86 @@
+"""Tests for the parameter designers (and that their designs deliver)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.design import BfDesign, BmDesign, design_bitmap, design_bloom_filter
+from repro.datasets import caida_like
+from repro.exact import ExactWindow
+
+
+class TestBloomDesigner:
+    def test_meets_prediction_contract(self):
+        d = design_bloom_filter(4096, 2000, 1e-3)
+        assert d.predicted_fpr <= 1e-3
+        assert d.num_bits % d.group_width == 0
+        assert len(d.rationale) >= 3
+
+    def test_tighter_target_needs_more_bits(self):
+        loose = design_bloom_filter(4096, 2000, 1e-2)
+        tight = design_bloom_filter(4096, 2000, 1e-5)
+        assert tight.num_bits > loose.num_bits
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            design_bloom_filter(4096, 1e9, 1e-30)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            design_bloom_filter(4096, 100, 1.5)
+
+    def test_built_filter_achieves_roughly_the_target(self):
+        """The design's predicted FPR holds on a real stream (within ~4x)."""
+        window, card = 2048, 2048
+        d = design_bloom_filter(window, card, 1e-2)
+        bf = d.build(seed=3)
+        from repro.datasets import distinct_stream
+
+        bf.insert_many(distinct_stream(6 * window, seed=3).items)
+        probes = (np.uint64(1) << np.uint64(59)) + np.arange(5000, dtype=np.uint64)
+        fpr = float(bf.contains_many(probes).mean())
+        assert fpr < 4 * 1e-2
+
+    def test_memory_property(self):
+        d = design_bloom_filter(1024, 500, 1e-3)
+        assert d.memory_bytes >= d.num_bits // 8
+
+
+class TestBitmapDesigner:
+    def test_meets_prediction_contract(self):
+        d = design_bitmap(4096, 1500, 0.05)
+        assert d.predicted_bias_bound <= 0.05
+        assert d.predicted_std <= 0.05
+        assert d.num_bits % d.group_width == 0
+
+    def test_paper_beta_option(self):
+        d = design_bitmap(4096, 1500, 0.05, symmetric_band=False)
+        assert d.beta == 0.9
+
+    def test_symmetric_band_default(self):
+        d = design_bitmap(4096, 1500, 0.05)
+        assert d.beta == pytest.approx(max(0.5, 1.0 - d.alpha))
+
+    def test_tighter_target_needs_more_bits(self):
+        loose = design_bitmap(4096, 1500, 0.2)
+        tight = design_bitmap(4096, 1500, 0.02)
+        assert tight.num_bits > loose.num_bits
+
+    def test_built_bitmap_achieves_roughly_the_target(self):
+        window = 4096
+        trace = caida_like(6 * window, 2 * window, seed=21).items
+        ew = ExactWindow(window)
+        ew.insert_many(trace[: 3 * window])
+        card = ew.cardinality()
+        d = design_bitmap(window, card, 0.1)
+        bm = d.build(seed=4)
+        ew.reset()
+        errs = []
+        step = window // 2
+        for lo in range(0, trace.size, step):
+            bm.insert_many(trace[lo : lo + step])
+            ew.insert_many(trace[lo : lo + step])
+            if lo >= 2 * window:
+                errs.append(
+                    abs(bm.cardinality() - ew.cardinality()) / ew.cardinality()
+                )
+        assert np.mean(errs) < 2.5 * 0.1

@@ -1,0 +1,55 @@
+"""Monte Carlo checks: §5 closed forms vs the actual mechanisms."""
+
+import pytest
+
+from repro.analysis.montecarlo import (
+    simulate_bf_fpr,
+    simulate_bm_bias,
+    simulate_ondemand_failures,
+)
+
+
+class TestOndemandSimulation:
+    def test_matches_closed_form(self):
+        sim, ana = simulate_ondemand_failures(256, 0.5, 300, 2, trials=300)
+        # balls-in-bins expectation: tight agreement
+        assert sim == pytest.approx(ana, rel=0.15, abs=0.5)
+
+    def test_more_traffic_fewer_failures(self):
+        lo, _ = simulate_ondemand_failures(256, 0.5, 100, 1, trials=100)
+        hi, _ = simulate_ondemand_failures(256, 0.5, 2000, 1, trials=100)
+        assert hi < lo
+
+    def test_zero_regime(self):
+        sim, ana = simulate_ondemand_failures(64, 3.0, 5000, 8, trials=20)
+        assert sim == 0.0
+        assert ana < 1e-6
+
+
+class TestBfFprModel:
+    @pytest.mark.parametrize("alpha", [1.0, 3.0])
+    def test_model_within_factor_three(self, alpha):
+        """FPR(R) is a mean-field formula; expect order-of-magnitude
+        agreement with the real structure, not exactness."""
+        sim, ana = simulate_bf_fpr(1 << 11, 1 << 15, 8, alpha, seed=1)
+        assert ana > 0
+        if sim > 0:
+            ratio = sim / ana
+            assert 1 / 4 < ratio < 4, (sim, ana)
+
+    def test_fpr_falls_with_memory_in_both(self):
+        s1, a1 = simulate_bf_fpr(1 << 11, 1 << 14, 8, 3.0, seed=2)
+        s2, a2 = simulate_bf_fpr(1 << 11, 1 << 16, 8, 3.0, seed=2)
+        assert s2 <= s1
+        assert a2 < a1
+
+
+class TestBmBiasBound:
+    def test_bias_within_envelope(self):
+        sim, bound = simulate_bm_bias(1 << 10, 1 << 13, 0.4, trials=4)
+        assert sim <= bound + 0.02
+
+    def test_bound_grows_with_alpha(self):
+        _, b1 = simulate_bm_bias(1 << 9, 1 << 12, 0.2, trials=1)
+        _, b2 = simulate_bm_bias(1 << 9, 1 << 12, 0.8, trials=1)
+        assert b2 > b1

@@ -1,0 +1,126 @@
+"""Cross-baseline behavioural comparisons on shared streams.
+
+These tests pin down *relative* behaviours the paper's narrative relies
+on, independent of the figure harness: exact-expiry structures have no
+aged error; timestamp structures cost more per slot; SHE trades a
+bounded aged error for memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CounterVectorSketch,
+    SlidingHyperLogLog,
+    Swamp,
+    TimeOutBloomFilter,
+    TimestampVector,
+    TimingBloomFilter,
+)
+from repro.core import SheBitmap, SheBloomFilter, SheHyperLogLog
+from repro.exact import ExactWindow
+
+from helpers import zipf_stream
+
+
+@pytest.fixture(scope="module")
+def shared():
+    window = 1024
+    stream = zipf_stream(5 * 1024, 900, seed=44)
+    ew = ExactWindow(window)
+    ew.insert_many(stream)
+    return window, stream, ew
+
+
+class TestMembershipFamily:
+    def test_all_filters_have_no_false_negatives(self, shared):
+        window, stream, ew = shared
+        members = ew.distinct_keys()
+        filters = [
+            SheBloomFilter(window, 1 << 14, seed=1),
+            TimeOutBloomFilter(window, 1 << 12, seed=2),
+            TimingBloomFilter(window, 1 << 12, seed=3),
+            Swamp(window, 16, seed=4),
+        ]
+        for f in filters:
+            f.insert_many(stream)
+            assert np.all(f.contains_many(members)), type(f).__name__
+
+    def test_timestamp_filters_expire_exactly(self, shared):
+        """TOBF flips an expired distinct key to absent at N exactly;
+        SHE-BF only after up to (1+alpha)N — the accuracy/memory trade."""
+        window, _, _ = shared
+        probe = 999_999_999
+        tobf = TimeOutBloomFilter(window, 1 << 14)
+        bf = SheBloomFilter(window, 1 << 16, alpha=3.0)
+        filler = (np.uint64(1) << np.uint64(45)) + np.arange(window, dtype=np.uint64)
+        for f in (tobf, bf):
+            f.insert(probe)
+            f.insert_many(filler)
+        assert not tobf.contains(probe)  # exactly expired
+        # SHE-BF may legitimately still answer True here (aged cells)
+
+    def test_per_slot_cost_ordering(self, shared):
+        window, _, _ = shared
+        budget = 2048
+        she = SheBloomFilter.from_memory(window, budget)
+        tobf = TimeOutBloomFilter.from_memory(window, budget)
+        tbf = TimingBloomFilter.from_memory(window, budget)
+        # slots per byte: SHE-BF bits >> TBF 18-bit >> TOBF 64-bit
+        assert she.num_bits > tbf.num_slots > tobf.num_slots
+
+
+class TestCardinalityFamily:
+    def test_all_reasonable_with_generous_memory(self, shared):
+        window, stream, ew = shared
+        true_c = ew.cardinality()
+        estimators = [
+            SheBitmap(window, 1 << 13, seed=5),
+            SheHyperLogLog(window, 4096, seed=6),
+            TimestampVector(window, 1 << 13, seed=7),
+            CounterVectorSketch(window, 1 << 13, seed=8),
+            SlidingHyperLogLog(window, 1024, seed=9),
+            Swamp(window, 20, seed=10),
+        ]
+        for est in estimators:
+            est.insert_many(stream)
+            rel = abs(est.cardinality() - true_c) / true_c
+            assert rel < 0.5, (type(est).__name__, rel)
+
+    def test_memory_per_accuracy_ordering(self, shared):
+        """At equal byte budgets, SHE-BM tracks truth better than TSV."""
+        window, stream, ew = shared
+        budget = 256
+        she = SheBitmap.from_memory(window, budget, seed=11)
+        tsv = TimestampVector.from_memory(window, budget, seed=12)
+        she.insert_many(stream)
+        tsv.insert_many(stream)
+        true_c = ew.cardinality()
+        err_she = abs(she.cardinality() - true_c) / true_c
+        err_tsv = abs(tsv.cardinality() - true_c) / true_c
+        assert err_she < err_tsv
+
+    def test_swamp_exact_with_wide_fingerprints(self, shared):
+        window, stream, ew = shared
+        sw = Swamp(window, 40, seed=13)  # collisions ~ 2^-40
+        sw.insert_many(stream)
+        assert sw.cardinality() == pytest.approx(ew.cardinality(), abs=1)
+
+
+class TestMemoryAccountingConsistency:
+    def test_from_memory_respects_budget_everywhere(self, shared):
+        window, _, _ = shared
+        budget = 4096
+        builders = [
+            lambda: SheBloomFilter.from_memory(window, budget),
+            lambda: SheBitmap.from_memory(window, budget),
+            lambda: SheHyperLogLog.from_memory(window, budget),
+            lambda: TimestampVector.from_memory(window, budget),
+            lambda: TimeOutBloomFilter.from_memory(window, budget),
+            lambda: TimingBloomFilter.from_memory(window, budget),
+            lambda: CounterVectorSketch.from_memory(window, budget),
+            lambda: Swamp.from_memory(window, budget),
+        ]
+        for build in builders:
+            sk = build()
+            assert sk.memory_bytes <= budget * 1.02, type(sk).__name__

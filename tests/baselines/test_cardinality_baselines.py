@@ -1,0 +1,130 @@
+"""Tests for the cardinality baselines: SHLL, CVS, TSV."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CounterVectorSketch, SlidingHyperLogLog, TimestampVector
+from repro.exact import ExactWindow
+
+from helpers import zipf_stream
+
+
+class TestSlidingHLL:
+    def test_tracks_window_cardinality(self):
+        n = 512
+        sh = SlidingHyperLogLog(n, 512)
+        ew = ExactWindow(n)
+        stream = np.random.default_rng(1).integers(0, 1 << 40, size=3 * n, dtype=np.uint64)
+        sh.insert_many(stream)
+        ew.insert_many(stream)
+        true = ew.cardinality()
+        assert abs(sh.cardinality() - true) / true < 0.35
+
+    def test_perfect_expiry(self):
+        """Unlike SHE, the LPFM expires exactly at the window edge."""
+        n = 64
+        sh = SlidingHyperLogLog(n, 128)
+        sh.insert_many(np.arange(500, dtype=np.uint64))
+        # feed one repeated key for exactly one window: all other keys expire
+        sh.insert_many(np.full(n, 7, dtype=np.uint64))
+        assert sh.cardinality() < 20
+
+    def test_lpfm_invariant(self):
+        """Per register: timestamps increase, ranks strictly decrease."""
+        sh = SlidingHyperLogLog(128, 32)
+        sh.insert_many(np.random.default_rng(2).integers(0, 1 << 40, size=2000, dtype=np.uint64))
+        for q in sh._lpfm:
+            ts = [e[0] for e in q]
+            rk = [e[1] for e in q]
+            assert ts == sorted(ts)
+            assert all(rk[i] > rk[i + 1] for i in range(len(rk) - 1))
+
+    def test_memory_grows_with_entries(self):
+        sh = SlidingHyperLogLog(256, 64)
+        m0 = sh.memory_bytes
+        sh.insert_many(np.arange(1000, dtype=np.uint64))
+        assert sh.memory_bytes > m0
+
+    def test_empty(self):
+        assert SlidingHyperLogLog(64, 32).cardinality() == 0.0
+
+    def test_reset(self):
+        sh = SlidingHyperLogLog(64, 32)
+        sh.insert(1)
+        sh.reset()
+        assert sh.t == 0
+        assert sh.memory_bytes == 0
+
+
+class TestCVS:
+    def test_tracks_cardinality(self):
+        n = 512
+        cvs = CounterVectorSketch(n, 1 << 13)
+        ew = ExactWindow(n)
+        stream = zipf_stream(4 * n, 700, seed=3)
+        cvs.insert_many(stream)
+        ew.insert_many(stream)
+        true = ew.cardinality()
+        assert abs(cvs.cardinality() - true) / true < 0.4
+
+    def test_decay_drains_counters(self):
+        n = 64
+        cvs = CounterVectorSketch(n, 256, max_value=5)
+        cvs.insert_many(np.arange(64, dtype=np.uint64))
+        # one hot key for many windows: old counters decay to zero
+        cvs.insert_many(np.full(20 * n, 3, dtype=np.uint64))
+        assert int(np.count_nonzero(cvs.counters)) < 20
+
+    def test_counters_bounded(self):
+        cvs = CounterVectorSketch(64, 128, max_value=7)
+        cvs.insert_many(zipf_stream(2000, 100, seed=4))
+        assert cvs.counters.max() <= 7
+        assert cvs.counters.min() >= 0
+
+    def test_from_memory(self):
+        cvs = CounterVectorSketch.from_memory(64, 100, max_value=10)
+        # 4-bit counters: 200 of them
+        assert cvs.num_counters == 200
+
+    def test_reset(self):
+        cvs = CounterVectorSketch(64, 128)
+        cvs.insert(1)
+        cvs.reset()
+        assert cvs.cardinality() == 0.0
+
+
+class TestTSV:
+    def test_exact_expiry(self):
+        n = 128
+        tsv = TimestampVector(n, 1 << 12)
+        ew = ExactWindow(n)
+        stream = zipf_stream(512, 150, seed=5)
+        tsv.insert_many(stream)
+        ew.insert_many(stream)
+        true = ew.cardinality()
+        assert abs(tsv.cardinality() - true) / true < 0.15
+
+    def test_unwritten_slots_inactive(self):
+        tsv = TimestampVector(64, 128)
+        assert tsv.cardinality() == 0.0
+
+    def test_early_stream_not_all_active(self):
+        # regression: before the first window fills, unwritten slots
+        # (stamp -1) must not count as active
+        tsv = TimestampVector(1000, 256)
+        tsv.insert(5)
+        assert tsv.cardinality() < 10
+
+    def test_memory_64_bits_per_slot(self):
+        assert TimestampVector(64, 100).memory_bytes == 800
+
+    def test_from_memory(self):
+        tsv = TimestampVector.from_memory(64, 800)
+        assert tsv.num_slots == 100
+
+    def test_stale_slots_drop_out(self):
+        n = 32
+        tsv = TimestampVector(n, 512)
+        tsv.insert_many(np.arange(200, dtype=np.uint64))
+        tsv.insert_many(np.full(3 * n, 9, dtype=np.uint64))
+        assert tsv.cardinality() < 15

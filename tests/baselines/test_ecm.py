@@ -1,0 +1,126 @@
+"""Tests for the Exponential Histogram and the ECM-sketch."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EcmSketch, ExponentialHistogram
+from repro.exact import ExactWindow
+
+from helpers import zipf_stream
+
+
+class TestExponentialHistogram:
+    def test_exact_when_few_events(self):
+        eh = ExponentialHistogram(100, k=8)
+        for t in [1, 5, 9]:
+            eh.add(t)
+        assert eh.query(10) == 3
+
+    def test_window_expiry(self):
+        eh = ExponentialHistogram(10, k=8)
+        eh.add(0)
+        eh.add(1)
+        assert eh.query(50) == 0.0
+
+    def test_relative_error_bound(self):
+        # DGIM guarantees error <= 1/k-ish (1/(k/2+1) classically)
+        for k in (4, 8, 16):
+            eh = ExponentialHistogram(1000, k=k)
+            rng = np.random.default_rng(k)
+            t = 0
+            for _ in range(5000):
+                t += int(rng.integers(1, 3))
+                eh.add(t)
+            true = sum(1 for _ in range(1))  # placeholder, computed below
+            # replay to count the true in-window events
+            eh2 = ExponentialHistogram(1000, k=k)
+            times = []
+            rng = np.random.default_rng(k)
+            tt = 0
+            for _ in range(5000):
+                tt += int(rng.integers(1, 3))
+                times.append(tt)
+                eh2.add(tt)
+            true = sum(1 for x in times if x > tt - 1000)
+            est = eh2.query(tt)
+            assert abs(est - true) / true <= 1.0 / k + 0.05
+
+    def test_rejects_decreasing_time(self):
+        eh = ExponentialHistogram(10)
+        eh.add(5)
+        with pytest.raises(ValueError):
+            eh.add(4)
+
+    def test_bucket_counts_bounded(self):
+        eh = ExponentialHistogram(10_000, k=8)
+        for t in range(20_000):
+            eh.add(t)
+        # k/2+2 buckets per class, ~log2(N) classes
+        assert eh.num_buckets <= (8 // 2 + 2) * (int(np.log2(10_000)) + 3)
+
+    def test_amount_parameter(self):
+        eh = ExponentialHistogram(100)
+        eh.add(1, amount=5)
+        assert eh.query(2) >= 4
+
+    def test_memory_tracks_buckets(self):
+        eh = ExponentialHistogram(1000)
+        m0 = eh.memory_bytes
+        for t in range(100):
+            eh.add(t)
+        assert eh.memory_bytes > m0
+
+    def test_reset(self):
+        eh = ExponentialHistogram(100)
+        eh.add(1)
+        eh.reset()
+        assert eh.query(2) == 0.0
+
+
+class TestEcmSketch:
+    def test_tracks_window_frequencies(self):
+        n = 256
+        ecm = EcmSketch(n, 512, 4)
+        ew = ExactWindow(n)
+        stream = zipf_stream(1024, 100, seed=1)
+        ecm.insert_many(stream)
+        ew.insert_many(stream)
+        keys = ew.distinct_keys()[:50]
+        est = ecm.frequency_many(keys)
+        true = ew.frequency_many(keys).astype(float)
+        are = np.mean(np.abs(est - true) / np.maximum(true, 1))
+        assert are < 0.6
+
+    def test_rarely_underestimates_much(self):
+        # CM is an overestimator; EH adds +-1/k per counter
+        n = 256
+        ecm = EcmSketch(n, 1024, 4, eh_k=16)
+        ew = ExactWindow(n)
+        stream = zipf_stream(768, 60, seed=2)
+        ecm.insert_many(stream)
+        ew.insert_many(stream)
+        keys = ew.distinct_keys()
+        est = ecm.frequency_many(keys)
+        true = ew.frequency_many(keys).astype(float)
+        assert np.mean(est < 0.8 * true) < 0.1
+
+    def test_expiry(self):
+        n = 64
+        ecm = EcmSketch(n, 256, 4)
+        ecm.insert_many(np.full(n, 9, dtype=np.uint64))
+        ecm.insert_many(np.arange(100, 100 + 3 * n, dtype=np.uint64))
+        assert ecm.frequency(9) < n / 2
+
+    def test_from_memory_counter_sizing(self):
+        ecm = EcmSketch.from_memory(256, 100_000)
+        assert ecm.budgeted_memory_bytes <= 100_000 * 1.05
+
+    def test_from_memory_too_small(self):
+        with pytest.raises(ValueError):
+            EcmSketch.from_memory(1 << 16, 100)
+
+    def test_reset(self):
+        ecm = EcmSketch(64, 128)
+        ecm.insert(1)
+        ecm.reset()
+        assert ecm.frequency(1) == 0.0

@@ -1,0 +1,105 @@
+"""Tests for the membership baselines: TOBF, TBF."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TimeOutBloomFilter, TimingBloomFilter
+from repro.exact import ExactWindow
+
+from helpers import zipf_stream
+
+
+class TestTOBF:
+    def test_no_false_negatives(self):
+        n = 128
+        tobf = TimeOutBloomFilter(n, 1 << 12)
+        ew = ExactWindow(n)
+        stream = zipf_stream(600, 150, seed=1)
+        tobf.insert_many(stream)
+        ew.insert_many(stream)
+        assert np.all(tobf.contains_many(ew.distinct_keys()))
+
+    def test_exact_expiry(self):
+        tobf = TimeOutBloomFilter(4, 1 << 12)
+        tobf.insert(777)
+        tobf.insert_many(np.arange(10, dtype=np.uint64))
+        assert not tobf.contains(777)
+
+    def test_window_boundary(self):
+        n = 8
+        tobf = TimeOutBloomFilter(n, 1 << 12)
+        tobf.insert(42)  # arrival time 0
+        tobf.insert_many(np.arange(100, 100 + n - 1, dtype=np.uint64))
+        assert tobf.contains(42)  # still the oldest window item
+        tobf.insert(200)
+        assert not tobf.contains(42)  # now expired
+
+    def test_empty_negative(self):
+        tobf = TimeOutBloomFilter(8, 256)
+        assert not tobf.contains(1)
+
+    def test_from_memory(self):
+        tobf = TimeOutBloomFilter.from_memory(64, 800)
+        assert tobf.num_slots == 100
+
+    def test_fpr_vs_she_at_same_memory(self):
+        """The 64-bit slots cost TOBF dearly: FPR far above SHE-BF."""
+        from repro.core import SheBloomFilter
+
+        n, mem = 256, 1024
+        tobf = TimeOutBloomFilter.from_memory(n, mem)
+        bf = SheBloomFilter.from_memory(n, mem)
+        stream = zipf_stream(4 * n, 400, seed=2)
+        tobf.insert_many(stream)
+        bf.insert_many(stream)
+        probes = (np.uint64(1) << np.uint64(52)) + np.arange(3000, dtype=np.uint64)
+        assert tobf.contains_many(probes).mean() > bf.contains_many(probes).mean()
+
+
+class TestTBF:
+    def test_no_false_negatives(self):
+        n = 128
+        tbf = TimingBloomFilter(n, 1 << 12)
+        ew = ExactWindow(n)
+        stream = zipf_stream(600, 150, seed=3)
+        tbf.insert_many(stream)
+        ew.insert_many(stream)
+        assert np.all(tbf.contains_many(ew.distinct_keys()))
+
+    def test_scrubber_clears_expired(self):
+        n = 64
+        tbf = TimingBloomFilter(n, 512)
+        tbf.insert(999)
+        tbf.insert_many(np.arange(5 * n, dtype=np.uint64))
+        assert not tbf.contains(999)
+        # the scrubber should also have zeroed the stale slots it passed
+        ages = tbf._age(tbf.slots[tbf.slots != 0], tbf.t)
+        assert np.all(ages <= 2 * n)
+
+    def test_wrap_requires_headroom(self):
+        with pytest.raises(ValueError):
+            TimingBloomFilter(1 << 17, 64, counter_bits=18)
+
+    def test_wrapped_times_unambiguous(self):
+        # push far past the wrap range; freshness must stay correct
+        n = 32
+        tbf = TimingBloomFilter(n, 256, counter_bits=8)  # wrap = 256
+        stream = zipf_stream(3000, 40, seed=4)
+        ew = ExactWindow(n)
+        tbf.insert_many(stream)
+        ew.insert_many(stream)
+        assert np.all(tbf.contains_many(ew.distinct_keys()))
+
+    def test_memory_counter_bits(self):
+        assert TimingBloomFilter(64, 100, counter_bits=18).memory_bytes == (1800 + 7) // 8
+
+    def test_from_memory(self):
+        tbf = TimingBloomFilter.from_memory(64, 1024)
+        assert tbf.memory_bytes <= 1024
+
+    def test_reset(self):
+        tbf = TimingBloomFilter(64, 256)
+        tbf.insert(5)
+        tbf.reset()
+        assert not tbf.contains(5)
+        assert tbf.t == 0

@@ -1,0 +1,73 @@
+"""Tests for the straw-man timestamped MinHash."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import StrawmanMinHash
+from repro.exact import ExactJaccard
+
+
+class TestStrawmanMinHash:
+    def test_identical_streams(self):
+        sm = StrawmanMinHash(64, 128)
+        keys = np.arange(50, dtype=np.uint64)
+        sm.insert_many(0, keys)
+        sm.insert_many(1, keys)
+        assert sm.similarity() == 1.0
+
+    def test_disjoint_streams(self):
+        sm = StrawmanMinHash(64, 256)
+        sm.insert_many(0, np.arange(50, dtype=np.uint64))
+        sm.insert_many(1, np.arange(1000, 1050, dtype=np.uint64))
+        assert sm.similarity() < 0.1
+
+    def test_rough_tracking(self):
+        n = 256
+        rng = np.random.default_rng(1)
+        pool = np.arange(200, dtype=np.uint64)
+        a = rng.choice(pool[:150], size=2 * n).astype(np.uint64)
+        b = rng.choice(pool[50:], size=2 * n).astype(np.uint64)
+        sm = StrawmanMinHash(n, 512)
+        ej = ExactJaccard(n)
+        sm.insert_many(0, a)
+        sm.insert_many(1, b)
+        ej.insert_many(0, a)
+        ej.insert_many(1, b)
+        assert abs(sm.similarity() - ej.similarity()) < 0.3
+
+    def test_sticky_minima_bias(self):
+        """The documented flaw: a departed minimum lingers a full window."""
+        n = 64
+        sm = StrawmanMinHash(n, 256)
+        shared = np.arange(40, dtype=np.uint64)
+        sm.insert_many(0, shared)
+        sm.insert_many(1, shared)
+        # half a window of disjoint traffic: exact similarity is 0 for
+        # the *shared* content fraction but stale minima keep matching
+        sm.insert_many(0, np.arange(1000, 1000 + n // 2, dtype=np.uint64))
+        sm.insert_many(1, np.arange(2000, 2000 + n // 2, dtype=np.uint64))
+        assert sm.similarity() > 0.3  # still remembers the shared phase
+
+    def test_expired_counters_invalid(self):
+        sm = StrawmanMinHash(8, 64)
+        sm.insert_many(0, np.arange(4, dtype=np.uint64))
+        # side 1 never fed: no valid pairs
+        assert sm.similarity() == 0.0
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            StrawmanMinHash(8, 16).insert(9, 1)
+
+    def test_memory_includes_timestamps(self):
+        sm = StrawmanMinHash(8, 100)
+        assert sm.memory_bytes == (2 * 100 * (24 + 64) + 7) // 8
+
+    def test_from_memory(self):
+        sm = StrawmanMinHash.from_memory(8, 2200)
+        assert sm.num_counters == 2200 * 8 // (2 * 88)
+
+    def test_reset(self):
+        sm = StrawmanMinHash(8, 16)
+        sm.insert(0, 1)
+        sm.reset()
+        assert sm.counts == [0, 0]

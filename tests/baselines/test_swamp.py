@@ -1,0 +1,143 @@
+"""Tests for SWAMP and its TinyTable substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Swamp, TinyTable
+from repro.exact import ExactWindow
+
+from helpers import zipf_stream
+
+
+class TestTinyTable:
+    def test_add_count_remove(self):
+        t = TinyTable(64, 16)
+        t.add(5)
+        t.add(5)
+        assert t.count(5) == 2
+        t.remove(5)
+        assert t.count(5) == 1
+        assert 5 in t
+
+    def test_remove_missing_raises(self):
+        t = TinyTable(64, 16)
+        with pytest.raises(KeyError):
+            t.remove(3)
+
+    def test_distinct_tracking(self):
+        t = TinyTable(64, 16)
+        for fp in [1, 1, 2, 3]:
+            t.add(fp)
+        assert t.distinct == 3
+        assert t.size == 4
+        t.remove(1)
+        assert t.distinct == 3
+        t.remove(1)
+        assert t.distinct == 2
+
+    def test_matches_counter_model(self):
+        from collections import Counter
+
+        rng = np.random.default_rng(1)
+        t = TinyTable(128, 12)
+        model = Counter()
+        for _ in range(2000):
+            fp = int(rng.integers(0, 200))
+            if model[fp] > 0 and rng.random() < 0.4:
+                t.remove(fp)
+                model[fp] -= 1
+                if model[fp] == 0:
+                    del model[fp]
+            else:
+                t.add(fp)
+                model[fp] += 1
+            assert t.size == sum(model.values())
+            assert t.distinct == len(model)
+
+    def test_spill_events_recorded(self):
+        t = TinyTable(16, 12, num_buckets=1)  # everything in one bucket
+        for fp in range(10):
+            t.add(fp)
+        assert t.spill_events > 0
+
+    def test_memory_bytes_positive(self):
+        assert TinyTable(64, 16).memory_bytes > 0
+
+    def test_reset(self):
+        t = TinyTable(64, 16)
+        t.add(1)
+        t.reset()
+        assert t.size == 0 and t.distinct == 0
+
+
+class TestSwamp:
+    def test_ismember_no_false_negatives(self):
+        n = 128
+        sw = Swamp(n, 16)
+        ew = ExactWindow(n)
+        stream = zipf_stream(600, 150, seed=2)
+        sw.insert_many(stream)
+        ew.insert_many(stream)
+        assert np.all(sw.contains_many(ew.distinct_keys()))
+
+    def test_expired_items_removed(self):
+        sw = Swamp(4, 20)
+        sw.insert(12345)
+        sw.insert_many(np.arange(10, dtype=np.uint64))
+        assert not sw.contains(12345)
+
+    def test_fpr_close_to_d_over_space(self):
+        n = 512
+        sw = Swamp(n, 12, seed=3)
+        sw.insert_many(np.arange(2 * n, dtype=np.uint64))
+        probes = np.arange(10**6, 10**6 + 4000, dtype=np.uint64)
+        fpr = float(sw.contains_many(probes).mean())
+        expected = sw.table.distinct / 2**12
+        assert abs(fpr - expected) < 0.05
+
+    def test_distinct_mle_unbiased(self):
+        n = 256
+        sw = Swamp(n, 14)
+        ew = ExactWindow(n)
+        stream = zipf_stream(1024, 400, seed=4)
+        sw.insert_many(stream)
+        ew.insert_many(stream)
+        true = ew.cardinality()
+        assert abs(sw.cardinality() - true) / true < 0.1
+
+    def test_frequency_exact_modulo_collisions(self):
+        n = 256
+        sw = Swamp(n, 20)  # wide fingerprints: collisions negligible
+        ew = ExactWindow(n)
+        stream = zipf_stream(1024, 60, seed=5)
+        sw.insert_many(stream)
+        ew.insert_many(stream)
+        keys = ew.distinct_keys()
+        assert np.array_equal(sw.frequency_many(keys), ew.frequency_many(keys))
+
+    def test_from_memory_floor(self):
+        # far below W*(f+...) bits SWAMP cannot exist
+        with pytest.raises(ValueError):
+            Swamp.from_memory(1 << 16, 64)
+
+    def test_from_memory_fits_budget(self):
+        sw = Swamp.from_memory(1024, 8192)
+        assert sw.memory_bytes <= 8192 * 1.1
+
+    def test_queue_wraps(self):
+        sw = Swamp(8, 16)
+        sw.insert_many(np.arange(100, dtype=np.uint64))
+        assert sw.table.size == 8
+
+    def test_fingerprint_bits_bounds(self):
+        with pytest.raises(ValueError):
+            Swamp(16, 0)
+        with pytest.raises(ValueError):
+            Swamp(16, 61)
+
+    def test_reset(self):
+        sw = Swamp(8, 16)
+        sw.insert(5)
+        sw.reset()
+        assert sw.t == 0
+        assert sw.table.size == 0

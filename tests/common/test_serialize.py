@@ -1,0 +1,100 @@
+"""Round-trip tests for sketch serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.persist import load_sketch, save_sketch
+from repro.core import (
+    SheBitmap,
+    SheBloomFilter,
+    SheCountMin,
+    SheHyperLogLog,
+    SheMinHash,
+)
+
+from helpers import zipf_stream
+
+
+@pytest.fixture(params=["hardware", "software"])
+def frame(request):
+    return request.param
+
+
+class TestRoundTrip:
+    def test_bloom_filter(self, tmp_path, frame):
+        bf = SheBloomFilter(128, 1024, frame=frame, seed=9)
+        stream = zipf_stream(700, 200, seed=1)
+        bf.insert_many(stream)
+        path = tmp_path / "bf.npz"
+        save_sketch(bf, path)
+        bf2 = load_sketch(path)
+        probes = np.arange(300, dtype=np.uint64)
+        assert np.array_equal(bf.contains_many(probes), bf2.contains_many(probes))
+        # resumed sketch keeps ingesting identically
+        more = zipf_stream(100, 200, seed=2)
+        bf.insert_many(more)
+        bf2.insert_many(more)
+        assert np.array_equal(bf.frame.cells, bf2.frame.cells)
+
+    def test_bitmap(self, tmp_path, frame):
+        bm = SheBitmap(128, 1024, frame=frame, seed=3)
+        bm.insert_many(zipf_stream(600, 300, seed=3))
+        path = tmp_path / "bm.npz"
+        save_sketch(bm, path)
+        bm2 = load_sketch(path)
+        assert bm.cardinality() == bm2.cardinality()
+
+    def test_hyperloglog(self, tmp_path, frame):
+        h = SheHyperLogLog(128, 256, frame=frame, seed=4)
+        h.insert_many(zipf_stream(600, 400, seed=4))
+        path = tmp_path / "hll.npz"
+        save_sketch(h, path)
+        h2 = load_sketch(path)
+        assert h.cardinality() == h2.cardinality()
+        more = zipf_stream(100, 400, seed=5)
+        h.insert_many(more)
+        h2.insert_many(more)
+        assert np.array_equal(h.frame.cells, h2.frame.cells)
+
+    def test_count_min(self, tmp_path, frame):
+        cm = SheCountMin(128, 512, frame=frame, seed=5)
+        cm.insert_many(zipf_stream(600, 100, seed=6))
+        path = tmp_path / "cm.npz"
+        save_sketch(cm, path)
+        cm2 = load_sketch(path)
+        keys = np.arange(50, dtype=np.uint64)
+        assert np.array_equal(cm.frequency_many(keys), cm2.frequency_many(keys))
+
+    def test_minhash(self, tmp_path, frame):
+        mh = SheMinHash(128, 64, frame=frame, seed=6)
+        a = zipf_stream(500, 150, seed=7)
+        b = zipf_stream(500, 150, seed=8)
+        mh.insert_many(0, a)
+        mh.insert_many(1, b)
+        path = tmp_path / "mh.npz"
+        save_sketch(mh, path)
+        mh2 = load_sketch(path)
+        assert mh.similarity() == mh2.similarity()
+        mh.insert_many(0, b[:50])
+        mh2.insert_many(0, b[:50])
+        assert np.array_equal(mh.frames[0].cells, mh2.frames[0].cells)
+
+
+class TestErrors:
+    def test_unsupported_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_sketch(object(), tmp_path / "x.npz")
+
+    def test_bad_format_version(self, tmp_path):
+        import json
+
+        bf = SheBloomFilter(64, 128)
+        path = tmp_path / "bf.npz"
+        save_sketch(bf, path)
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["__meta__"]).decode())
+        meta["format"] = 99
+        data["__meta__"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8).copy()
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_sketch(path)

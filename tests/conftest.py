@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# make tests/helpers.py importable from every test package
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_stream(rng):
+    """A short skewed stream (2048 items, 500 distinct keys)."""
+    return rng.choice(np.arange(500, dtype=np.uint64), size=2048)

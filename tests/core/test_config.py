@@ -1,0 +1,60 @@
+"""Tests for SheConfig."""
+
+import pytest
+
+from repro.core.config import SheConfig
+
+
+class TestSheConfig:
+    def test_t_cycle(self):
+        cfg = SheConfig(window=1000, alpha=0.2)
+        assert cfg.t_cycle == 1200
+
+    def test_t_cycle_exceeds_window(self):
+        # even a tiny alpha must leave room for aged cells
+        cfg = SheConfig(window=10, alpha=0.001)
+        assert cfg.t_cycle >= 11
+
+    def test_legal_low(self):
+        cfg = SheConfig(window=1000, beta=0.9)
+        assert cfg.legal_low == 900
+
+    def test_frozen(self):
+        cfg = SheConfig(window=10)
+        with pytest.raises(AttributeError):
+            cfg.window = 20
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SheConfig(window=0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            SheConfig(window=10, alpha=0.0)
+        with pytest.raises(ValueError):
+            SheConfig(window=10, alpha=-1.0)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            SheConfig(window=10, beta=1.5)
+
+    def test_cells_for_memory_group_multiple(self):
+        cfg = SheConfig(window=100, group_width=64)
+        m = cfg.cells_for_memory(1024, 1)
+        assert m % 64 == 0
+        assert m > 0
+
+    def test_cells_for_memory_accounts_for_marks(self):
+        cfg = SheConfig(window=100, group_width=64)
+        # 1024 bytes = 8192 bits; per group: 64*1 + 1 = 65 bits -> 126 groups
+        assert cfg.cells_for_memory(1024, 1) == 126 * 64
+
+    def test_cells_for_memory_wide_cells(self):
+        cfg = SheConfig(window=100, group_width=1)
+        # 40 bytes = 320 bits; per group: 32 + 1 = 33 -> 9 cells
+        assert cfg.cells_for_memory(40, 32) == 9
+
+    def test_cells_for_memory_too_small(self):
+        cfg = SheConfig(window=100, group_width=64)
+        with pytest.raises(ValueError):
+            cfg.cells_for_memory(1, 32)

@@ -1,0 +1,71 @@
+"""Tests for the Common Sketch Model abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.csm import (
+    BITMAP_SPEC,
+    BLOOM_FILTER_SPEC,
+    COUNT_MIN_SPEC,
+    HYPERLOGLOG_SPEC,
+    MINHASH_SPEC,
+    CellType,
+    CsmSpec,
+    UpdateKind,
+)
+
+
+class TestCanonicalSpecs:
+    def test_figure2_rows(self):
+        # Fig. 2's table, row by row
+        assert BLOOM_FILTER_SPEC.cell_type is CellType.BIT
+        assert BLOOM_FILTER_SPEC.update is UpdateKind.SET_ONE
+        assert BITMAP_SPEC.locations == 1
+        assert HYPERLOGLOG_SPEC.update is UpdateKind.MAX_RANK
+        assert COUNT_MIN_SPEC.update is UpdateKind.ADD_ONE
+        assert MINHASH_SPEC.locations == "all"
+        assert MINHASH_SPEC.update is UpdateKind.MIN_HASH
+
+    def test_one_sidedness(self):
+        assert BLOOM_FILTER_SPEC.one_sided
+        assert COUNT_MIN_SPEC.one_sided
+        assert not BITMAP_SPEC.one_sided
+        assert not HYPERLOGLOG_SPEC.one_sided
+        assert not MINHASH_SPEC.one_sided
+
+    def test_empty_values_are_update_identities(self):
+        # cleaning must reset a cell to F's identity element
+        assert BLOOM_FILTER_SPEC.empty_value == 0
+        assert HYPERLOGLOG_SPEC.empty_value == 0  # max identity
+        assert MINHASH_SPEC.empty_value == (1 << 24) - 1  # min identity
+
+
+class TestSpecValidation:
+    def test_rejects_zero_locations(self):
+        with pytest.raises(ValueError):
+            CsmSpec("x", CellType.BIT, 0, UpdateKind.SET_ONE, 1, 0, True)
+
+    def test_rejects_bad_string_locations(self):
+        with pytest.raises(ValueError):
+            CsmSpec("x", CellType.BIT, "some", UpdateKind.SET_ONE, 1, 0, True)
+
+
+class TestApply:
+    def test_set_one(self):
+        cells = np.asarray([0, 1, 0])
+        out = BLOOM_FILTER_SPEC.apply(None, cells)
+        assert out.tolist() == [1, 1, 1]
+
+    def test_add_one(self):
+        cells = np.asarray([0, 5])
+        assert COUNT_MIN_SPEC.apply(None, cells).tolist() == [1, 6]
+
+    def test_max_rank(self):
+        cells = np.asarray([3, 3])
+        vals = np.asarray([1, 7])
+        assert HYPERLOGLOG_SPEC.apply(vals, cells).tolist() == [3, 7]
+
+    def test_min_hash(self):
+        cells = np.asarray([100, 100])
+        vals = np.asarray([7, 200])
+        assert MINHASH_SPEC.apply(vals, cells).tolist() == [7, 100]

@@ -1,0 +1,113 @@
+"""Cross-checks between the two frames and between insert paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SheBitmap,
+    SheBloomFilter,
+    SheConfig,
+    SheCountMin,
+    SheHyperLogLog,
+    SheMinHash,
+    make_frame,
+)
+
+from helpers import zipf_stream
+
+
+class TestLegalFractions:
+    """Both frames expose the same expected age demographics."""
+
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 1.0, 3.0])
+    def test_mature_fraction_matches_theory(self, alpha):
+        # fraction of mature cells = alpha/(1+alpha) in steady state
+        n, m = 1000, 4096
+        cfg_h = SheConfig(window=n, alpha=alpha, group_width=4)
+        cfg_s = SheConfig(window=n, alpha=alpha)
+        expected = alpha / (1.0 + alpha)
+        for kind, cfg in (("hardware", cfg_h), ("software", cfg_s)):
+            f = make_frame(kind, cfg, m, dtype=np.uint8, empty_value=0, cell_bits=1)
+            t = 7 * n  # any time; ages are deterministic in t
+            frac = float(np.mean(f.mature_mask(np.arange(m), t)))
+            assert frac == pytest.approx(expected, abs=0.02), (kind, alpha)
+
+    @pytest.mark.parametrize("beta", [0.6, 0.8, 0.95])
+    def test_legal_fraction_matches_theory(self, beta):
+        n, m, alpha = 1000, 4096, 0.2
+        expected = 1.0 - beta / (1.0 + alpha)
+        for kind in ("hardware", "software"):
+            cfg = SheConfig(
+                window=n, alpha=alpha, beta=beta,
+                group_width=4 if kind == "hardware" else 64,
+            )
+            f = make_frame(kind, cfg, m, dtype=np.uint8, empty_value=0, cell_bits=1)
+            frac = float(np.mean(f.legal_mask(np.arange(m), 5 * n)))
+            assert frac == pytest.approx(expected, abs=0.02), (kind, beta)
+
+
+class TestBatchVsLoop:
+    """insert_many(batch) == a loop of insert(item) for every sketch."""
+
+    def pairs(self, frame):
+        return [
+            (SheBloomFilter(96, 512, num_hashes=3, frame=frame, seed=1),
+             SheBloomFilter(96, 512, num_hashes=3, frame=frame, seed=1)),
+            (SheBitmap(96, 512, frame=frame, seed=2),
+             SheBitmap(96, 512, frame=frame, seed=2)),
+            (SheHyperLogLog(96, 128, frame=frame, seed=3),
+             SheHyperLogLog(96, 128, frame=frame, seed=3)),
+            (SheCountMin(96, 256, num_hashes=3, frame=frame, seed=4),
+             SheCountMin(96, 256, num_hashes=3, frame=frame, seed=4)),
+        ]
+
+    @pytest.mark.parametrize("frame", ["hardware", "software"])
+    def test_single_stream_sketches(self, frame):
+        stream = zipf_stream(500, 120, seed=5)
+        for batched, looped in self.pairs(frame):
+            batched.insert_many(stream)
+            for k in stream:
+                looped.insert(int(k))
+            batched.frame.prepare_query_all(batched.now())
+            looped.frame.prepare_query_all(looped.now())
+            assert np.array_equal(batched.frame.cells, looped.frame.cells), type(batched)
+
+    @pytest.mark.parametrize("frame", ["hardware", "software"])
+    def test_minhash(self, frame):
+        stream = zipf_stream(400, 90, seed=6)
+        a = SheMinHash(96, 48, frame=frame, seed=7)
+        b = SheMinHash(96, 48, frame=frame, seed=7)
+        a.insert_many(0, stream)
+        for k in stream:
+            b.insert(0, int(k))
+        t = a.counts[0]
+        a.frames[0].prepare_query_all(t)
+        b.frames[0].prepare_query_all(t)
+        assert np.array_equal(a.frames[0].cells, b.frames[0].cells)
+
+
+class TestFrameStatisticalAgreement:
+    """Software and hardware frames answer within sampling noise."""
+
+    @pytest.mark.parametrize("alpha", [0.2, 1.0])
+    def test_cm_estimates_close(self, alpha):
+        n = 1024
+        stream = zipf_stream(5 * n, 400, seed=8)
+        hw = SheCountMin(n, 1 << 13, alpha=alpha, frame="hardware", seed=9)
+        sw = SheCountMin(n, 1 << 13, alpha=alpha, frame="software", seed=9)
+        hw.insert_many(stream)
+        sw.insert_many(stream)
+        keys = np.arange(100, dtype=np.uint64)
+        a, b = hw.frequency_many(keys), sw.frequency_many(keys)
+        # identical hashes; only cleaning granularity differs
+        assert np.mean(np.abs(a - b)) < 3.0
+
+    def test_hll_estimates_close(self):
+        n = 1024
+        stream = np.random.default_rng(10).integers(0, 1 << 40, size=4 * n, dtype=np.uint64)
+        hw = SheHyperLogLog(n, 1024, frame="hardware", seed=11)
+        sw = SheHyperLogLog(n, 1024, frame="software", seed=11)
+        hw.insert_many(stream)
+        sw.insert_many(stream)
+        a, b = hw.cardinality(), sw.cardinality()
+        assert abs(a - b) / max(a, b) < 0.35

@@ -1,0 +1,71 @@
+"""Tests for the generic CSM-lifting sketch."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BLOOM_FILTER_SPEC,
+    COUNT_MIN_SPEC,
+    MINHASH_SPEC,
+    GenericSheSketch,
+    SheBloomFilter,
+)
+
+
+class TestGenericSheSketch:
+    def test_rejects_all_locations(self):
+        with pytest.raises(ValueError):
+            GenericSheSketch(MINHASH_SPEC, 100, 64)
+
+    def test_bloom_spec_lift(self):
+        g = GenericSheSketch(BLOOM_FILTER_SPEC, 128, 1024, alpha=3.0)
+        g.insert_many(np.arange(64, dtype=np.uint64))
+        ro = g.read_cells(np.arange(64, dtype=np.uint64))
+        # every mapped cell of an in-window key was just set
+        assert np.all(ro.values[ro.mature] == 1) or np.all(ro.values.max(axis=1) == 1)
+
+    def test_readout_shapes(self):
+        g = GenericSheSketch(COUNT_MIN_SPEC, 128, 512, alpha=1.0)
+        g.insert_many(np.arange(100, dtype=np.uint64))
+        ro = g.read_cells(np.arange(10, dtype=np.uint64))
+        k = COUNT_MIN_SPEC.locations
+        for arr in (ro.values, ro.ages, ro.mature, ro.legal):
+            assert arr.shape == (10, k)
+
+    def test_ages_within_cycle(self):
+        g = GenericSheSketch(COUNT_MIN_SPEC, 128, 512, alpha=0.5)
+        g.insert_many(np.arange(300, dtype=np.uint64))
+        ro = g.read_cells(np.arange(20, dtype=np.uint64))
+        assert ro.ages.min() >= 0
+        assert ro.ages.max() < g.config.t_cycle
+
+    def test_mature_implies_legal(self):
+        g = GenericSheSketch(COUNT_MIN_SPEC, 128, 512, beta=0.9)
+        g.insert_many(np.arange(300, dtype=np.uint64))
+        ro = g.read_cells(np.arange(20, dtype=np.uint64))
+        assert np.all(~ro.mature | ro.legal)
+
+    def test_equivalent_to_named_bloom(self):
+        """Lifting the BF spec reproduces SheBloomFilter's cell array."""
+        stream = np.random.default_rng(1).integers(0, 500, size=800, dtype=np.uint64)
+        g = GenericSheSketch(BLOOM_FILTER_SPEC, 128, 1024, alpha=3.0, seed=7)
+        bf = SheBloomFilter(128, 1024, alpha=3.0, seed=7)
+        g.insert_many(stream)
+        bf.insert_many(stream)
+        assert np.array_equal(g.frame.cells, bf.frame.cells)
+
+    def test_software_frame_variant(self):
+        g = GenericSheSketch(COUNT_MIN_SPEC, 128, 500, frame="software")
+        g.insert_many(np.arange(50, dtype=np.uint64))
+        assert g.read_cells(np.asarray([1], dtype=np.uint64)).values.max() >= 1
+
+    def test_reset(self):
+        g = GenericSheSketch(COUNT_MIN_SPEC, 128, 512)
+        g.insert_many(np.arange(50, dtype=np.uint64))
+        g.reset()
+        assert g.now() == 0
+        assert int(g.frame.cells.max()) == 0
+
+    def test_memory_bytes(self):
+        g = GenericSheSketch(BLOOM_FILTER_SPEC, 128, 1024, group_width=64)
+        assert g.memory_bytes == (1024 + 16 + 7) // 8

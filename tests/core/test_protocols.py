@@ -1,0 +1,72 @@
+"""Protocol conformance: every structure satisfies the declared types."""
+
+import pytest
+
+from repro.baselines import (
+    CounterVectorSketch,
+    EcmSketch,
+    SlidingHyperLogLog,
+    Swamp,
+    TimeOutBloomFilter,
+    TimestampVector,
+    TimingBloomFilter,
+)
+from repro.common.types import (
+    CardinalitySketch,
+    FrequencySketch,
+    MembershipSketch,
+    SlidingSketch,
+)
+from repro.core import SheBitmap, SheBloomFilter, SheCountMin, SheHyperLogLog
+from repro.exact import ExactWindow
+from repro.fixed import Bitmap, BloomFilter, CountMinSketch, HyperLogLog
+
+W, M = 64, 128
+
+SLIDING = [
+    SheBloomFilter(W, M),
+    SheBitmap(W, M),
+    SheHyperLogLog(W, M),
+    SheCountMin(W, M),
+    Swamp(W, 8),
+    SlidingHyperLogLog(W, 16),
+    CounterVectorSketch(W, M),
+    TimestampVector(W, M),
+    TimeOutBloomFilter(W, M),
+    TimingBloomFilter(W, M),
+    EcmSketch(W, 16),
+    ExactWindow(W),
+]
+
+
+@pytest.mark.parametrize("obj", SLIDING, ids=lambda o: type(o).__name__)
+def test_sliding_sketch_protocol(obj):
+    assert isinstance(obj, SlidingSketch)
+    assert obj.memory_bytes >= 0
+
+
+@pytest.mark.parametrize(
+    "obj",
+    [SheBloomFilter(W, M), Swamp(W, 8), TimeOutBloomFilter(W, M), TimingBloomFilter(W, M), BloomFilter(M), ExactWindow(W)],
+    ids=lambda o: type(o).__name__,
+)
+def test_membership_protocol(obj):
+    assert isinstance(obj, MembershipSketch)
+
+
+@pytest.mark.parametrize(
+    "obj",
+    [SheBitmap(W, M), SheHyperLogLog(W, M), Swamp(W, 8), SlidingHyperLogLog(W, 16), CounterVectorSketch(W, M), TimestampVector(W, M), Bitmap(M), HyperLogLog(M), ExactWindow(W)],
+    ids=lambda o: type(o).__name__,
+)
+def test_cardinality_protocol(obj):
+    assert isinstance(obj, CardinalitySketch)
+
+
+@pytest.mark.parametrize(
+    "obj",
+    [SheCountMin(W, M), Swamp(W, 8), EcmSketch(W, 16), CountMinSketch(M), ExactWindow(W)],
+    ids=lambda o: type(o).__name__,
+)
+def test_frequency_protocol(obj):
+    assert isinstance(obj, FrequencySketch)

@@ -1,0 +1,114 @@
+"""Tests for SHE-BF (sliding-window Bloom filter)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SheBloomFilter
+from repro.exact import ExactWindow
+
+from helpers import zipf_stream
+
+
+@pytest.fixture(params=["hardware", "software"])
+def frame(request):
+    return request.param
+
+
+class TestConstruction:
+    def test_rounds_to_group_multiple(self):
+        bf = SheBloomFilter(100, 1000, group_width=64, frame="hardware")
+        assert bf.num_bits == 960
+
+    def test_software_keeps_exact_bits(self):
+        bf = SheBloomFilter(100, 1000, frame="software")
+        assert bf.num_bits == 1000
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            SheBloomFilter(100, 63, group_width=64)
+
+    def test_from_memory_within_budget(self):
+        bf = SheBloomFilter.from_memory(100, 512)
+        assert bf.memory_bytes <= 512
+
+    def test_invalid_frame_kind(self):
+        with pytest.raises(ValueError):
+            SheBloomFilter(100, 128, frame="asic")
+
+
+class TestMembership:
+    def test_empty_filter_negative(self, frame):
+        bf = SheBloomFilter(64, 1024, frame=frame)
+        # at t=0 every cell is aged/perfect or young depending on offset;
+        # an empty filter must never claim presence via a mature 0 bit
+        assert not bf.contains(12345)
+
+    def test_inserted_key_found_immediately(self, frame):
+        bf = SheBloomFilter(64, 1024, frame=frame)
+        bf.insert(42)
+        assert bf.contains(42)
+
+    def test_no_false_negatives_in_window(self, frame):
+        n = 256
+        bf = SheBloomFilter(n, 1 << 12, frame=frame)
+        ew = ExactWindow(n)
+        stream = zipf_stream(2048, 400, seed=3)
+        bf.insert_many(stream)
+        ew.insert_many(stream)
+        members = ew.distinct_keys()
+        assert np.all(bf.contains_many(members))
+
+    def test_expired_distinct_key_eventually_absent(self, frame):
+        n = 128
+        bf = SheBloomFilter(n, 1 << 12, alpha=1.0, frame=frame)
+        probe = 999_999_999
+        bf.insert(probe)
+        # push far past the relaxed window (1+alpha)N = 2N
+        filler = np.arange(10 * n, dtype=np.uint64)
+        bf.insert_many(filler)
+        assert not bf.contains(probe)
+
+    def test_contains_many_matches_scalar(self, frame):
+        bf = SheBloomFilter(64, 1024, frame=frame)
+        stream = zipf_stream(300, 80, seed=4)
+        bf.insert_many(stream)
+        keys = np.arange(50, dtype=np.uint64)
+        batch = bf.contains_many(keys)
+        for i, k in enumerate(keys):
+            assert bf.contains(int(k)) == batch[i]
+
+    def test_explicit_time_query(self, frame):
+        bf = SheBloomFilter(64, 1024, frame=frame)
+        bf.insert_many(np.arange(32, dtype=np.uint64))
+        assert bf.contains(5, t=32)
+
+    def test_fpr_reasonable(self, frame):
+        n = 512
+        bf = SheBloomFilter(n, 1 << 14, alpha=3.0, frame=frame)
+        bf.insert_many(zipf_stream(4 * n, 600, seed=5))
+        absent = (np.uint64(1) << np.uint64(50)) + np.arange(2000, dtype=np.uint64)
+        fpr = float(bf.contains_many(absent).mean())
+        assert fpr < 0.05
+
+
+class TestClockAndState:
+    def test_clock_advances(self):
+        bf = SheBloomFilter(64, 1024)
+        bf.insert_many(np.arange(10, dtype=np.uint64))
+        assert bf.now() == 10
+
+    def test_reset(self):
+        bf = SheBloomFilter(64, 1024)
+        bf.insert_many(np.arange(10, dtype=np.uint64))
+        bf.reset()
+        assert bf.now() == 0
+        assert not bf.contains(0)
+
+    def test_memory_includes_marks(self):
+        bf = SheBloomFilter(64, 1024, group_width=64, frame="hardware")
+        assert bf.memory_bytes == (1024 + 16 + 7) // 8
+
+    def test_empty_batch(self):
+        bf = SheBloomFilter(64, 1024)
+        bf.insert_many(np.asarray([], dtype=np.uint64))
+        assert bf.now() == 0

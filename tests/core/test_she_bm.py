@@ -1,0 +1,91 @@
+"""Tests for SHE-BM (sliding-window bitmap cardinality)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SheBitmap
+from repro.exact import ExactWindow
+
+from helpers import zipf_stream
+
+
+@pytest.fixture(params=["hardware", "software"])
+def frame(request):
+    return request.param
+
+
+class TestBasics:
+    def test_empty_cardinality_zero(self, frame):
+        bm = SheBitmap(128, 1024, frame=frame)
+        assert bm.cardinality() == 0.0
+
+    def test_single_item(self, frame):
+        bm = SheBitmap(128, 1024, frame=frame)
+        bm.insert(7)
+        est = bm.cardinality()
+        # the single set bit may fall outside the legal band, giving 0
+        assert 0 <= est < 16
+
+    def test_estimates_track_truth(self, frame):
+        n = 512
+        bm = SheBitmap(n, 1 << 13, frame=frame, alpha=0.2)
+        ew = ExactWindow(n)
+        stream = zipf_stream(4 * n, 700, seed=1)
+        errs = []
+        step = n // 2
+        for lo in range(0, stream.size, step):
+            bm.insert_many(stream[lo : lo + step])
+            ew.insert_many(stream[lo : lo + step])
+            if lo >= 2 * n:
+                true_c = ew.cardinality()
+                errs.append(abs(bm.cardinality() - true_c) / true_c)
+        assert np.mean(errs) < 0.25
+
+    def test_saturated_bitmap_clamped(self, frame):
+        # tiny array, huge cardinality: estimate stays finite
+        bm = SheBitmap(256, 64, frame=frame)
+        bm.insert_many(np.arange(2048, dtype=np.uint64))
+        assert np.isfinite(bm.cardinality())
+
+    def test_from_memory_budget(self):
+        bm = SheBitmap.from_memory(256, 256)
+        assert bm.memory_bytes <= 256
+
+    def test_reset(self, frame):
+        bm = SheBitmap(128, 1024, frame=frame)
+        bm.insert_many(np.arange(100, dtype=np.uint64))
+        bm.reset()
+        assert bm.cardinality() == 0.0
+        assert bm.now() == 0
+
+
+class TestWindowSemantics:
+    def test_expired_items_leave_estimate(self, frame):
+        n = 256
+        bm = SheBitmap(n, 1 << 12, frame=frame, alpha=0.2)
+        # phase 1: large cardinality burst
+        bm.insert_many(np.arange(n, dtype=np.uint64))
+        # phase 2: a long run of a single repeated key
+        bm.insert_many(np.full(4 * n, 5, dtype=np.uint64))
+        est = bm.cardinality()
+        # the window now holds one distinct key; burst must have expired
+        assert est < 0.1 * n
+
+    def test_beta_widens_legal_band(self):
+        n = 256
+        lo_beta = SheBitmap(n, 1 << 12, beta=0.5)
+        hi_beta = SheBitmap(n, 1 << 12, beta=0.99)
+        t = 3 * n
+        lo_legal = int(np.count_nonzero(lo_beta.frame.legal_groups(t)))
+        hi_legal = int(np.count_nonzero(hi_beta.frame.legal_groups(t)))
+        assert lo_legal > hi_legal
+
+
+class TestDeterminism:
+    def test_same_seed_same_estimate(self, frame):
+        stream = zipf_stream(1000, 200, seed=9)
+        a = SheBitmap(128, 1024, frame=frame, seed=5)
+        b = SheBitmap(128, 1024, frame=frame, seed=5)
+        a.insert_many(stream)
+        b.insert_many(stream)
+        assert a.cardinality() == b.cardinality()

@@ -1,0 +1,86 @@
+"""Tests for SHE-CM (sliding-window Count-Min)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SheCountMin
+from repro.exact import ExactWindow
+
+from helpers import zipf_stream
+
+
+@pytest.fixture(params=["hardware", "software"])
+def frame(request):
+    return request.param
+
+
+class TestBasics:
+    def test_empty_zero(self, frame):
+        cm = SheCountMin(128, 1024, frame=frame)
+        assert cm.frequency(7) == 0.0
+
+    def test_counts_repeats(self, frame):
+        cm = SheCountMin(128, 4096, frame=frame)
+        cm.insert_many(np.full(10, 42, dtype=np.uint64))
+        assert cm.frequency(42) >= 10
+
+    def test_never_underestimates_with_mature_counters(self, frame):
+        n = 512
+        cm = SheCountMin(n, 1 << 14, frame=frame, alpha=1.0)
+        ew = ExactWindow(n)
+        stream = zipf_stream(4 * n, 300, seed=6)
+        cm.insert_many(stream)
+        ew.insert_many(stream)
+        keys = ew.distinct_keys()
+        est = cm.frequency_many(keys)
+        true = ew.frequency_many(keys)
+        # underestimates only via the documented no-mature-counter
+        # fallback, probability (1/2)^8 per key
+        frac_under = np.mean(est < true)
+        assert frac_under < 0.05
+
+    def test_overestimate_bounded_by_collisions(self, frame):
+        n = 512
+        cm = SheCountMin(n, 1 << 15, frame=frame)
+        ew = ExactWindow(n)
+        stream = zipf_stream(2 * n, 300, seed=7)
+        cm.insert_many(stream)
+        ew.insert_many(stream)
+        keys = ew.distinct_keys()
+        are = np.mean(
+            np.abs(cm.frequency_many(keys) - ew.frequency_many(keys))
+            / np.maximum(ew.frequency_many(keys), 1)
+        )
+        assert are < 1.0
+
+    def test_expired_counts_leave(self, frame):
+        n = 256
+        cm = SheCountMin(n, 1 << 13, frame=frame, alpha=1.0)
+        cm.insert_many(np.full(n, 9, dtype=np.uint64))
+        # push the hot key far out of the relaxed window
+        cm.insert_many((1000 + np.arange(6 * n, dtype=np.uint64)) % np.uint64(50))
+        assert cm.frequency(9) < n / 4
+
+    def test_frequency_many_matches_scalar(self, frame):
+        cm = SheCountMin(128, 2048, frame=frame)
+        cm.insert_many(zipf_stream(512, 60, seed=8))
+        keys = np.arange(30, dtype=np.uint64)
+        batch = cm.frequency_many(keys)
+        for i, k in enumerate(keys):
+            assert cm.frequency(int(k)) == batch[i]
+
+    def test_from_memory(self):
+        cm = SheCountMin.from_memory(128, 4096)
+        assert cm.memory_bytes <= 4096
+
+    def test_memory_accounting(self):
+        cm = SheCountMin(128, 128, group_width=64, frame="hardware")
+        # 128 counters x 32 bits + 2 marks
+        assert cm.memory_bytes == (128 * 32 + 2 + 7) // 8
+
+    def test_reset(self, frame):
+        cm = SheCountMin(128, 1024, frame=frame)
+        cm.insert_many(np.full(5, 3, dtype=np.uint64))
+        cm.reset()
+        assert cm.frequency(3) == 0.0
+        assert cm.now() == 0

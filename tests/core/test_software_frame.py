@@ -1,0 +1,104 @@
+"""Tests for the software (sweeping cleaner) frame."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SheConfig
+from repro.core.software_frame import SoftwareFrame
+
+from helpers import NaiveSoftwareFrame
+
+
+def make(window=100, alpha=0.2, m=24, **kw):
+    cfg = SheConfig(window=window, alpha=alpha)
+    return SoftwareFrame(cfg, m, **kw)
+
+
+class TestSweep:
+    def test_full_cycle_cleans_everything(self):
+        f = make()
+        f.cells[:] = 1
+        f.advance(f.t_cycle)
+        assert np.all(f.cells == 0)
+
+    def test_partial_sweep(self):
+        f = make(window=100, alpha=0.2, m=24)  # Tcycle=120, 0.2 cells/t
+        f.cells[:] = 1
+        f.advance(60)  # boundaries 1..12 crossed since construction
+        assert f.cells[0] == 1  # boundary 0 was consumed at t=0
+        assert np.all(f.cells[1:13] == 0)
+        assert np.all(f.cells[13:] == 1)
+
+    def test_wraparound_sweep(self):
+        f = make(window=100, alpha=0.2, m=24)
+        f.advance(110)  # boundaries up to 22 done
+        f.cells[:] = 1
+        f.advance(130)  # boundaries 23..26: cells 23, 0, 1, 2 cleaned
+        expected = np.ones(24, dtype=np.uint8)
+        expected[[23, 0, 1, 2]] = 0
+        assert np.array_equal(f.cells, expected)
+
+    def test_advance_monotone_noop(self):
+        f = make()
+        f.advance(50)
+        f.cells[:] = 1
+        f.advance(50)  # no time passed: nothing cleaned
+        assert np.all(f.cells == 1)
+
+    def test_matches_naive_reference(self):
+        cfg = SheConfig(window=37, alpha=0.35)
+        fast = SoftwareFrame(cfg, 17)
+        naive = NaiveSoftwareFrame(cfg, 17)
+        rng = np.random.default_rng(1)
+        t = 0
+        for _ in range(60):
+            t += int(rng.integers(1, 9))
+            fast.cells[:] = 1
+            naive.cells = [1] * 17
+            fast.advance(t)
+            naive.advance(t)
+            assert fast.cells.tolist() == naive.cells
+
+
+class TestAges:
+    def test_age_range(self):
+        f = make(window=100, alpha=0.2, m=24)
+        for t in [0, 17, 120, 121, 999]:
+            ages = f.all_cell_ages(t)
+            assert ages.min() >= 0
+            assert ages.max() <= f.t_cycle + 1
+
+    def test_just_cleaned_cell_age_zero(self):
+        f = make(window=100, alpha=0.2, m=24)
+        f.advance(60)  # boundary 12 (cell 12) crossed at t=60 exactly
+        assert f.ages(np.asarray([12]), 60)[0] == 0
+
+    def test_mature_mask_uses_exact_arithmetic(self):
+        f = make(window=100, alpha=0.2, m=24)
+        t = 500
+        mature = f.mature_mask(np.arange(24), t)
+        ages_num = f._age_numerators(np.arange(24), t)
+        assert np.array_equal(mature, ages_num >= 100 * 24)
+
+    def test_legal_groups_size(self):
+        f = make(m=24)
+        assert f.legal_groups(200).shape == (24,)
+
+
+class TestAccounting:
+    def test_memory_no_marks(self):
+        f = make(m=24, cell_bits=1)
+        assert f.memory_bytes == 3  # 24 bits
+
+    def test_reset(self):
+        f = make()
+        f.advance(100)
+        f.cells[:] = 1
+        f.reset()
+        assert np.all(f.cells == 0)
+        assert f._boundaries_done == 0
+
+    def test_group_of_identity(self):
+        f = make(m=24)
+        idx = np.asarray([0, 5, 23])
+        assert np.array_equal(f.group_of(idx), idx)

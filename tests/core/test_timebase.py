@@ -1,0 +1,90 @@
+"""Tests for time-based windows via TimedStream."""
+
+import numpy as np
+import pytest
+
+from repro.core import SheBitmap, SheBloomFilter, SheCountMin, SheMinHash
+from repro.core.timebase import TimedStream
+
+
+class TestTimedStream:
+    def test_membership_over_time_window(self):
+        # window = 1000 ticks; steady background traffic keeps the
+        # on-demand cleaning fed (Eq. 1's operating assumption — with
+        # 3 items in 5000 ticks the 1-bit marks would wrap instead)
+        bf = SheBloomFilter(1000, 1 << 13, alpha=1.0)
+        ts = TimedStream(bf)
+        ts.insert(111, t=0)
+        rng = np.random.default_rng(0)
+        bg_keys = rng.integers(1 << 40, 1 << 41, size=2500, dtype=np.uint64)
+        ts.insert_many(bg_keys, np.arange(1, 5001, 2, dtype=np.int64))
+        ts.insert(333, t=5000)
+        assert not ts.contains(111)  # 5000 ticks old, window is 1000
+        assert ts.contains(333)
+
+    def test_burst_at_same_timestamp(self):
+        bf = SheBloomFilter(1000, 1 << 13)
+        ts = TimedStream(bf)
+        keys = np.arange(50, dtype=np.uint64)
+        ts.insert_many(keys, np.full(50, 7, dtype=np.int64))
+        assert np.all(bf.contains_many(keys))
+        assert ts.now() == 8
+
+    def test_cardinality_expires_by_time_not_count(self):
+        bm = SheBitmap(1000, 1 << 12, alpha=0.2)
+        ts = TimedStream(bm)
+        # 500 distinct keys in a burst during t < 500
+        ts.insert_many(
+            np.arange(500, dtype=np.uint64), np.arange(0, 500, dtype=np.int64)
+        )
+        # then a single repeating key; by t=5000 the burst has expired
+        reps = np.full(2000, 7, dtype=np.uint64)
+        ts.insert_many(reps, np.arange(502, 4502, 2, dtype=np.int64))
+        assert bm.cardinality(t=4502) < 100
+
+    def test_frequency_windowed_by_time(self):
+        cm = SheCountMin(1000, 1 << 12, alpha=1.0)
+        ts = TimedStream(cm)
+        ts.insert_many(np.full(20, 5, dtype=np.uint64), np.arange(20, dtype=np.int64))
+        assert cm.frequency(5) >= 20
+        ts.insert(6, t=10_000)
+        assert cm.frequency(5) < 20
+
+    def test_rejects_decreasing_times(self):
+        ts = TimedStream(SheBloomFilter(100, 1 << 10))
+        ts.insert(1, t=50)
+        with pytest.raises(ValueError):
+            ts.insert(2, t=49)
+
+    def test_rejects_negative_times(self):
+        ts = TimedStream(SheBloomFilter(100, 1 << 10))
+        with pytest.raises(ValueError):
+            ts.insert(1, t=-1)
+
+    def test_rejects_shape_mismatch(self):
+        ts = TimedStream(SheBloomFilter(100, 1 << 10))
+        with pytest.raises(ValueError):
+            ts.insert_many(np.arange(3, dtype=np.uint64), np.arange(2))
+
+    def test_rejects_two_stream_sketches(self):
+        with pytest.raises(TypeError):
+            TimedStream(SheMinHash(100, 16))
+
+    def test_attribute_passthrough(self):
+        bf = SheBloomFilter(100, 1 << 10)
+        ts = TimedStream(bf)
+        assert ts.memory_bytes == bf.memory_bytes
+
+    def test_equivalent_to_count_based_for_unit_arrivals(self):
+        """With one arrival per tick, timed == count-based, bit for bit."""
+        keys = np.random.default_rng(0).integers(0, 500, size=600, dtype=np.uint64)
+        a = SheBloomFilter(128, 1 << 11, seed=5)
+        b = SheBloomFilter(128, 1 << 11, seed=5)
+        a.insert_many(keys)
+        TimedStream(b).insert_many(keys, np.arange(keys.size, dtype=np.int64))
+        assert np.array_equal(a.frame.cells, b.frame.cells)
+
+    def test_empty_batch(self):
+        ts = TimedStream(SheBloomFilter(100, 1 << 10))
+        ts.insert_many(np.asarray([], dtype=np.uint64), np.asarray([], dtype=np.int64))
+        assert ts.now() == 1

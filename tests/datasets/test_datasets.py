@@ -1,0 +1,119 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    BoundedZipf,
+    caida_like,
+    campus_like,
+    distinct_stream,
+    relevant_pair,
+    webpage_like,
+    zipf_probabilities,
+)
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        p = zipf_probabilities(1000, 1.1)
+        assert abs(p.sum() - 1.0) < 1e-12
+
+    def test_monotone_decreasing(self):
+        p = zipf_probabilities(100, 1.2)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_uniform_at_zero_skew(self):
+        p = zipf_probabilities(10, 0.0)
+        assert np.allclose(p, 0.1)
+
+    def test_rejects_negative_skew(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestBoundedZipf:
+    def test_sample_within_universe(self):
+        z = BoundedZipf(100, 1.0, seed=1)
+        s = z.sample(1000)
+        assert np.all(np.isin(s, z.keys))
+
+    def test_deterministic_with_seed(self):
+        a = BoundedZipf(50, 1.0, seed=7).sample(100)
+        b = BoundedZipf(50, 1.0, seed=7).sample(100)
+        assert np.array_equal(a, b)
+
+    def test_head_heavier_than_tail(self):
+        z = BoundedZipf(1000, 1.3, seed=2)
+        s = z.sample(50_000)
+        ranks = z.rank_of(s)
+        assert np.mean(ranks < 10) > np.mean((ranks >= 500) & (ranks < 510)) * 5
+
+    def test_unique_keys(self):
+        z = BoundedZipf(10_000, 1.0, seed=3)
+        assert len(np.unique(z.keys)) == 10_000
+
+    def test_rank_of_unknown_key(self):
+        z = BoundedZipf(10, 1.0, seed=4)
+        probe = np.asarray([1 << 60], dtype=np.uint64)
+        assert z.rank_of(probe)[0] == -1
+
+
+class TestTraces:
+    @pytest.mark.parametrize("gen", [caida_like, campus_like, webpage_like])
+    def test_size_and_universe(self, gen):
+        tr = gen(10_000, 500, seed=1)
+        assert tr.num_items == 10_000
+        assert len(np.unique(tr.items)) <= 500
+
+    def test_caida_ratio(self):
+        tr = caida_like(100_000, 2000, seed=2)
+        # roughly 50 items per distinct key
+        distinct = len(np.unique(tr.items))
+        assert 30 < tr.num_items / distinct < 80
+
+    def test_campus_heavier_skew_than_webpage(self):
+        c = campus_like(50_000, 5000, seed=3)
+        w = webpage_like(50_000, 5000, seed=3)
+        top_c = np.max(np.unique(c.items, return_counts=True)[1])
+        top_w = np.max(np.unique(w.items, return_counts=True)[1])
+        assert top_c > top_w
+
+    def test_distinct_stream_all_unique(self):
+        tr = distinct_stream(10_000, seed=4)
+        assert len(np.unique(tr.items)) == 10_000
+
+    def test_distinct_stream_deterministic(self):
+        assert np.array_equal(distinct_stream(100, seed=5).items, distinct_stream(100, seed=5).items)
+
+
+class TestRelevantPair:
+    def test_overlap_controls_jaccard(self):
+        lo_a, lo_b = relevant_pair(40_000, 5000, overlap=0.1, seed=6)
+        hi_a, hi_b = relevant_pair(40_000, 5000, overlap=0.9, seed=6)
+
+        def jac(x, y):
+            sx, sy = set(x.items.tolist()), set(y.items.tolist())
+            return len(sx & sy) / len(sx | sy)
+
+        assert jac(hi_a, hi_b) > jac(lo_a, lo_b) + 0.2
+
+    def test_zero_overlap_disjoint(self):
+        a, b = relevant_pair(10_000, 2000, overlap=0.0, seed=7)
+        assert not (set(a.items.tolist()) & set(b.items.tolist()))
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            relevant_pair(100, 10, overlap=1.5)
+
+    def test_drift_changes_window_similarity(self):
+        a, b = relevant_pair(40_000, 4000, overlap=0.8, drift_period=10_000, seed=8)
+        from repro.exact import ExactJaccard
+
+        sims = []
+        ej = ExactJaccard(5000)
+        for lo in range(0, 40_000, 5000):
+            ej.insert_many(0, a.items[lo : lo + 5000])
+            ej.insert_many(1, b.items[lo : lo + 5000])
+            sims.append(ej.similarity())
+        assert max(sims) - min(sims) > 0.1

@@ -1,0 +1,109 @@
+"""Tests for the trace loaders."""
+
+import numpy as np
+import pytest
+
+from repro.common.hashing import canonical_key
+from repro.datasets.loaders import load_csv, load_npy, load_text, load_trace
+
+
+class TestLoadNpy:
+    def test_roundtrip(self, tmp_path):
+        arr = np.arange(100, dtype=np.uint64)
+        np.save(tmp_path / "t.npy", arr)
+        assert np.array_equal(load_npy(tmp_path / "t.npy"), arr)
+
+    def test_int32_upcast(self, tmp_path):
+        np.save(tmp_path / "t.npy", np.arange(10, dtype=np.int32))
+        out = load_npy(tmp_path / "t.npy")
+        assert out.dtype == np.uint64
+
+    def test_rejects_floats(self, tmp_path):
+        np.save(tmp_path / "t.npy", np.ones(3))
+        with pytest.raises(TypeError):
+            load_npy(tmp_path / "t.npy")
+
+
+class TestLoadText:
+    def test_integers(self, tmp_path):
+        p = tmp_path / "t.txt"
+        p.write_text("1\n2\n42\n")
+        assert load_text(p).tolist() == [1, 2, 42]
+
+    def test_ip_strings_hash(self, tmp_path):
+        p = tmp_path / "t.txt"
+        p.write_text("10.0.0.1\n10.0.0.2\n10.0.0.1\n")
+        out = load_text(p)
+        assert out[0] == out[2] != out[1]
+        assert out[0] == canonical_key("10.0.0.1")
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "t.txt"
+        p.write_text("1\n\n2\n")
+        assert load_text(p).size == 2
+
+    def test_blank_strict(self, tmp_path):
+        p = tmp_path / "t.txt"
+        p.write_text("1\n\n2\n")
+        with pytest.raises(ValueError):
+            load_text(p, skip_blank=False)
+
+    def test_preserves_order(self, tmp_path):
+        p = tmp_path / "t.txt"
+        p.write_text("3\n1\n2\n")
+        assert load_text(p).tolist() == [3, 1, 2]
+
+
+class TestLoadCsv:
+    def test_by_index_no_header(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("5,a\n6,b\n")
+        assert load_csv(p, 0).tolist() == [5, 6]
+
+    def test_by_name(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("src,dst\n10.0.0.1,x\n10.0.0.2,y\n")
+        out = load_csv(p, "src")
+        assert out[0] == canonical_key("10.0.0.1")
+
+    def test_missing_column_name(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("a,b\n1,2\n")
+        with pytest.raises(KeyError):
+            load_csv(p, "zz")
+
+    def test_short_row(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("1,2\n3\n")
+        with pytest.raises(ValueError):
+            load_csv(p, 1)
+
+    def test_name_requires_header(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_csv(tmp_path / "t.csv", "src", has_header=False)
+
+    def test_header_with_index(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("src,dst\n7,x\n")
+        assert load_csv(p, 0, has_header=True).tolist() == [7]
+
+
+class TestLoadTrace:
+    def test_dispatch(self, tmp_path):
+        np.save(tmp_path / "a.npy", np.arange(3, dtype=np.uint64))
+        (tmp_path / "b.txt").write_text("1\n")
+        (tmp_path / "c.csv").write_text("9\n")
+        assert load_trace(tmp_path / "a.npy").size == 3
+        assert load_trace(tmp_path / "b.txt").size == 1
+        assert load_trace(tmp_path / "c.csv").tolist() == [9]
+
+    def test_end_to_end_into_sketch(self, tmp_path):
+        """A text log of IPs flows straight into SHE-BF."""
+        from repro.core import SheBloomFilter
+
+        p = tmp_path / "gateway.log"
+        p.write_text("".join(f"10.0.{i % 4}.{i % 7}\n" for i in range(500)))
+        keys = load_trace(p)
+        bf = SheBloomFilter(128, 4096)
+        bf.insert_many(keys)
+        assert bf.contains(canonical_key("10.0.1.1"))

@@ -1,0 +1,53 @@
+"""Tests for the exact Jaccard oracle."""
+
+import numpy as np
+import pytest
+
+from repro.exact import ExactJaccard, jaccard
+
+
+class TestJaccardFunction:
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_half(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_empty_sets(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard({1}, set()) == 0.0
+
+
+class TestExactJaccard:
+    def test_windowed_similarity(self):
+        ej = ExactJaccard(4)
+        ej.insert_many(0, [1, 2, 3, 4])
+        ej.insert_many(1, [3, 4, 5, 6])
+        assert ej.similarity() == pytest.approx(2 / 6)
+
+    def test_expiry_changes_similarity(self):
+        ej = ExactJaccard(2)
+        ej.insert_many(0, [1, 2])
+        ej.insert_many(1, [1, 2])
+        assert ej.similarity() == 1.0
+        ej.insert_many(0, [7, 8])
+        assert ej.similarity() == 0.0
+
+    def test_rejects_bad_side(self):
+        ej = ExactJaccard(4)
+        with pytest.raises(ValueError):
+            ej.insert(3, 1)
+        with pytest.raises(ValueError):
+            ej.insert_many(-1, [1])
+
+    def test_reset(self):
+        ej = ExactJaccard(4)
+        ej.insert(0, 1)
+        ej.insert(1, 1)
+        ej.reset()
+        assert ej.similarity() == 0.0

@@ -1,0 +1,85 @@
+"""Tests for the exact sliding-window oracle."""
+
+import numpy as np
+import pytest
+
+from repro.exact import ExactWindow
+
+
+class TestExactWindow:
+    def test_below_capacity(self):
+        w = ExactWindow(10)
+        w.insert_many([1, 2, 2, 3])
+        assert w.cardinality() == 3
+        assert w.frequency(2) == 2
+        assert w.contains(1)
+        assert not w.contains(9)
+
+    def test_eviction(self):
+        w = ExactWindow(3)
+        w.insert_many([1, 2, 3, 4])
+        assert not w.contains(1)
+        assert w.contains(2)
+        assert w.cardinality() == 3
+
+    def test_duplicate_eviction_keeps_count(self):
+        w = ExactWindow(3)
+        w.insert_many([5, 5, 5, 5])
+        assert w.frequency(5) == 3
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        stream = rng.integers(0, 20, size=500, dtype=np.uint64)
+        w = ExactWindow(37)
+        for i, k in enumerate(stream):
+            w.insert(int(k))
+            lo = max(0, i + 1 - 37)
+            window = stream[lo : i + 1].tolist()
+            assert w.cardinality() == len(set(window))
+            if i % 50 == 0:
+                for probe in range(0, 20, 5):
+                    assert w.frequency(probe) == window.count(probe)
+
+    def test_items_order(self):
+        w = ExactWindow(4)
+        w.insert_many([1, 2, 3, 4, 5, 6])
+        assert w.items().tolist() == [3, 4, 5, 6]
+
+    def test_items_before_full(self):
+        w = ExactWindow(10)
+        w.insert_many([1, 2, 3])
+        assert w.items().tolist() == [1, 2, 3]
+
+    def test_distinct_keys_match_key_set(self):
+        w = ExactWindow(8)
+        w.insert_many([1, 1, 2, 3])
+        assert set(w.distinct_keys().tolist()) == w.key_set() == {1, 2, 3}
+
+    def test_contains_many(self):
+        w = ExactWindow(4)
+        w.insert_many([10, 11])
+        out = w.contains_many(np.asarray([10, 11, 12], dtype=np.uint64))
+        assert out.tolist() == [True, True, False]
+
+    def test_frequency_many(self):
+        w = ExactWindow(6)
+        w.insert_many([1, 1, 2])
+        out = w.frequency_many(np.asarray([1, 2, 3], dtype=np.uint64))
+        assert out.tolist() == [2, 1, 0]
+
+    def test_reset(self):
+        w = ExactWindow(4)
+        w.insert_many([1, 2])
+        w.reset()
+        assert w.cardinality() == 0
+        assert w.t == 0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            ExactWindow(0)
+
+    def test_memory_grows_with_content(self):
+        w = ExactWindow(100)
+        empty = w.memory_bytes
+        w.insert_many(np.arange(100, dtype=np.uint64))
+        assert w.memory_bytes > empty

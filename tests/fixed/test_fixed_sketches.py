@@ -1,0 +1,142 @@
+"""Tests for the fixed-window original sketches."""
+
+import numpy as np
+import pytest
+
+from repro.fixed import Bitmap, BloomFilter, CountMinSketch, HyperLogLog, MinHash
+
+from helpers import zipf_stream
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(4096, 8)
+        keys = np.arange(200, dtype=np.uint64)
+        bf.insert_many(keys)
+        assert np.all(bf.contains_many(keys))
+
+    def test_empty_all_negative(self):
+        bf = BloomFilter(1024)
+        assert not np.any(bf.contains_many(np.arange(100, dtype=np.uint64)))
+
+    def test_fpr_scales_with_load(self):
+        light = BloomFilter(1 << 14, 8, seed=1)
+        heavy = BloomFilter(1 << 10, 8, seed=1)
+        keys = np.arange(500, dtype=np.uint64)
+        light.insert_many(keys)
+        heavy.insert_many(keys)
+        probes = np.arange(10_000, 20_000, dtype=np.uint64)
+        assert light.contains_many(probes).mean() < heavy.contains_many(probes).mean()
+
+    def test_scalar_matches_batch(self):
+        bf = BloomFilter(1024, 4)
+        bf.insert(42)
+        assert bf.contains(42)
+        assert bf.contains_many(np.asarray([42], dtype=np.uint64))[0]
+
+    def test_memory(self):
+        assert BloomFilter(1024).memory_bytes == 128
+
+    def test_reset(self):
+        bf = BloomFilter(256)
+        bf.insert(1)
+        bf.reset()
+        assert not bf.contains(1)
+
+
+class TestBitmap:
+    def test_estimate_accuracy(self):
+        bm = Bitmap(1 << 14)
+        keys = np.unique(zipf_stream(5000, 3000, seed=2))
+        bm.insert_many(keys)
+        assert abs(bm.cardinality() - keys.size) / keys.size < 0.1
+
+    def test_empty(self):
+        assert Bitmap(64).cardinality() == 0.0
+
+    def test_saturation_finite(self):
+        bm = Bitmap(32)
+        bm.insert_many(np.arange(10_000, dtype=np.uint64))
+        assert np.isfinite(bm.cardinality())
+
+    def test_duplicates_do_not_inflate(self):
+        bm = Bitmap(4096)
+        bm.insert_many(np.full(1000, 9, dtype=np.uint64))
+        assert bm.cardinality() < 3
+
+
+class TestHyperLogLog:
+    def test_estimate_accuracy_large(self):
+        hll = HyperLogLog(1024)
+        keys = np.random.default_rng(3).integers(0, 1 << 50, size=50_000, dtype=np.uint64)
+        hll.insert_many(keys)
+        true = len(np.unique(keys))
+        assert abs(hll.cardinality() - true) / true < 0.15
+
+    def test_linear_counting_small(self):
+        hll = HyperLogLog(1024)
+        hll.insert_many(np.arange(100, dtype=np.uint64))
+        assert abs(hll.cardinality() - 100) < 25
+
+    def test_empty(self):
+        assert HyperLogLog(64).cardinality() == 0.0
+
+    def test_memory_five_bits_per_register(self):
+        assert HyperLogLog(1024).memory_bytes == 640
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        cm = CountMinSketch(1 << 12, 8)
+        stream = zipf_stream(3000, 200, seed=4)
+        cm.insert_many(stream)
+        for k in range(50):
+            true = int(np.count_nonzero(stream == k))
+            assert cm.frequency(k) >= true
+
+    def test_exact_when_sparse(self):
+        cm = CountMinSketch(1 << 14, 4)
+        cm.insert_many(np.full(7, 3, dtype=np.uint64))
+        assert cm.frequency(3) == 7
+
+    def test_batch_matches_scalar(self):
+        cm = CountMinSketch(1024, 4)
+        cm.insert_many(zipf_stream(500, 50, seed=5))
+        keys = np.arange(20, dtype=np.uint64)
+        batch = cm.frequency_many(keys)
+        assert all(cm.frequency(int(k)) == batch[i] for i, k in enumerate(keys))
+
+
+class TestMinHash:
+    def test_identical_sets(self):
+        mh = MinHash(256)
+        keys = np.arange(100, dtype=np.uint64)
+        mh.insert_many(0, keys)
+        mh.insert_many(1, keys)
+        assert mh.similarity() == 1.0
+
+    def test_disjoint_sets(self):
+        mh = MinHash(256)
+        mh.insert_many(0, np.arange(100, dtype=np.uint64))
+        mh.insert_many(1, np.arange(1000, 1100, dtype=np.uint64))
+        assert mh.similarity() < 0.05
+
+    def test_estimates_jaccard(self):
+        mh = MinHash(1024)
+        a = np.arange(0, 150, dtype=np.uint64)
+        b = np.arange(50, 200, dtype=np.uint64)
+        mh.insert_many(0, a)
+        mh.insert_many(1, b)
+        assert abs(mh.similarity() - 100 / 200) < 0.08
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            MinHash(16).insert(5, 1)
+
+    def test_order_invariant(self):
+        a = MinHash(128, seed=6)
+        b = MinHash(128, seed=6)
+        keys = np.arange(60, dtype=np.uint64)
+        a.insert_many(0, keys)
+        b.insert_many(0, keys[::-1].copy())
+        assert np.array_equal(a.minima[0], b.minima[0])

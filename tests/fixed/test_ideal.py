@@ -1,0 +1,83 @@
+"""Tests for the "ideal goal" replay wrappers."""
+
+import numpy as np
+
+from repro.fixed import (
+    IdealCardinalityBitmap,
+    IdealCardinalityHLL,
+    IdealFrequency,
+    IdealMembership,
+    IdealSimilarity,
+)
+
+from helpers import zipf_stream
+
+
+class TestIdealMembership:
+    def test_window_members_found(self):
+        im = IdealMembership(64, 1 << 12)
+        stream = zipf_stream(300, 100, seed=1)
+        im.insert_many(stream)
+        members = im.oracle.distinct_keys()
+        assert np.all(im.contains_many(members))
+
+    def test_expired_not_found(self):
+        im = IdealMembership(8, 1 << 12)
+        im.insert(999)
+        im.insert_many(np.arange(20, dtype=np.uint64))
+        assert not im.contains(999)
+
+    def test_ideal_tracks_window_exactly(self):
+        """The ideal rebuilds from the window — no aged/young error."""
+        im = IdealMembership(16, 1 << 14)
+        im.insert_many(np.arange(1000, dtype=np.uint64))
+        # only the last 16 keys are present
+        assert im.contains(999)
+        assert not im.contains(900)
+
+
+class TestIdealCardinality:
+    def test_bitmap_matches_truth(self):
+        ic = IdealCardinalityBitmap(128, 1 << 14)
+        stream = zipf_stream(500, 300, seed=2)
+        ic.insert_many(stream)
+        true = ic.oracle.cardinality()
+        assert abs(ic.cardinality() - true) / true < 0.15
+
+    def test_hll_matches_truth(self):
+        ic = IdealCardinalityHLL(256, 1024)
+        ic.insert_many(np.arange(200, dtype=np.uint64))
+        assert abs(ic.cardinality() - 200) < 60
+
+    def test_expiry(self):
+        ic = IdealCardinalityBitmap(4, 1 << 12)
+        ic.insert_many(np.arange(100, dtype=np.uint64))
+        assert ic.cardinality() < 10
+
+
+class TestIdealFrequency:
+    def test_replays_multiset(self):
+        f = IdealFrequency(32, 1 << 12)
+        f.insert_many(np.full(10, 5, dtype=np.uint64))
+        assert f.frequency(5) >= 10
+
+    def test_window_bounded(self):
+        f = IdealFrequency(8, 1 << 12)
+        f.insert_many(np.full(100, 5, dtype=np.uint64))
+        assert f.frequency(5) == 8
+
+
+class TestIdealSimilarity:
+    def test_identical(self):
+        s = IdealSimilarity(32, 256)
+        keys = np.arange(20, dtype=np.uint64)
+        s.insert_many(0, keys)
+        s.insert_many(1, keys)
+        assert s.similarity() == 1.0
+
+    def test_reset(self):
+        s = IdealSimilarity(32, 64)
+        s.insert(0, 1)
+        s.insert(1, 1)
+        s.reset()
+        assert s.sides[0].cardinality() == 0

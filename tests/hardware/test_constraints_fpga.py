@@ -1,0 +1,130 @@
+"""Tests for the constraint checker, SWAMP infeasibility, and Tables 2-3."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    SHE_BF_DESIGN,
+    SHE_BM_DESIGN,
+    FpgaDesign,
+    Pipeline,
+    SramRegion,
+    Stage,
+    check_constraints,
+    estimate_clock_mhz,
+    estimate_resources,
+    swamp_pipeline_report,
+    throughput_mips,
+)
+from repro.harness import PAPER_TABLE2, PAPER_TABLE3
+
+
+class TestConstraintChecker:
+    def _pipeline(self, share_region=False, multi_addr=False):
+        mem = SramRegion("mem", 64, 8)
+
+        def s1(ctx):
+            mem.write("s1", ctx["item"] % 64, 1)
+            if multi_addr:
+                mem.write("s1", (ctx["item"] + 7) % 64, 1)
+
+        def s2(ctx):
+            if share_region:
+                mem.read("s2", ctx["item"] % 64)
+
+        regions2 = (mem,) if share_region else ()
+        return Pipeline([Stage("s1", s1, (mem,)), Stage("s2", s2, regions2)])
+
+    def test_clean_pipeline_passes(self):
+        p = self._pipeline()
+        report = check_constraints(p, p.process(range(100)))
+        assert report.hardware_friendly
+
+    def test_shared_region_fails_constraint2(self):
+        p = self._pipeline(share_region=True)
+        report = check_constraints(p, p.process(range(100)))
+        assert not report.single_stage_ok
+        assert any("constraint 2" in v for v in report.violations)
+
+    def test_multi_address_fails_constraint3(self):
+        p = self._pipeline(multi_addr=True)
+        report = check_constraints(p, p.process(range(100)))
+        assert not report.concurrent_ok
+
+    def test_sram_budget(self):
+        p = self._pipeline()
+        report = check_constraints(p, p.process(range(10)), sram_budget_bits=100)
+        assert not report.sram_ok
+        assert report.total_bits == 512
+
+
+class TestSwampInfeasibility:
+    def test_swamp_fails(self):
+        report = swamp_pipeline_report(256, 2048)
+        assert not report.hardware_friendly
+
+    def test_swamp_fails_constraint2(self):
+        report = swamp_pipeline_report(256, 2048)
+        assert not report.single_stage_ok
+
+    def test_swamp_domino_effect_fails_constraint3(self):
+        # long run so buckets fill and chaining spills occur
+        report = swamp_pipeline_report(512, 8192)
+        assert not report.concurrent_ok
+
+
+class TestResourceModel:
+    def test_table2_bm_exact(self):
+        est = estimate_resources(SHE_BM_DESIGN)
+        assert est.lut == PAPER_TABLE2["SHE-BM"]["lut"]
+        assert est.register == PAPER_TABLE2["SHE-BM"]["register"]
+        assert est.bram36 == 0
+
+    def test_table2_bf_within_half_percent(self):
+        est = estimate_resources(SHE_BF_DESIGN)
+        for field in ("lut", "register"):
+            model = getattr(est, field)
+            paper = PAPER_TABLE2["SHE-BF"][field]
+            assert abs(model - paper) / paper < 0.005
+        assert est.bram36 == 0
+
+    def test_bf_to_bm_logic_ratio(self):
+        bm = estimate_resources(SHE_BM_DESIGN)
+        bf = estimate_resources(SHE_BF_DESIGN)
+        assert 7 < bf.lut / bm.lut < 9
+
+    def test_utilisation_fractions(self):
+        util = estimate_resources(SHE_BM_DESIGN).utilisation()
+        assert util["lut"] == pytest.approx(0.0038, abs=3e-4)
+
+    def test_large_array_spills_to_bram(self):
+        big = FpgaDesign("big", array_bits=1 << 20, group_width=64)
+        est = estimate_resources(big)
+        assert est.bram36 > 0
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            FpgaDesign("bad", array_bits=1000, group_width=64)
+
+
+class TestClockModel:
+    def test_table3_bm_exact(self):
+        assert estimate_clock_mhz(SHE_BM_DESIGN) == pytest.approx(
+            PAPER_TABLE3["SHE-BM"], abs=0.01
+        )
+
+    def test_table3_bf_close(self):
+        assert estimate_clock_mhz(SHE_BF_DESIGN) == pytest.approx(
+            PAPER_TABLE3["SHE-BF"], rel=0.002
+        )
+
+    def test_bm_faster_than_bf(self):
+        assert estimate_clock_mhz(SHE_BM_DESIGN) > estimate_clock_mhz(SHE_BF_DESIGN)
+
+    def test_bram_penalty_slows_clock(self):
+        small = FpgaDesign("s", array_bits=1024, group_width=64)
+        big = FpgaDesign("b", array_bits=1 << 20, group_width=64)
+        assert estimate_clock_mhz(big) < estimate_clock_mhz(small)
+
+    def test_throughput_equals_clock(self):
+        assert throughput_mips(SHE_BM_DESIGN) == estimate_clock_mhz(SHE_BM_DESIGN)

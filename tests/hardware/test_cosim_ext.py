@@ -1,0 +1,59 @@
+"""Co-simulation tests for the SHE-CM and SHE-HLL pipeline models."""
+
+import numpy as np
+import pytest
+
+from repro.core import SheCountMin, SheHyperLogLog
+from repro.hardware import SheCmRtl, SheHllRtl, check_constraints
+
+
+@pytest.mark.parametrize("alpha", [0.5, 1.0])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_she_cm_rtl_bit_exact(alpha, seed):
+    window = 150
+    rtl = SheCmRtl(window, 256, group_width=8, alpha=alpha, seed=4)
+    ref = SheCountMin(
+        window, 256, num_hashes=1, group_width=8, alpha=alpha, frame="hardware", seed=4
+    )
+    stream = np.random.default_rng(seed).integers(0, 1500, size=1200, dtype=np.uint64)
+    rtl.insert_stream(stream)
+    ref.insert_many(stream)
+    assert np.array_equal(rtl.counters_array(), ref.frame.cells)
+
+
+@pytest.mark.parametrize("alpha", [0.2, 1.0])
+def test_she_hll_rtl_bit_exact(alpha):
+    window = 150
+    rtl = SheHllRtl(window, 128, alpha=alpha, seed=3)
+    ref = SheHyperLogLog(window, 128, alpha=alpha, frame="hardware", seed=3)
+    stream = np.random.default_rng(7).integers(0, 5000, size=1500, dtype=np.uint64)
+    rtl.insert_stream(stream)
+    ref.insert_many(stream)
+    assert np.array_equal(rtl.registers_array(), ref.frame.cells)
+
+
+def test_cm_rtl_constraints():
+    rtl = SheCmRtl(128, 256, group_width=8)
+    run = rtl.insert_stream(np.arange(600, dtype=np.uint64))
+    report = check_constraints(rtl.pipeline, run)
+    assert report.hardware_friendly, report.violations
+
+
+def test_hll_rtl_constraints():
+    rtl = SheHllRtl(128, 128)
+    run = rtl.insert_stream(np.arange(600, dtype=np.uint64))
+    report = check_constraints(rtl.pipeline, run)
+    assert report.hardware_friendly, report.violations
+
+
+def test_cm_rtl_one_item_per_cycle():
+    rtl = SheCmRtl(128, 256, group_width=8)
+    run = rtl.insert_stream(np.arange(500, dtype=np.uint64))
+    assert run.cycles == 500 + 4 - 1
+
+
+def test_cm_rtl_geometry_validation():
+    with pytest.raises(ValueError):
+        SheCmRtl(100, 100, group_width=8)
+    with pytest.raises(ValueError):
+        SheCmRtl(100, 256, group_width=8, counter_bits=16)

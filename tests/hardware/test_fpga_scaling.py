@@ -1,0 +1,64 @@
+"""Scaling behaviour of the FPGA resource/clock model beyond Table 2/3."""
+
+import pytest
+
+from repro.hardware import (
+    FpgaDesign,
+    estimate_clock_mhz,
+    estimate_resources,
+)
+
+
+class TestResourceScaling:
+    def test_lut_grows_with_group_count(self):
+        a = estimate_resources(FpgaDesign("a", 1024, 64))
+        b = estimate_resources(FpgaDesign("b", 4096, 64))
+        assert b.lut > a.lut
+
+    def test_lut_grows_with_group_width(self):
+        a = estimate_resources(FpgaDesign("a", 1024, 32))
+        b = estimate_resources(FpgaDesign("b", 1024, 128))
+        assert b.lut > a.lut
+
+    def test_registers_track_array_bits_when_small(self):
+        a = estimate_resources(FpgaDesign("a", 1024, 64))
+        b = estimate_resources(FpgaDesign("b", 2048, 64))
+        assert b.register - a.register == pytest.approx(1024 + 16, abs=8)
+
+    def test_register_spill_to_bram(self):
+        small = estimate_resources(FpgaDesign("s", 4096, 64))
+        big = estimate_resources(FpgaDesign("b", 8192, 64))
+        assert small.bram36 == 0
+        assert big.bram36 > 0
+        assert big.register < small.register  # array left the registers
+
+    def test_lanes_scale_lut_linearly(self):
+        one = estimate_resources(FpgaDesign("1", 1024, 64, lanes=1))
+        four = estimate_resources(FpgaDesign("4", 1024, 64, lanes=4))
+        # minus the shared counter/glue, lanes are linear
+        assert four.lut == pytest.approx(4 * (one.lut - 49) + 40 + 18, abs=30)
+
+    def test_utilisation_keys(self):
+        util = estimate_resources(FpgaDesign("u", 1024, 64)).utilisation()
+        assert set(util) == {"lut", "register", "bram36"}
+        assert all(0 <= v < 1 for v in util.values())
+
+
+class TestClockScaling:
+    def test_monotone_in_lanes(self):
+        clocks = [
+            estimate_clock_mhz(FpgaDesign("d", 1024, 64, lanes=l))
+            for l in (1, 2, 4, 8, 16)
+        ]
+        assert clocks == sorted(clocks, reverse=True)
+
+    def test_bram_designs_slower(self):
+        reg = estimate_clock_mhz(FpgaDesign("r", 2048, 64))
+        bram = estimate_clock_mhz(FpgaDesign("b", 1 << 16, 64))
+        assert bram < reg
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            FpgaDesign("bad", 1000, 64)
+        with pytest.raises(ValueError):
+            FpgaDesign("bad", 0, 64)

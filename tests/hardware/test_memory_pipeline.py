@@ -1,0 +1,100 @@
+"""Tests for the SRAM model and pipeline executor."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import Pipeline, SramRegion, Stage
+
+
+class TestSramRegion:
+    def test_read_write_roundtrip(self):
+        r = SramRegion("m", 8, 16)
+        r.write("s1", 3, 42)
+        assert r.read("s1", 3) == 42
+
+    def test_access_log(self):
+        r = SramRegion("m", 8, 16)
+        r.write("s1", 0, 1)
+        r.read("s2", 0)
+        assert len(r.accesses) == 2
+        assert r.accesses[0].kind == "write"
+        assert r.touching_stages == {"s1", "s2"}
+
+    def test_address_bounds(self):
+        r = SramRegion("m", 4, 8)
+        with pytest.raises(IndexError):
+            r.read("s", 4)
+
+    def test_width_bounds(self):
+        r = SramRegion("m", 4, 8)
+        with pytest.raises(ValueError):
+            r.write("s", 0, 1, width_bits=16)
+
+    def test_wide_words_use_lanes(self):
+        r = SramRegion("m", 4, 128)
+        assert r.words.shape == (4, 2)
+
+    def test_total_bits(self):
+        assert SramRegion("m", 16, 64).total_bits == 1024
+
+    def test_clear_log_keeps_state(self):
+        r = SramRegion("m", 4, 8)
+        r.write("s", 1, 5)
+        r.clear_log()
+        assert len(r.accesses) == 0
+        assert int(r.words[1]) == 5
+
+    def test_reset(self):
+        r = SramRegion("m", 4, 8)
+        r.write("s", 1, 5)
+        r.reset()
+        assert int(r.words[1]) == 0
+        assert not r.touching_stages
+
+
+class TestPipeline:
+    def _simple(self):
+        mem = SramRegion("mem", 16, 8)
+
+        def s1(ctx):
+            ctx["v"] = ctx["item"] * 2
+
+        def s2(ctx):
+            mem.write("s2", ctx["item"] % 16, ctx["v"])
+
+        return Pipeline([Stage("s1", s1), Stage("s2", s2, (mem,))]), mem
+
+    def test_cycles_formula(self):
+        p, _ = self._simple()
+        run = p.process(range(100))
+        assert run.cycles == 100 + 2 - 1
+
+    def test_items_per_cycle_near_one(self):
+        p, _ = self._simple()
+        run = p.process(range(1000))
+        assert run.items_per_cycle > 0.99
+
+    def test_stage_stats(self):
+        p, mem = self._simple()
+        run = p.process(range(10))
+        stats = {s.name: s for s in run.stage_stats}
+        assert stats["s1"].max_accesses_per_item == 0
+        assert stats["s2"].max_accesses_per_item == 1
+        assert stats["s2"].max_bits_per_item == 8
+
+    def test_empty_stream(self):
+        p, _ = self._simple()
+        run = p.process([])
+        assert run.cycles == 0
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([Stage("a", lambda c: None), Stage("a", lambda c: None)])
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_regions_collected(self):
+        p, mem = self._simple()
+        assert p.regions == {"mem": mem}

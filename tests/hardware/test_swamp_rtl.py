@@ -1,0 +1,51 @@
+"""Behavioural tests for the SWAMP pipeline model itself."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import SwampRtl, check_constraints
+
+
+class TestSwampRtl:
+    def test_queue_wraps_and_evicts(self):
+        rtl = SwampRtl(8, 12)
+        rtl.insert_stream(np.arange(20, dtype=np.uint64))
+        # table mirror holds exactly the window's worth of fingerprints
+        total = sum(sum(b.values()) for b in rtl._buckets)
+        assert total == 8
+
+    def test_spill_accesses_recorded(self):
+        # tiny table: chaining must show up as multi-address accesses
+        rtl = SwampRtl(64, 12)
+        run = rtl.insert_stream(np.arange(512, dtype=np.uint64))
+        insert_stats = next(s for s in run.stage_stats if s.name == "s3_insert")
+        assert insert_stats.max_distinct_addresses_per_item >= 1
+
+    def test_memory_regions_sized_o_w(self):
+        small = SwampRtl(64, 16)
+        big = SwampRtl(1024, 16)
+        assert (
+            sum(r.total_bits for r in big.pipeline.regions.values())
+            > 10 * sum(r.total_bits for r in small.pipeline.regions.values())
+        )
+
+    def test_constraint2_always_fails(self):
+        """Any run long enough to evict must trip the shared-table check."""
+        for window in (16, 128):
+            rtl = SwampRtl(window, 12)
+            run = rtl.insert_stream(np.arange(4 * window, dtype=np.uint64))
+            report = check_constraints(rtl.pipeline, run)
+            assert not report.single_stage_ok
+
+    def test_short_run_before_eviction(self):
+        """Before the queue fills there is nothing to remove — the
+        remove stage stays silent and only the insert side runs."""
+        rtl = SwampRtl(100, 12)
+        run = rtl.insert_stream(np.arange(10, dtype=np.uint64))
+        remove_stats = next(s for s in run.stage_stats if s.name == "s2_remove")
+        assert remove_stats.max_accesses_per_item == 0
+
+    def test_items_per_cycle(self):
+        rtl = SwampRtl(32, 12)
+        run = rtl.insert_stream(np.arange(100, dtype=np.uint64))
+        assert run.cycles == 100 + 3 - 1

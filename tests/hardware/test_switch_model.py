@@ -1,0 +1,99 @@
+"""Tests for the programmable-switch placement model."""
+
+import pytest
+
+from repro.hardware.switch_model import (
+    TOFINO_LIKE,
+    RegionRequirement,
+    SketchRequirements,
+    SwitchProfile,
+    plan,
+    plan_she,
+    plan_swamp,
+)
+
+
+class TestPlanShe:
+    def test_she_bm_fits(self):
+        report = plan_she(num_cells=1 << 20, cell_bits=1, group_width=64)
+        assert report.feasible, report.reasons
+        assert report.stages_used <= TOFINO_LIKE.stages
+
+    def test_she_bf_eight_lanes_fits(self):
+        report = plan_she(num_cells=1 << 17, cell_bits=1, group_width=64, num_hashes=8)
+        # 8 lanes = 17 regions: more stages than a 12-stage pipe offers,
+        # so a single pass cannot host full SHE-BF — the realistic P4
+        # deployment uses fewer hashes (k=4 fits) or both pipe passes
+        assert report.stages_used >= len(report.placements)
+        assert not report.feasible
+        four = plan_she(num_cells=1 << 17, cell_bits=1, group_width=64, num_hashes=4)
+        assert four.feasible, four.reasons
+
+    def test_she_cm_wide_words_respect_salu(self):
+        # 64 x 32-bit counters per group = 2048-bit access: too wide
+        report = plan_she(num_cells=1 << 16, cell_bits=32, group_width=64)
+        assert not report.feasible
+        assert any("SALU width" in r for r in report.reasons)
+
+    def test_she_cm_narrow_groups_fit(self):
+        # 4 x 32-bit counters = 128-bit access: exactly the SALU width
+        report = plan_she(num_cells=1 << 16, cell_bits=32, group_width=4)
+        assert report.feasible, report.reasons
+
+    def test_oversized_array_rejected(self):
+        report = plan_she(num_cells=1 << 27, cell_bits=1, group_width=64)
+        assert not report.feasible
+        assert any("stage holds" in r for r in report.reasons)
+
+
+class TestPlanSwamp:
+    def test_swamp_infeasible(self):
+        report = plan_swamp(window=65536)
+        assert not report.feasible
+
+    def test_swamp_fails_for_the_paper_reasons(self):
+        report = plan_swamp(window=65536)
+        text = " ".join(report.reasons)
+        assert "addresses per packet" in text  # constraint 3
+        assert "writer phases" in text         # constraint 2
+
+
+class TestPlanGeneric:
+    def test_stage_budget_enforced(self):
+        tiny = SwitchProfile("tiny", stages=2, sram_bits_per_stage=1 << 20, salu_width_bits=128)
+        req = SketchRequirements(
+            "three-region",
+            tuple(
+                RegionRequirement(f"r{i}", 1024, 32) for i in range(3)
+            ),
+        )
+        report = plan(req, tiny)
+        assert not report.feasible
+        assert any("stages" in r for r in report.reasons)
+
+    def test_total_sram_budget(self):
+        tiny = SwitchProfile("tiny", stages=4, sram_bits_per_stage=1024, salu_width_bits=128)
+        req = SketchRequirements(
+            "fat", (RegionRequirement("r", 100_000, 32),)
+        )
+        report = plan(req, tiny)
+        assert not report.feasible
+
+    def test_placements_are_distinct_stages(self):
+        report = plan_she(num_cells=1 << 12, cell_bits=1, group_width=64, num_hashes=2)
+        stages = list(report.placements.values())
+        assert len(set(stages)) == len(stages)
+
+
+class TestPlanMinhash:
+    def test_useful_m_infeasible(self):
+        from repro.hardware import plan_minhash
+
+        report = plan_minhash(num_counters=128)
+        assert not report.feasible
+        assert report.stages_used > 12
+
+    def test_tiny_m_places(self):
+        from repro.hardware import plan_minhash
+
+        assert plan_minhash(num_counters=8).feasible

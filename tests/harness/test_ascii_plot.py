@@ -1,0 +1,71 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.harness.ascii_plot import ascii_chart
+from repro.harness.report import FigureResult, Series
+
+
+def make_result(xs, ys, label="s1", x_label="memory", y_label="FPR"):
+    r = FigureResult("Fig X", "test figure", x_label, y_label)
+    r.series.append(Series(label, xs, ys))
+    return r
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self):
+        out = ascii_chart(make_result([1, 2, 3], [0.1, 0.2, 0.3]))
+        assert "Fig X" in out
+        assert "legend: o s1" in out
+
+    def test_log_y_auto_for_decades(self):
+        out = ascii_chart(make_result([1, 2, 3], [1e-4, 1e-2, 1.0]))
+        assert "y: FPR (log)" in out
+
+    def test_linear_y_for_narrow_range(self):
+        out = ascii_chart(make_result([1, 2, 3], [0.2, 0.25, 0.3]))
+        assert "(log)" not in out.split("y:")[1].split("\n")[0]
+
+    def test_log_x_auto(self):
+        out = ascii_chart(make_result([1, 10, 100], [0.1, 0.2, 0.3]))
+        assert "x: memory (log)" in out
+
+    def test_categorical_x(self):
+        r = make_result(["CAIDA", "Campus", "Webpage"], [1.0, 2.0, 3.0])
+        out = ascii_chart(r)
+        assert "CAIDA" in out and "Webpage" in out
+
+    def test_multiple_series_distinct_markers(self):
+        r = make_result([1, 2], [0.1, 0.2])
+        r.series.append(Series("s2", [1, 2], [0.3, 0.4]))
+        out = ascii_chart(r)
+        assert "o s1" in out and "x s2" in out
+
+    def test_handles_nan_and_zero_on_log(self):
+        out = ascii_chart(
+            make_result([1, 2, 3, 4], [float("nan"), 0.0, 1e-3, 1.0])
+        )
+        assert "Fig X" in out  # no crash
+
+    def test_all_nan_series(self):
+        out = ascii_chart(make_result([1, 2], [float("nan"), float("nan")]))
+        assert "Fig X" in out
+
+    def test_dimensions_respected(self):
+        out = ascii_chart(make_result([1, 2], [0.1, 0.2]), width=30, height=6)
+        plot_rows = [l for l in out.splitlines() if l.rstrip().endswith("|")]
+        assert len(plot_rows) == 6
+        assert all(len(l.split("|")[1]) == 30 for l in plot_rows)
+
+    def test_figure_result_chart_method(self):
+        r = make_result([1, 2], [0.1, 0.2])
+        assert r.chart() == ascii_chart(r)
+
+
+class TestCliChartFlag:
+    def test_chart_flag(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["table2", "--chart"]) == 0  # string targets ignore flag
+        out = capsys.readouterr().out
+        assert "LUT" in out

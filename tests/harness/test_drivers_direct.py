@@ -1,0 +1,97 @@
+"""Direct unit tests for every figure driver at tiny scale.
+
+The benchmarks exercise these at reporting scale; here we pin their
+*interfaces*: series counts, labels, axis metadata, and basic sanity of
+the values, fast enough for the regular test run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    Scale,
+    fig5_stability,
+    fig6_window_sizes,
+    fig8a_fpr_vs_item_age,
+    fig8b_fpr_vs_num_hashes,
+    fig9_accuracy,
+    fig10_throughput,
+    fig11_throughput,
+)
+
+TINY = Scale(window=512, n_windows=2, warm_windows=1)
+
+
+class TestFig5:
+    @pytest.mark.parametrize("task", ["bm", "hll", "cm", "bf", "mh"])
+    def test_every_task_runs(self, task):
+        r = fig5_stability(task, TINY)
+        assert len(r.series) == 3
+        for s in r.series:
+            assert len(s.x) == len(s.y) > 0
+            assert all(np.isfinite(v) or v is None for v in s.y)
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError):
+            fig5_stability("nope", TINY)
+
+    def test_checkpoints_in_windows(self):
+        r = fig5_stability("bm", TINY)
+        xs = r.series[0].x
+        assert xs == sorted(xs)
+        assert xs[0] > TINY.warm_windows  # measurement starts after warm-up
+
+
+class TestFig6:
+    def test_window_sweep_axis(self):
+        r = fig6_window_sizes("bm", TINY, window_factors=(1, 4))
+        # base window floors at 256
+        assert r.series[0].x == [256, 1024]
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError):
+            fig6_window_sizes("zzz", TINY)
+
+
+class TestFig8:
+    def test_fig8a_series_shape(self):
+        r = fig8a_fpr_vs_item_age(TINY, ages=(1.0, 2.0), trials=1)
+        assert r.series[0].x == [1.0, 2.0]
+        assert all(0 <= v <= 1 for v in r.series[0].y)
+
+    def test_fig8b_two_strategies(self):
+        r = fig8b_fpr_vs_num_hashes(TINY, hash_counts=(2, 4))
+        labels = [s.label for s in r.series]
+        assert labels == ["alpha=3", "optimal alpha"]
+
+
+class TestFig9:
+    def test_hll_panel_uses_bigger_window(self):
+        r = fig9_accuracy("b", TINY, memories=[4096])
+        assert f"N={TINY.window * 8}" in r.notes[0]
+
+    def test_custom_memories_respected(self):
+        r = fig9_accuracy("a", TINY, memories=[2048, 4096])
+        assert r.series[0].x == [2.0, 4.0]
+
+    def test_software_frame_variant(self):
+        r = fig9_accuracy("a", TINY, memories=[4096], frame="software")
+        assert any(s.label == "SHE-BM" for s in r.series)
+
+
+class TestThroughputDrivers:
+    def test_fig10_both_variants(self):
+        for variant in ("a", "b"):
+            r = fig10_throughput(variant, TINY, n_items=20_000)
+            assert len(r.series) == 3
+            assert r.series[0].x == ["CAIDA", "Campus", "Webpage"]
+            assert all(v > 0 for s in r.series for v in s.y)
+
+    def test_fig10_bad_variant(self):
+        with pytest.raises(ValueError):
+            fig10_throughput("z", TINY)
+
+    def test_fig11_labels(self):
+        r = fig11_throughput(TINY, n_items=15_000)
+        assert r.series[0].x == ["BM", "CM-sketch", "BF", "HLL", "MH"]
+        assert [s.label for s in r.series] == ["Ideal", "SHE"]

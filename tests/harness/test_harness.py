@@ -1,0 +1,167 @@
+"""Tests for scales, runners, builders and the experiment drivers.
+
+Experiment drivers run at a deliberately tiny Scale here — these tests
+check plumbing (series shapes, metric sanity), not paper-level numbers;
+the shape claims live in tests/integration/test_paper_claims.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    Scale,
+    absent_keys,
+    build_cardinality_bitmap,
+    build_cardinality_hll,
+    build_frequency,
+    build_membership,
+    build_similarity,
+    run_cardinality,
+    run_membership,
+)
+from repro.harness.common import stream_checkpoints
+from repro.harness.experiments_accuracy import (
+    fig5_stability,
+    fig7b_bm_alpha,
+    fig9_accuracy,
+)
+from repro.harness.experiments_system import (
+    fig11_throughput,
+    table2_resources,
+    table3_frequency,
+)
+
+TINY = Scale(window=512, n_windows=2, warm_windows=1)
+
+
+class TestScale:
+    def test_memory_scaling(self):
+        s = Scale(window=1 << 12)
+        assert s.memory(1024) == 64
+
+    def test_memory_floor(self):
+        s = Scale(window=256)
+        assert s.memory(100) == 24
+
+    def test_stream_items(self):
+        s = Scale(window=100, n_windows=3, warm_windows=2)
+        assert s.stream_items == 500
+
+    def test_paper_scale(self):
+        assert Scale.paper().window == 1 << 16
+
+    def test_checkpoints_cover_stream(self):
+        s = Scale(window=100, n_windows=2, warm_windows=1)
+        spans = list(stream_checkpoints(s))
+        assert spans[0][0] == 0
+        assert spans[-1][1] == s.stream_items
+        measured = [m for _, _, m in spans]
+        assert not measured[0] and measured[-1]
+
+
+class TestAbsentKeys:
+    def test_disjoint_from_trace_space(self):
+        keys = absent_keys(100)
+        assert np.all(keys >= np.uint64(1) << np.uint64(60))
+
+    def test_deterministic(self):
+        assert np.array_equal(absent_keys(10, seed=1), absent_keys(10, seed=1))
+
+
+class TestBuilders:
+    def test_membership_panel_contents(self):
+        panel = build_membership(512, 4096)
+        assert "SHE-BF" in panel and "Ideal" in panel
+        assert "TOBF" in panel and "TBF" in panel
+
+    def test_swamp_absent_below_floor(self):
+        panel = build_membership(1 << 14, 256)
+        assert "SWAMP" not in panel
+        assert "SHE-BF" in panel  # SHE survives tiny budgets
+
+    def test_cardinality_bitmap_panel(self):
+        panel = build_cardinality_bitmap(512, 2048)
+        assert {"SHE-BM", "TSV", "CVS", "Ideal"} <= set(panel)
+
+    def test_hll_panel(self):
+        panel = build_cardinality_hll(512, 2048)
+        assert {"SHE-HLL", "SHLL", "Ideal"} <= set(panel)
+
+    def test_frequency_panel(self):
+        panel = build_frequency(512, 65536)
+        assert {"SHE-CM", "ECM", "Ideal"} <= set(panel)
+
+    def test_similarity_panel(self):
+        panel = build_similarity(512, 4096)
+        assert {"SHE-MH", "Straw", "Ideal"} <= set(panel)
+
+    def test_no_baselines_flag(self):
+        panel = build_membership(512, 4096, include_baselines=False)
+        assert set(panel) == {"SHE-BF", "Ideal"}
+
+
+class TestRunners:
+    def test_membership_runner_output_shape(self, rng):
+        stream = rng.integers(0, 1000, size=TINY.stream_items, dtype=np.uint64)
+        panel = build_membership(TINY.window, 2048, include_baselines=False)
+        out = run_membership(panel, stream, TINY, n_queries=200)
+        n_checkpoints = len(out["_checkpoint"])
+        assert n_checkpoints >= 2
+        for name in panel:
+            assert len(out[name]) == n_checkpoints
+            assert all(0 <= v <= 1 for v in out[name])
+
+    def test_cardinality_runner(self, rng):
+        stream = rng.integers(0, 400, size=TINY.stream_items, dtype=np.uint64)
+        panel = build_cardinality_bitmap(TINY.window, 2048, include_baselines=False)
+        out = run_cardinality(panel, stream, TINY)
+        assert all(v >= 0 for v in out["SHE-BM"])
+
+
+class TestDrivers:
+    def test_fig5_series_per_memory(self):
+        r = fig5_stability("bm", TINY)
+        assert len(r.series) == 3
+        assert r.table()
+
+    def test_fig7b_alpha_series(self):
+        r = fig7b_bm_alpha(TINY, memories=(1024,), alphas=(0.2, 0.4))
+        assert [s.label for s in r.series] == ["alpha=0.2", "alpha=0.4"]
+
+    def test_fig9_panel_validation(self):
+        with pytest.raises(ValueError):
+            fig9_accuracy("z", TINY)
+
+    def test_fig9_returns_she_first(self):
+        r = fig9_accuracy("a", TINY, memories=[100 * 1024])
+        assert r.series[0].label.startswith("SHE")
+        assert r.series[-1].label == "Ideal"
+
+    def test_fig11_has_five_sketches(self):
+        r = fig11_throughput(TINY, n_items=20_000)
+        assert len(r.series[0].x) == 5
+        assert all(y > 0 for y in r.series[0].y)
+
+    def test_tables_render(self):
+        assert "SHE-BM" in table2_resources()
+        assert "544" in table3_frequency()
+
+
+class TestCli:
+    def test_list_target(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9a" in out and "table2" in out
+
+    def test_unknown_target(self):
+        from repro.harness.__main__ import main
+
+        assert main(["nope"]) == 2
+
+    def test_table2_target(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["table2"]) == 0
+        assert "LUT" in capsys.readouterr().out

@@ -1,0 +1,65 @@
+"""Tests for result containers and table rendering."""
+
+import pytest
+
+from repro.harness.report import FigureResult, Series, fmt, render_table
+
+
+class TestFmt:
+    def test_none(self):
+        assert fmt(None) == "--"
+
+    def test_string_passthrough(self):
+        assert fmt("abc") == "abc"
+
+    def test_zero(self):
+        assert fmt(0) == "0"
+
+    def test_scientific_for_tiny(self):
+        assert "e" in fmt(1.5e-6)
+
+    def test_scientific_for_huge(self):
+        assert "e" in fmt(2.5e7)
+
+    def test_bool(self):
+        assert fmt(True) == "yes"
+
+    def test_nan(self):
+        assert fmt(float("nan")) == "--"
+
+    def test_mid_range(self):
+        assert fmt(0.1234) == "0.1234"
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x", [1, 2], [1])
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+        assert all(len(l) == len(lines[1]) for l in lines[3:])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a"], [["1", "2"]])
+
+
+class TestFigureResult:
+    def test_table_merges_x_values(self):
+        r = FigureResult("F", "t", "x", "y")
+        r.series.append(Series("s1", [1, 2], [0.1, 0.2]))
+        r.series.append(Series("s2", [2, 3], [0.3, 0.4]))
+        out = r.table()
+        assert "s1" in out and "s2" in out
+        assert "--" in out  # missing cells
+
+    def test_notes_rendered(self):
+        r = FigureResult("F", "t", "x", "y", notes=["hello"])
+        r.series.append(Series("s", [1], [1.0]))
+        assert "note: hello" in r.table()

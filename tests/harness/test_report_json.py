@@ -1,0 +1,79 @@
+"""Tests for FigureResult JSON export and the CLI --json flag."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.report import FigureResult, Series
+
+
+def make_result():
+    r = FigureResult("Fig T", "json test", "memory", "RE")
+    r.series.append(Series("a", [1, 2], [0.5, float("nan")]))
+    r.series.append(Series("b", ["x"], [np.float64(0.25)]))
+    r.notes.append("note")
+    return r
+
+
+class TestToJson:
+    def test_round_trips_through_json(self):
+        d = json.loads(make_result().to_json())
+        assert d["name"] == "Fig T"
+        assert d["series"][0]["label"] == "a"
+        assert d["notes"] == ["note"]
+
+    def test_nan_becomes_null(self):
+        d = json.loads(make_result().to_json())
+        assert d["series"][0]["y"][1] is None
+
+    def test_numpy_scalars_coerced(self):
+        d = json.loads(make_result().to_json())
+        assert d["series"][1]["y"][0] == 0.25
+
+    def test_to_dict_is_plain_data(self):
+        d = make_result().to_dict()
+        json.dumps(d)  # must not raise
+
+
+class TestCliJsonFlag:
+    def test_writes_json_file(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+
+        rc = main(["fig7b", "--window", "512", "--json", str(tmp_path)])
+        assert rc == 0
+        data = json.loads((tmp_path / "fig7b.json").read_text())
+        assert data["name"] == "Figure 7b"
+        assert len(data["series"]) == 3
+
+
+class TestYerr:
+    def test_series_yerr_validation(self):
+        with pytest.raises(ValueError):
+            Series("s", [1, 2], [0.1, 0.2], yerr=[0.01])
+
+    def test_table_shows_spread(self):
+        r = FigureResult("F", "t", "x", "y")
+        r.series.append(Series("s", [1], [0.5], yerr=[0.1]))
+        assert "±" in r.table()
+
+    def test_json_includes_yerr(self):
+        r = FigureResult("F", "t", "x", "y")
+        r.series.append(Series("s", [1], [0.5], yerr=[0.1]))
+        d = json.loads(r.to_json())
+        assert d["series"][0]["yerr"] == [0.1]
+
+    def test_nan_yerr_hidden_in_table(self):
+        r = FigureResult("F", "t", "x", "y")
+        r.series.append(Series("s", [1], [0.5], yerr=[float("nan")]))
+        assert "±" not in r.table()
+
+    def test_fig9_trials_populate_yerr(self):
+        from repro.harness import Scale, fig9_accuracy
+
+        r = fig9_accuracy(
+            "a", Scale(window=512, n_windows=2, warm_windows=1, trials=2),
+            memories=[4096],
+        )
+        she = next(s for s in r.series if s.label == "SHE-BM")
+        assert she.yerr is not None and np.isfinite(she.yerr[0])

@@ -1,0 +1,131 @@
+"""End-to-end tests for the repro.tools CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.tools.__main__ import main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.npy"
+    assert main(["generate", "caida", "--items", "20000", "--distinct", "2000", "--out", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_npy(self, trace_file):
+        arr = np.load(trace_file)
+        assert arr.size == 20000
+
+    def test_distinct_stream(self, tmp_path, capsys):
+        path = tmp_path / "d.npy"
+        assert main(["generate", "distinct", "--items", "500", "--out", str(path)]) == 0
+        arr = np.load(path)
+        assert len(np.unique(arr)) == 500
+
+
+class TestBuildAndQuery:
+    def test_bf_roundtrip(self, tmp_path, trace_file, capsys):
+        out = tmp_path / "bf.npz"
+        assert main([
+            "build", "bf", "--window", "4096", "--memory", "32768",
+            "--trace", str(trace_file), "--out", str(out),
+        ]) == 0
+        trace = np.load(trace_file)
+        member = int(trace[-1])
+        assert main(["query", str(out), "--contains", str(member)]) == 0
+        reply = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert reply["contains"] is True
+
+    def test_bm_cardinality(self, tmp_path, trace_file, capsys):
+        out = tmp_path / "bm.npz"
+        main([
+            "build", "bm", "--window", "4096", "--memory", "4096",
+            "--trace", str(trace_file), "--out", str(out),
+        ])
+        assert main(["query", str(out), "--cardinality"]) == 0
+        reply = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert reply["cardinality"] > 100
+
+    def test_cm_frequency(self, tmp_path, trace_file, capsys):
+        out = tmp_path / "cm.npz"
+        main([
+            "build", "cm", "--window", "4096", "--memory", "65536",
+            "--trace", str(trace_file), "--out", str(out),
+        ])
+        trace = np.load(trace_file)
+        hot = int(trace[-1])
+        assert main(["query", str(out), "--frequency", str(hot)]) == 0
+        reply = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert reply["frequency"] >= 1
+
+    def test_query_wrong_capability(self, tmp_path, trace_file, capsys):
+        out = tmp_path / "bm.npz"
+        main([
+            "build", "bm", "--window", "4096", "--memory", "4096",
+            "--trace", str(trace_file), "--out", str(out),
+        ])
+        assert main(["query", str(out), "--contains", "5"]) == 2
+
+    def test_query_nothing(self, tmp_path, trace_file):
+        out = tmp_path / "bm.npz"
+        main([
+            "build", "bm", "--window", "4096", "--memory", "4096",
+            "--trace", str(trace_file), "--out", str(out),
+        ])
+        assert main(["query", str(out)]) == 2
+
+
+class TestInspect:
+    def test_inspect_reports_metadata(self, tmp_path, trace_file, capsys):
+        out = tmp_path / "hll.npz"
+        main([
+            "build", "hll", "--window", "4096", "--memory", "2048",
+            "--trace", str(trace_file), "--out", str(out),
+        ])
+        capsys.readouterr()
+        assert main(["inspect", str(out)]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["kind"] == "SheHyperLogLog"
+        assert info["archive_bytes"] > 0
+
+
+class TestMergeCommand:
+    def test_merge_archives(self, tmp_path, trace_file, capsys):
+        import numpy as np
+
+        trace = np.load(trace_file)
+        half = trace.size // 2
+        # two monitors over consecutive time spans of the same stream
+        from repro.core import SheBloomFilter
+        from repro.core.timebase import TimedStream
+        from repro.persist import save_sketch
+
+        times = np.arange(trace.size, dtype=np.int64)
+        a = SheBloomFilter(4096, 1 << 14, seed=1)
+        b = SheBloomFilter(4096, 1 << 14, seed=1)
+        TimedStream(a).insert_many(trace[:half], times[:half])
+        TimedStream(b).insert_many(trace[half:], times[half:])
+        pa, pb = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_sketch(a, pa)
+        save_sketch(b, pb)
+        out = tmp_path / "all.npz"
+        assert main(["merge", str(pa), str(pb), "--out", str(out), "--at", str(trace.size)]) == 0
+        assert main(["query", str(out), "--contains", str(int(trace[-1]))]) == 0
+        reply = json.loads(capsys.readouterr().out.strip().splitlines()[-1])
+        assert reply["contains"] is True
+
+    def test_merge_incompatible(self, tmp_path, trace_file):
+        from repro.core import SheBloomFilter
+        from repro.persist import save_sketch
+
+        a = SheBloomFilter(4096, 1 << 14, seed=1)
+        b = SheBloomFilter(4096, 1 << 14, seed=2)
+        pa, pb = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_sketch(a, pa)
+        save_sketch(b, pb)
+        with pytest.raises(ValueError):
+            main(["merge", str(pa), str(pb), "--out", str(tmp_path / "x.npz")])

@@ -1,0 +1,98 @@
+"""Shared test helpers: naive reference implementations of SHE cleaning.
+
+The vectorised batch machinery in ``repro.core.batch`` is the hardest
+code in the package; these references implement Algorithm 1 and the
+software sweep *literally, one touch at a time*, and the equivalence
+tests assert the fast paths match them bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SheConfig
+from repro.core.csm import UpdateKind
+
+
+class NaiveHardwareFrame:
+    """Algorithm 1, executed one touch at a time with no vectorisation."""
+
+    def __init__(self, config: SheConfig, num_cells: int, *, empty_value: int = 0):
+        self.config = config
+        self.num_cells = num_cells
+        self.w = config.group_width
+        assert num_cells % self.w == 0
+        self.g = num_cells // self.w
+        self.t_cycle = config.t_cycle
+        self.offsets = [-((self.t_cycle * gid) // self.g) for gid in range(self.g)]
+        self.empty_value = empty_value
+        self.cells = [empty_value] * num_cells
+        self.marks = [self._cur_mark(gid, 0) for gid in range(self.g)]
+
+    def _cur_mark(self, gid: int, t: int) -> int:
+        return ((t + self.offsets[gid]) // self.t_cycle) % 2
+
+    def check_group(self, gid: int, t: int) -> None:
+        cur = self._cur_mark(gid, t)
+        if self.marks[gid] != cur:
+            self.marks[gid] = cur
+            for j in range(gid * self.w, (gid + 1) * self.w):
+                self.cells[j] = self.empty_value
+
+    def age(self, gid: int, t: int) -> int:
+        return (t + self.offsets[gid]) % self.t_cycle
+
+    def touch(self, cell: int, t: int, kind: UpdateKind, value: int | None = None) -> None:
+        gid = cell // self.w
+        self.check_group(gid, t)
+        y = self.cells[cell]
+        if kind is UpdateKind.SET_ONE:
+            self.cells[cell] = 1
+        elif kind is UpdateKind.ADD_ONE:
+            self.cells[cell] = y + 1
+        elif kind is UpdateKind.MAX_RANK:
+            self.cells[cell] = max(y, value)
+        elif kind is UpdateKind.MIN_HASH:
+            self.cells[cell] = min(y, value)
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+
+
+class NaiveSoftwareFrame:
+    """The §3.2 sweep, executed cell by cell with no vectorisation."""
+
+    def __init__(self, config: SheConfig, num_cells: int, *, empty_value: int = 0):
+        self.num_cells = num_cells
+        self.t_cycle = config.t_cycle
+        self.empty_value = empty_value
+        self.cells = [empty_value] * num_cells
+        self._boundaries_done = 0
+
+    def advance(self, t: int) -> None:
+        b1 = (t * self.num_cells) // self.t_cycle
+        while self._boundaries_done < b1:
+            self._boundaries_done += 1
+            self.cells[self._boundaries_done % self.num_cells] = self.empty_value
+
+    def touch(self, cell: int, t: int, kind: UpdateKind, value: int | None = None) -> None:
+        self.advance(t)
+        y = self.cells[cell]
+        if kind is UpdateKind.SET_ONE:
+            self.cells[cell] = 1
+        elif kind is UpdateKind.ADD_ONE:
+            self.cells[cell] = y + 1
+        elif kind is UpdateKind.MAX_RANK:
+            self.cells[cell] = max(y, value)
+        elif kind is UpdateKind.MIN_HASH:
+            self.cells[cell] = min(y, value)
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+
+
+def zipf_stream(n: int, universe: int, seed: int = 0, skew: float = 1.1) -> np.ndarray:
+    """Small deterministic skewed stream for tests."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    p = ranks**-skew
+    p /= p.sum()
+    return rng.choice(np.arange(universe, dtype=np.uint64), size=n, p=p)

@@ -1,0 +1,125 @@
+"""Tests for the applications layer (heavy hitters, anomaly detection)."""
+
+import numpy as np
+import pytest
+
+from repro.applications import CardinalityAnomalyDetector, HeavyHitters
+from repro.core import SheBitmap, SheCountMin
+from repro.datasets import caida_like
+from repro.exact import ExactWindow
+
+
+class TestHeavyHitters:
+    def make_stream(self, window, hot_keys, hot_share=0.4, seed=0):
+        rng = np.random.default_rng(seed)
+        n = 6 * window
+        cold = rng.integers(1 << 30, 1 << 31, size=n, dtype=np.uint64)
+        hot_mask = rng.random(n) < hot_share
+        cold[hot_mask] = rng.choice(
+            np.asarray(hot_keys, dtype=np.uint64), size=int(hot_mask.sum())
+        )
+        return cold
+
+    def test_finds_planted_heavy_hitters(self):
+        window = 4096
+        hot = [11, 22, 33]
+        stream = self.make_stream(window, hot)
+        hh = HeavyHitters(window, threshold=window * 0.05)
+        for lo in range(0, stream.size, window // 2):
+            hh.insert_many(stream[lo : lo + window // 2])
+        found = {k for k, _ in hh.heavy_hitters()}
+        assert set(hot) <= found
+
+    def test_no_false_dismissal_of_true_hitters(self):
+        window = 2048
+        hh = HeavyHitters(window, threshold=100)
+        ew = ExactWindow(window)
+        stream = self.make_stream(window, [7], hot_share=0.2, seed=1)
+        for lo in range(0, stream.size, window // 2):
+            hh.insert_many(stream[lo : lo + window // 2])
+            ew.insert_many(stream[lo : lo + window // 2])
+        truly_heavy = [
+            int(k) for k in ew.distinct_keys() if ew.frequency(int(k)) >= 100
+        ]
+        reported = {k for k, _ in hh.heavy_hitters()}
+        for k in truly_heavy:
+            assert k in reported
+
+    def test_cooled_keys_expire(self):
+        window = 1024
+        hh = HeavyHitters(window, threshold=50)
+        hh.insert_many(np.full(200, 5, dtype=np.uint64))
+        assert 5 in {k for k, _ in hh.heavy_hitters()}
+        # flood with other traffic for several windows
+        hh.insert_many(np.arange(1000, 1000 + 6 * window, dtype=np.uint64) % np.uint64(10**6))
+        assert 5 not in {k for k, _ in hh.heavy_hitters()}
+
+    def test_candidate_cap(self):
+        window = 1024
+        hh = HeavyHitters(window, threshold=1, max_candidates=10)
+        hh.insert_many(np.arange(500, dtype=np.uint64))
+        assert len(hh.heavy_hitters()) <= 10
+
+    def test_custom_sketch_window_mismatch(self):
+        with pytest.raises(ValueError):
+            HeavyHitters(100, 5, sketch=SheCountMin(200, 256))
+
+    def test_memory_accounting(self):
+        hh = HeavyHitters(256, 5, num_counters=256)
+        assert hh.memory_bytes > hh.sketch.memory_bytes
+
+    def test_reset(self):
+        hh = HeavyHitters(256, 2)
+        hh.insert_many(np.full(10, 3, dtype=np.uint64))
+        hh.reset()
+        assert hh.heavy_hitters() == []
+
+
+class TestAnomalyDetector:
+    def test_flags_cardinality_spike(self):
+        window = 2048
+        base = caida_like(8 * window, window, seed=5).items.copy()
+        # inject a scan: a burst of unique keys mid-stream
+        burst = (np.uint64(1) << np.uint64(50)) + np.arange(window, dtype=np.uint64)
+        base[5 * window : 6 * window] = burst
+        det = CardinalityAnomalyDetector(
+            SheBitmap(window, 1 << 13, seed=6),
+            check_every=window // 4,
+            score_threshold=4.0,
+        )
+        events = det.insert_many(base)
+        assert events, "the scan burst must be flagged"
+        first = events[0]
+        assert 5 * window <= first.t <= 7 * window
+        assert first.estimate > first.baseline
+
+    def test_quiet_stream_stays_quiet(self):
+        window = 2048
+        stream = caida_like(8 * window, window, seed=7).items
+        det = CardinalityAnomalyDetector(
+            SheBitmap(window, 1 << 13, seed=8),
+            check_every=window // 4,
+            score_threshold=6.0,
+        )
+        events = det.insert_many(stream)
+        assert len(events) <= 1  # estimator noise may blip once at most
+
+    def test_baseline_not_poisoned_by_anomaly(self):
+        window = 1024
+        det = CardinalityAnomalyDetector(
+            SheBitmap(window, 1 << 12, seed=9),
+            check_every=window // 2,
+            score_threshold=3.0,
+            warmup_checks=2,
+        )
+        steady = (np.arange(6 * window, dtype=np.uint64) % np.uint64(50))
+        det.insert_many(steady)
+        baseline_before = det.baseline
+        burst = (np.uint64(1) << np.uint64(51)) + np.arange(window, dtype=np.uint64)
+        det.insert_many(burst)
+        # flagged checks do not move the baseline
+        assert det.baseline == pytest.approx(baseline_before, rel=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CardinalityAnomalyDetector(SheBitmap(64, 128), check_every=0)

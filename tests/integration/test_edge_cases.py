@@ -1,0 +1,173 @@
+"""Edge cases and failure injection across the package.
+
+Adversarial streams (single hot key, all-distinct floods, long
+silences), extreme key values, degenerate sizes, and clock jumps —
+the conditions a production deployment hits that benchmarks do not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Swamp, TimingBloomFilter
+from repro.core import (
+    SheBitmap,
+    SheBloomFilter,
+    SheCountMin,
+    SheHyperLogLog,
+    SheMinHash,
+)
+from repro.exact import ExactWindow
+
+ALL_FRAMES = ["hardware", "software"]
+
+
+class TestExtremeKeys:
+    @pytest.mark.parametrize("frame", ALL_FRAMES)
+    def test_max_uint64_keys(self, frame):
+        bf = SheBloomFilter(64, 1024, frame=frame)
+        keys = np.asarray([0, 1, 2**64 - 1, 2**63], dtype=np.uint64)
+        bf.insert_many(keys)
+        assert np.all(bf.contains_many(keys))
+
+    def test_key_zero_everywhere(self):
+        for cls, args in [
+            (SheBloomFilter, (64, 1024)),
+            (SheBitmap, (64, 1024)),
+            (SheHyperLogLog, (64, 64)),
+            (SheCountMin, (64, 128)),
+        ]:
+            sk = cls(*args)
+            sk.insert(0)  # must not crash or alias strangely
+            assert sk.now() == 1
+
+
+class TestDegenerateSizes:
+    def test_single_group_bloom(self):
+        bf = SheBloomFilter(16, 64, group_width=64)
+        bf.insert_many(np.arange(10, dtype=np.uint64))
+        assert bf.frame.num_groups == 1
+        assert bf.contains(5)
+
+    def test_window_of_one(self):
+        bf = SheBloomFilter(1, 1024, alpha=3.0)
+        bf.insert(7)
+        assert bf.contains(7)
+
+    def test_one_register_hll(self):
+        h = SheHyperLogLog(16, 1)
+        h.insert_many(np.arange(100, dtype=np.uint64))
+        assert np.isfinite(h.cardinality())
+
+    def test_minhash_single_counter(self):
+        mh = SheMinHash(16, 1)
+        mh.insert(0, 5)
+        mh.insert(1, 5)
+        assert mh.similarity() in (0.0, 1.0)
+
+
+class TestAdversarialStreams:
+    @pytest.mark.parametrize("frame", ALL_FRAMES)
+    def test_single_hot_key_forever(self, frame):
+        """One key repeated for many windows: cardinality stays ~1."""
+        bm = SheBitmap(256, 4096, frame=frame)
+        bm.insert_many(np.full(4096, 42, dtype=np.uint64))
+        assert bm.cardinality() < 20
+
+    @pytest.mark.parametrize("frame", ALL_FRAMES)
+    def test_distinct_flood_then_silence_of_inserts(self, frame):
+        """CM under an all-distinct flood: hot key count stays honest."""
+        cm = SheCountMin(256, 1 << 14, frame=frame, alpha=1.0)
+        cm.insert_many(np.full(64, 7, dtype=np.uint64))
+        flood = (np.uint64(1) << np.uint64(40)) + np.arange(192, dtype=np.uint64)
+        cm.insert_many(flood)
+        est = cm.frequency(7)
+        assert 64 <= est <= 64 + 30  # overestimate only by collisions
+
+    def test_alternating_bursts(self):
+        """Window alternates between two disjoint populations."""
+        n = 512
+        bm = SheBitmap(n, 1 << 13)
+        ew = ExactWindow(n)
+        a = np.arange(0, 400, dtype=np.uint64)
+        b = np.arange(10_000, 10_400, dtype=np.uint64)
+        for phase in range(8):
+            block = a if phase % 2 == 0 else b
+            sel = np.resize(block, n // 2)
+            bm.insert_many(sel)
+            ew.insert_many(sel)
+        est, true = bm.cardinality(), ew.cardinality()
+        assert abs(est - true) / true < 0.5
+
+    def test_all_keys_same_group(self):
+        """Keys engineered into one group: SHE still answers sanely."""
+        bf = SheBloomFilter(64, 4096, num_hashes=2, group_width=64, seed=1)
+        # brute-force keys whose both hashes land in group 0
+        keys = []
+        k = 0
+        while len(keys) < 20 and k < 200_000:
+            idx = bf.hashes.indices(np.asarray([k], dtype=np.uint64), bf.num_bits)[0]
+            if np.all(idx // 64 == 0):
+                keys.append(k)
+            k += 1
+        if len(keys) >= 5:
+            arr = np.asarray(keys, dtype=np.uint64)
+            bf.insert_many(arr)
+            assert np.all(bf.contains_many(arr))
+
+
+class TestClockJumps:
+    @pytest.mark.parametrize("frame", ALL_FRAMES)
+    def test_huge_gap_between_batches(self, frame):
+        """A sketch idle for 1000 windows then resumed stays correct."""
+        from repro.core.timebase import TimedStream
+
+        bf = SheBloomFilter(100, 2048, alpha=1.0, frame=frame)
+        ts = TimedStream(bf)
+        ts.insert_many(np.arange(50, dtype=np.uint64), np.arange(50, dtype=np.int64))
+        # resume after 1000 windows of silence
+        late_keys = 1000 + np.arange(50, dtype=np.uint64)
+        late_times = 100_000 + np.arange(50, dtype=np.int64)
+        ts.insert_many(late_keys, late_times)
+        assert np.all(bf.contains_many(late_keys))
+
+    def test_query_far_future(self):
+        bm = SheBitmap(128, 2048)
+        bm.insert_many(np.arange(100, dtype=np.uint64))
+        # as-of a far-future instant everything has expired (with the
+        # known caveat that untouched marks may wrap; query-time ages
+        # still classify every group, so the estimate must be finite)
+        assert np.isfinite(bm.cardinality(t=10**9))
+
+
+class TestBaselineEdges:
+    def test_swamp_window_one(self):
+        sw = Swamp(1, 16)
+        sw.insert(5)
+        sw.insert(6)
+        assert not sw.contains(5)
+        assert sw.contains(6)
+
+    def test_tbf_minimum_viable_wrap(self):
+        # smallest counter width that satisfies wrap > 2N
+        tbf = TimingBloomFilter(10, 64, counter_bits=5)  # wrap 32 > 20
+        tbf.insert_many(np.arange(100, dtype=np.uint64))
+        assert tbf.contains(99)
+
+    def test_exact_window_uint64_range(self):
+        w = ExactWindow(4)
+        w.insert(2**64 - 1)
+        assert w.contains(2**64 - 1)
+
+
+class TestResetReuse:
+    @pytest.mark.parametrize("frame", ALL_FRAMES)
+    def test_reset_gives_fresh_behaviour(self, frame):
+        """After reset, a sketch behaves exactly like a new one."""
+        stream = np.random.default_rng(3).integers(0, 300, size=500, dtype=np.uint64)
+        a = SheBloomFilter(64, 1024, frame=frame, seed=2)
+        a.insert_many(np.arange(100, dtype=np.uint64))
+        a.reset()
+        b = SheBloomFilter(64, 1024, frame=frame, seed=2)
+        a.insert_many(stream)
+        b.insert_many(stream)
+        assert np.array_equal(a.frame.cells, b.frame.cells)

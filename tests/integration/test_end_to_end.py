@@ -1,0 +1,118 @@
+"""End-to-end integration: whole-package flows a user would run."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    ExactJaccard,
+    ExactWindow,
+    SheBitmap,
+    SheBloomFilter,
+    SheCountMin,
+    SheHyperLogLog,
+    SheMinHash,
+)
+from repro.datasets import caida_like, relevant_pair
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestFourTasksOneStream:
+    """All single-stream sketches digest the same trace coherently."""
+
+    @pytest.fixture(scope="class")
+    def state(self):
+        window = 1 << 12
+        trace = caida_like(6 * window, 2 * window, seed=17).items
+        sketches = {
+            "bf": SheBloomFilter(window, 1 << 16),
+            "bm": SheBitmap(window, 1 << 13),
+            "hll": SheHyperLogLog(window, 2048),
+            "cm": SheCountMin(window, 1 << 14),
+        }
+        oracle = ExactWindow(window)
+        step = window // 2
+        for lo in range(0, trace.size, step):
+            chunk = trace[lo : lo + step]
+            oracle.insert_many(chunk)
+            for sk in sketches.values():
+                sk.insert_many(chunk)
+        return window, trace, sketches, oracle
+
+    def test_clocks_agree(self, state):
+        window, trace, sketches, oracle = state
+        for sk in sketches.values():
+            assert sk.now() == trace.size
+
+    def test_membership_consistent(self, state):
+        _, _, sketches, oracle = state
+        members = oracle.distinct_keys()
+        assert np.all(sketches["bf"].contains_many(members))
+
+    def test_cardinalities_agree_with_oracle(self, state):
+        _, _, sketches, oracle = state
+        true_c = oracle.cardinality()
+        for name in ("bm", "hll"):
+            est = sketches[name].cardinality()
+            assert abs(est - true_c) / true_c < 0.5, name
+
+    def test_frequencies_sane(self, state):
+        _, _, sketches, oracle = state
+        keys = oracle.distinct_keys()[:100]
+        est = sketches["cm"].frequency_many(keys)
+        true = oracle.frequency_many(keys)
+        assert np.mean(est >= true) > 0.9
+
+    def test_memory_reporting(self, state):
+        _, _, sketches, _ = state
+        for sk in sketches.values():
+            assert sk.memory_bytes > 0
+
+
+class TestSimilarityFlow:
+    def test_tracks_exact_jaccard(self):
+        window = 1 << 11
+        a, b = relevant_pair(5 * window, window, overlap=0.6, seed=23)
+        mh = SheMinHash(window, 512)
+        ej = ExactJaccard(window)
+        step = window // 2
+        for lo in range(0, a.items.size, step):
+            for side, s in ((0, a.items), (1, b.items)):
+                mh.insert_many(side, s[lo : lo + step])
+                ej.insert_many(side, s[lo : lo + step])
+        assert abs(mh.similarity() - ej.similarity()) < 0.15
+
+
+class TestFrameAgreement:
+    """Hardware and software frames give statistically similar answers."""
+
+    def test_bf_answers_mostly_agree(self):
+        window = 1 << 10
+        trace = caida_like(4 * window, window, seed=29).items
+        hw = SheBloomFilter(window, 1 << 14, frame="hardware", seed=3)
+        sw = SheBloomFilter(window, 1 << 14, frame="software", seed=3)
+        hw.insert_many(trace)
+        sw.insert_many(trace)
+        probes = np.unique(trace)[:500]
+        agree = np.mean(hw.contains_many(probes) == sw.contains_many(probes))
+        assert agree > 0.95
+
+
+class TestSoftwareVsHardwareAccuracy:
+    def test_bm_estimates_close(self):
+        window = 1 << 11
+        trace = caida_like(5 * window, window, seed=31).items
+        hw = SheBitmap(window, 1 << 13, frame="hardware", seed=4)
+        sw = SheBitmap(window, 1 << 13, frame="software", seed=4)
+        hw.insert_many(trace)
+        sw.insert_many(trace)
+        a, b = hw.cardinality(), sw.cardinality()
+        assert abs(a - b) / max(a, b) < 0.3

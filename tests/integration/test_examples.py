@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they show"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "network_monitoring",
+        "cardinality_dashboard",
+        "similarity_drift",
+        "fpga_pipeline_demo",
+        "persistent_timed_monitor",
+    } <= names

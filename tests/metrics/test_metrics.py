@@ -1,0 +1,96 @@
+"""Tests for FPR/RE/ARE metrics and the throughput harness."""
+
+import numpy as np
+import pytest
+
+from repro.fixed import Bitmap
+from repro.metrics import (
+    ThroughputResult,
+    average_relative_error,
+    false_positive_rate,
+    measure_throughput,
+    relative_error,
+)
+
+
+class TestFPR:
+    def test_basic(self):
+        pred = np.asarray([True, True, False, False])
+        truth = np.asarray([True, False, False, False])
+        assert false_positive_rate(pred, truth) == pytest.approx(1 / 3)
+
+    def test_all_negatives_correct(self):
+        pred = np.zeros(5, dtype=bool)
+        truth = np.zeros(5, dtype=bool)
+        assert false_positive_rate(pred, truth) == 0.0
+
+    def test_no_negatives(self):
+        pred = np.ones(3, dtype=bool)
+        truth = np.ones(3, dtype=bool)
+        assert false_positive_rate(pred, truth) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            false_positive_rate(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+
+    def test_zero_truth_zero_estimate(self):
+        assert relative_error(0, 0) == 0.0
+
+    def test_zero_truth_nonzero_estimate(self):
+        assert relative_error(5, 0) == float("inf")
+
+    def test_symmetric_in_magnitude(self):
+        assert relative_error(90, 100) == pytest.approx(relative_error(110, 100))
+
+
+class TestARE:
+    def test_basic(self):
+        est = np.asarray([10.0, 20.0])
+        true = np.asarray([10.0, 10.0])
+        assert average_relative_error(est, true) == pytest.approx(0.5)
+
+    def test_rejects_zero_truth(self):
+        with pytest.raises(ValueError):
+            average_relative_error(np.asarray([1.0]), np.asarray([0.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            average_relative_error(np.zeros(2), np.ones(3))
+
+
+class TestThroughput:
+    def test_measures_inserts(self):
+        bm = Bitmap(1 << 12)
+        stream = np.arange(10_000, dtype=np.uint64)
+        res = measure_throughput(bm, stream, chunk=1000)
+        assert res.items == 10_000
+        assert res.seconds > 0
+        assert res.mips > 0
+
+    def test_warmup_excluded(self):
+        bm = Bitmap(1 << 12)
+        stream = np.arange(10_000, dtype=np.uint64)
+        res = measure_throughput(bm, stream, chunk=1000, warmup=4000)
+        assert res.items == 6000
+
+    def test_two_sided_sketch(self):
+        from repro.fixed import MinHash
+
+        mh = MinHash(64)
+        stream = np.arange(2000, dtype=np.uint64)
+        res = measure_throughput(mh, stream, side=1, chunk=500)
+        assert res.items == 2000
+
+    def test_default_name(self):
+        bm = Bitmap(256)
+        res = measure_throughput(bm, np.arange(100, dtype=np.uint64))
+        assert res.name == "Bitmap"
+
+    def test_mips_infinite_guard(self):
+        r = ThroughputResult("x", 10, 0.0)
+        assert r.mips == float("inf")

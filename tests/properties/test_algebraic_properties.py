@@ -1,0 +1,89 @@
+"""Algebraic properties: merge semantics and persistence round-trips."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SheBitmap, SheBloomFilter, SheCountMin
+from repro.core.merge import merge_sketches
+from repro.core.timebase import TimedStream
+from repro.persist import load_sketch, save_sketch
+
+streams = st.lists(st.integers(0, 150), min_size=4, max_size=200)
+
+
+def _fresh(cls, **kw):
+    return cls(64, 256, seed=17, **kw)
+
+
+@given(streams, st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_merge_commutative(keys, split_seed):
+    """merge(a, b) == merge(b, a) for every partition of a stream."""
+    arr = np.asarray(keys, dtype=np.uint64)
+    side = np.random.default_rng(split_seed).random(arr.size) < 0.5
+    times = np.arange(arr.size, dtype=np.int64)
+    for cls in (SheBloomFilter, SheBitmap, SheCountMin):
+        a1, b1 = _fresh(cls), _fresh(cls)
+        TimedStream(a1).insert_many(arr[side], times[side])
+        TimedStream(b1).insert_many(arr[~side], times[~side])
+        m1 = merge_sketches(a1, b1, t=arr.size)
+        m2 = merge_sketches(b1, a1, t=arr.size)
+        assert np.array_equal(m1.frame.cells, m2.frame.cells), cls.__name__
+
+
+@given(streams)
+@settings(max_examples=30, deadline=None)
+def test_merge_with_empty_is_identity(keys):
+    """Merging with a never-fed sketch changes nothing (at equal time)."""
+    arr = np.asarray(keys, dtype=np.uint64)
+    for cls in (SheBloomFilter, SheBitmap, SheCountMin):
+        full = _fresh(cls)
+        full.insert_many(arr)
+        empty = _fresh(cls)
+        merged = merge_sketches(full, empty, t=full.now())
+        full.frame.prepare_query_all(full.now())
+        assert np.array_equal(merged.frame.cells, full.frame.cells), cls.__name__
+
+
+@given(streams, st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_merge_associative(keys, s1, s2):
+    """Three-way merge is order-independent (grouped sketches)."""
+    arr = np.asarray(keys, dtype=np.uint64)
+    rng = np.random.default_rng(s1)
+    part = rng.integers(0, 3, size=arr.size)
+    times = np.arange(arr.size, dtype=np.int64)
+    t = arr.size
+    sketches = []
+    for p in range(3):
+        sk = _fresh(SheCountMin)
+        sel = part == p
+        TimedStream(sk).insert_many(arr[sel], times[sel])
+        sketches.append(sk)
+    left = merge_sketches(merge_sketches(sketches[0], sketches[1], t=t), sketches[2], t=t)
+    right = merge_sketches(sketches[0], merge_sketches(sketches[1], sketches[2], t=t), t=t)
+    assert np.array_equal(left.frame.cells, right.frame.cells)
+
+
+@given(streams)
+@settings(max_examples=25, deadline=None)
+def test_save_load_identity(keys):
+    """load(save(x)) continues the stream exactly as x would."""
+    import tempfile
+    from pathlib import Path
+
+    arr = np.asarray(keys, dtype=np.uint64)
+    tmp = tempfile.mkdtemp(prefix="she-ser-")
+    path = Path(tmp) / "s.npz"
+    for cls in (SheBloomFilter, SheBitmap, SheCountMin):
+        orig = _fresh(cls)
+        orig.insert_many(arr)
+        save_sketch(orig, path)
+        copy = load_sketch(path)
+        more = (arr * np.uint64(3) + np.uint64(1)) % np.uint64(500)
+        orig.insert_many(more)
+        copy.insert_many(more)
+        orig.frame.prepare_query_all(orig.now())
+        copy.frame.prepare_query_all(copy.now())
+        assert np.array_equal(orig.frame.cells, copy.frame.cells), cls.__name__

@@ -1,0 +1,107 @@
+"""Property-based tests on sketch-level invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import Swamp, TimeOutBloomFilter
+from repro.core import SheBloomFilter, SheCountMin
+from repro.exact import ExactWindow
+
+streams = st.lists(st.integers(0, 200), min_size=1, max_size=400)
+
+
+@given(streams, st.sampled_from(["hardware", "software"]))
+@settings(max_examples=40, deadline=None)
+def test_she_bf_never_false_negative(keys, frame):
+    """§3.2: SHE-BF preserves the Bloom filter's one-sided error."""
+    window = 64
+    bf = SheBloomFilter(window, 512, num_hashes=4, frame=frame)
+    ew = ExactWindow(window)
+    arr = np.asarray(keys, dtype=np.uint64)
+    bf.insert_many(arr)
+    ew.insert_many(arr)
+    members = ew.distinct_keys()
+    assert np.all(bf.contains_many(members))
+
+
+@given(streams, st.sampled_from(["hardware", "software"]))
+@settings(max_examples=40, deadline=None)
+def test_she_cm_overestimates_on_mature(keys, frame):
+    """SHE-CM never underestimates when a mature counter exists."""
+    window = 64
+    cm = SheCountMin(window, 512, num_hashes=4, alpha=1.0, frame=frame)
+    ew = ExactWindow(window)
+    arr = np.asarray(keys, dtype=np.uint64)
+    cm.insert_many(arr)
+    ew.insert_many(arr)
+    kset = ew.distinct_keys()
+    idx = cm.hashes.indices(kset, cm.num_counters)
+    mature = cm.frame.mature_mask(idx.reshape(-1), cm.now()).reshape(idx.shape)
+    has_mature = np.any(mature, axis=1)
+    est = cm.frequency_many(kset)
+    true = ew.frequency_many(kset)
+    assert np.all(est[has_mature] >= true[has_mature])
+
+
+@given(streams)
+@settings(max_examples=40, deadline=None)
+def test_swamp_window_size_invariant(keys):
+    sw = Swamp(16, 12)
+    sw.insert_many(np.asarray(keys, dtype=np.uint64))
+    assert sw.table.size == min(len(keys), 16)
+
+
+@given(streams)
+@settings(max_examples=40, deadline=None)
+def test_tobf_no_false_negative(keys):
+    window = 32
+    tobf = TimeOutBloomFilter(window, 512, 4)
+    ew = ExactWindow(window)
+    arr = np.asarray(keys, dtype=np.uint64)
+    tobf.insert_many(arr)
+    ew.insert_many(arr)
+    assert np.all(tobf.contains_many(ew.distinct_keys()))
+
+
+@given(streams, st.integers(1, 50))
+@settings(max_examples=40, deadline=None)
+def test_exact_window_matches_bruteforce(keys, window):
+    w = ExactWindow(window)
+    w.insert_many(np.asarray(keys, dtype=np.uint64))
+    tail = keys[-window:]
+    assert w.cardinality() == len(set(tail))
+    assert sorted(w.items().tolist()) == sorted(tail)
+    for probe in set(keys[:5]):
+        assert w.frequency(probe) == tail.count(probe)
+
+
+@given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=200, unique=True))
+@settings(max_examples=30, deadline=None)
+def test_bloom_filter_no_false_negative_fixed(keys):
+    from repro.fixed import BloomFilter
+
+    bf = BloomFilter(2048, 4)
+    arr = np.asarray(keys, dtype=np.uint64)
+    bf.insert_many(arr)
+    assert np.all(bf.contains_many(arr))
+
+
+@given(st.lists(st.tuples(st.integers(0, 1000), st.integers(1, 3)), min_size=1, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_expohist_error_bound(events):
+    """DGIM: estimate within 1/k of the true windowed count, plus the
+    half-event the midpoint rule concedes."""
+    from repro.baselines import ExponentialHistogram
+
+    window, k = 100, 8
+    eh = ExponentialHistogram(window, k=k)
+    times = []
+    t = 0
+    for dt, amount in events:
+        t += dt
+        eh.add(t, amount)
+        times.extend([t] * amount)
+    true = sum(1 for x in times if x > t - window)
+    est = eh.query(t)
+    assert abs(est - true) <= max(1.0, true / k + 0.5)
