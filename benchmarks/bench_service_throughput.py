@@ -1,0 +1,87 @@
+"""Service throughput: single sketch vs the sharded engine.
+
+Not a paper figure — this benchmarks the serving layer the ROADMAP asks
+for.  One SHE-CM sketch is the baseline; the engine is measured at
+1/2/4/8 shards with the in-process executor and at 2/4 shards with the
+multiprocessing executor.  The in-process engine pays the partitioning
+and buffering tax (expected to land within a small factor of the bare
+sketch); the process executor amortises it once flushes parallelise
+across cores.  Mips tables land in ``results/bench_service.txt``.
+"""
+
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.core import SheCountMin
+from repro.datasets import BoundedZipf
+from repro.metrics import measure_throughput
+from repro.service import EngineConfig, StreamEngine
+
+WINDOW = 1 << 14
+SIZE = 1 << 13
+N_ITEMS = 400_000
+CHUNK = 8192
+
+
+def _stream():
+    return BoundedZipf(50_000, 1.05, seed=31).sample(N_ITEMS)
+
+
+def _engine_mips(stream, shards, executor, num_workers=None):
+    cfg = EngineConfig(
+        "cm",
+        window=WINDOW,
+        size=SIZE,
+        num_shards=shards,
+        flush_batch_size=CHUNK,
+        flush_interval_s=None,
+        sketch_kwargs={"seed": 7},
+    )
+    with StreamEngine(cfg, executor=executor, num_workers=num_workers) as eng:
+        started = time.perf_counter()
+        for lo in range(0, stream.size, CHUNK):
+            eng.ingest(stream[lo : lo + CHUNK])
+        eng.flush()
+        seconds = time.perf_counter() - started
+    return stream.size / seconds / 1e6
+
+
+def test_service_throughput(benchmark, results_dir):
+    stream = _stream()
+
+    def run():
+        rows = []
+        base = measure_throughput(
+            SheCountMin(WINDOW, SIZE, seed=7), stream, chunk=CHUNK,
+            name="SHE-CM insert_many",
+        )
+        rows.append(("single sketch", "-", base.mips))
+        for shards in (1, 2, 4, 8):
+            rows.append(
+                (f"engine serial x{shards}", shards, _engine_mips(stream, shards, "serial"))
+            )
+        for shards in (2, 4):
+            rows.append(
+                (
+                    f"engine process x{shards}",
+                    shards,
+                    _engine_mips(stream, shards, "process", num_workers=shards),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    header = f"{'configuration':<24} {'shards':>6} {'Mips':>8}"
+    lines = [header, "-" * len(header)]
+    for name, shards, mips in rows:
+        lines.append(f"{name:<24} {shards!s:>6} {mips:>8.2f}")
+    emit(results_dir, "bench_service", "\n".join(lines) + "\n")
+
+    by = {name: mips for name, _, mips in rows}
+    # the serving layer must stay within a small factor of the raw sketch
+    assert by["engine serial x1"] > by["single sketch"] / 5
+    # sharding in-process must not collapse throughput
+    assert by["engine serial x4"] > by["single sketch"] / 8

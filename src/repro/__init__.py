@@ -29,6 +29,7 @@ Quickstart::
 from repro.core import (
     GenericSheSketch,
     TimedStream,
+    merge_many,
     merge_sketches,
     mergeable,
     SheBitmap,
@@ -40,6 +41,7 @@ from repro.core import (
 )
 from repro.exact import ExactJaccard, ExactWindow
 from repro.persist import load_sketch, save_sketch
+from repro.service import EngineConfig, StreamEngine, recover_engine
 
 __version__ = "1.0.0"
 
@@ -56,7 +58,11 @@ __all__ = [
     "ExactJaccard",
     "load_sketch",
     "save_sketch",
+    "merge_many",
     "merge_sketches",
     "mergeable",
+    "EngineConfig",
+    "StreamEngine",
+    "recover_engine",
     "__version__",
 ]

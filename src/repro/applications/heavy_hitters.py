@@ -34,7 +34,11 @@ class HeavyHitters:
         num_counters: SHE-CM size (or pass a prebuilt ``sketch``).
         max_candidates: cap on tracked candidates (oldest-estimate
             entries are evicted first when full).
-        sketch: optionally supply a configured :class:`SheCountMin`.
+        sketch: optionally supply a prebuilt frequency backend — a
+            :class:`SheCountMin`, or any object with the same
+            ``insert_many`` / ``frequency`` / ``frequency_many`` /
+            ``config.window`` surface, such as a CM-kind
+            :class:`repro.service.StreamEngine` (sharded serving).
     """
 
     def __init__(
@@ -44,7 +48,7 @@ class HeavyHitters:
         *,
         num_counters: int = 1 << 14,
         max_candidates: int = 1024,
-        sketch: SheCountMin | None = None,
+        sketch=None,
         seed: int = 40,
     ):
         require_positive_int("window", window)

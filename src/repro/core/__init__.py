@@ -21,7 +21,7 @@ from repro.core.she_cm import SheCountMin
 from repro.core.she_hll import SheHyperLogLog, hll_alpha
 from repro.core.she_mh import SheMinHash
 from repro.core.software_frame import SoftwareFrame
-from repro.core.merge import merge_sketches, mergeable
+from repro.core.merge import merge_many, merge_sketches, mergeable
 from repro.core.timebase import TimedStream
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "SheMinHash",
     "hll_alpha",
     "TimedStream",
+    "merge_many",
     "merge_sketches",
     "mergeable",
 ]

@@ -9,6 +9,7 @@ only what the paper actually specifies for them.
 
 from __future__ import annotations
 
+import copy
 from typing import Literal
 
 import numpy as np
@@ -76,6 +77,29 @@ class SheSketchBase:
             return self.t
         return require_non_negative_int("t", t)
 
+    def advance_to(self, t: int) -> None:
+        """Move the clock forward to ``t`` without inserting anything.
+
+        Sharded deployments use this to keep every shard on the union
+        stream's time axis: a shard that saw no arrivals lately still
+        ages.  Cleaning is lazy, so only the clock moves here; frames
+        catch up on the next insert or query.
+        """
+        t = require_non_negative_int("t", t)
+        if t < self.t:
+            raise ValueError(f"cannot rewind clock from {self.t} to {t}")
+        self.t = t
+
+    def clone_empty(self) -> "SheSketchBase":
+        """A fresh, empty sketch with identical geometry and hash seeds.
+
+        Clones are mutually mergeable with the original (and with each
+        other), which is exactly what a shard set needs.
+        """
+        out = copy.deepcopy(self)
+        out.reset()
+        return out
+
     # -- insertion ---------------------------------------------------------
 
     def insert(self, key: int) -> None:
@@ -90,6 +114,34 @@ class SheSketchBase:
         times = self.t + np.arange(arr.size, dtype=np.int64)
         self._insert_at(arr, times)
         self.t += int(arr.size)
+
+    def insert_at(self, keys, times) -> None:
+        """Insert a batch with explicit (non-decreasing) arrival times.
+
+        This is the substream entry point: a shard observing part of a
+        stream inserts its share of the arrivals at their *union-stream*
+        times, so its clock stays aligned with every sibling shard and
+        the shards remain mergeable (see :mod:`repro.core.merge`).
+        Times must start at or after the current clock; afterwards the
+        clock sits just past the last arrival.
+        """
+        arr = as_key_array(keys)
+        times = np.asarray(times, dtype=np.int64)
+        if arr.shape != times.shape:
+            raise ValueError(
+                f"keys ({arr.shape}) and times ({times.shape}) must align"
+            )
+        if arr.size == 0:
+            return
+        if int(times[0]) < self.t:
+            raise ValueError(
+                f"times must start at or after the clock ({self.t}), "
+                f"got {int(times[0])}"
+            )
+        if np.any(np.diff(times) < 0):
+            raise ValueError("times must be non-decreasing")
+        self._insert_at(arr, times)
+        self.t = int(times[-1]) + 1
 
     def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
         raise NotImplementedError

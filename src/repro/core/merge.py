@@ -38,7 +38,7 @@ from repro.core.she_cm import SheCountMin
 from repro.core.she_hll import SheHyperLogLog
 from repro.core.she_mh import SheMinHash
 
-__all__ = ["merge_sketches", "mergeable"]
+__all__ = ["merge_sketches", "merge_many", "mergeable"]
 
 _COMBINE = {
     SheBloomFilter: np.maximum,   # OR on 0/1 bits
@@ -122,4 +122,59 @@ def merge_sketches(a, b, *, t: int | None = None):
     if hasattr(out.frame, "marks"):
         out.frame.marks[:] = a.frame.marks  # identical after prepare at tt
     out.t = tt
+    return out
+
+
+def _clock_of(sketch) -> tuple[int, ...]:
+    return tuple(sketch.counts) if isinstance(sketch, SheMinHash) else (sketch.t,)
+
+
+def merge_many(sketches, *, t: int | None = None, require_aligned: bool = False):
+    """Fold :func:`merge_sketches` over a collection of shard sketches.
+
+    This is the query fan-in of the sharded service: snapshot every
+    shard, bring them all to the common time ``t``, and combine.  The
+    result is a *new* sketch positioned at ``t`` (defaulting to the
+    latest operand clock).
+
+    Args:
+        sketches: one or more mutually mergeable SHE sketches.
+        t: common query time; defaults to the maximum operand clock.
+        require_aligned: when True, reject operands whose count-based
+            clocks disagree.  Shards of one engine observe the same
+            time axis, so drifted clocks mean the fan-in would combine
+            windows over *different* suffixes of the stream — loudly
+            refusing beats a silently biased answer.
+
+    Raises:
+        ValueError: on an empty collection, non-mergeable operands, or
+            (with ``require_aligned``) drifted clocks.
+    """
+    sketches = list(sketches)
+    if not sketches:
+        raise ValueError("merge_many needs at least one sketch")
+    if require_aligned:
+        clocks = {_clock_of(s) for s in sketches}
+        if len(clocks) > 1:
+            raise ValueError(
+                "count-based clocks drifted across shards: "
+                f"{sorted(clocks)}; operands must observe the same time axis"
+            )
+    first = sketches[0]
+    if len(sketches) == 1:
+        out = copy.deepcopy(first)
+        if isinstance(first, SheMinHash):
+            t0 = t if t is not None else first.counts[0]
+            t1 = t if t is not None else first.counts[1]
+            out.frames[0].prepare_query_all(t0)
+            out.frames[1].prepare_query_all(t1)
+            out.counts = [t0, t1]
+        else:
+            tt = t if t is not None else first.t
+            out.frame.prepare_query_all(tt)
+            out.t = tt
+        return out
+    out = merge_sketches(first, sketches[1], t=t)
+    for s in sketches[2:]:
+        out = merge_sketches(out, s, t=t)
     return out

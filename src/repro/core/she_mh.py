@@ -17,10 +17,12 @@ in that module's docstring, then take suffix-minima column-wise.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.common.hashing import splitmix64
-from repro.common.validation import as_key_array, require_positive_int
+from repro.common.validation import as_key_array, require_non_negative_int, require_positive_int
 from repro.core.base import FrameKind, make_frame
 from repro.core.config import SheConfig
 from repro.core.hardware_frame import HardwareFrame
@@ -114,12 +116,64 @@ class SheMinHash:
         t = self.counts[side]
         for lo in range(0, keys.size, _CHUNK):
             chunk = keys[lo : lo + _CHUNK]
-            self._insert_chunk(frame, chunk, t + lo)
+            times = t + lo + np.arange(chunk.size, dtype=np.int64)
+            self._insert_chunk(frame, chunk, times)
         self.counts[side] += int(keys.size)
 
-    def _insert_chunk(self, frame, keys: np.ndarray, t0: int) -> None:
+    def insert_at(self, side: int, keys, times) -> None:
+        """Insert a substream batch with explicit (non-decreasing) times.
+
+        The sharded-service counterpart of the base sketches'
+        ``insert_at``: arrivals carry their union-stream times, which may
+        be sparse (a shard sees only its share of the stream), so sibling
+        shards stay clock-aligned and mergeable.  Times must start at or
+        after the side's clock; afterwards the clock sits just past the
+        last arrival.
+        """
+        if side not in (0, 1):
+            raise ValueError(f"side must be 0 or 1, got {side}")
+        keys = as_key_array(keys)
+        times = np.asarray(times, dtype=np.int64)
+        if keys.shape != times.shape:
+            raise ValueError(
+                f"keys ({keys.shape}) and times ({times.shape}) must align"
+            )
+        if keys.size == 0:
+            return
+        if int(times[0]) < self.counts[side]:
+            raise ValueError(
+                f"times must start at or after the side-{side} clock "
+                f"({self.counts[side]}), got {int(times[0])}"
+            )
+        if np.any(np.diff(times) < 0):
+            raise ValueError("times must be non-decreasing")
+        frame = self.frames[side]
+        for lo in range(0, keys.size, _CHUNK):
+            self._insert_chunk(frame, keys[lo : lo + _CHUNK], times[lo : lo + _CHUNK])
+        self.counts[side] = int(times[-1]) + 1
+
+    def advance_to(self, t: int, side: int | None = None) -> None:
+        """Move one side's clock (or both) forward without inserting."""
+        t = require_non_negative_int("t", t)
+        sides = (0, 1) if side is None else (side,)
+        for s in sides:
+            if t < self.counts[s]:
+                raise ValueError(
+                    f"cannot rewind side-{s} clock from {self.counts[s]} to {t}"
+                )
+        for s in sides:
+            self.counts[s] = t
+
+    def clone_empty(self) -> "SheMinHash":
+        """A fresh, empty sketch with identical geometry and hash seeds."""
+        out = copy.deepcopy(self)
+        out.reset()
+        return out
+
+    def _insert_chunk(self, frame, keys: np.ndarray, times: np.ndarray) -> None:
         b = keys.size
-        t1 = t0 + b - 1
+        t0 = int(times[0])
+        t1 = int(times[-1])
         values = self._column_hashes(keys)  # (B, M)
         # suffix minima over the chunk: sm[i, j] = min(values[i:, j])
         sm = np.minimum.accumulate(values[::-1], axis=0)[::-1]
@@ -131,10 +185,12 @@ class SheMinHash:
             e_first = (t0 + d) // tc
             e_last = (t1 + d) // tc
             flipped = e_last > e_first
-            # survivors start at the last flip inside the chunk
+            # survivors start at the first touch at/after the last flip
+            # inside the chunk (searchsorted handles sparse times)
             start = np.zeros(m, dtype=np.int64)
             flip_t = e_last * tc - d
-            start[flipped] = flip_t[flipped] - t0
+            if np.any(flipped):
+                start[flipped] = np.searchsorted(times, flip_t[flipped], side="left")
             cleaned = flipped | (frame.marks != (e_last % 2).astype(np.uint8))
             frame.marks[:] = (e_last % 2).astype(np.uint8)
         elif isinstance(frame, SoftwareFrame):
@@ -144,7 +200,7 @@ class SheMinHash:
             b_j = ((big_b - j) // m) * m + j
             clean_t = -((-b_j * frame.t_cycle) // m)
             cleaned = clean_t > t0
-            start = np.clip(clean_t - t0, 0, b - 1)
+            start = np.clip(np.searchsorted(times, clean_t, side="left"), 0, b - 1)
             frame.advance(t1)
         else:  # pragma: no cover - closed set of frames
             raise TypeError(f"unsupported frame type {type(frame).__name__}")

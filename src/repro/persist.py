@@ -7,11 +7,18 @@ format.  Everything needed to resume — cells, marks or sweep position,
 the clock, and the constructor parameters — goes into one file;
 hash-family state is reconstructed from the stored seed, so archives
 are portable across machines.
+
+Writes are atomic: the archive is staged as a temporary file in the
+destination directory and renamed over the target with ``os.replace``,
+so a crash mid-checkpoint leaves either the old complete archive or the
+new complete archive — never a truncated one.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -122,7 +129,33 @@ def save_sketch(sketch, path: str | Path) -> None:
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     ).copy()
-    np.savez_compressed(Path(path), **arrays)
+    _atomic_savez(Path(path), arrays)
+
+
+def _atomic_savez(path: Path, arrays: dict) -> None:
+    """Write an ``.npz`` atomically: temp file in the target dir + rename.
+
+    The temp file lives next to the target so ``os.replace`` never
+    crosses a filesystem boundary (rename is only atomic within one).
+    """
+    # match np.savez semantics: a suffix-less target gains ".npz"
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_sketch(path: str | Path):

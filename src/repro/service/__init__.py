@@ -1,0 +1,48 @@
+"""repro.service — sharded streaming ingestion & query serving.
+
+The serving layer over the SHE sketch library: hash-sharded ingestion
+with batched flushes (:class:`StreamEngine`), optional multiprocessing
+flush executors, merge-based query fan-in, atomic checkpoint/recovery
+(:class:`Checkpointer`, :func:`recover_engine`) and in-process counters
+(:class:`EngineStats`).
+
+Quickstart::
+
+    from repro.service import EngineConfig, StreamEngine
+
+    engine = StreamEngine(EngineConfig("cm", window=1 << 16, size=1 << 14,
+                                       num_shards=4))
+    engine.ingest(keys)                  # buffered, batched, sharded
+    engine.frequency(some_key)           # per-shard fan-in sum
+    engine.close()
+"""
+
+from repro.service.checkpoint import (
+    Checkpointer,
+    latest_checkpoint,
+    prune_checkpoints,
+    recover_engine,
+    save_checkpoint,
+)
+from repro.service.engine import KINDS, EngineConfig, StreamEngine
+from repro.service.executor import ProcessExecutor, SerialExecutor
+from repro.service.sharding import DEFAULT_SHARD_SEED, partition, shard_ids
+from repro.service.stats import EngineStats, format_stats
+
+__all__ = [
+    "KINDS",
+    "EngineConfig",
+    "StreamEngine",
+    "Checkpointer",
+    "save_checkpoint",
+    "latest_checkpoint",
+    "prune_checkpoints",
+    "recover_engine",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "EngineStats",
+    "format_stats",
+    "DEFAULT_SHARD_SEED",
+    "shard_ids",
+    "partition",
+]

@@ -1,0 +1,251 @@
+"""Atomic multi-shard checkpoints and crash recovery for the engine.
+
+Layout under the checkpoint directory::
+
+    ckpt-00000003/
+        shard-00.npz     # one atomic .npz per shard (persist.save_sketch)
+        ...
+        MANIFEST.json    # engine config + clocks; written LAST
+
+A checkpoint is staged in a hidden temp directory, shard files first,
+manifest last, then published with one ``os.replace`` of the directory
+— so a crash at any instant leaves either no trace of the attempt or a
+complete, loadable checkpoint.  Recovery scans for the *newest complete*
+checkpoint (manifest present, every listed shard file present) and
+rebuilds the engine; torn attempts and stale temp directories are
+ignored and eventually pruned.
+
+``Checkpointer`` adds the periodic policy: call :meth:`maybe` from the
+ingest loop and it checkpoints every ``interval_items`` ingested items
+and/or ``interval_s`` seconds, keeping the newest ``keep`` checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.common.validation import require_positive_int
+from repro.service.engine import EngineConfig, StreamEngine
+
+__all__ = [
+    "Checkpointer",
+    "save_checkpoint",
+    "latest_checkpoint",
+    "prune_checkpoints",
+    "recover_engine",
+]
+
+_MANIFEST = "MANIFEST.json"
+_PREFIX = "ckpt-"
+_FORMAT_VERSION = 1
+
+
+def _shard_name(shard_id: int) -> str:
+    return f"shard-{shard_id:02d}.npz"
+
+
+def save_checkpoint(engine: StreamEngine, directory: str | Path) -> Path:
+    """Persist every shard plus a manifest; returns the published path.
+
+    The engine's buffers are drained and its shards clock-aligned first,
+    so the checkpoint is a consistent cut of the stream at ``now()``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    engine._sync()
+
+    seq = _next_seq(directory)
+    final = directory / f"{_PREFIX}{seq:08d}"
+    staging = Path(
+        tempfile.mkdtemp(dir=directory, prefix=f".{_PREFIX}{seq:08d}.")
+    )
+    try:
+        shard_files = []
+        for s in range(engine.num_shards):
+            name = _shard_name(s)
+            engine._exec.checkpoint(s, staging / name)
+            shard_files.append(name)
+        manifest = {
+            "format": _FORMAT_VERSION,
+            "seq": seq,
+            "config": engine.config.to_json(),
+            "clock": list(engine._t),
+            "shards": shard_files,
+            "created_unix": time.time(),
+        }
+        tmp_manifest = staging / (_MANIFEST + ".tmp")
+        tmp_manifest.write_text(json.dumps(manifest, indent=2))
+        os.replace(tmp_manifest, staging / _MANIFEST)
+        os.replace(staging, final)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    engine.stats.record_checkpoint()
+    return final
+
+
+def _next_seq(directory: Path) -> int:
+    seqs = [
+        int(p.name[len(_PREFIX):])
+        for p in directory.iterdir()
+        if p.is_dir() and p.name.startswith(_PREFIX) and p.name[len(_PREFIX):].isdigit()
+    ]
+    return max(seqs, default=-1) + 1
+
+
+def _is_complete(path: Path) -> bool:
+    manifest = path / _MANIFEST
+    if not manifest.is_file():
+        return False
+    try:
+        meta = json.loads(manifest.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    if meta.get("format") != _FORMAT_VERSION:
+        return False
+    return all((path / name).is_file() for name in meta.get("shards", []))
+
+
+def latest_checkpoint(directory: str | Path) -> Path | None:
+    """Newest *complete* checkpoint under ``directory`` (None if none)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates = sorted(
+        (
+            p
+            for p in directory.iterdir()
+            if p.is_dir() and p.name.startswith(_PREFIX)
+        ),
+        reverse=True,
+    )
+    for path in candidates:
+        if _is_complete(path):
+            return path
+    return None
+
+
+def recover_engine(
+    directory: str | Path,
+    *,
+    executor: str = "serial",
+    num_workers: int | None = None,
+) -> StreamEngine:
+    """Rebuild the engine from the newest complete checkpoint.
+
+    Raises:
+        FileNotFoundError: if the directory holds no complete checkpoint.
+    """
+    path = latest_checkpoint(directory)
+    if path is None:
+        raise FileNotFoundError(
+            f"no complete checkpoint under {Path(directory)!s}"
+        )
+    # local import: persist -> core only, but keep engine import-light
+    from repro.persist import load_sketch
+
+    meta = json.loads((path / _MANIFEST).read_text())
+    config = EngineConfig.from_json(meta["config"])
+    shards = [load_sketch(path / name) for name in meta["shards"]]
+    engine = StreamEngine(
+        config,
+        executor=executor,
+        num_workers=num_workers,
+        _shards=shards,
+        _clock_state=[int(t) for t in meta["clock"]],
+    )
+    engine.stats.recovered_from = str(path)
+    return engine
+
+
+def prune_checkpoints(directory: str | Path, keep: int) -> list[Path]:
+    """Delete all but the ``keep`` newest complete checkpoints.
+
+    Torn attempts (incomplete directories) older than the newest
+    complete checkpoint are removed too.  Returns the deleted paths.
+    """
+    require_positive_int("keep", keep)
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    entries = sorted(
+        (p for p in directory.iterdir() if p.is_dir() and p.name.startswith(_PREFIX)),
+        reverse=True,
+    )
+    complete = [p for p in entries if _is_complete(p)]
+    keep_set = set(complete[:keep])
+    newest = complete[0].name if complete else None
+    deleted = []
+    for p in entries:
+        torn = p not in set(complete)
+        if p in keep_set:
+            continue
+        if torn and (newest is None or p.name > newest):
+            continue  # possibly a checkpoint being written right now
+        shutil.rmtree(p, ignore_errors=True)
+        deleted.append(p)
+    return deleted
+
+
+class Checkpointer:
+    """Periodic checkpoint policy bound to one engine and directory.
+
+    Args:
+        engine: the engine to checkpoint.
+        directory: where checkpoints live.
+        interval_items: checkpoint after this many newly ingested items.
+        interval_s: and/or after this much wall time.
+        keep: retain this many complete checkpoints.
+    """
+
+    def __init__(
+        self,
+        engine: StreamEngine,
+        directory: str | Path,
+        *,
+        interval_items: int | None = None,
+        interval_s: float | None = None,
+        keep: int = 3,
+    ):
+        if interval_items is None and interval_s is None:
+            raise ValueError("set interval_items and/or interval_s")
+        if interval_items is not None:
+            require_positive_int("interval_items", interval_items)
+        self.engine = engine
+        self.directory = Path(directory)
+        self.interval_items = interval_items
+        self.interval_s = interval_s
+        self.keep = require_positive_int("keep", keep)
+        self._clock = engine._clock
+        self._last_time = self._clock()
+        self._last_items = engine.stats.items_ingested
+
+    def due(self) -> bool:
+        if (
+            self.interval_items is not None
+            and self.engine.stats.items_ingested - self._last_items >= self.interval_items
+        ):
+            return True
+        return (
+            self.interval_s is not None
+            and self._clock() - self._last_time >= self.interval_s
+        )
+
+    def maybe(self) -> Path | None:
+        """Checkpoint if due; returns the new path or None."""
+        if not self.due():
+            return None
+        return self.save()
+
+    def save(self) -> Path:
+        """Checkpoint unconditionally and prune old ones."""
+        path = save_checkpoint(self.engine, self.directory)
+        self._last_time = self._clock()
+        self._last_items = self.engine.stats.items_ingested
+        prune_checkpoints(self.directory, self.keep)
+        return path

@@ -1,0 +1,386 @@
+"""The sharded streaming engine: ingestion, routing and query fan-in.
+
+``StreamEngine`` turns the single-sketch SHE library into a serving
+layer, following the shard-then-merge pattern of Papapetrou et al.'s
+distributed sliding-window monitors:
+
+* **Sharding.** Keys hash-partition across ``S`` shards; every shard is
+  an independent SHE sketch built from one prototype, so all shards
+  share geometry, seeds and — crucially — the *union stream's* count
+  clock.  Arrivals carry their global arrival index into the owning
+  shard (``insert_at``), and idle shards are advanced to the global
+  clock before any query, so the shard set always satisfies
+  :func:`repro.core.merge.merge_many`'s alignment requirement.
+
+* **Batching.** Inserts buffer in per-shard queues and drain through
+  the exact vectorised batch path.  A queue drains when it reaches
+  ``flush_batch_size`` (size trigger) or when ``flush_interval_s``
+  elapses since the last drain (time trigger, checked on ingest);
+  queries and checkpoints drain everything first, so they always see
+  the full stream.
+
+* **Query fan-in.** Membership / cardinality / similarity snapshot the
+  shards and combine them via ``merge_many`` — the engine answers
+  exactly as the merged single sketch would.  Frequency (SHE-CM) sums
+  the per-shard estimates instead: counts of one key live entirely on
+  its owning shard, and cross-shard summation preserves Count-Min's
+  never-underestimate guarantee, which a min-over-summed-counters
+  merge would dilute with other shards' collision noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.common.validation import as_key_array, require_positive_int
+from repro.core.merge import merge_many
+from repro.core.she_bf import SheBloomFilter
+from repro.core.she_bm import SheBitmap
+from repro.core.she_cm import SheCountMin
+from repro.core.she_hll import SheHyperLogLog
+from repro.core.she_mh import SheMinHash
+from repro.service.executor import ProcessExecutor, SerialExecutor
+from repro.service.sharding import DEFAULT_SHARD_SEED, shard_ids
+from repro.service.stats import EngineStats, format_stats
+
+__all__ = ["EngineConfig", "StreamEngine", "KINDS"]
+
+# kind -> (sketch class, name of the size argument)
+KINDS: dict[str, tuple[type, str]] = {
+    "bf": (SheBloomFilter, "num_bits"),
+    "bm": (SheBitmap, "num_bits"),
+    "hll": (SheHyperLogLog, "num_registers"),
+    "cm": (SheCountMin, "num_counters"),
+    "mh": (SheMinHash, "num_counters"),
+}
+
+
+@dataclass
+class EngineConfig:
+    """Everything needed to (re)build a :class:`StreamEngine`.
+
+    Args:
+        kind: which SHE sketch backs the shards — ``"bf"`` (membership),
+            ``"bm"`` / ``"hll"`` (cardinality), ``"cm"`` (frequency) or
+            ``"mh"`` (two-stream similarity).
+        window: sliding-window size N (items).
+        size: per-shard sketch size (bits / registers / counters).
+        num_shards: how many shards to hash-partition keys across.
+        flush_batch_size: per-shard queue depth that triggers a drain.
+        flush_interval_s: drain everything when this much wall time has
+            passed since the last drain (None disables the time trigger).
+        shard_seed: partitioner seed (independent of sketch seeds).
+        sketch_kwargs: forwarded to the sketch constructor (``seed``,
+            ``alpha``, ``num_hashes``, ``frame``, ...).
+    """
+
+    kind: str
+    window: int
+    size: int
+    num_shards: int = 4
+    flush_batch_size: int = 8192
+    flush_interval_s: float | None = 1.0
+    shard_seed: int = DEFAULT_SHARD_SEED
+    sketch_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {sorted(KINDS)}, got {self.kind!r}")
+        require_positive_int("window", self.window)
+        require_positive_int("size", self.size)
+        require_positive_int("num_shards", self.num_shards)
+        require_positive_int("flush_batch_size", self.flush_batch_size)
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: dict) -> "EngineConfig":
+        return cls(**data)
+
+
+def _build_shards(config: EngineConfig) -> list:
+    cls, _ = KINDS[config.kind]
+    proto = cls(config.window, config.size, **config.sketch_kwargs)
+    return [proto] + [proto.clone_empty() for _ in range(config.num_shards - 1)]
+
+
+class _ShardBuffer:
+    """Pending (keys, times) chunks for one shard (and side, for MH)."""
+
+    __slots__ = ("keys", "times", "count")
+
+    def __init__(self) -> None:
+        self.keys: list[np.ndarray] = []
+        self.times: list[np.ndarray] = []
+        self.count = 0
+
+    def append(self, keys: np.ndarray, times: np.ndarray) -> None:
+        self.keys.append(keys)
+        self.times.append(times)
+        self.count += int(keys.size)
+
+    def drain(self) -> tuple[np.ndarray, np.ndarray]:
+        keys = np.concatenate(self.keys) if len(self.keys) > 1 else self.keys[0]
+        times = np.concatenate(self.times) if len(self.times) > 1 else self.times[0]
+        self.keys.clear()
+        self.times.clear()
+        self.count = 0
+        return keys, times
+
+
+class StreamEngine:
+    """Sharded, buffered ingestion and query serving over SHE sketches.
+
+    Args:
+        config: the :class:`EngineConfig` describing shards and flushing.
+        executor: ``"serial"`` (default) applies flushes inline;
+            ``"process"`` forks shard-owning workers so flushes of
+            different shards run in parallel.
+        num_workers: worker count for the process executor
+            (default: one per shard).
+        clock: injectable monotonic clock for the time trigger and
+            stats (tests pin it).
+
+    The engine is also a context manager; ``close()`` flushes buffers
+    and stops workers.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        *,
+        executor: str = "serial",
+        num_workers: int | None = None,
+        clock=time.monotonic,
+        _shards: list | None = None,
+        _clock_state: list[int] | None = None,
+    ):
+        self.config = config
+        self._clock = clock
+        self.stats = EngineStats(clock=clock)
+        self._two_stream = config.kind == "mh"
+        shards = _shards if _shards is not None else _build_shards(config)
+        if len(shards) != config.num_shards:
+            raise ValueError(
+                f"got {len(shards)} shards for num_shards={config.num_shards}"
+            )
+        if executor == "serial":
+            self._exec = SerialExecutor(shards)
+        elif executor == "process":
+            self._exec = ProcessExecutor(shards, num_workers=num_workers)
+        else:
+            raise ValueError(f"executor must be 'serial' or 'process', got {executor!r}")
+        self.executor_kind = executor
+        # global union-stream clock(s): next arrival index per side
+        self._t = list(_clock_state) if _clock_state is not None else (
+            [0, 0] if self._two_stream else [0]
+        )
+        self._buffers: dict[tuple[int, int], _ShardBuffer] = {}
+        self._last_drain = clock()
+        self._closed = False
+
+    # -- clock ---------------------------------------------------------------
+
+    def now(self, side: int = 0) -> int:
+        """The union-stream clock: items ingested (per side for MH)."""
+        return self._t[side]
+
+    @property
+    def window(self) -> int:
+        return self.config.window
+
+    @property
+    def num_shards(self) -> int:
+        return self.config.num_shards
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(self, keys, side: int | None = None) -> None:
+        """Buffer a batch of arrivals at consecutive union-stream times.
+
+        ``side`` selects the stream for two-stream (MH) engines and must
+        be omitted otherwise.
+        """
+        self._check_open()
+        if self._two_stream:
+            if side not in (0, 1):
+                raise ValueError("two-stream engines need side=0 or side=1")
+        elif side not in (None, 0):
+            raise ValueError(f"single-stream engine got side={side}")
+        side = 0 if side is None else side
+        arr = as_key_array(keys)
+        if arr.size == 0:
+            return
+        t0 = self._t[side]
+        times = t0 + np.arange(arr.size, dtype=np.int64)
+        self._t[side] = t0 + int(arr.size)
+        sids = shard_ids(arr, self.config.num_shards, self.config.shard_seed)
+        for s in range(self.config.num_shards):
+            mask = sids == s
+            n = int(np.count_nonzero(mask))
+            if n == 0:
+                continue
+            buf = self._buffers.setdefault((s, side), _ShardBuffer())
+            buf.append(arr[mask], times[mask])
+        self.stats.record_ingest(arr.size)
+        self._maybe_flush()
+
+    # alias so sketch-shaped consumers (HeavyHitters, harness drivers)
+    # can drive an engine where they would drive a sketch
+    def insert_many(self, keys) -> None:
+        self.ingest(keys)
+
+    def insert(self, key: int) -> None:
+        self.ingest(np.asarray([key], dtype=np.uint64))
+
+    def _maybe_flush(self) -> None:
+        full = [
+            key for key, buf in self._buffers.items()
+            if buf.count >= self.config.flush_batch_size
+        ]
+        interval = self.config.flush_interval_s
+        if interval is not None and self._clock() - self._last_drain >= interval:
+            self.flush()
+        elif full:
+            self._flush_buffers(full)
+
+    def flush(self) -> None:
+        """Drain every per-shard queue through the batch insert path."""
+        self._check_open()
+        self._flush_buffers([k for k, b in self._buffers.items() if b.count])
+
+    def _flush_buffers(self, buffer_keys) -> None:
+        if not buffer_keys:
+            self._last_drain = self._clock()
+            return
+        started = self._clock()
+        batches = []
+        n_items = 0
+        for s, side in buffer_keys:
+            keys, times = self._buffers[s, side].drain()
+            n_items += int(keys.size)
+            batches.append((s, keys, times, side if self._two_stream else None))
+        if isinstance(self._exec, ProcessExecutor):
+            self._exec.flush_many(batches)
+        else:
+            for s, keys, times, side in batches:
+                self._exec.flush(s, keys, times, side)
+        self._last_drain = self._clock()
+        self.stats.record_flush(n_items, self._last_drain - started)
+
+    def queue_depths(self) -> list[int]:
+        """Buffered items per shard (summed over sides)."""
+        depths = [0] * self.config.num_shards
+        for (s, _side), buf in self._buffers.items():
+            depths[s] += buf.count
+        return depths
+
+    # -- querying ------------------------------------------------------------
+
+    def _sync(self) -> None:
+        """Drain buffers and bring every shard to the global clock."""
+        self.flush()
+        for s in range(self.config.num_shards):
+            if self._two_stream:
+                for side in (0, 1):
+                    self._exec.advance(s, self._t[side], side)
+            else:
+                self._exec.advance(s, self._t[0])
+
+    def snapshots(self) -> list:
+        """Clock-aligned copies of all shards (flushes first)."""
+        self._sync()
+        return self._exec.snapshots()
+
+    def merged(self):
+        """One sketch equal to observing the union stream unsharded.
+
+        This is the engine's fan-in: ``merge_many`` over the aligned
+        shard snapshots, per :mod:`repro.core.merge` semantics.
+        """
+        t = None if self._two_stream else self._t[0]
+        return merge_many(self.snapshots(), t=t, require_aligned=True)
+
+    def _require_kind(self, query: str, *kinds: str) -> None:
+        if self.config.kind not in kinds:
+            raise TypeError(
+                f"{query} queries need a {'/'.join(kinds)} engine, "
+                f"this one is {self.config.kind!r}"
+            )
+
+    def contains(self, key: int) -> bool:
+        """Membership of ``key`` in the window (BF engines)."""
+        return bool(self.contains_many(np.asarray([key], dtype=np.uint64))[0])
+
+    def contains_many(self, keys) -> np.ndarray:
+        self._require_kind("membership", "bf")
+        self.stats.record_query()
+        return self.merged().contains_many(keys)
+
+    def cardinality(self) -> float:
+        """Distinct keys in the window (BM / HLL engines)."""
+        self._require_kind("cardinality", "bm", "hll")
+        self.stats.record_query()
+        return self.merged().cardinality()
+
+    def frequency(self, key: int) -> float:
+        """Windowed count of ``key`` (CM engines)."""
+        return float(self.frequency_many(np.asarray([key], dtype=np.uint64))[0])
+
+    def frequency_many(self, keys) -> np.ndarray:
+        """Per-shard fan-in sum of Count-Min estimates."""
+        self._require_kind("frequency", "cm")
+        self.stats.record_query()
+        keys = as_key_array(keys)
+        self._sync()
+        t = self._t[0]
+        return np.sum(
+            [s.frequency_many(keys, t) for s in self._exec.peeks()], axis=0
+        )
+
+    def similarity(self) -> float:
+        """Jaccard similarity of the two streams (MH engines)."""
+        self._require_kind("similarity", "mh")
+        self.stats.record_query()
+        return self.merged().similarity()
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def memory_bytes(self) -> int:
+        """Aggregate sketch memory across shards (buffers excluded)."""
+        return sum(s.memory_bytes for s in self._exec.peeks())
+
+    def stats_snapshot(self) -> dict:
+        return self.stats.snapshot(queue_depths=self.queue_depths())
+
+    def stats_report(self) -> str:
+        """Human-readable counter block for dashboards and examples."""
+        return format_stats(self.stats_snapshot())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("engine is closed")
+
+    def close(self) -> None:
+        """Flush pending work and stop any workers."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        self._exec.close()
+
+    def __enter__(self) -> "StreamEngine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

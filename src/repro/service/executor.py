@@ -1,0 +1,238 @@
+"""Flush executors: where the shard sketches actually live.
+
+The engine is a router; the executor owns the shard state and applies
+batches to it.  Two implementations share one five-verb protocol
+(``flush`` / ``advance`` / ``snapshot`` / ``checkpoint`` / ``close``):
+
+* :class:`SerialExecutor` keeps the sketches in-process — zero overhead
+  per flush, the right default for one CPU.
+* :class:`ProcessExecutor` forks long-lived workers, each owning a
+  fixed subset of shards; batches ship over pipes and apply in
+  parallel.  Shard ownership never migrates, so no state is ever
+  shared — the classic shared-nothing layout of sharded stores.
+
+Both are deterministic: the same sequence of flushes produces
+bit-identical shard state, which the equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing as mp
+import traceback
+
+import numpy as np
+
+from repro.core.she_mh import SheMinHash
+from repro.persist import save_sketch
+
+__all__ = ["SerialExecutor", "ProcessExecutor"]
+
+
+def _apply_flush(sketch, keys: np.ndarray, times: np.ndarray, side: int | None) -> None:
+    if isinstance(sketch, SheMinHash):
+        sketch.insert_at(0 if side is None else side, keys, times)
+    else:
+        sketch.insert_at(keys, times)
+
+
+def _apply_advance(sketch, t: int, side: int | None) -> None:
+    if isinstance(sketch, SheMinHash):
+        sketch.advance_to(t, side)
+    else:
+        sketch.advance_to(t)
+
+
+class SerialExecutor:
+    """All shards live in the calling process; commands apply inline."""
+
+    def __init__(self, shards):
+        self._shards = list(shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def flush(self, shard_id: int, keys, times, side: int | None = None) -> None:
+        _apply_flush(self._shards[shard_id], keys, times, side)
+
+    def advance(self, shard_id: int, t: int, side: int | None = None) -> None:
+        _apply_advance(self._shards[shard_id], t, side)
+
+    def snapshot(self, shard_id: int):
+        """An isolated copy of one shard, safe to merge or mutate."""
+        return copy.deepcopy(self._shards[shard_id])
+
+    def snapshots(self) -> list:
+        return [self.snapshot(s) for s in range(self.num_shards)]
+
+    def peeks(self) -> list:
+        """Read-side view of the shards without copying.
+
+        Callers may run queries (lazy cleaning mutates frames exactly as
+        the next insert would) but must not insert.
+        """
+        return self._shards
+
+    def checkpoint(self, shard_id: int, path) -> None:
+        save_sketch(self._shards[shard_id], path)
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+# -- multiprocessing ---------------------------------------------------------
+
+
+def _worker_main(conn, shards: dict) -> None:
+    """Worker loop: apply commands to the shards this process owns."""
+    try:
+        while True:
+            cmd, *args = conn.recv()
+            try:
+                if cmd == "flush":
+                    sid, keys, times, side = args
+                    _apply_flush(shards[sid], keys, times, side)
+                    conn.send(("ok", None))
+                elif cmd == "advance":
+                    sid, t, side = args
+                    _apply_advance(shards[sid], t, side)
+                    conn.send(("ok", None))
+                elif cmd == "snapshot":
+                    (sid,) = args
+                    conn.send(("ok", shards[sid]))
+                elif cmd == "checkpoint":
+                    sid, path = args
+                    save_sketch(shards[sid], path)
+                    conn.send(("ok", None))
+                elif cmd == "close":
+                    conn.send(("ok", None))
+                    return
+                else:  # pragma: no cover - protocol is closed
+                    conn.send(("err", f"unknown command {cmd!r}"))
+            except Exception:
+                conn.send(("err", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):  # parent died / interrupted
+        pass
+
+
+class ProcessExecutor:
+    """Shards partitioned over a pool of long-lived worker processes.
+
+    Shard ``s`` is owned by worker ``s % num_workers`` forever; a flush
+    for it is a message to that worker.  ``flush_many`` fans a round of
+    batches out to all workers before collecting acknowledgements, so
+    independent shards really do apply in parallel.
+    """
+
+    def __init__(self, shards, *, num_workers: int | None = None):
+        shards = list(shards)
+        if not shards:
+            raise ValueError("ProcessExecutor needs at least one shard")
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._num_shards = len(shards)
+        self.num_workers = min(num_workers or len(shards), len(shards))
+        self._conns = []
+        self._procs = []
+        for w in range(self.num_workers):
+            owned = {s: shards[s] for s in range(self._num_shards) if s % self.num_workers == w}
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(child_conn, owned), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._closed = False
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    def _conn_of(self, shard_id: int):
+        return self._conns[shard_id % self.num_workers]
+
+    def _recv(self, conn):
+        status, payload = conn.recv()
+        if status == "err":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def _call(self, shard_id: int, *message):
+        conn = self._conn_of(shard_id)
+        conn.send(message)
+        return self._recv(conn)
+
+    def flush(self, shard_id: int, keys, times, side: int | None = None) -> None:
+        self._call(shard_id, "flush", shard_id, keys, times, side)
+
+    def flush_many(self, batches) -> None:
+        """Apply ``(shard_id, keys, times, side)`` batches in parallel.
+
+        Sends every batch before awaiting any acknowledgement; pipes are
+        FIFO per worker, so per-shard ordering is preserved while
+        distinct workers overlap their work.
+        """
+        pending = []
+        for shard_id, keys, times, side in batches:
+            conn = self._conn_of(shard_id)
+            conn.send(("flush", shard_id, keys, times, side))
+            pending.append(conn)
+        for conn in pending:
+            self._recv(conn)
+
+    def advance(self, shard_id: int, t: int, side: int | None = None) -> None:
+        self._call(shard_id, "advance", shard_id, t, side)
+
+    def snapshot(self, shard_id: int):
+        return self._call(shard_id, "snapshot", shard_id)
+
+    def snapshots(self) -> list:
+        for s in range(self._num_shards):
+            self._conn_of(s).send(("snapshot", s))
+        return [self._recv(self._conn_of(s)) for s in range(self._num_shards)]
+
+    def peeks(self) -> list:
+        """Worker-owned shards can only be observed by copying."""
+        return self.snapshots()
+
+    def checkpoint(self, shard_id: int, path) -> None:
+        self._call(shard_id, "checkpoint", shard_id, path)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+                conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __del__(self):  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass

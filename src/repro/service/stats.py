@@ -1,0 +1,107 @@
+"""In-process observability for the streaming engine.
+
+A serving system is debugged through its counters: how much came in,
+how often the buffers drained, how long a drain takes at the tail, how
+stale the last checkpoint is.  ``EngineStats`` keeps exactly that —
+plain Python integers plus a bounded ring of recent flush durations —
+with no locks (the engine mutates it from one thread) and an injectable
+monotonic clock so tests can pin time.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["EngineStats", "format_stats"]
+
+_RING = 1024  # flush-latency samples kept for percentile estimates
+
+
+class EngineStats:
+    """Counters and latency percentiles for one :class:`StreamEngine`."""
+
+    def __init__(self, *, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self.started_at = clock()
+        self.items_ingested = 0
+        self.items_flushed = 0
+        self.flush_count = 0
+        self.query_count = 0
+        self.checkpoint_count = 0
+        self.recovered_from: str | None = None
+        self._flush_seconds: deque[float] = deque(maxlen=_RING)
+        self._last_checkpoint_at: float | None = None
+
+    # -- recording (called by the engine) ----------------------------------
+
+    def record_ingest(self, n: int) -> None:
+        self.items_ingested += int(n)
+
+    def record_flush(self, n_items: int, seconds: float) -> None:
+        self.flush_count += 1
+        self.items_flushed += int(n_items)
+        self._flush_seconds.append(float(seconds))
+
+    def record_query(self) -> None:
+        self.query_count += 1
+
+    def record_checkpoint(self) -> None:
+        self.checkpoint_count += 1
+        self._last_checkpoint_at = self._clock()
+
+    # -- derived views ------------------------------------------------------
+
+    def flush_latency_ms(self, percentiles: Iterable[float] = (50, 90, 99)) -> dict[str, float]:
+        """Percentiles (ms) over the most recent flushes; empty dict if none."""
+        if not self._flush_seconds:
+            return {}
+        samples = np.asarray(self._flush_seconds, dtype=np.float64) * 1e3
+        return {
+            f"p{int(p) if float(p).is_integer() else p}": float(np.percentile(samples, p))
+            for p in percentiles
+        }
+
+    def checkpoint_age_s(self) -> float | None:
+        """Seconds since the last completed checkpoint (None if never)."""
+        if self._last_checkpoint_at is None:
+            return None
+        return self._clock() - self._last_checkpoint_at
+
+    def uptime_s(self) -> float:
+        return self._clock() - self.started_at
+
+    def snapshot(self, queue_depths: Iterable[int] = ()) -> dict:
+        """One flat dict of everything, for printing or scraping."""
+        depths = list(queue_depths)
+        out = {
+            "uptime_s": round(self.uptime_s(), 3),
+            "items_ingested": self.items_ingested,
+            "items_flushed": self.items_flushed,
+            "items_buffered": self.items_ingested - self.items_flushed,
+            "flush_count": self.flush_count,
+            "query_count": self.query_count,
+            "checkpoint_count": self.checkpoint_count,
+            "checkpoint_age_s": (
+                None
+                if self.checkpoint_age_s() is None
+                else round(self.checkpoint_age_s(), 3)
+            ),
+            "queue_depths": depths,
+            "queue_depth_max": max(depths) if depths else 0,
+        }
+        if self.recovered_from is not None:
+            out["recovered_from"] = self.recovered_from
+        for name, value in self.flush_latency_ms().items():
+            out[f"flush_{name}_ms"] = round(value, 3)
+        return out
+
+
+def format_stats(snapshot: Mapping) -> str:
+    """Render a stats snapshot as an aligned two-column text block."""
+    width = max(len(str(k)) for k in snapshot)
+    lines = [f"{k:<{width}}  {v}" for k, v in snapshot.items()]
+    return "\n".join(lines)

@@ -80,6 +80,39 @@ class TestRoundTrip:
         assert np.array_equal(mh.frames[0].cells, mh2.frames[0].cells)
 
 
+class TestAtomicity:
+    def test_crash_mid_write_keeps_old_archive(self, tmp_path, monkeypatch):
+        """A failure while writing never corrupts the existing archive."""
+        import repro.persist as persist
+
+        bf = SheBloomFilter(128, 1024, seed=9)
+        bf.insert_many(zipf_stream(500, 200, seed=1))
+        path = tmp_path / "bf.npz"
+        save_sketch(bf, path)
+        probes = np.arange(300, dtype=np.uint64)
+        before = bf.contains_many(probes)
+
+        def dying_savez(fh, **arrays):
+            fh.write(b"PK\x03\x04 truncated garbage")  # partial write...
+            raise OSError("disk full")  # ...then the crash
+
+        monkeypatch.setattr(persist.np, "savez_compressed", dying_savez)
+        with pytest.raises(OSError, match="disk full"):
+            save_sketch(bf, path)
+        monkeypatch.undo()
+
+        # the old complete archive survives, and no temp litter remains
+        bf2 = load_sketch(path)
+        assert np.array_equal(bf2.contains_many(probes), before)
+        assert [p.name for p in tmp_path.iterdir()] == ["bf.npz"]
+
+    def test_suffixless_target_gains_npz(self, tmp_path):
+        bm = SheBitmap(64, 512, seed=3)
+        save_sketch(bm, tmp_path / "bm")
+        assert (tmp_path / "bm.npz").exists()
+        assert load_sketch(tmp_path / "bm.npz").cardinality() == bm.cardinality()
+
+
 class TestErrors:
     def test_unsupported_type(self, tmp_path):
         with pytest.raises(TypeError):

@@ -1,0 +1,316 @@
+"""Engine semantics: shard invariance, fan-in, triggers, rejections."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SheBitmap,
+    SheBloomFilter,
+    SheCountMin,
+    SheHyperLogLog,
+    SheMinHash,
+    TimedStream,
+    merge_many,
+)
+from repro.exact import ExactWindow
+from repro.service import EngineConfig, StreamEngine, shard_ids
+from repro.service.sharding import partition
+
+
+def make_engine(kind, window, size, shards, **sketch_kwargs):
+    cfg = EngineConfig(
+        kind,
+        window=window,
+        size=size,
+        num_shards=shards,
+        flush_batch_size=777,  # deliberately unaligned with batch sizes
+        flush_interval_s=None,
+        sketch_kwargs=sketch_kwargs,
+    )
+    return StreamEngine(cfg)
+
+
+@pytest.fixture
+def stream():
+    return np.random.default_rng(42).integers(0, 500, size=12_000, dtype=np.uint64)
+
+
+class TestShardInvariance:
+    """Engine answers are invariant to the shard count where theory says
+    they must be (the ISSUE's acceptance criteria)."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_bf_bit_exact_vs_unsharded(self, stream, shards):
+        """Merged BF fan-in == one unsharded sketch, bit for bit."""
+        eng = make_engine("bf", 2048, 1 << 13, shards, seed=3, num_hashes=4)
+        eng.ingest(stream)
+        whole = SheBloomFilter(2048, 1 << 13, seed=3, num_hashes=4)
+        whole.insert_many(stream)
+        merged = eng.merged()
+        whole.frame.prepare_query_all(whole.now())
+        assert np.array_equal(merged.frame.cells, whole.frame.cells)
+        # and the query surface agrees
+        probes = np.unique(stream)[:256]
+        assert np.array_equal(
+            eng.contains_many(probes), whole.contains_many(probes)
+        )
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_bm_bit_exact_vs_unsharded(self, stream, shards):
+        eng = make_engine("bm", 2048, 1 << 12, shards, seed=2)
+        eng.ingest(stream)
+        whole = SheBitmap(2048, 1 << 12, seed=2)
+        whole.insert_many(stream)
+        assert eng.cardinality() == whole.cardinality()
+
+    def test_hll_superset_and_close(self, stream):
+        """w = 1 registers merge one-sidedly (see core/merge.py): the
+        fan-in can only retain *stale extra* content, so merged cells
+        dominate the unsharded sketch and estimates stay close."""
+        eng = make_engine("hll", 2048, 256, 4, seed=5)
+        eng.ingest(stream)
+        whole = SheHyperLogLog(2048, 256, seed=5)
+        whole.insert_many(stream)
+        merged = eng.merged()
+        whole.frame.prepare_query_all(whole.now())
+        assert np.all(merged.frame.cells >= whole.frame.cells)
+        assert abs(eng.cardinality() - whole.cardinality()) <= 0.3 * whole.cardinality()
+
+    def test_bf_no_false_negatives(self, stream):
+        eng = make_engine("bf", 2048, 1 << 13, 4, seed=3)
+        eng.ingest(stream)
+        ew = ExactWindow(2048)
+        ew.insert_many(stream)
+        assert np.all(eng.contains_many(ew.distinct_keys()))
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_cm_fan_in_sum_and_error_envelope(self, stream, shards):
+        """CM property test: the engine's frequency equals the sum of
+        per-shard estimates, never dips below the true windowed count
+        (mature-counter guarantee, preserved by summation), and stays
+        inside the unsharded sketch's error envelope."""
+        window, m = 2048, 1024
+        eng = make_engine("cm", window, m, shards, seed=7)
+        eng.ingest(stream)
+        single = SheCountMin(window, m, seed=7)
+        single.insert_many(stream)
+        ew = ExactWindow(window)
+        ew.insert_many(stream)
+        probes = ew.distinct_keys()
+        true = ew.frequency_many(probes)
+
+        est = eng.frequency_many(probes)
+        # (a) fan-in sum: engine == sum over aligned shard snapshots
+        per_shard = np.sum(
+            [s.frequency_many(probes, eng.now()) for s in eng.snapshots()],
+            axis=0,
+        )
+        assert np.array_equal(est, per_shard)
+        # (b) never underestimates through mature counters; the only
+        # legal dip is SHE-CM's documented all-young fallback (§4.4),
+        # which at alpha=1, k=8 affects ~(1/2)^8 of point queries
+        under = np.count_nonzero(est < true)
+        assert under <= max(2, int(0.02 * probes.size))
+        # (c) within the single unsharded sketch's error envelope: the
+        # sharded engine has S disjoint key sets on S arrays, so its
+        # aggregate overestimate should not exceed the single sketch's
+        # (generously slackened for hash luck at fixed seeds)
+        single_err = np.mean(single.frequency_many(probes) - true)
+        engine_err = np.mean(est - true)
+        assert engine_err <= max(1.5 * single_err, 2.0)
+
+    def test_single_shard_equals_plain_sketch(self, stream):
+        eng = make_engine("cm", 2048, 1024, 1, seed=7)
+        eng.ingest(stream)
+        single = SheCountMin(2048, 1024, seed=7)
+        single.insert_many(stream)
+        probes = np.arange(200, dtype=np.uint64)
+        assert np.array_equal(eng.frequency_many(probes), single.frequency_many(probes))
+
+    def test_engine_matches_hand_built_shards(self, stream):
+        """The whole ingest path (buffering, times, flush) reproduces a
+        hand-built reference partition driven through TimedStream."""
+        cfg = EngineConfig(
+            "bf", window=1024, size=4096, num_shards=3,
+            flush_batch_size=100, flush_interval_s=None,
+            sketch_kwargs={"seed": 9},
+        )
+        eng = StreamEngine(cfg)
+        # several ingest calls to exercise multiple flush rounds
+        for lo in range(0, stream.size, 1234):
+            eng.ingest(stream[lo : lo + 1234])
+
+        times = np.arange(stream.size, dtype=np.int64)
+        parts = partition(stream, times, 3, cfg.shard_seed)
+        hand = []
+        for keys, tms in parts:
+            s = SheBloomFilter(1024, 4096, seed=9)
+            TimedStream(s).insert_many(keys, tms)
+            s.t = stream.size
+            hand.append(s)
+        ref = merge_many(hand, t=stream.size, require_aligned=True)
+        merged = eng.merged()
+        assert np.array_equal(merged.frame.cells, ref.frame.cells)
+
+
+class TestTwoStream:
+    def test_mh_similarity_matches_unsharded(self):
+        rng = np.random.default_rng(8)
+        a = rng.integers(0, 300, size=5000, dtype=np.uint64)
+        b = np.where(rng.random(5000) < 0.5, a, rng.integers(300, 600, size=5000, dtype=np.uint64))
+        eng = make_engine("mh", 2048, 128, 2, seed=5)
+        eng.ingest(a, side=0)
+        eng.ingest(b, side=1)
+        whole = SheMinHash(2048, 128, seed=5)
+        whole.insert_many(0, a)
+        whole.insert_many(1, b)
+        assert eng.similarity() == pytest.approx(whole.similarity(), abs=0.1)
+
+    def test_side_required_and_rejected(self):
+        mh = make_engine("mh", 256, 64, 2, seed=5)
+        with pytest.raises(ValueError, match="side"):
+            mh.ingest(np.arange(4, dtype=np.uint64))
+        bf = make_engine("bf", 256, 512, 2, seed=1)
+        with pytest.raises(ValueError, match="side"):
+            bf.ingest(np.arange(4, dtype=np.uint64), side=1)
+
+
+class TestBufferingAndTriggers:
+    def test_size_trigger_flushes_only_full_queues(self):
+        cfg = EngineConfig(
+            "cm", window=1024, size=512, num_shards=2,
+            flush_batch_size=50, flush_interval_s=None,
+            sketch_kwargs={"seed": 7},
+        )
+        eng = StreamEngine(cfg)
+        # keys all landing on one shard: find them via the partitioner
+        keys = np.arange(4000, dtype=np.uint64)
+        sids = shard_ids(keys, 2, cfg.shard_seed)
+        one_shard = keys[sids == 0][:60]
+        eng.ingest(one_shard)
+        assert eng.stats.items_flushed == 60
+        assert eng.queue_depths() == [0, 0]
+
+    def test_below_threshold_buffers(self):
+        eng = make_engine("cm", 1024, 512, 2, seed=7)
+        eng.ingest(np.arange(100, dtype=np.uint64))
+        assert eng.stats.items_flushed == 0
+        assert sum(eng.queue_depths()) == 100
+        assert eng.stats_snapshot()["items_buffered"] == 100
+
+    def test_time_trigger(self):
+        fake = [0.0]
+        cfg = EngineConfig(
+            "cm", window=1024, size=512, num_shards=2,
+            flush_batch_size=10**9, flush_interval_s=5.0,
+            sketch_kwargs={"seed": 7},
+        )
+        eng = StreamEngine(cfg, clock=lambda: fake[0])
+        eng.ingest(np.arange(100, dtype=np.uint64))
+        assert eng.stats.items_flushed == 0
+        fake[0] = 6.0
+        eng.ingest(np.arange(5, dtype=np.uint64))
+        assert eng.stats.items_flushed == 105
+
+    def test_queries_see_buffered_items(self):
+        eng = make_engine("cm", 1024, 512, 2, seed=7)
+        eng.ingest(np.full(10, 42, dtype=np.uint64))
+        assert eng.frequency(42) >= 10
+
+    def test_closed_engine_rejects_work(self):
+        eng = make_engine("cm", 256, 512, 2, seed=7)
+        eng.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            eng.ingest(np.arange(3, dtype=np.uint64))
+
+
+class TestFanInRejections:
+    """merge_sketches rejection paths exercised through engine queries."""
+
+    def test_drifted_clock_rejected(self, stream):
+        eng = make_engine("bm", 1024, 2048, 3, seed=2)
+        eng.ingest(stream[:4000])
+        eng.flush()
+        # a shard that silently fell behind the union clock must not be
+        # merged: poke one shard's clock backwards behind the others
+        eng._exec._shards[1].t -= 7
+        with pytest.raises(ValueError, match="drifted"):
+            merge_many(eng._exec.peeks(), require_aligned=True)
+        # the query fan-in advances shards to the global clock first,
+        # healing a *behind* shard; a shard AHEAD of the union clock
+        # cannot be healed and is rejected end to end
+        eng._exec._shards[1].t = eng.now() + 99
+        with pytest.raises(ValueError, match="drifted|rewind"):
+            eng.cardinality()
+
+    def test_mismatched_seed_rejected_through_fan_in(self, stream):
+        eng = make_engine("bm", 1024, 2048, 2, seed=2)
+        eng.ingest(stream[:3000])
+        eng._exec._shards[1] = SheBitmap(1024, 2048, seed=99)
+        eng._exec._shards[1].advance_to(eng.now())
+        with pytest.raises(ValueError, match="seeds must all match"):
+            eng.cardinality()
+
+    def test_mismatched_window_rejected_through_fan_in(self, stream):
+        eng = make_engine("bf", 1024, 4096, 2, seed=1)
+        eng.ingest(stream[:3000])
+        eng._exec._shards[1] = SheBloomFilter(2048, 4096, seed=1)
+        eng._exec._shards[1].advance_to(eng.now())
+        with pytest.raises(ValueError, match="must all match"):
+            eng.contains(5)
+
+    def test_mismatched_alpha_rejected_through_fan_in(self, stream):
+        eng = make_engine("bm", 1024, 2048, 2, seed=2)
+        eng.ingest(stream[:3000])
+        eng._exec._shards[1] = SheBitmap(1024, 2048, seed=2, alpha=0.4)
+        eng._exec._shards[1].advance_to(eng.now())
+        with pytest.raises(ValueError, match="must all match"):
+            eng.cardinality()
+
+    def test_wrong_kind_query_rejected(self):
+        eng = make_engine("bf", 256, 512, 2, seed=1)
+        with pytest.raises(TypeError, match="frequency"):
+            eng.frequency(1)
+        with pytest.raises(TypeError, match="cardinality"):
+            eng.cardinality()
+
+
+class TestApplications:
+    def test_heavy_hitters_over_engine(self):
+        """HeavyHitters drives a sharded engine as its CM backend."""
+        from repro.applications import HeavyHitters
+
+        rng = np.random.default_rng(17)
+        window = 2048
+        hot = np.full(600, 7, dtype=np.uint64)
+        noise = rng.integers(100, 4000, size=3000, dtype=np.uint64)
+        stream = rng.permutation(np.concatenate([hot, noise]))
+        eng = make_engine("cm", window, 4096, 4, seed=7)
+        hh = HeavyHitters(window, threshold=200.0, sketch=eng)
+        hh.insert_many(stream[-window:])
+        top = hh.heavy_hitters()
+        assert top and top[0][0] == 7
+        assert hh.is_heavy(7)
+        assert hh.memory_bytes > 0
+
+
+class TestStats:
+    def test_counters_and_percentiles(self):
+        fake = [0.0]
+        cfg = EngineConfig(
+            "cm", window=1024, size=512, num_shards=2,
+            flush_batch_size=64, flush_interval_s=None,
+            sketch_kwargs={"seed": 7},
+        )
+        eng = StreamEngine(cfg, clock=lambda: fake[0])
+        for _ in range(5):
+            eng.ingest(np.arange(200, dtype=np.uint64))
+        eng.frequency(3)
+        snap = eng.stats_snapshot()
+        assert snap["items_ingested"] == 1000
+        assert snap["items_flushed"] == 1000
+        assert snap["flush_count"] >= 5
+        assert snap["query_count"] == 1
+        assert "flush_p99_ms" in snap
+        report = eng.stats_report()
+        assert "items_ingested" in report and "1000" in report

@@ -1,0 +1,84 @@
+"""Multiprocessing executor: bit-equivalence with serial, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core import SheCountMin
+from repro.service import EngineConfig, ProcessExecutor, StreamEngine, save_checkpoint, recover_engine
+
+
+@pytest.fixture
+def stream():
+    return np.random.default_rng(11).integers(0, 600, size=15_000, dtype=np.uint64)
+
+
+def cfg(kind="cm", **kw):
+    base = dict(
+        window=2048, size=1024, num_shards=4,
+        flush_batch_size=900, flush_interval_s=None,
+        sketch_kwargs={"seed": 7},
+    )
+    base.update(kw)
+    return EngineConfig(kind, **base)
+
+
+class TestProcessEquivalence:
+    def test_frequency_identical_to_serial(self, stream):
+        with StreamEngine(cfg(), executor="process", num_workers=2) as proc:
+            serial = StreamEngine(cfg())
+            for lo in range(0, stream.size, 4096):
+                chunk = stream[lo : lo + 4096]
+                proc.ingest(chunk)
+                serial.ingest(chunk)
+            probes = np.unique(stream)[:200]
+            assert np.array_equal(
+                proc.frequency_many(probes), serial.frequency_many(probes)
+            )
+
+    def test_merged_membership_identical_to_serial(self, stream):
+        with StreamEngine(cfg("bf", size=8192, sketch_kwargs={"seed": 1}),
+                          executor="process") as proc:
+            serial = StreamEngine(cfg("bf", size=8192, sketch_kwargs={"seed": 1}))
+            proc.ingest(stream)
+            serial.ingest(stream)
+            assert np.array_equal(
+                proc.merged().frame.cells, serial.merged().frame.cells
+            )
+
+    def test_checkpoint_and_recover_through_workers(self, tmp_path, stream):
+        with StreamEngine(cfg(), executor="process", num_workers=3) as proc:
+            proc.ingest(stream)
+            probes = np.unique(stream)[:100]
+            before = proc.frequency_many(probes)
+            save_checkpoint(proc, tmp_path)
+        back = recover_engine(tmp_path, executor="process", num_workers=2)
+        try:
+            assert np.array_equal(back.frequency_many(probes), before)
+        finally:
+            back.close()
+
+
+class TestLifecycle:
+    def test_worker_error_propagates(self):
+        shards = [SheCountMin(256, 512, seed=7) for _ in range(2)]
+        ex = ProcessExecutor(shards, num_workers=2)
+        try:
+            keys = np.arange(10, dtype=np.uint64)
+            ex.flush(0, keys, np.arange(10, dtype=np.int64))
+            with pytest.raises(RuntimeError, match="shard worker failed"):
+                # rewinding times is invalid -> the worker reports it
+                ex.flush(0, keys, np.arange(10, dtype=np.int64))
+        finally:
+            ex.close()
+
+    def test_close_is_idempotent(self):
+        ex = ProcessExecutor([SheCountMin(256, 512, seed=7)])
+        ex.close()
+        ex.close()
+
+    def test_workers_capped_by_shards(self):
+        ex = ProcessExecutor([SheCountMin(256, 512, seed=7)], num_workers=8)
+        try:
+            assert ex.num_workers == 1
+        finally:
+            ex.close()
