@@ -3,43 +3,83 @@
 The serving layer over the SHE sketch library: hash-sharded ingestion
 with batched flushes (:class:`StreamEngine`), optional multiprocessing
 flush executors, merge-based query fan-in, atomic checkpoint/recovery
-(:class:`Checkpointer`, :func:`recover_engine`) and in-process counters
-(:class:`EngineStats`).
+(:class:`Checkpointer`, :func:`recover_engine`), in-process counters
+(:class:`EngineStats`), and a fault-tolerance layer: RPC deadlines and
+a typed error hierarchy (:mod:`repro.service.errors`), worker
+supervision with restart-from-checkpoint + replay
+(:class:`Supervisor`), degraded queries that answer from surviving
+shards (``strict=False`` → :class:`DegradedAnswer`), and deterministic
+fault injection (:class:`ChaosExecutor`) to test all of it.
 
 Quickstart::
 
-    from repro.service import EngineConfig, StreamEngine
+    from repro.service import EngineConfig, StreamEngine, Supervisor
 
     engine = StreamEngine(EngineConfig("cm", window=1 << 16, size=1 << 14,
-                                       num_shards=4))
+                                       num_shards=4), executor="process")
+    sup = Supervisor(engine, "/var/tmp/ckpts")   # deadline+restart+replay
     engine.ingest(keys)                  # buffered, batched, sharded
     engine.frequency(some_key)           # per-shard fan-in sum
+    engine.frequency(some_key, strict=False)  # survives down shards
     engine.close()
 """
 
 from repro.service.checkpoint import (
     Checkpointer,
     latest_checkpoint,
+    load_checkpoint_shard,
     prune_checkpoints,
+    read_manifest,
     recover_engine,
     save_checkpoint,
 )
-from repro.service.engine import KINDS, EngineConfig, StreamEngine
-from repro.service.executor import ProcessExecutor, SerialExecutor
+from repro.service.engine import (
+    KINDS,
+    DegradedAnswer,
+    EngineConfig,
+    StreamEngine,
+)
+from repro.service.errors import (
+    ShardDeadError,
+    ShardError,
+    ShardFailedError,
+    ShardTimeoutError,
+    ShardUnrecoverableError,
+)
+from repro.service.executor import (
+    DEFAULT_RPC_TIMEOUT_S,
+    ProcessExecutor,
+    SerialExecutor,
+)
+from repro.service.faults import ChaosExecutor
 from repro.service.sharding import DEFAULT_SHARD_SEED, partition, shard_ids
 from repro.service.stats import EngineStats, format_stats
+from repro.service.supervisor import ReplayBuffer, RetryPolicy, Supervisor
 
 __all__ = [
     "KINDS",
     "EngineConfig",
     "StreamEngine",
+    "DegradedAnswer",
     "Checkpointer",
     "save_checkpoint",
     "latest_checkpoint",
     "prune_checkpoints",
     "recover_engine",
+    "read_manifest",
+    "load_checkpoint_shard",
     "SerialExecutor",
     "ProcessExecutor",
+    "DEFAULT_RPC_TIMEOUT_S",
+    "ChaosExecutor",
+    "Supervisor",
+    "RetryPolicy",
+    "ReplayBuffer",
+    "ShardError",
+    "ShardTimeoutError",
+    "ShardDeadError",
+    "ShardFailedError",
+    "ShardUnrecoverableError",
     "EngineStats",
     "format_stats",
     "DEFAULT_SHARD_SEED",

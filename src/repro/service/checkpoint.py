@@ -38,6 +38,8 @@ __all__ = [
     "latest_checkpoint",
     "prune_checkpoints",
     "recover_engine",
+    "read_manifest",
+    "load_checkpoint_shard",
 ]
 
 _MANIFEST = "MANIFEST.json"
@@ -86,7 +88,35 @@ def save_checkpoint(engine: StreamEngine, directory: str | Path) -> Path:
         shutil.rmtree(staging, ignore_errors=True)
         raise
     engine.stats.record_checkpoint()
+    supervisor = getattr(engine, "_supervisor", None)
+    if supervisor is not None:
+        # everything flushed so far is durable: the replay buffer can
+        # trim to this cut and the restart breaker refills
+        supervisor.on_checkpoint(final)
     return final
+
+
+def read_manifest(path: str | Path) -> dict:
+    """The manifest of one checkpoint directory (raises if unreadable)."""
+    return json.loads((Path(path) / _MANIFEST).read_text())
+
+
+def load_checkpoint_shard(path: str | Path, shard_id: int):
+    """Load a single shard's sketch from one checkpoint directory.
+
+    The supervisor rebuilds one worker at a time; loading only its
+    shards keeps recovery cost proportional to the failure, not the
+    fleet.
+    """
+    from repro.persist import load_sketch
+
+    path = Path(path)
+    names = read_manifest(path)["shards"]
+    if not 0 <= shard_id < len(names):
+        raise ValueError(
+            f"checkpoint {path} has {len(names)} shards, no shard {shard_id}"
+        )
+    return load_sketch(path / names[shard_id])
 
 
 def _next_seq(directory: Path) -> int:
@@ -133,34 +163,52 @@ def latest_checkpoint(directory: str | Path) -> Path | None:
 def recover_engine(
     directory: str | Path,
     *,
-    executor: str = "serial",
+    executor="serial",
     num_workers: int | None = None,
 ) -> StreamEngine:
-    """Rebuild the engine from the newest complete checkpoint.
+    """Rebuild the engine from the newest *loadable* checkpoint.
+
+    A checkpoint whose shard files turn out to be corrupt (bit rot,
+    torn storage, injected chaos) is skipped in favour of the next
+    older complete one — a stale answer beats no answer.
 
     Raises:
-        FileNotFoundError: if the directory holds no complete checkpoint.
+        FileNotFoundError: if the directory holds no complete,
+            loadable checkpoint.
     """
-    path = latest_checkpoint(directory)
-    if path is None:
-        raise FileNotFoundError(
-            f"no complete checkpoint under {Path(directory)!s}"
-        )
+    directory = Path(directory)
     # local import: persist -> core only, but keep engine import-light
     from repro.persist import load_sketch
 
-    meta = json.loads((path / _MANIFEST).read_text())
-    config = EngineConfig.from_json(meta["config"])
-    shards = [load_sketch(path / name) for name in meta["shards"]]
-    engine = StreamEngine(
-        config,
-        executor=executor,
-        num_workers=num_workers,
-        _shards=shards,
-        _clock_state=[int(t) for t in meta["clock"]],
+    candidates = sorted(
+        (
+            p
+            for p in directory.iterdir()
+            if p.is_dir() and p.name.startswith(_PREFIX)
+        ),
+        reverse=True,
+    ) if directory.is_dir() else []
+    for path in candidates:
+        if not _is_complete(path):
+            continue
+        try:
+            meta = read_manifest(path)
+            shards = [load_sketch(path / name) for name in meta["shards"]]
+        except Exception:
+            continue  # corrupt: fall back to the next older checkpoint
+        config = EngineConfig.from_json(meta["config"])
+        engine = StreamEngine(
+            config,
+            executor=executor,
+            num_workers=num_workers,
+            _shards=shards,
+            _clock_state=[int(t) for t in meta["clock"]],
+        )
+        engine.stats.recovered_from = str(path)
+        return engine
+    raise FileNotFoundError(
+        f"no complete, loadable checkpoint under {directory!s}"
     )
-    engine.stats.recovered_from = str(path)
-    return engine
 
 
 def prune_checkpoints(directory: str | Path, keep: int) -> list[Path]:

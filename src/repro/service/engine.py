@@ -26,6 +26,17 @@ distributed sliding-window monitors:
   its owning shard, and cross-shard summation preserves Count-Min's
   never-underestimate guarantee, which a min-over-summed-counters
   merge would dilute with other shards' collision noise.
+
+* **Failure containment.** Executor failures arrive as the typed
+  hierarchy of :mod:`repro.service.errors` and never lose data: a
+  batch stays in (or returns to) its buffer until the executor
+  acknowledges it, an attached
+  :class:`repro.service.supervisor.Supervisor` restarts dead workers
+  from checkpoint + replay, and shards that stay unrecoverable are
+  marked *down* — strict calls raise
+  :class:`ShardUnrecoverableError`, while ``strict=False`` queries
+  answer from the surviving shards and annotate the result with its
+  coverage (:class:`DegradedAnswer`).
 """
 
 from __future__ import annotations
@@ -44,11 +55,18 @@ from repro.core.she_bm import SheBitmap
 from repro.core.she_cm import SheCountMin
 from repro.core.she_hll import SheHyperLogLog
 from repro.core.she_mh import SheMinHash
+from repro.service.errors import (
+    ShardDeadError,
+    ShardError,
+    ShardFailedError,
+    ShardTimeoutError,
+    ShardUnrecoverableError,
+)
 from repro.service.executor import ProcessExecutor, SerialExecutor
 from repro.service.sharding import DEFAULT_SHARD_SEED, shard_ids
 from repro.service.stats import EngineStats, format_stats
 
-__all__ = ["EngineConfig", "StreamEngine", "KINDS"]
+__all__ = ["EngineConfig", "StreamEngine", "DegradedAnswer", "KINDS"]
 
 # kind -> (sketch class, name of the size argument)
 KINDS: dict[str, tuple[type, str]] = {
@@ -75,6 +93,8 @@ class EngineConfig:
         flush_interval_s: drain everything when this much wall time has
             passed since the last drain (None disables the time trigger).
         shard_seed: partitioner seed (independent of sketch seeds).
+        rpc_timeout_s: per-RPC deadline for worker executors (None
+            waits forever); see :class:`ProcessExecutor`.
         sketch_kwargs: forwarded to the sketch constructor (``seed``,
             ``alpha``, ``num_hashes``, ``frame``, ...).
     """
@@ -86,6 +106,7 @@ class EngineConfig:
     flush_batch_size: int = 8192
     flush_interval_s: float | None = 1.0
     shard_seed: int = DEFAULT_SHARD_SEED
+    rpc_timeout_s: float | None = 30.0
     sketch_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -102,6 +123,44 @@ class EngineConfig:
     @classmethod
     def from_json(cls, data: dict) -> "EngineConfig":
         return cls(**data)
+
+
+@dataclass(frozen=True)
+class DegradedAnswer:
+    """A ``strict=False`` query result plus its shard coverage.
+
+    ``value`` is the usual answer computed over the surviving shards
+    (``None`` when every shard is down).  ``caveat`` spells out, per
+    sketch kind, which guarantee the missing shards cost — e.g. SHE-CM
+    loses its one-sided error: keys owned by a missing shard can now be
+    *under*-estimated (to zero), which a strict CM answer never does.
+    """
+
+    value: Any
+    shards_answered: int
+    shards_total: int
+    missing_shards: tuple[int, ...] = ()
+    caveat: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.shards_answered < self.shards_total
+
+    @property
+    def coverage(self) -> float:
+        return self.shards_answered / self.shards_total
+
+
+_DEGRADED_CAVEATS = {
+    "bf": "missing shards may yield false negatives for keys they own",
+    "bm": "cardinality is a lower bound: missing shards' keys are uncounted",
+    "hll": "cardinality is a lower bound: missing shards' keys are uncounted",
+    "cm": (
+        "one-sided error is lost: keys owned by missing shards can be "
+        "underestimated (down to zero)"
+    ),
+    "mh": "similarity ignores the key subspace owned by missing shards",
+}
 
 
 def _build_shards(config: EngineConfig) -> list:
@@ -133,6 +192,13 @@ class _ShardBuffer:
         self.count = 0
         return keys, times
 
+    def requeue(self, keys: np.ndarray, times: np.ndarray) -> None:
+        """Put a drained-but-unacknowledged batch back at the front,
+        so per-shard time order survives a failed flush."""
+        self.keys.insert(0, keys)
+        self.times.insert(0, times)
+        self.count += int(keys.size)
+
 
 class StreamEngine:
     """Sharded, buffered ingestion and query serving over SHE sketches.
@@ -141,7 +207,9 @@ class StreamEngine:
         config: the :class:`EngineConfig` describing shards and flushing.
         executor: ``"serial"`` (default) applies flushes inline;
             ``"process"`` forks shard-owning workers so flushes of
-            different shards run in parallel.
+            different shards run in parallel.  A callable taking the
+            shard list and returning an executor instance is also
+            accepted (fault-injection wrappers, custom pools).
         num_workers: worker count for the process executor
             (default: one per shard).
         clock: injectable monotonic clock for the time trigger and
@@ -173,10 +241,22 @@ class StreamEngine:
         if executor == "serial":
             self._exec = SerialExecutor(shards)
         elif executor == "process":
-            self._exec = ProcessExecutor(shards, num_workers=num_workers)
+            self._exec = ProcessExecutor(
+                shards,
+                num_workers=num_workers,
+                timeout_s=config.rpc_timeout_s,
+            )
+        elif callable(executor):
+            self._exec = executor(shards)
         else:
-            raise ValueError(f"executor must be 'serial' or 'process', got {executor!r}")
-        self.executor_kind = executor
+            raise ValueError(
+                "executor must be 'serial', 'process' or a factory "
+                f"callable, got {executor!r}"
+            )
+        self.executor_kind = (
+            executor if isinstance(executor, str)
+            else type(self._exec).__name__
+        )
         # global union-stream clock(s): next arrival index per side
         self._t = list(_clock_state) if _clock_state is not None else (
             [0, 0] if self._two_stream else [0]
@@ -184,6 +264,8 @@ class StreamEngine:
         self._buffers: dict[tuple[int, int], _ShardBuffer] = {}
         self._last_drain = clock()
         self._closed = False
+        self._supervisor = None  # attached by Supervisor.__init__
+        self._down: set[int] = set()  # shards with no live, trusted worker
 
     # -- clock ---------------------------------------------------------------
 
@@ -243,34 +325,123 @@ class StreamEngine:
         full = [
             key for key, buf in self._buffers.items()
             if buf.count >= self.config.flush_batch_size
+            and key[0] not in self._down
         ]
         interval = self.config.flush_interval_s
         if interval is not None and self._clock() - self._last_drain >= interval:
-            self.flush()
+            self._flush_buffers(self._flushable_keys())
         elif full:
             self._flush_buffers(full)
 
-    def flush(self) -> None:
-        """Drain every per-shard queue through the batch insert path."""
-        self._check_open()
-        self._flush_buffers([k for k, b in self._buffers.items() if b.count])
+    def _flushable_keys(self) -> list[tuple[int, int]]:
+        """Non-empty buffers whose shard has a live worker (down
+        shards retain their data until recovery)."""
+        return [
+            k for k, b in self._buffers.items()
+            if b.count and k[0] not in self._down
+        ]
 
-    def _flush_buffers(self, buffer_keys) -> None:
+    def flush(self) -> None:
+        """Drain every live shard's queue through the batch insert path.
+
+        Buffers of down shards are retained, not dropped; recover the
+        shards (:class:`repro.service.supervisor.Supervisor`) and the
+        next flush delivers them in order.
+        """
+        self._check_open()
+        self._flush_buffers(self._flushable_keys())
+
+    # -- failure plumbing ----------------------------------------------------
+
+    def _note_failure(self, err: ShardError) -> None:
+        if isinstance(err, ShardTimeoutError):
+            self.stats.record_timeout()
+        elif isinstance(err, ShardDeadError):
+            self.stats.record_worker_death()
+
+    def _shards_of_error(self, err: ShardError) -> set[int]:
+        """Which shards an executor error implicates (worst case: all)."""
+        if err.shard_ids:
+            return set(err.shard_ids)
+        if err.worker_ids:
+            return {
+                s for w in err.worker_ids for s in self._exec.shards_of(w)
+            }
+        return set(range(self.config.num_shards))
+
+    def _handle_executor_failure(self, err: ShardError, *, strict: bool) -> bool:
+        """Common response to a failed executor op (advance/snapshot).
+
+        Returns True when an attached supervisor fully recovered the
+        implicated workers (the caller may retry the op).  Otherwise
+        the shards are marked down and the error re-raises unless the
+        caller opted into degradation.
+        """
+        self._note_failure(err)
+        if (
+            self._supervisor is not None
+            and not isinstance(err, ShardFailedError)
+            and self._supervisor.handle_failure(err)
+        ):
+            return True
+        if not isinstance(err, ShardFailedError):
+            self._down.update(self._shards_of_error(err))
+        if strict or isinstance(err, ShardFailedError):
+            raise err
+        return False
+
+    def _flush_buffers(self, buffer_keys, *, strict: bool = True) -> None:
         if not buffer_keys:
             self._last_drain = self._clock()
             return
         started = self._clock()
+        staged: list[tuple[tuple[int, int], np.ndarray, np.ndarray]] = []
         batches = []
         n_items = 0
         for s, side in buffer_keys:
             keys, times = self._buffers[s, side].drain()
             n_items += int(keys.size)
+            staged.append(((s, side), keys, times))
             batches.append((s, keys, times, side if self._two_stream else None))
-        if isinstance(self._exec, ProcessExecutor):
+        if self._supervisor is not None:
+            # log before sending: a batch whose ack never arrives must
+            # still be replayable after restart-from-checkpoint
+            self._supervisor.record_sent(batches)
+        try:
             self._exec.flush_many(batches)
-        else:
-            for s, keys, times, side in batches:
-                self._exec.flush(s, keys, times, side)
+        except ShardError as err:
+            self._note_failure(err)
+            recovered = (
+                self._supervisor is not None
+                and not isinstance(err, ShardFailedError)
+                and self._supervisor.handle_failure(err)
+            )
+            if not recovered:
+                failed = self._shards_of_error(err)
+                if not isinstance(err, ShardFailedError):
+                    self._down.update(
+                        failed & {s for (s, _side), _, _ in staged}
+                    )
+                if self._supervisor is None:
+                    # retention: unacknowledged batches return to their
+                    # buffers (front, preserving per-shard time order);
+                    # with a supervisor the replay buffer owns them
+                    for (s, side), keys, times in reversed(staged):
+                        if s in failed:
+                            self._buffers[s, side].requeue(keys, times)
+                applied = n_items - sum(
+                    int(keys.size)
+                    for (s, _side), keys, _times in staged
+                    if s in failed
+                )
+                self._last_drain = self._clock()
+                if applied:
+                    self.stats.record_flush(applied, self._last_drain - started)
+                if strict or isinstance(err, ShardFailedError):
+                    raise
+                return
+            # recovered: the failed worker was rebuilt from checkpoint
+            # and every logged batch (including this round's) replayed
         self._last_drain = self._clock()
         self.stats.record_flush(n_items, self._last_drain - started)
 
@@ -283,20 +454,66 @@ class StreamEngine:
 
     # -- querying ------------------------------------------------------------
 
-    def _sync(self) -> None:
-        """Drain buffers and bring every shard to the global clock."""
-        self.flush()
+    def _sync(self, strict: bool = True) -> None:
+        """Drain buffers and bring every live shard to the global clock.
+
+        With ``strict=True`` (the default), any down shard — previously
+        marked or newly failed here — raises; ``strict=False`` marks
+        failures down and keeps going so degraded queries can answer
+        from the survivors.
+        """
+        if strict and self._down:
+            raise ShardUnrecoverableError(
+                f"shards {sorted(self._down)} are down; recover them "
+                "(Supervisor.recover_down) or query with strict=False",
+                shard_ids=tuple(sorted(self._down)),
+            )
+        self._check_open()
+        self._flush_buffers(self._flushable_keys(), strict=strict)
         for s in range(self.config.num_shards):
-            if self._two_stream:
-                for side in (0, 1):
-                    self._exec.advance(s, self._t[side], side)
-            else:
-                self._exec.advance(s, self._t[0])
+            if s in self._down:
+                continue
+            try:
+                self._advance_shard(s)
+            except ShardError as err:
+                if self._handle_executor_failure(err, strict=strict):
+                    self._advance_shard(s)  # recovered: catch up once
+
+    def _advance_shard(self, s: int) -> None:
+        if self._two_stream:
+            for side in (0, 1):
+                self._exec.advance(s, self._t[side], side)
+        else:
+            self._exec.advance(s, self._t[0])
 
     def snapshots(self) -> list:
         """Clock-aligned copies of all shards (flushes first)."""
         self._sync()
         return self._exec.snapshots()
+
+    def _surviving_snapshots(self) -> tuple[list, set[int]]:
+        """Aligned snapshots of live shards + the missing-shard set."""
+        self._sync(strict=False)
+        snaps: list = []
+        missing = set(self._down)
+        for s in range(self.config.num_shards):
+            if s in self._down:
+                continue
+            snap = None
+            try:
+                snap = self._exec.snapshot(s)
+            except ShardError as err:
+                if self._handle_executor_failure(err, strict=False):
+                    try:  # recovered mid-query: one retry
+                        self._advance_shard(s)
+                        snap = self._exec.snapshot(s)
+                    except ShardError:
+                        pass
+            if snap is None:
+                missing.add(s)
+            else:
+                snaps.append(snap)
+        return snaps, missing | self._down
 
     def merged(self):
         """One sketch equal to observing the union stream unsharded.
@@ -314,41 +531,98 @@ class StreamEngine:
                 f"this one is {self.config.kind!r}"
             )
 
-    def contains(self, key: int) -> bool:
-        """Membership of ``key`` in the window (BF engines)."""
-        return bool(self.contains_many(np.asarray([key], dtype=np.uint64))[0])
+    def _degraded_answer(self, value, missing: set[int]) -> DegradedAnswer:
+        total = self.config.num_shards
+        if missing:
+            self.stats.record_degraded_query()
+        return DegradedAnswer(
+            value=value,
+            shards_answered=total - len(missing),
+            shards_total=total,
+            missing_shards=tuple(sorted(missing)),
+            caveat=_DEGRADED_CAVEATS[self.config.kind] if missing else None,
+        )
 
-    def contains_many(self, keys) -> np.ndarray:
+    def _degraded_merged(self) -> tuple[Any, set[int]]:
+        snaps, missing = self._surviving_snapshots()
+        if not snaps:
+            return None, missing
+        t = None if self._two_stream else self._t[0]
+        return merge_many(snaps, t=t, require_aligned=True), missing
+
+    def contains(self, key: int, *, strict: bool = True):
+        """Membership of ``key`` in the window (BF engines)."""
+        res = self.contains_many(np.asarray([key], dtype=np.uint64), strict=strict)
+        if strict:
+            return bool(res[0])
+        value = None if res.value is None else bool(res.value[0])
+        return dataclasses.replace(res, value=value)
+
+    def contains_many(self, keys, *, strict: bool = True):
+        """Windowed membership per key; ``strict=False`` answers from
+        surviving shards as a :class:`DegradedAnswer` when some are
+        down (their keys may come back as false negatives)."""
         self._require_kind("membership", "bf")
         self.stats.record_query()
-        return self.merged().contains_many(keys)
+        if strict:
+            return self.merged().contains_many(keys)
+        merged, missing = self._degraded_merged()
+        value = None if merged is None else merged.contains_many(keys)
+        return self._degraded_answer(value, missing)
 
-    def cardinality(self) -> float:
+    def cardinality(self, *, strict: bool = True):
         """Distinct keys in the window (BM / HLL engines)."""
         self._require_kind("cardinality", "bm", "hll")
         self.stats.record_query()
-        return self.merged().cardinality()
+        if strict:
+            return self.merged().cardinality()
+        merged, missing = self._degraded_merged()
+        value = None if merged is None else merged.cardinality()
+        return self._degraded_answer(value, missing)
 
-    def frequency(self, key: int) -> float:
+    def frequency(self, key: int, *, strict: bool = True):
         """Windowed count of ``key`` (CM engines)."""
-        return float(self.frequency_many(np.asarray([key], dtype=np.uint64))[0])
+        res = self.frequency_many(np.asarray([key], dtype=np.uint64), strict=strict)
+        if strict:
+            return float(res[0])
+        value = None if res.value is None else float(res.value[0])
+        return dataclasses.replace(res, value=value)
 
-    def frequency_many(self, keys) -> np.ndarray:
-        """Per-shard fan-in sum of Count-Min estimates."""
+    def frequency_many(self, keys, *, strict: bool = True):
+        """Per-shard fan-in sum of Count-Min estimates.
+
+        ``strict=False`` sums over surviving shards only — Count-Min's
+        one-sided error does not survive that (keys owned by a missing
+        shard can be underestimated to zero), which the returned
+        :class:`DegradedAnswer` says explicitly.
+        """
         self._require_kind("frequency", "cm")
         self.stats.record_query()
         keys = as_key_array(keys)
-        self._sync()
+        if strict:
+            self._sync()
+            t = self._t[0]
+            return np.sum(
+                [s.frequency_many(keys, t) for s in self._exec.peeks()], axis=0
+            )
+        snaps, missing = self._surviving_snapshots()
         t = self._t[0]
-        return np.sum(
-            [s.frequency_many(keys, t) for s in self._exec.peeks()], axis=0
+        value = (
+            np.sum([s.frequency_many(keys, t) for s in snaps], axis=0)
+            if snaps
+            else None
         )
+        return self._degraded_answer(value, missing)
 
-    def similarity(self) -> float:
+    def similarity(self, *, strict: bool = True):
         """Jaccard similarity of the two streams (MH engines)."""
         self._require_kind("similarity", "mh")
         self.stats.record_query()
-        return self.merged().similarity()
+        if strict:
+            return self.merged().similarity()
+        merged, missing = self._degraded_merged()
+        value = None if merged is None else merged.similarity()
+        return self._degraded_answer(value, missing)
 
     # -- observability -------------------------------------------------------
 
@@ -357,8 +631,15 @@ class StreamEngine:
         """Aggregate sketch memory across shards (buffers excluded)."""
         return sum(s.memory_bytes for s in self._exec.peeks())
 
+    @property
+    def down_shards(self) -> tuple[int, ...]:
+        """Shards currently without a live, trusted worker."""
+        return tuple(sorted(self._down))
+
     def stats_snapshot(self) -> dict:
-        return self.stats.snapshot(queue_depths=self.queue_depths())
+        return self.stats.snapshot(
+            queue_depths=self.queue_depths(), down_shards=self.down_shards
+        )
 
     def stats_report(self) -> str:
         """Human-readable counter block for dashboards and examples."""
@@ -371,12 +652,18 @@ class StreamEngine:
             raise RuntimeError("engine is closed")
 
     def close(self) -> None:
-        """Flush pending work and stop any workers."""
+        """Flush pending work and stop any workers.
+
+        Workers are stopped (and their handles released) even when the
+        final flush fails — a dying engine must not leak processes.
+        """
         if self._closed:
             return
-        self.flush()
-        self._closed = True
-        self._exec.close()
+        try:
+            self._flush_buffers(self._flushable_keys(), strict=False)
+        finally:
+            self._closed = True
+            self._exec.close()
 
     def __enter__(self) -> "StreamEngine":
         return self

@@ -1,0 +1,87 @@
+"""Typed failure hierarchy for the sharded serving layer.
+
+A sharded store distinguishes *how* a shard failed because each mode
+has a different remedy: a timed-out RPC may still complete (restart and
+replay from a durable base, never resend blind), a dead worker needs a
+restart, a worker-reported exception is the caller's bug, and a shard
+that cannot be rebuilt (no checkpoint, replay overflow, circuit breaker
+open) can only be dropped from the fan-in.  The supervisor and the
+engine's degraded-query mode dispatch on these types; everything
+derives from :class:`ShardError` (itself a ``RuntimeError`` so legacy
+``except RuntimeError`` call sites keep working).
+
+Timeout ambiguity is the important subtlety: ``ShardTimeoutError``
+means *the acknowledgement did not arrive in time*, not *the operation
+did not happen*.  The worker may have applied the batch just before —
+or just after — the deadline fired.  The only safe recovery is to
+discard the worker's in-memory state and rebuild from the newest
+checkpoint plus the replay buffer, which is exactly what
+:class:`repro.service.supervisor.Supervisor` does.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ShardError",
+    "ShardTimeoutError",
+    "ShardDeadError",
+    "ShardFailedError",
+    "ShardUnrecoverableError",
+]
+
+
+class ShardError(RuntimeError):
+    """Base for executor / supervisor failures tied to specific shards.
+
+    Args:
+        message: human-readable description.
+        shard_ids: the shards whose batches are *not known to have
+            applied* (failed, skipped, or unacknowledged), empty when
+            unknown.
+        worker_ids: the owning workers, when the executor has workers
+            (a fan-out round can lose several at once).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_ids: tuple[int, ...] = (),
+        worker_ids: tuple[int, ...] = (),
+    ):
+        super().__init__(message)
+        self.shard_ids = tuple(shard_ids)
+        self.worker_ids = tuple(worker_ids)
+
+    @property
+    def worker_id(self) -> int | None:
+        """First affected worker (None when unattributed)."""
+        return self.worker_ids[0] if self.worker_ids else None
+
+
+class ShardTimeoutError(ShardError):
+    """An executor RPC missed its deadline; the op may or may not have
+    applied.  Worker state is now untrusted — rebuild, don't resend."""
+
+    def __init__(self, message: str, *, timeout_s: float | None = None, **kw):
+        super().__init__(message, **kw)
+        self.timeout_s = timeout_s
+
+
+class ShardDeadError(ShardError):
+    """The worker process is gone (EOF on its pipe / not alive)."""
+
+
+class ShardFailedError(ShardError):
+    """The worker is alive and reported an exception applying the op.
+
+    Carries the worker-side traceback; this is a caller/data error
+    (e.g. rewound times), not a process failure, so the supervisor does
+    *not* restart for it.
+    """
+
+
+class ShardUnrecoverableError(ShardError):
+    """A shard cannot be rebuilt: replay buffer overflowed, checkpoint
+    missing/corrupt, or the restart circuit breaker is open.  Strict
+    queries fail with this; ``strict=False`` queries degrade instead."""

@@ -1,8 +1,11 @@
 """Flush executors: where the shard sketches actually live.
 
 The engine is a router; the executor owns the shard state and applies
-batches to it.  Two implementations share one five-verb protocol
-(``flush`` / ``advance`` / ``snapshot`` / ``checkpoint`` / ``close``):
+batches to it.  Two implementations share one protocol
+(``flush`` / ``flush_many`` / ``advance`` / ``snapshot`` /
+``checkpoint`` / ``ping`` / ``close`` plus the worker topology helpers
+``worker_of`` / ``shards_of`` / ``is_worker_alive`` /
+``restart_worker``):
 
 * :class:`SerialExecutor` keeps the sketches in-process — zero overhead
   per flush, the right default for one CPU.
@@ -13,20 +16,42 @@ batches to it.  Two implementations share one five-verb protocol
 
 Both are deterministic: the same sequence of flushes produces
 bit-identical shard state, which the equivalence tests assert.
+
+Failure semantics (see :mod:`repro.service.errors`): every
+``ProcessExecutor`` RPC carries a deadline enforced with
+``conn.poll(timeout)``, so no call can block past ``timeout_s``.  A
+missed deadline raises :class:`ShardTimeoutError`, a vanished worker
+:class:`ShardDeadError`, a worker-reported exception
+:class:`ShardFailedError`; each names the shards whose batches are not
+known to have applied, which is what the engine's retention logic and
+the supervisor's replay need.  ``restart_worker`` is the *mechanism*
+half of recovery — it respawns one worker with caller-provided shard
+state; the *policy* half (what state: checkpoint + replay) lives in
+:class:`repro.service.supervisor.Supervisor`.
 """
 
 from __future__ import annotations
 
 import copy
 import multiprocessing as mp
+import time
 import traceback
 
 import numpy as np
 
 from repro.core.she_mh import SheMinHash
 from repro.persist import save_sketch
+from repro.service.errors import (
+    ShardDeadError,
+    ShardFailedError,
+    ShardTimeoutError,
+)
 
-__all__ = ["SerialExecutor", "ProcessExecutor"]
+__all__ = ["SerialExecutor", "ProcessExecutor", "DEFAULT_RPC_TIMEOUT_S"]
+
+DEFAULT_RPC_TIMEOUT_S = 30.0
+
+_UNSET = object()
 
 
 def _apply_flush(sketch, keys: np.ndarray, times: np.ndarray, side: int | None) -> None:
@@ -44,7 +69,12 @@ def _apply_advance(sketch, t: int, side: int | None) -> None:
 
 
 class SerialExecutor:
-    """All shards live in the calling process; commands apply inline."""
+    """All shards live in the calling process; commands apply inline.
+
+    Presents the same worker topology surface as the process pool —
+    one implicit worker 0 owning every shard — so supervisors and
+    fault-injection wrappers treat both uniformly.
+    """
 
     def __init__(self, shards):
         self._shards = list(shards)
@@ -53,8 +83,43 @@ class SerialExecutor:
     def num_shards(self) -> int:
         return len(self._shards)
 
+    @property
+    def num_workers(self) -> int:
+        return 1
+
+    def worker_of(self, shard_id: int) -> int:
+        return 0
+
+    def shards_of(self, worker_id: int) -> list[int]:
+        return list(range(self.num_shards))
+
+    def is_worker_alive(self, worker_id: int) -> bool:
+        return True
+
+    def ping(self, worker_id: int, timeout: float | None = None) -> bool:
+        return True
+
+    def restart_worker(self, worker_id: int, shards: dict) -> None:
+        """Replace the listed shards' state in place (recovery hook)."""
+        for shard_id, sketch in shards.items():
+            self._shards[shard_id] = sketch
+
     def flush(self, shard_id: int, keys, times, side: int | None = None) -> None:
         _apply_flush(self._shards[shard_id], keys, times, side)
+
+    def flush_many(self, batches) -> None:
+        """Apply batches in order; a failure names the not-applied shards."""
+        batches = list(batches)
+        for i, (shard_id, keys, times, side) in enumerate(batches):
+            try:
+                _apply_flush(self._shards[shard_id], keys, times, side)
+            except Exception as exc:
+                not_applied = tuple(b[0] for b in batches[i:])
+                raise ShardFailedError(
+                    f"shard worker failed:\n{traceback.format_exc()}",
+                    shard_ids=not_applied,
+                    worker_ids=(0,),
+                ) from exc
 
     def advance(self, shard_id: int, t: int, side: int | None = None) -> None:
         _apply_advance(self._shards[shard_id], t, side)
@@ -112,6 +177,12 @@ def _worker_main(conn, shards: dict) -> None:
                     sid, path = args
                     save_sketch(shards[sid], path)
                     conn.send(("ok", None))
+                elif cmd == "ping":
+                    conn.send(("ok", "pong"))
+                elif cmd == "sleep":  # fault injection: stall this worker
+                    (seconds,) = args
+                    time.sleep(seconds)
+                    conn.send(("ok", None))
                 elif cmd == "close":
                     conn.send(("ok", None))
                     return
@@ -130,47 +201,186 @@ class ProcessExecutor:
     for it is a message to that worker.  ``flush_many`` fans a round of
     batches out to all workers before collecting acknowledgements, so
     independent shards really do apply in parallel.
+
+    Args:
+        shards: the sketch per shard (worker ownership derives from
+            position).
+        num_workers: pool size, capped at the shard count.
+        timeout_s: per-RPC deadline; ``None`` waits forever (the
+            pre-fault-tolerance behaviour).  Enforced with
+            ``conn.poll``, so a wedged worker costs at most one
+            deadline, never a hang.
     """
 
-    def __init__(self, shards, *, num_workers: int | None = None):
+    def __init__(
+        self,
+        shards,
+        *,
+        num_workers: int | None = None,
+        timeout_s: float | None = DEFAULT_RPC_TIMEOUT_S,
+    ):
         shards = list(shards)
         if not shards:
             raise ValueError("ProcessExecutor needs at least one shard")
         methods = mp.get_all_start_methods()
-        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
         self._num_shards = len(shards)
         self.num_workers = min(num_workers or len(shards), len(shards))
-        self._conns = []
-        self._procs = []
+        self.timeout_s = timeout_s
+        self._conns: list = [None] * self.num_workers
+        self._procs: list = [None] * self.num_workers
+        # workers whose pipe can no longer be trusted (a missed deadline
+        # may leave a stale ack in flight); only a restart clears this
+        self._poisoned: set[int] = set()
         for w in range(self.num_workers):
-            owned = {s: shards[s] for s in range(self._num_shards) if s % self.num_workers == w}
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main, args=(child_conn, owned), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+            self._spawn(w, {s: shards[s] for s in self.shards_of(w)})
         self._closed = False
+
+    # -- topology ------------------------------------------------------------
 
     @property
     def num_shards(self) -> int:
         return self._num_shards
 
-    def _conn_of(self, shard_id: int):
-        return self._conns[shard_id % self.num_workers]
+    def worker_of(self, shard_id: int) -> int:
+        return shard_id % self.num_workers
 
-    def _recv(self, conn):
-        status, payload = conn.recv()
+    def shards_of(self, worker_id: int) -> list[int]:
+        return [
+            s for s in range(self._num_shards)
+            if s % self.num_workers == worker_id
+        ]
+
+    def is_worker_alive(self, worker_id: int) -> bool:
+        proc = self._procs[worker_id]
+        return proc is not None and proc.is_alive()
+
+    # -- process lifecycle ---------------------------------------------------
+
+    def _spawn(self, worker_id: int, owned: dict) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn, owned), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[worker_id] = parent_conn
+        self._procs[worker_id] = proc
+        self._poisoned.discard(worker_id)
+
+    def _reap(self, worker_id: int, *, grace_s: float = 2.0) -> None:
+        """Stop one worker on every path: join, escalate to terminate
+        then kill for wedged processes, and release pipe + process
+        handles so nothing leaks across restarts."""
+        conn, proc = self._conns[worker_id], self._procs[worker_id]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._conns[worker_id] = None
+        if proc is None:
+            return
+        proc.join(timeout=grace_s)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=grace_s)
+        if proc.is_alive():  # pragma: no cover - terminate almost always lands
+            proc.kill()
+            proc.join(timeout=grace_s)
+        try:
+            proc.close()
+        except ValueError:  # pragma: no cover - still alive after kill
+            pass
+        self._procs[worker_id] = None
+
+    def restart_worker(self, worker_id: int, shards: dict) -> None:
+        """Respawn one worker with caller-provided shard state.
+
+        ``shards`` must map exactly the shard ids this worker owns to
+        fresh sketch objects (typically checkpoint loads — the old
+        process's in-memory state is unrecoverable by definition).
+        """
+        expected = set(self.shards_of(worker_id))
+        if set(shards) != expected:
+            raise ValueError(
+                f"worker {worker_id} owns shards {sorted(expected)}, "
+                f"got state for {sorted(shards)}"
+            )
+        self._reap(worker_id)
+        self._spawn(worker_id, dict(shards))
+
+    # -- RPC plumbing --------------------------------------------------------
+
+    def _conn_of(self, shard_id: int):
+        return self._conns[self.worker_of(shard_id)]
+
+    def _check_trusted(self, worker_id: int, shard_ids) -> None:
+        if worker_id in self._poisoned:
+            raise ShardDeadError(
+                f"worker {worker_id} is untrusted after a missed deadline; "
+                "restart_worker() it before further RPCs",
+                shard_ids=shard_ids, worker_ids=(worker_id,),
+            )
+
+    def _send(self, worker_id: int, message, *, shard_ids=()) -> None:
+        self._check_trusted(worker_id, shard_ids)
+        conn = self._conns[worker_id]
+        if conn is None:
+            raise ShardDeadError(
+                f"worker {worker_id} has no live process",
+                shard_ids=shard_ids, worker_ids=(worker_id,),
+            )
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardDeadError(
+                f"worker {worker_id} pipe is broken (process died?)",
+                shard_ids=shard_ids, worker_ids=(worker_id,),
+            ) from exc
+
+    def _recv(self, worker_id: int, *, op="rpc", shard_ids=(), timeout=_UNSET):
+        conn = self._conns[worker_id]
+        deadline = self.timeout_s if timeout is _UNSET else timeout
+        if conn is None:
+            raise ShardDeadError(
+                f"worker {worker_id} has no live process",
+                shard_ids=shard_ids, worker_ids=(worker_id,),
+            )
+        if deadline is not None and not conn.poll(deadline):
+            proc = self._procs[worker_id]
+            if proc is None or not proc.is_alive():
+                raise ShardDeadError(
+                    f"worker {worker_id} died before acknowledging {op}",
+                    shard_ids=shard_ids, worker_ids=(worker_id,),
+                )
+            self._poisoned.add(worker_id)
+            raise ShardTimeoutError(
+                f"worker {worker_id} missed the {deadline}s deadline for {op}",
+                timeout_s=deadline, shard_ids=shard_ids, worker_ids=(worker_id,),
+            )
+        try:
+            status, payload = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ShardDeadError(
+                f"worker {worker_id} hung up mid-{op} (process died?)",
+                shard_ids=shard_ids, worker_ids=(worker_id,),
+            ) from exc
         if status == "err":
-            raise RuntimeError(f"shard worker failed:\n{payload}")
+            raise ShardFailedError(
+                f"shard worker failed:\n{payload}",
+                shard_ids=shard_ids, worker_ids=(worker_id,),
+            )
         return payload
 
-    def _call(self, shard_id: int, *message):
-        conn = self._conn_of(shard_id)
-        conn.send(message)
-        return self._recv(conn)
+    def _call(self, shard_id: int, *message, timeout=_UNSET):
+        w = self.worker_of(shard_id)
+        self._send(w, message, shard_ids=(shard_id,))
+        return self._recv(
+            w, op=message[0], shard_ids=(shard_id,), timeout=timeout
+        )
+
+    # -- protocol verbs ------------------------------------------------------
 
     def flush(self, shard_id: int, keys, times, side: int | None = None) -> None:
         self._call(shard_id, "flush", shard_id, keys, times, side)
@@ -180,15 +390,62 @@ class ProcessExecutor:
 
         Sends every batch before awaiting any acknowledgement; pipes are
         FIFO per worker, so per-shard ordering is preserved while
-        distinct workers overlap their work.
+        distinct workers overlap their work.  Every worker is attempted
+        even if another has already failed; on error, the raised
+        :class:`ShardError` lists exactly the shards whose batches are
+        not known to have applied (and once a worker misses a deadline
+        or dies, all its later batches in the round count as unapplied
+        — the pipe can no longer be trusted).
         """
-        pending = []
+        batches = list(batches)
+        # send phase: skip workers whose pipe already failed this round
+        dead_workers: set[int] = set()
+        errors: list[ShardFailedError | ShardDeadError | ShardTimeoutError] = []
+        failed_shards: list[int] = []
+        pending: list[tuple[int, int]] = []  # (worker_id, shard_id) in send order
         for shard_id, keys, times, side in batches:
-            conn = self._conn_of(shard_id)
-            conn.send(("flush", shard_id, keys, times, side))
-            pending.append(conn)
-        for conn in pending:
-            self._recv(conn)
+            w = self.worker_of(shard_id)
+            if w in dead_workers:
+                failed_shards.append(shard_id)
+                continue
+            try:
+                self._send(w, ("flush", shard_id, keys, times, side),
+                           shard_ids=(shard_id,))
+            except ShardDeadError as exc:
+                dead_workers.add(w)
+                errors.append(exc)
+                failed_shards.append(shard_id)
+                continue
+            pending.append((w, shard_id))
+        # ack phase: one recv per surviving send, FIFO per worker
+        for w, shard_id in pending:
+            if w in dead_workers:
+                failed_shards.append(shard_id)
+                continue
+            try:
+                self._recv(w, op="flush", shard_ids=(shard_id,))
+            except (ShardDeadError, ShardTimeoutError) as exc:
+                dead_workers.add(w)
+                errors.append(exc)
+                failed_shards.append(shard_id)
+            except ShardFailedError as exc:
+                # worker is alive and in protocol sync; only this batch failed
+                errors.append(exc)
+                failed_shards.append(shard_id)
+        if errors:
+            first = errors[0]
+            raise type(first)(
+                str(first),
+                **(
+                    {"timeout_s": first.timeout_s}
+                    if isinstance(first, ShardTimeoutError)
+                    else {}
+                ),
+                shard_ids=tuple(dict.fromkeys(failed_shards)),
+                worker_ids=tuple(
+                    dict.fromkeys(w for e in errors for w in e.worker_ids)
+                ),
+            ) from first
 
     def advance(self, shard_id: int, t: int, side: int | None = None) -> None:
         self._call(shard_id, "advance", shard_id, t, side)
@@ -197,9 +454,41 @@ class ProcessExecutor:
         return self._call(shard_id, "snapshot", shard_id)
 
     def snapshots(self) -> list:
+        """Copies of all shards, fanned out like ``flush_many``.
+
+        Every worker's acknowledgements are drained even after one
+        fails, so surviving workers' pipes stay in protocol sync; the
+        first error is re-raised afterwards.
+        """
+        sent: list[int] = []  # shard ids whose request went out
+        first_error: Exception | None = None
+        dead_workers: set[int] = set()
         for s in range(self._num_shards):
-            self._conn_of(s).send(("snapshot", s))
-        return [self._recv(self._conn_of(s)) for s in range(self._num_shards)]
+            w = self.worker_of(s)
+            if w in dead_workers:
+                continue
+            try:
+                self._send(w, ("snapshot", s), shard_ids=(s,))
+            except ShardDeadError as exc:
+                dead_workers.add(w)
+                first_error = first_error or exc
+                continue
+            sent.append(s)
+        out: dict[int, object] = {}
+        for s in sent:
+            w = self.worker_of(s)
+            if w in dead_workers:
+                continue
+            try:
+                out[s] = self._recv(w, op="snapshot", shard_ids=(s,))
+            except (ShardDeadError, ShardTimeoutError) as exc:
+                dead_workers.add(w)
+                first_error = first_error or exc
+            except ShardFailedError as exc:
+                first_error = first_error or exc
+        if first_error is not None:
+            raise first_error
+        return [out[s] for s in range(self._num_shards)]
 
     def peeks(self) -> list:
         """Worker-owned shards can only be observed by copying."""
@@ -208,21 +497,33 @@ class ProcessExecutor:
     def checkpoint(self, shard_id: int, path) -> None:
         self._call(shard_id, "checkpoint", shard_id, path)
 
+    def ping(self, worker_id: int, timeout: float | None = None) -> bool:
+        """Heartbeat one worker; raises the typed error on failure."""
+        shard_ids = tuple(self.shards_of(worker_id))
+        self._send(worker_id, ("ping",), shard_ids=shard_ids)
+        self._recv(
+            worker_id, op="ping", shard_ids=shard_ids,
+            timeout=self.timeout_s if timeout is None else timeout,
+        )
+        return True
+
     def close(self) -> None:
+        """Stop every worker, releasing pipes and process handles on
+        all paths (clean exit, already-dead worker, wedged worker)."""
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
+        for w, conn in enumerate(self._conns):
+            if conn is None:
+                continue
             try:
                 conn.send(("close",))
-                conn.recv()
+                if conn.poll(2.0):
+                    conn.recv()
             except (BrokenPipeError, EOFError, OSError):
                 pass
-            conn.close()
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - defensive
-                proc.terminate()
+        for w in range(self.num_workers):
+            self._reap(w)
 
     def __enter__(self):
         return self

@@ -1,0 +1,259 @@
+"""Deterministic fault injection for the service layer.
+
+Real crash tests are flaky by construction — a SIGKILL lands between
+two unknowable instructions.  :class:`ChaosExecutor` instead wraps any
+executor and injects failures at exact *operation indices*: the N-th
+forwarded data op (flush batch / advance / snapshot / checkpoint,
+counted from 1) can kill the owning worker, stall it past the RPC
+deadline, apply-but-drop the acknowledgement, or corrupt the checkpoint
+file it just wrote.  Because the engine's op sequence is a pure
+function of the ingested stream, every chaos run is exactly
+reproducible — the supervision tests assert bit-identical recovery, not
+"it eventually worked".
+
+Fault semantics:
+
+* ``kill_worker_after_ops=N`` — immediately before op ``N`` executes,
+  SIGKILL the worker that owns it (real process death for
+  :class:`ProcessExecutor`; a simulated dead-worker mark for
+  :class:`SerialExecutor`).  Op ``N`` and everything after it on that
+  worker fails with :class:`ShardDeadError` until a restart.
+* ``delay_ops={N: seconds}`` — stall the owning worker for ``seconds``
+  before op ``N``.  Against a ``ProcessExecutor`` this exercises the
+  real ``conn.poll`` deadline path: pick ``seconds`` larger than the
+  executor's ``timeout_s`` and op ``N`` raises
+  :class:`ShardTimeoutError` (the worker is then poisoned, exactly as
+  a production stall would leave it).  Delays smaller than the deadline
+  would desynchronise the pipe and are rejected up front.
+* ``drop_ack_ops={N}`` — forward op ``N``, let it apply, then raise
+  :class:`ShardTimeoutError` as if the acknowledgement were lost.
+  This is the at-least-once ambiguity that forces restart-from-
+  checkpoint + replay (blindly resending would double-apply).
+* ``corrupt_checkpoint_ops={N}`` — if op ``N`` is a checkpoint, let it
+  write and then overwrite the file with garbage, modelling torn or
+  bit-rotted durable storage.
+
+The wrapper forwards the full executor surface (topology helpers,
+``restart_worker``, ``ping``, ``close``), so a
+:class:`repro.service.supervisor.Supervisor` can drive recovery through
+it without knowing chaos is present.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+from repro.service.errors import (
+    ShardDeadError,
+    ShardError,
+    ShardFailedError,
+    ShardTimeoutError,
+)
+
+__all__ = ["ChaosExecutor"]
+
+
+class ChaosExecutor:
+    """Fault-injecting wrapper around any executor (see module docs).
+
+    Args:
+        inner: the executor to wrap (``SerialExecutor`` /
+            ``ProcessExecutor`` / anything protocol-compatible).
+        kill_worker_after_ops: kill the owning worker right before this
+            op index (1-based) executes.
+        kill_worker_id: kill this worker instead of the op's owner.
+        delay_ops: op index -> seconds to stall the owning worker first.
+        drop_ack_ops: op indices whose acknowledgement is "lost" after
+            the op applies.
+        corrupt_checkpoint_ops: checkpoint op indices whose file is
+            overwritten with garbage after writing.
+
+    ``ops`` exposes the running op count; ``kills`` the
+    ``(op_index, worker_id)`` log of injected kills.
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        kill_worker_after_ops: int | None = None,
+        kill_worker_id: int | None = None,
+        delay_ops: dict[int, float] | None = None,
+        drop_ack_ops=(),
+        corrupt_checkpoint_ops=(),
+    ):
+        self._inner = inner
+        self._kill_at = kill_worker_after_ops
+        self._kill_worker = kill_worker_id
+        self._delay_ops = dict(delay_ops or {})
+        self._drop_ack_ops = set(drop_ack_ops)
+        self._corrupt_ops = set(corrupt_checkpoint_ops)
+        self._dead: set[int] = set()  # simulated deaths (serial inner)
+        self.ops = 0
+        self.kills: list[tuple[int, int]] = []
+        timeout_s = getattr(inner, "timeout_s", None)
+        if timeout_s is not None:
+            for op, seconds in self._delay_ops.items():
+                if seconds <= timeout_s:
+                    raise ValueError(
+                        f"delay_ops[{op}]={seconds}s must exceed the inner "
+                        f"executor's timeout_s={timeout_s}s (a shorter stall "
+                        "would desynchronise the ack pipe instead of timing "
+                        "out)"
+                    )
+
+    # -- topology (forwarded) ------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return self._inner.num_shards
+
+    @property
+    def num_workers(self) -> int:
+        return self._inner.num_workers
+
+    def worker_of(self, shard_id: int) -> int:
+        return self._inner.worker_of(shard_id)
+
+    def shards_of(self, worker_id: int) -> list[int]:
+        return self._inner.shards_of(worker_id)
+
+    def is_worker_alive(self, worker_id: int) -> bool:
+        if worker_id in self._dead:
+            return False
+        return self._inner.is_worker_alive(worker_id)
+
+    # -- fault machinery -----------------------------------------------------
+
+    def _kill(self, worker_id: int) -> None:
+        self.kills.append((self.ops, worker_id))
+        procs = getattr(self._inner, "_procs", None)
+        if procs is not None:
+            proc = procs[worker_id]
+            if proc is not None and proc.is_alive():
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.join(timeout=5)  # make the death visible deterministically
+        else:
+            self._dead.add(worker_id)
+
+    def _stall(self, worker_id: int, seconds: float) -> None:
+        send = getattr(self._inner, "_send", None)
+        if send is not None:  # process worker: sleep inside the worker loop
+            send(worker_id, ("sleep", float(seconds)))
+        # serial inner: the deadline machinery doesn't exist in-process,
+        # so a stall there has nothing to trip; treat it as a no-op.
+
+    def _guard(self, worker_id: int, shard_ids=()) -> None:
+        if worker_id in self._dead:
+            raise ShardDeadError(
+                f"worker {worker_id} was killed by chaos at op "
+                f"{self.kills[-1][0] if self.kills else '?'}",
+                shard_ids=tuple(shard_ids), worker_ids=(worker_id,),
+            )
+
+    def _before_op(self, worker_id: int) -> int:
+        """Advance the op counter and fire any faults staged at it."""
+        self.ops += 1
+        n = self.ops
+        if n == self._kill_at:
+            target = self._kill_worker if self._kill_worker is not None else worker_id
+            self._kill(target)
+        if n in self._delay_ops:
+            self._stall(worker_id, self._delay_ops[n])
+        return n
+
+    def _run(self, shard_id: int, fn, *args, op: str):
+        worker_id = self.worker_of(shard_id)
+        n = self._before_op(worker_id)
+        self._guard(worker_id, shard_ids=(shard_id,))
+        result = fn(*args)
+        if n in self._drop_ack_ops:
+            # the op applied, but the caller must believe the ack vanished;
+            # poison a real worker pool the way a genuine lost ack would
+            poisoned = getattr(self._inner, "_poisoned", None)
+            if poisoned is not None:
+                poisoned.add(worker_id)
+            raise ShardTimeoutError(
+                f"chaos dropped the acknowledgement of {op} (op {n})",
+                shard_ids=(shard_id,), worker_ids=(worker_id,),
+            )
+        return result
+
+    # -- protocol verbs ------------------------------------------------------
+
+    def flush(self, shard_id: int, keys, times, side: int | None = None) -> None:
+        self._run(
+            shard_id, self._inner.flush, shard_id, keys, times, side, op="flush"
+        )
+
+    def flush_many(self, batches) -> None:
+        """Per-batch forwarding so each batch is its own countable op."""
+        batches = list(batches)
+        errors: list[ShardError] = []
+        failed_shards: list[int] = []
+        for shard_id, keys, times, side in batches:
+            try:
+                self.flush(shard_id, keys, times, side)
+            except ShardError as exc:
+                errors.append(exc)
+                failed_shards.append(shard_id)
+        if errors:
+            first = errors[0]
+            raise type(first)(
+                str(first),
+                shard_ids=tuple(dict.fromkeys(failed_shards)),
+                worker_ids=tuple(
+                    dict.fromkeys(w for e in errors for w in e.worker_ids)
+                ),
+            ) from first
+
+    def advance(self, shard_id: int, t: int, side: int | None = None) -> None:
+        self._run(shard_id, self._inner.advance, shard_id, t, side, op="advance")
+
+    def snapshot(self, shard_id: int):
+        return self._run(shard_id, self._inner.snapshot, shard_id, op="snapshot")
+
+    def snapshots(self) -> list:
+        return [self.snapshot(s) for s in range(self.num_shards)]
+
+    def peeks(self) -> list:
+        """Read-only views are not ops; simulated deaths still apply."""
+        for w in self._dead:
+            self._guard(w, shard_ids=tuple(self.shards_of(w)))
+        return self._inner.peeks()
+
+    def checkpoint(self, shard_id: int, path) -> None:
+        worker_id = self.worker_of(shard_id)
+        n = self._before_op(worker_id)
+        self._guard(worker_id, shard_ids=(shard_id,))
+        self._inner.checkpoint(shard_id, path)
+        if n in self._corrupt_ops:
+            with open(path, "wb") as fh:
+                fh.write(b"chaos ate this checkpoint")
+        if n in self._drop_ack_ops:
+            poisoned = getattr(self._inner, "_poisoned", None)
+            if poisoned is not None:
+                poisoned.add(worker_id)
+            raise ShardTimeoutError(
+                f"chaos dropped the acknowledgement of checkpoint (op {n})",
+                shard_ids=(shard_id,), worker_ids=(worker_id,),
+            )
+
+    def ping(self, worker_id: int, timeout: float | None = None) -> bool:
+        self._guard(worker_id, shard_ids=tuple(self.shards_of(worker_id)))
+        return self._inner.ping(worker_id, timeout)
+
+    def restart_worker(self, worker_id: int, shards: dict) -> None:
+        self._inner.restart_worker(worker_id, shards)
+        self._dead.discard(worker_id)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

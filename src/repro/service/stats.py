@@ -33,6 +33,15 @@ class EngineStats:
         self.query_count = 0
         self.checkpoint_count = 0
         self.recovered_from: str | None = None
+        # fault-tolerance counters: how often the engine hit a deadline,
+        # lost a worker, restarted one, replayed batches into a rebuilt
+        # worker, or answered a query with shards missing
+        self.rpc_timeouts = 0
+        self.worker_deaths = 0
+        self.worker_restarts = 0
+        self.items_replayed = 0
+        self.batches_replayed = 0
+        self.degraded_queries = 0
         self._flush_seconds: deque[float] = deque(maxlen=_RING)
         self._last_checkpoint_at: float | None = None
 
@@ -52,6 +61,22 @@ class EngineStats:
     def record_checkpoint(self) -> None:
         self.checkpoint_count += 1
         self._last_checkpoint_at = self._clock()
+
+    def record_timeout(self) -> None:
+        self.rpc_timeouts += 1
+
+    def record_worker_death(self) -> None:
+        self.worker_deaths += 1
+
+    def record_restart(self) -> None:
+        self.worker_restarts += 1
+
+    def record_replay(self, n_items: int, n_batches: int) -> None:
+        self.items_replayed += int(n_items)
+        self.batches_replayed += int(n_batches)
+
+    def record_degraded_query(self) -> None:
+        self.degraded_queries += 1
 
     # -- derived views ------------------------------------------------------
 
@@ -74,7 +99,11 @@ class EngineStats:
     def uptime_s(self) -> float:
         return self._clock() - self.started_at
 
-    def snapshot(self, queue_depths: Iterable[int] = ()) -> dict:
+    def snapshot(
+        self,
+        queue_depths: Iterable[int] = (),
+        down_shards: Iterable[int] = (),
+    ) -> dict:
         """One flat dict of everything, for printing or scraping."""
         depths = list(queue_depths)
         out = {
@@ -92,6 +121,13 @@ class EngineStats:
             ),
             "queue_depths": depths,
             "queue_depth_max": max(depths) if depths else 0,
+            "rpc_timeouts": self.rpc_timeouts,
+            "worker_deaths": self.worker_deaths,
+            "worker_restarts": self.worker_restarts,
+            "items_replayed": self.items_replayed,
+            "batches_replayed": self.batches_replayed,
+            "degraded_queries": self.degraded_queries,
+            "shards_down": list(down_shards),
         }
         if self.recovered_from is not None:
             out["recovered_from"] = self.recovered_from

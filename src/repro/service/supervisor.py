@@ -1,0 +1,321 @@
+"""Worker supervision: detect, restart, replay, or give up honestly.
+
+A sharded engine's failure story has two halves.  The *mechanism* —
+deadlines, typed errors, ``restart_worker`` — lives in the executors.
+This module is the *policy*: :class:`Supervisor` watches worker
+liveness, and when an RPC times out or a worker dies it rebuilds the
+worker's shards from the newest complete checkpoint plus a bounded
+in-memory :class:`ReplayBuffer` of every batch flushed since that
+checkpoint.  Restart-from-base-plus-replay (rather than "resend the
+failed batch") is forced by timeout ambiguity: a batch whose ack was
+lost may already have applied, and resending it blind would
+double-count; rebuilding from a durable base makes replay exact, so a
+recovered shard is *bit-identical* to one that never failed (the chaos
+tests assert this).
+
+Retries follow :class:`RetryPolicy` — exponential backoff between
+attempts and a per-worker circuit breaker (``max_restarts`` between
+successful checkpoints).  When the breaker opens, the replay buffer
+overflows, or the base checkpoint is unreadable, the worker's shards
+are marked **down**: strict engine calls raise
+:class:`ShardUnrecoverableError`, while ``strict=False`` queries keep
+answering from the surviving shards with a coverage annotation (the
+graceful-degradation posture of distributed sliding-window monitors —
+Papapetrou et al., PAPERS.md).
+
+The supervisor takes a checkpoint at attach time, so it always owns a
+durable base covering everything the engine has flushed; thereafter
+every successful checkpoint trims the replay buffer and resets the
+breaker.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.common.validation import require_positive_int
+from repro.service.checkpoint import (
+    latest_checkpoint,
+    load_checkpoint_shard,
+    save_checkpoint,
+)
+from repro.service.errors import (
+    ShardError,
+    ShardFailedError,
+    ShardUnrecoverableError,
+)
+
+__all__ = ["RetryPolicy", "ReplayBuffer", "Supervisor"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff and circuit-breaker knobs for worker restarts.
+
+    Args:
+        max_restarts: restart budget per worker between successful
+            checkpoints; exhausting it opens the breaker and marks the
+            worker's shards down.  ``0`` disables recovery outright
+            (every failure degrades immediately).
+        backoff_base_s: sleep before the first restart attempt.
+        backoff_factor: multiplier per subsequent attempt.
+        backoff_max_s: backoff ceiling.
+    """
+
+    max_restarts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before restart ``attempt`` (0-based)."""
+        return min(
+            self.backoff_base_s * self.backoff_factor ** attempt,
+            self.backoff_max_s,
+        )
+
+
+class ReplayBuffer:
+    """Bounded log of flushed batches since the last durable base.
+
+    Batches are recorded *before* they are sent (so a batch whose ack
+    never arrives is still replayable) and kept until a checkpoint
+    makes them durable.  The bound is in items; exceeding it sets
+    ``overflowed`` and drops the log — recovery is then impossible
+    until the next checkpoint resets the buffer, and restart attempts
+    raise :class:`ShardUnrecoverableError`.
+    """
+
+    def __init__(self, limit_items: int = 1 << 22):
+        self.limit_items = require_positive_int("limit_items", limit_items)
+        self._batches: list[tuple[int, np.ndarray, np.ndarray, int | None]] = []
+        self.items = 0
+        self.overflowed = False
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def record(self, batches) -> None:
+        """Log ``(shard_id, keys, times, side)`` batches about to be sent."""
+        if self.overflowed:
+            return  # already unrecoverable; don't hoard memory
+        for shard_id, keys, times, side in batches:
+            self._batches.append((shard_id, keys, times, side))
+            self.items += int(keys.size)
+        if self.items > self.limit_items:
+            self.overflowed = True
+            self._batches.clear()
+            self.items = 0
+
+    def batches_for(self, shard_ids) -> list:
+        """Recorded batches owned by ``shard_ids``, oldest first."""
+        wanted = set(shard_ids)
+        return [b for b in self._batches if b[0] in wanted]
+
+    def reset(self) -> None:
+        """A checkpoint made everything durable; start a fresh log."""
+        self._batches.clear()
+        self.items = 0
+        self.overflowed = False
+
+
+class Supervisor:
+    """Monitors one engine's workers and rebuilds them after failures.
+
+    Args:
+        engine: the :class:`StreamEngine` to supervise; the supervisor
+            attaches itself (``engine._supervisor``) so flush failures
+            route here automatically.
+        checkpoint_dir: where durable bases live.  An attach-time
+            checkpoint is taken immediately, so the replay buffer's
+            coverage starts exactly at a durable cut.
+        policy: restart/backoff/breaker knobs.
+        replay_limit_items: replay-buffer bound (items).
+        sleep: injectable backoff sleeper (tests pin it to a recorder).
+
+    Use :func:`repro.service.checkpoint.save_checkpoint` (or a
+    ``Checkpointer``) as usual — completed checkpoints notify the
+    supervisor, trimming the replay buffer and resetting the breaker.
+    """
+
+    def __init__(
+        self,
+        engine,
+        checkpoint_dir: str | Path,
+        *,
+        policy: RetryPolicy | None = None,
+        replay_limit_items: int = 1 << 22,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.engine = engine
+        self.directory = Path(checkpoint_dir)
+        self.policy = policy or RetryPolicy()
+        self.replay = ReplayBuffer(replay_limit_items)
+        self._sleep = sleep
+        self._restarts: dict[int, int] = defaultdict(int)
+        self._base_path: Path | None = None
+        engine._supervisor = self
+        # establish the durable base this buffer is relative to
+        save_checkpoint(engine, self.directory)
+        if self._base_path is None:  # pragma: no cover - hook always fires
+            self._base_path = latest_checkpoint(self.directory)
+
+    # -- engine hooks --------------------------------------------------------
+
+    def record_sent(self, batches) -> None:
+        """Called by the engine just before batches go to the executor."""
+        self.replay.record(batches)
+
+    def on_checkpoint(self, path: Path) -> None:
+        """Called after a checkpoint publishes: new base, fresh budget."""
+        self._base_path = Path(path)
+        self.replay.reset()
+        self._restarts.clear()
+
+    # -- failure handling ----------------------------------------------------
+
+    def restarts(self, worker_id: int) -> int:
+        """Restarts spent on this worker since the last checkpoint."""
+        return self._restarts[worker_id]
+
+    def handle_failure(self, err: ShardError) -> bool:
+        """Recover every worker implicated by ``err``.
+
+        Returns True only if *all* of them came back (their replayed
+        state now includes the batches the failed round covered).
+        Worker-reported data errors (:class:`ShardFailedError`) are the
+        caller's bug, not a process failure — never restarted.
+        """
+        if isinstance(err, ShardFailedError):
+            return False
+        executor = self.engine._exec
+        workers = set(err.worker_ids)
+        if not workers:
+            workers = {executor.worker_of(s) for s in err.shard_ids}
+        if not workers:  # unattributed: assume the worst
+            workers = set(range(executor.num_workers))
+        ok = True
+        for w in sorted(workers):
+            ok &= self.recover_worker(w)
+        return ok
+
+    def recover_worker(self, worker_id: int) -> bool:
+        """Restart one worker from checkpoint + replay, with backoff.
+
+        Returns True on success (shards un-marked down, state
+        bit-identical to an unfailed worker at the same stream point);
+        False once the circuit breaker opens or the shards are
+        unrecoverable (they are then marked down for degraded queries).
+        """
+        engine, executor = self.engine, self.engine._exec
+        shard_ids = tuple(executor.shards_of(worker_id))
+        while True:
+            attempt = self._restarts[worker_id]
+            if attempt >= self.policy.max_restarts:
+                engine._down.update(shard_ids)
+                return False
+            self._sleep(self.policy.backoff_s(attempt))
+            self._restarts[worker_id] = attempt + 1
+            try:
+                base = self._base_shards(worker_id, shard_ids)
+                executor.restart_worker(worker_id, base)
+                self._replay_worker(worker_id, shard_ids)
+                executor.ping(worker_id)
+            except ShardUnrecoverableError:
+                engine._down.update(shard_ids)
+                return False
+            except ShardError:
+                continue  # worker died again mid-recovery; next attempt
+            engine.stats.record_restart()
+            engine._down.difference_update(shard_ids)
+            return True
+
+    def _base_shards(self, worker_id: int, shard_ids) -> dict:
+        """Load the worker's shards from the base checkpoint."""
+        if self.replay.overflowed:
+            raise ShardUnrecoverableError(
+                f"replay buffer overflowed its {self.replay.limit_items}-item "
+                "bound; batches since the last checkpoint are gone",
+                shard_ids=shard_ids, worker_ids=(worker_id,),
+            )
+        path = self._base_path
+        if path is None or not path.is_dir():
+            raise ShardUnrecoverableError(
+                f"base checkpoint {path} is missing",
+                shard_ids=shard_ids, worker_ids=(worker_id,),
+            )
+        try:
+            return {s: load_checkpoint_shard(path, s) for s in shard_ids}
+        except ShardUnrecoverableError:
+            raise
+        except Exception as exc:
+            raise ShardUnrecoverableError(
+                f"base checkpoint {path} is unreadable ({exc}); worker "
+                f"{worker_id} cannot be rebuilt",
+                shard_ids=shard_ids, worker_ids=(worker_id,),
+            ) from exc
+
+    def _replay_worker(self, worker_id: int, shard_ids) -> None:
+        """Re-apply every logged batch owned by the restarted worker."""
+        engine, executor = self.engine, self.engine._exec
+        n_items = n_batches = 0
+        for shard_id, keys, times, side in self.replay.batches_for(shard_ids):
+            executor.flush(shard_id, keys, times, side)
+            n_batches += 1
+            n_items += int(keys.size)
+        engine.stats.record_replay(n_items, n_batches)
+
+    # -- liveness ------------------------------------------------------------
+
+    def check(self) -> dict[int, bool]:
+        """Heartbeat every worker; recover the dead ones.
+
+        Returns worker id -> healthy-after-check.  A worker that fails
+        ``is_alive``/ping is put through :meth:`recover_worker`; the
+        mapping then reflects whether recovery succeeded.
+        """
+        executor = self.engine._exec
+        result: dict[int, bool] = {}
+        for w in range(executor.num_workers):
+            healthy = executor.is_worker_alive(w)
+            if healthy:
+                try:
+                    executor.ping(w)
+                except ShardError:
+                    healthy = False
+            if healthy:
+                result[w] = True
+                continue
+            self.engine.stats.record_worker_death()
+            result[w] = self.recover_worker(w)
+        return result
+
+    def reset_breaker(self) -> None:
+        """Manually refill every worker's restart budget."""
+        self._restarts.clear()
+
+    def recover_down(self) -> bool:
+        """Retry recovery for every currently-down shard's worker."""
+        executor = self.engine._exec
+        workers = sorted({executor.worker_of(s) for s in self.engine._down})
+        ok = True
+        for w in workers:
+            ok &= self.recover_worker(w)
+        return ok
+
+    def snapshot(self) -> dict:
+        """Supervision counters for dashboards."""
+        return {
+            "replay_buffer_batches": len(self.replay),
+            "replay_buffer_items": self.replay.items,
+            "replay_buffer_overflowed": self.replay.overflowed,
+            "restarts_since_checkpoint": dict(self._restarts),
+            "base_checkpoint": str(self._base_path),
+            "down_shards": sorted(self.engine._down),
+        }

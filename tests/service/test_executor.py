@@ -1,10 +1,21 @@
 """Multiprocessing executor: bit-equivalence with serial, lifecycle."""
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
 from repro.core import SheCountMin
-from repro.service import EngineConfig, ProcessExecutor, StreamEngine, save_checkpoint, recover_engine
+from repro.service import (
+    EngineConfig,
+    ProcessExecutor,
+    ShardDeadError,
+    ShardFailedError,
+    StreamEngine,
+    recover_engine,
+    save_checkpoint,
+)
 
 
 @pytest.fixture
@@ -80,5 +91,85 @@ class TestLifecycle:
         ex = ProcessExecutor([SheCountMin(256, 512, seed=7)], num_workers=8)
         try:
             assert ex.num_workers == 1
+        finally:
+            ex.close()
+
+    def test_worker_error_is_typed_and_attributed(self):
+        ex = ProcessExecutor([SheCountMin(256, 512, seed=7) for _ in range(2)],
+                             num_workers=2)
+        try:
+            keys = np.arange(10, dtype=np.uint64)
+            ex.flush(1, keys, np.arange(10, dtype=np.int64))
+            with pytest.raises(ShardFailedError) as exc_info:
+                ex.flush(1, keys, np.arange(10, dtype=np.int64))
+            assert exc_info.value.shard_ids == (1,)
+            assert exc_info.value.worker_id == 1
+            # a data error left the worker alive and trustworthy
+            assert ex.ping(1)
+        finally:
+            ex.close()
+
+
+class TestFailureSurface:
+    def make(self, num_workers=2, **kw):
+        shards = [SheCountMin(256, 512, seed=7) for _ in range(4)]
+        return ProcessExecutor(shards, num_workers=num_workers, **kw)
+
+    def test_topology_helpers(self):
+        ex = self.make(num_workers=2)
+        try:
+            assert ex.worker_of(0) == 0 and ex.worker_of(3) == 1
+            assert ex.shards_of(0) == [0, 2] and ex.shards_of(1) == [1, 3]
+            assert all(ex.is_worker_alive(w) for w in range(2))
+        finally:
+            ex.close()
+
+    def test_dead_worker_raises_shard_dead_error(self):
+        ex = self.make(num_workers=2)
+        try:
+            proc = ex._procs[1]
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=5)
+            assert not ex.is_worker_alive(1)
+            keys = np.arange(4, dtype=np.uint64)
+            with pytest.raises(ShardDeadError) as exc_info:
+                ex.flush(1, keys, np.arange(4, dtype=np.int64))
+            assert 1 in exc_info.value.worker_ids
+            ex.flush(0, keys, np.arange(4, dtype=np.int64))  # others fine
+        finally:
+            ex.close()
+
+    def test_close_reaps_workers_even_after_sigkill(self):
+        ex = self.make(num_workers=2)
+        procs = [p for p in ex._procs]
+        os.kill(procs[0].pid, signal.SIGKILL)
+        procs[0].join(timeout=5)
+        ex.close()  # must not hang or leak the dead worker
+        assert ex._procs == [None, None]
+        for p in procs:
+            # a reaped Process raises on further use: the handle was closed
+            with pytest.raises(ValueError):
+                p.is_alive()
+
+    def test_restart_worker_validates_the_shard_set(self):
+        ex = self.make(num_workers=2)
+        try:
+            with pytest.raises(ValueError, match="owns shards"):
+                ex.restart_worker(0, {0: SheCountMin(256, 512, seed=7)})
+        finally:
+            ex.close()
+
+    def test_restart_worker_installs_fresh_state(self):
+        ex = self.make(num_workers=2)
+        try:
+            keys = np.arange(8, dtype=np.uint64)
+            times = np.arange(8, dtype=np.int64)
+            ex.flush(0, keys, times)
+            ex.restart_worker(
+                0, {s: SheCountMin(256, 512, seed=7) for s in (0, 2)}
+            )
+            assert ex.snapshot(0).frequency(1, 7) == 0  # state was replaced
+            ex.flush(0, keys, times)
+            assert ex.snapshot(0).frequency(1, 7) == 1
         finally:
             ex.close()

@@ -1,0 +1,285 @@
+"""Supervised recovery: restart-from-checkpoint + replay, degradation.
+
+The acceptance bar for the fault-tolerance layer (ISSUE): a worker
+SIGKILLed mid-stream under supervision recovers so completely that
+strict queries are *bit-identical* to a run that never failed; with
+recovery disabled the engine degrades honestly (``strict=False``
+answers carry shard coverage, strict calls raise typed errors) and no
+executor call blocks past its configured deadline.  All chaos is
+scheduled by deterministic op index — no sleeps, no retries, no flaky
+reruns.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    ChaosExecutor,
+    DegradedAnswer,
+    EngineConfig,
+    ProcessExecutor,
+    ReplayBuffer,
+    RetryPolicy,
+    SerialExecutor,
+    ShardError,
+    ShardUnrecoverableError,
+    StreamEngine,
+    Supervisor,
+    save_checkpoint,
+)
+
+
+@pytest.fixture
+def stream():
+    return np.random.default_rng(5).integers(0, 500, size=8_000, dtype=np.uint64)
+
+
+def cfg(kind="cm", **kw):
+    base = dict(
+        window=2048, size=1024, num_shards=4,
+        flush_batch_size=700, flush_interval_s=None,
+        rpc_timeout_s=5.0, sketch_kwargs={"seed": 7},
+    )
+    base.update(kw)
+    return EngineConfig(kind, **base)
+
+
+def reference_run(config, stream):
+    ref = StreamEngine(config)
+    ref.ingest(stream)
+    return ref
+
+
+def chunked_ingest(engine, stream, chunk=1500):
+    for lo in range(0, stream.size, chunk):
+        engine.ingest(stream[lo:lo + chunk])
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_then_caps(self):
+        p = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.5)
+        assert [p.backoff_s(a) for a in range(4)] == [0.1, 0.2, 0.4, 0.5]
+
+
+class TestReplayBuffer:
+    def batch(self, shard, n):
+        return (shard, np.arange(n, dtype=np.uint64),
+                np.arange(n, dtype=np.int64), None)
+
+    def test_records_and_filters_by_shard(self):
+        buf = ReplayBuffer(limit_items=100)
+        buf.record([self.batch(0, 5), self.batch(1, 7), self.batch(0, 3)])
+        assert buf.items == 15 and len(buf) == 3
+        mine = buf.batches_for({0})
+        assert [b[0] for b in mine] == [0, 0]
+        assert [b[1].size for b in mine] == [5, 3]
+
+    def test_overflow_drops_the_log_until_reset(self):
+        buf = ReplayBuffer(limit_items=10)
+        buf.record([self.batch(0, 11)])
+        assert buf.overflowed and len(buf) == 0 and buf.items == 0
+        buf.record([self.batch(0, 1)])  # ignored: already unrecoverable
+        assert len(buf) == 0
+        buf.reset()
+        assert not buf.overflowed
+        buf.record([self.batch(0, 1)])
+        assert len(buf) == 1
+
+
+class TestSupervisedRecovery:
+    """A killed worker comes back bit-identical to one that never died."""
+
+    def test_serial_kill_restart_replay_is_bit_identical(self, tmp_path, stream):
+        config = cfg("cm")
+        chaos = {}
+
+        def factory(shards):
+            chaos["x"] = ChaosExecutor(SerialExecutor(shards),
+                                       kill_worker_after_ops=15)
+            return chaos["x"]
+
+        eng = StreamEngine(config, executor=factory)
+        sup = Supervisor(eng, tmp_path, policy=RetryPolicy(backoff_base_s=0.0))
+        try:
+            chunked_ingest(eng, stream)      # kill + recovery happen inline
+            assert chaos["x"].kills, "chaos never fired"
+            assert eng.stats.worker_restarts >= 1
+            assert eng.stats.items_replayed > 0
+            assert eng.down_shards == ()
+            ref = reference_run(config, stream)
+            probes = np.unique(stream)[:200]
+            assert np.array_equal(eng.frequency_many(probes),
+                                  ref.frequency_many(probes))
+        finally:
+            eng.close()
+
+    @pytest.mark.parametrize("kind", ["bf", "bm"])
+    def test_sigkill_process_worker_state_bit_identical(self, tmp_path,
+                                                        stream, kind):
+        config = cfg(kind, size=4096, sketch_kwargs={"seed": 1})
+        chaos = {}
+
+        def factory(shards):
+            chaos["x"] = ChaosExecutor(
+                ProcessExecutor(shards, num_workers=2, timeout_s=5.0),
+                kill_worker_after_ops=15)
+            return chaos["x"]
+
+        eng = StreamEngine(config, executor=factory)
+        sup = Supervisor(eng, tmp_path, policy=RetryPolicy(backoff_base_s=0.0))
+        try:
+            chunked_ingest(eng, stream)
+            assert chaos["x"].kills, "chaos never fired"
+            assert eng.stats.worker_restarts >= 1
+            ref = reference_run(config, stream)
+            assert np.array_equal(eng.merged().frame.cells,
+                                  ref.merged().frame.cells)
+        finally:
+            eng.close()
+
+    def test_checkpoint_trims_replay_and_refills_breaker(self, tmp_path, stream):
+        eng = StreamEngine(cfg("cm"))
+        sup = Supervisor(eng, tmp_path)
+        try:
+            eng.ingest(stream[:4000])
+            assert len(sup.replay) > 0
+            sup._restarts[0] = 2
+            save_checkpoint(eng, tmp_path)
+            assert len(sup.replay) == 0 and sup.replay.items == 0
+            assert sup.restarts(0) == 0
+            assert sup.snapshot()["base_checkpoint"].startswith(str(tmp_path))
+        finally:
+            eng.close()
+
+    def test_heartbeat_check_recovers_a_dead_worker(self, tmp_path, stream):
+        chaos = {}
+
+        def factory(shards):
+            chaos["x"] = ChaosExecutor(
+                ProcessExecutor(shards, num_workers=2, timeout_s=5.0))
+            return chaos["x"]
+
+        eng = StreamEngine(cfg("cm"), executor=factory)
+        sup = Supervisor(eng, tmp_path, policy=RetryPolicy(backoff_base_s=0.0))
+        try:
+            eng.ingest(stream[:4000])
+            chaos["x"]._kill(1)              # out-of-band death, no RPC in flight
+            assert not eng._exec.is_worker_alive(1)
+            result = sup.check()
+            assert result == {0: True, 1: True}
+            assert eng.stats.worker_deaths >= 1
+            assert eng.stats.worker_restarts >= 1
+        finally:
+            eng.close()
+
+    def test_replay_overflow_is_unrecoverable(self, tmp_path, stream):
+        chaos = {}
+
+        def factory(shards):
+            chaos["x"] = ChaosExecutor(SerialExecutor(shards),
+                                       kill_worker_after_ops=15)
+            return chaos["x"]
+
+        eng = StreamEngine(cfg("cm"), executor=factory)
+        sup = Supervisor(eng, tmp_path, replay_limit_items=100,
+                         policy=RetryPolicy(backoff_base_s=0.0))
+        try:
+            with pytest.raises(ShardError):
+                chunked_ingest(eng, stream)  # buffer overflowed before the kill
+            assert sup.replay.overflowed
+            assert eng.down_shards != ()
+        finally:
+            eng.close()
+
+
+class TestDegradedQueries:
+    """Recovery disabled: the engine keeps answering from survivors."""
+
+    def run_to_degraded(self, tmp_path, stream, config):
+        chaos = {}
+
+        def factory(shards):
+            chaos["x"] = ChaosExecutor(
+                ProcessExecutor(shards, num_workers=2, timeout_s=5.0),
+                kill_worker_after_ops=15)
+            return chaos["x"]
+
+        eng = StreamEngine(config, executor=factory)
+        sup = Supervisor(eng, tmp_path, policy=RetryPolicy(max_restarts=0))
+        failures = 0
+        for lo in range(0, stream.size, 1500):
+            chunk = stream[lo:lo + 1500]
+            try:
+                eng.ingest(chunk)            # items buffer before any flush,
+            except ShardError:               # so a raised flush loses nothing
+                failures += 1
+        assert failures == 1 and eng.down_shards != ()
+        return eng, sup, chaos["x"]
+
+    def test_strict_raises_then_degraded_answers_with_coverage(
+            self, tmp_path, stream):
+        config = cfg("cm")
+        eng, sup, chaos = self.run_to_degraded(tmp_path, stream, config)
+        try:
+            probes = np.unique(stream)[:50]
+            with pytest.raises(ShardUnrecoverableError, match="down"):
+                eng.frequency_many(probes)
+            res = eng.frequency_many(probes, strict=False)
+            assert isinstance(res, DegradedAnswer) and res.degraded
+            assert res.shards_total == 4
+            assert res.shards_answered == 4 - len(res.missing_shards)
+            assert set(res.missing_shards) == set(eng.down_shards)
+            assert "underestimated" in res.caveat
+            assert res.value.shape == probes.shape
+            single = eng.frequency(int(probes[0]), strict=False)
+            assert single.coverage == res.shards_answered / 4
+            assert eng.stats.degraded_queries == 2
+            assert eng.stats_snapshot()["shards_down"] == list(eng.down_shards)
+        finally:
+            eng.close()
+
+    def test_late_recovery_after_breaker_reset_is_bit_identical(
+            self, tmp_path, stream):
+        config = cfg("cm")
+        eng, sup, chaos = self.run_to_degraded(tmp_path, stream, config)
+        try:
+            # operator intervention: refill the budget, bring shards back
+            sup.policy = RetryPolicy(max_restarts=2, backoff_base_s=0.0)
+            sup.reset_breaker()
+            assert sup.recover_down()
+            assert eng.down_shards == ()
+            ref = reference_run(config, stream)
+            probes = np.unique(stream)[:200]
+            assert np.array_equal(eng.frequency_many(probes),
+                                  ref.frequency_many(probes))
+        finally:
+            eng.close()
+
+    def test_stalled_worker_degrades_within_the_deadline(self, tmp_path):
+        """No executor call may block past its deadline (acceptance)."""
+        config = cfg("cm", num_shards=2, rpc_timeout_s=0.3)
+        chaos = {}
+
+        def factory(shards):
+            chaos["x"] = ChaosExecutor(
+                ProcessExecutor(shards, num_workers=2, timeout_s=0.3))
+            return chaos["x"]
+
+        eng = StreamEngine(config, executor=factory)
+        sup = Supervisor(eng, tmp_path, policy=RetryPolicy(max_restarts=0))
+        try:
+            eng.ingest(np.arange(500, dtype=np.uint64))
+            eng.flush()
+            # stall worker 0 on its next op (the query's advance)
+            chaos["x"]._delay_ops = {chaos["x"].ops + 1: 1.0}
+            t0 = time.monotonic()
+            res = eng.frequency_many(np.arange(10, dtype=np.uint64),
+                                     strict=False)
+            elapsed = time.monotonic() - t0
+            assert elapsed < 1.0, f"query blocked {elapsed:.2f}s past deadline"
+            assert res.degraded and len(res.missing_shards) == 1
+            assert eng.stats.rpc_timeouts >= 1
+        finally:
+            eng.close()
