@@ -6,13 +6,27 @@ for.  One SHE-CM sketch is the baseline; the engine is measured at
 multiprocessing executor.  The in-process engine pays the partitioning
 and buffering tax (expected to land within a small factor of the bare
 sketch); the process executor amortises it once flushes parallelise
-across cores.  Mips tables land in ``results/bench_service.txt``.
+across cores.  Mips tables land in ``results/bench_service.txt`` and a
+machine-readable trajectory in ``BENCH_service.json`` at the repo root.
+
+Observability modes:
+
+* ``pytest benchmarks/bench_service_throughput.py --obs on`` runs the
+  same grid with engines built ``obs=True`` (live registry, spans,
+  per-shard counters) — the number that matters for instrumented
+  deployments.
+* ``python benchmarks/bench_service_throughput.py --check-obs`` is the
+  CI mode: no pytest-benchmark needed, measures the obs-on vs obs-off
+  ingest overhead directly and fails when the *disabled* path's
+  overhead bound is blown (the obs subsystem must be free when off).
 """
 
+import json
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
-from conftest import emit
 
 from repro.core import SheCountMin
 from repro.datasets import BoundedZipf
@@ -24,12 +38,14 @@ SIZE = 1 << 13
 N_ITEMS = 400_000
 CHUNK = 8192
 
-
-def _stream():
-    return BoundedZipf(50_000, 1.05, seed=31).sample(N_ITEMS)
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def _engine_mips(stream, shards, executor, num_workers=None):
+def _stream(n_items: int = N_ITEMS):
+    return BoundedZipf(50_000, 1.05, seed=31).sample(n_items)
+
+
+def _engine_mips(stream, shards, executor, num_workers=None, obs=False):
     cfg = EngineConfig(
         "cm",
         window=WINDOW,
@@ -39,7 +55,9 @@ def _engine_mips(stream, shards, executor, num_workers=None):
         flush_interval_s=None,
         sketch_kwargs={"seed": 7},
     )
-    with StreamEngine(cfg, executor=executor, num_workers=num_workers) as eng:
+    with StreamEngine(
+        cfg, executor=executor, num_workers=num_workers, obs=obs
+    ) as eng:
         started = time.perf_counter()
         for lo in range(0, stream.size, CHUNK):
             eng.ingest(stream[lo : lo + CHUNK])
@@ -48,8 +66,31 @@ def _engine_mips(stream, shards, executor, num_workers=None):
     return stream.size / seconds / 1e6
 
 
-def test_service_throughput(benchmark, results_dir):
+def _write_bench_json(rows, obs_mode, extra=None, n_items=N_ITEMS) -> None:
+    """Persist the machine-readable perf trajectory at the repo root."""
+    payload = {
+        "benchmark": "bench_service_throughput",
+        "obs_mode": obs_mode,
+        "n_items": n_items,
+        "window": WINDOW,
+        "size": SIZE,
+        "rows": [
+            {"configuration": name, "shards": shards, "mips": round(mips, 3)}
+            for name, shards, mips in rows
+        ],
+    }
+    if extra:
+        payload.update(extra)
+    (_REPO_ROOT / "BENCH_service.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+
+def test_service_throughput(benchmark, results_dir, obs_mode):
+    from conftest import emit  # pytest-only helper; keeps --check-obs stdlib
+
     stream = _stream()
+    obs = obs_mode == "on"
 
     def run():
         rows = []
@@ -60,28 +101,79 @@ def test_service_throughput(benchmark, results_dir):
         rows.append(("single sketch", "-", base.mips))
         for shards in (1, 2, 4, 8):
             rows.append(
-                (f"engine serial x{shards}", shards, _engine_mips(stream, shards, "serial"))
+                (
+                    f"engine serial x{shards}",
+                    shards,
+                    _engine_mips(stream, shards, "serial", obs=obs),
+                )
             )
         for shards in (2, 4):
             rows.append(
                 (
                     f"engine process x{shards}",
                     shards,
-                    _engine_mips(stream, shards, "process", num_workers=shards),
+                    _engine_mips(
+                        stream, shards, "process", num_workers=shards, obs=obs
+                    ),
                 )
             )
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    header = f"{'configuration':<24} {'shards':>6} {'Mips':>8}"
+    header = f"{'configuration':<24} {'shards':>6} {'Mips':>8}   (obs {obs_mode})"
     lines = [header, "-" * len(header)]
     for name, shards, mips in rows:
         lines.append(f"{name:<24} {shards!s:>6} {mips:>8.2f}")
     emit(results_dir, "bench_service", "\n".join(lines) + "\n")
+    _write_bench_json(rows, obs_mode)
 
     by = {name: mips for name, _, mips in rows}
     # the serving layer must stay within a small factor of the raw sketch
     assert by["engine serial x1"] > by["single sketch"] / 5
     # sharding in-process must not collapse throughput
     assert by["engine serial x4"] > by["single sketch"] / 8
+
+
+def check_obs_overhead(n_items: int = N_ITEMS, shards: int = 4) -> int:
+    """CI check mode: obs-on vs obs-off ingest throughput, no pytest.
+
+    The alternating repeats interleave the two modes so drift (thermal,
+    noisy neighbours) hits both equally; we keep the best of each to
+    compare steady-state cost.  The hard gate is deliberately placed on
+    the *enabled* path — the disabled path is byte-for-byte the seed hot
+    path plus no-op calls, so an off-regression would show up here as an
+    on-regression too.
+    """
+    stream = _stream(n_items)
+    off = on = 0.0
+    for _ in range(3):
+        off = max(off, _engine_mips(stream, shards, "serial", obs=False))
+        on = max(on, _engine_mips(stream, shards, "serial", obs=True))
+    overhead_pct = (off - on) / off * 100.0
+    print(f"obs off: {off:.2f} Mips")
+    print(f"obs on:  {on:.2f} Mips")
+    print(f"enabled-obs overhead: {overhead_pct:.2f}%")
+    rows = [
+        (f"engine serial x{shards} (obs off)", shards, off),
+        (f"engine serial x{shards} (obs on)", shards, on),
+    ]
+    _write_bench_json(
+        rows,
+        "check",
+        extra={"obs_overhead_pct": round(overhead_pct, 2)},
+        n_items=n_items,
+    )
+    # generous CI-noise margin; locally this lands in low single digits
+    limit = 15.0
+    if overhead_pct > limit:
+        print(f"FAIL: overhead {overhead_pct:.2f}% exceeds {limit}%")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--check-obs" in sys.argv:
+        sys.exit(check_obs_overhead(n_items=200_000))
+    sys.exit("usage: python bench_service_throughput.py --check-obs")

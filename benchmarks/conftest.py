@@ -12,6 +12,22 @@ import pytest
 from repro.harness import Scale
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs",
+        choices=("off", "on"),
+        default="off",
+        help="run service benchmarks with engine observability enabled "
+        "('on') or on the no-op stand-ins ('off', the default)",
+    )
+
+
+@pytest.fixture(scope="session")
+def obs_mode(request):
+    """Whether the service benchmarks build engines with obs enabled."""
+    return request.config.getoption("--obs")
+
+
 @pytest.fixture(scope="session")
 def results_dir():
     d = Path(__file__).resolve().parent.parent / "results"

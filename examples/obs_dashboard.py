@@ -1,0 +1,123 @@
+"""Live TTY dashboard over the engine's observability surface.
+
+A 4-shard SHE-CM engine ingests a Zipf stream while the terminal
+redraws once per window: per-shard ingest/flush counters and SHE probe
+state (fill ratio, young/perfect/aged cells, cleaning work), the flush
+latency percentiles, and the slowest spans of the latest flush trace.
+A `MetricsExporter` serves the same numbers over HTTP while the loop
+runs, so you can `curl <url>/metrics` from another terminal.
+
+Run:  python examples/obs_dashboard.py           # live loop
+      python examples/obs_dashboard.py --smoke   # one frame, for CI
+"""
+
+import sys
+import time
+import urllib.request
+
+from repro.datasets import BoundedZipf
+from repro.obs import MetricsExporter
+from repro.service import EngineConfig, StreamEngine
+
+WINDOW = 1 << 13
+N_WINDOWS = 8
+CHUNK = 2048
+SHARDS = 4
+
+
+def _bar(frac: float, width: int = 20) -> str:
+    full = int(round(max(0.0, min(1.0, frac)) * width))
+    return "#" * full + "." * (width - full)
+
+
+def _frames(probe: dict) -> list[dict]:
+    return probe["frames"] if "frames" in probe else [probe["frame"]]
+
+
+def render(engine: StreamEngine, url: str) -> str:
+    engine.update_probe_gauges()
+    snap = engine.obs.registry.snapshot()
+    lines = [
+        f"SHE engine dashboard     {url}/metrics",
+        f"ingested {engine.stats.items_ingested:>10,}   "
+        f"flushed {engine.stats.items_flushed:>10,}   "
+        f"flush rounds {engine.stats.flush_count}",
+        "",
+        f"{'shard':>5} {'items':>9} {'queue':>6} {'fill':<22}"
+        f"{'young':>7} {'perfect':>8} {'aged':>6} {'cleaned':>8}",
+    ]
+    probes = engine.probe_shards()
+    for s in range(engine.num_shards):
+        frames = _frames(probes[s]) if probes[s] else []
+        n_cells = sum(f["num_cells"] for f in frames) or 1
+        fill = sum(f["occupied_cells"] for f in frames) / n_cells
+        items_key = 'engine_shard_items_total{shard="%d"}' % s
+        depth_key = 'engine_queue_depth{shard="%d"}' % s
+        lines.append(
+            f"{s:>5} "
+            f"{int(snap.get(items_key, 0)):>9,} "
+            f"{int(snap.get(depth_key, 0)):>6} "
+            f"[{_bar(fill)}] "
+            f"{sum(f['young_cells'] for f in frames):>6} "
+            f"{sum(f['perfect_cells'] for f in frames):>8} "
+            f"{sum(f['aged_cells'] for f in frames):>6} "
+            f"{sum(f['groups_cleaned'] for f in frames):>8}"
+        )
+    lat = engine.stats.flush_latency_ms()
+    if lat:
+        lines.append("")
+        lines.append(
+            "flush latency  "
+            + "   ".join(f"{k}={v:.2f}ms" for k, v in lat.items())
+        )
+    spans = engine.obs.tracer.spans()
+    if spans:
+        last_trace = spans[-1].trace_id
+        chain = sorted(
+            engine.obs.tracer.spans(last_trace),
+            key=lambda s: s.duration_ms or 0.0,
+            reverse=True,
+        )[:4]
+        lines.append("latest flush trace (slowest spans):")
+        for sp in chain:
+            lines.append(
+                f"  {sp.name:<16} {sp.duration_ms or 0.0:>8.3f} ms"
+                f"  pid={sp.pid}  {sp.tags}"
+            )
+    return "\n".join(lines)
+
+
+def main(smoke: bool = False) -> None:
+    stream = BoundedZipf(20_000, 1.2, seed=23).sample(N_WINDOWS * WINDOW)
+    cfg = EngineConfig(
+        "cm",
+        window=WINDOW,
+        size=1 << 12,
+        num_shards=SHARDS,
+        flush_batch_size=CHUNK,
+        flush_interval_s=None,
+        sketch_kwargs={"seed": 7},
+    )
+    with StreamEngine(cfg, obs=True) as engine, MetricsExporter(engine) as exp:
+        for lo in range(0, stream.size, CHUNK):
+            engine.ingest(stream[lo : lo + CHUNK])
+            if lo % WINDOW == 0 or smoke:
+                frame = render(engine, exp.url)
+                if smoke:
+                    print(frame)
+                    body = urllib.request.urlopen(
+                        exp.url + "/metrics", timeout=5
+                    ).read().decode()
+                    assert "she_fill_ratio" in body, "exporter must serve probes"
+                    print("\nsmoke ok: exporter served "
+                          f"{len(body.splitlines())} metric lines")
+                    return
+                sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+                sys.stdout.flush()
+                time.sleep(0.05)
+        engine.flush()
+        sys.stdout.write("\x1b[2J\x1b[H" + render(engine, exp.url) + "\n")
+
+
+if __name__ == "__main__":
+    main(smoke="--smoke" in sys.argv)

@@ -100,6 +100,33 @@ class SheSketchBase:
         out.reset()
         return out
 
+    # -- introspection -------------------------------------------------------
+
+    def _probe_extra(self) -> dict:
+        """Per-algorithm fields merged into :meth:`probe` (override)."""
+        return {}
+
+    def probe(self, t: int | None = None) -> dict:
+        """Read-only introspection of the sketch's SHE state at ``t``.
+
+        Wraps :func:`repro.obs.probes.frame_probe` over the sketch's
+        frame: cell-age distribution vs ``Tcycle``, young/perfect/aged
+        counts, legal-band coverage, occupancy, and the cleaning-work
+        counters.  Never mutates the frame (no lazy cleaning runs), so
+        it is safe to call between inserts at any rate.
+        """
+        from repro.obs.probes import frame_probe
+
+        t = self._resolve_time(t)
+        out = {
+            "kind": type(self).__name__,
+            "t": t,
+            "memory_bytes": self.memory_bytes,
+            "frame": frame_probe(self.frame, t),
+        }
+        out.update(self._probe_extra())
+        return out
+
     # -- insertion ---------------------------------------------------------
 
     def insert(self, key: int) -> None:

@@ -91,9 +91,13 @@ def _apply_batch_hardware(
     touched[gids] = True
     cleaned = touched & ((last_flip >= 0) | (frame.marks != first_parity))
 
-    if np.any(cleaned):
+    frame.cleaning_checks += 1
+    n_cleaned = int(np.count_nonzero(cleaned))
+    if n_cleaned:
         view = frame.cells.reshape(frame.num_groups, frame.group_width)
         view[cleaned] = frame.empty_value
+        frame.groups_cleaned += n_cleaned
+        frame.cells_cleaned += n_cleaned * frame.group_width
     frame.marks[gids] = parity  # in order: each group keeps its last mark
 
     _scatter(

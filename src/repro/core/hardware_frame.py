@@ -66,6 +66,11 @@ class HardwareFrame:
         # Initialise stored marks to the current marks at t = 0 so the
         # (already empty) array does not need a spurious first cleaning.
         self.marks = self._current_marks_all(0)
+        # cleaning-work telemetry (read by repro.obs.probes): how many
+        # CheckGroup passes ran, and how many groups/cells they reset
+        self.cleaning_checks = 0
+        self.groups_cleaned = 0
+        self.cells_cleaned = 0
 
     # -- mark arithmetic ---------------------------------------------------
 
@@ -84,6 +89,7 @@ class HardwareFrame:
 
     def check_groups(self, gids: np.ndarray, t: int) -> None:
         """``CheckGroup`` for a batch of group ids: lazily reset stale ones."""
+        self.cleaning_checks += 1
         gids = np.unique(np.asarray(gids, dtype=np.int64))
         cur = self._current_marks(gids, t)
         mask = self.marks[gids] != cur
@@ -92,15 +98,21 @@ class HardwareFrame:
             view = self.cells.reshape(self.num_groups, self.group_width)
             view[stale] = self.empty_value
             self.marks[stale] = cur[mask]
+            self.groups_cleaned += int(stale.size)
+            self.cells_cleaned += int(stale.size) * self.group_width
 
     def check_all_groups(self, t: int) -> None:
         """Check every group — used by whole-array queries (BM/HLL/MH)."""
+        self.cleaning_checks += 1
         cur = self._current_marks_all(t)
         stale = self.marks != cur
-        if np.any(stale):
+        n_stale = int(np.count_nonzero(stale))
+        if n_stale:
             view = self.cells.reshape(self.num_groups, self.group_width)
             view[stale] = self.empty_value
             self.marks[stale] = cur[stale]
+            self.groups_cleaned += n_stale
+            self.cells_cleaned += n_stale * self.group_width
 
     # -- frame protocol ----------------------------------------------------
 
@@ -145,6 +157,9 @@ class HardwareFrame:
         """Return the frame to its empty t=0 state."""
         self.cells.fill(self.empty_value)
         self.marks = self._current_marks_all(0)
+        self.cleaning_checks = 0
+        self.groups_cleaned = 0
+        self.cells_cleaned = 0
 
     @property
     def memory_bytes(self) -> int:

@@ -119,6 +119,9 @@ class SheBloomFilter(SheSketchBase):
         absent = np.any(mature & ~bits, axis=1)
         return ~absent
 
+    def _probe_extra(self) -> dict:
+        return {"num_bits": self.num_bits, "num_hashes": self.num_hashes}
+
     @property
     def memory_bytes(self) -> int:
         return self.frame.memory_bytes

@@ -111,6 +111,9 @@ class SheBitmap(SheSketchBase):
         est = -float(self.num_bits) * float(np.log(zeros / legal_bits))
         return max(est, 0.0)
 
+    def _probe_extra(self) -> dict:
+        return {"num_bits": self.num_bits}
+
     @property
     def memory_bytes(self) -> int:
         return self.frame.memory_bytes

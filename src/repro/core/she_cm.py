@@ -127,6 +127,9 @@ class SheCountMin(SheSketchBase):
             est[no_mature] = np.min(counts[no_mature], axis=1)
         return est
 
+    def _probe_extra(self) -> dict:
+        return {"num_counters": self.num_counters, "num_hashes": self.num_hashes}
+
     @property
     def memory_bytes(self) -> int:
         return self.frame.memory_bytes

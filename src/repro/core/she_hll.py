@@ -117,6 +117,9 @@ class SheHyperLogLog(SheSketchBase):
         # rescale from the k-register legal subsample to all M registers
         return est_sub * self.num_registers / k
 
+    def _probe_extra(self) -> dict:
+        return {"num_registers": self.num_registers}
+
     @property
     def memory_bytes(self) -> int:
         return self.frame.memory_bytes

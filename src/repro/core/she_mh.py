@@ -193,6 +193,11 @@ class SheMinHash:
                 start[flipped] = np.searchsorted(times, flip_t[flipped], side="left")
             cleaned = flipped | (frame.marks != (e_last % 2).astype(np.uint8))
             frame.marks[:] = (e_last % 2).astype(np.uint8)
+            # this fast path bypasses check_groups; keep its telemetry honest
+            frame.cleaning_checks += 1
+            n_cleaned = int(np.count_nonzero(cleaned))
+            frame.groups_cleaned += n_cleaned
+            frame.cells_cleaned += n_cleaned
         elif isinstance(frame, SoftwareFrame):
             frame.advance(t0)
             j = np.arange(m, dtype=np.int64)
@@ -208,6 +213,33 @@ class SheMinHash:
         candidate = sm[start, np.arange(m)]
         frame.cells[cleaned] = frame.empty_value
         np.minimum(frame.cells, candidate, out=frame.cells)
+
+    # -- introspection -------------------------------------------------------
+
+    def probe(self, t: int | None = None) -> dict:
+        """Read-only SHE introspection of both sides' frames.
+
+        Mirrors :meth:`repro.core.base.SheSketchBase.probe` but reports
+        one frame per stream side (each at its own clock unless an
+        explicit ``t`` is given) — the two-stream shape of SHE-MH.
+        """
+        from repro.obs.probes import frame_probe
+
+        times = (
+            (self.counts[0], self.counts[1])
+            if t is None
+            else (require_non_negative_int("t", t),) * 2
+        )
+        return {
+            "kind": type(self).__name__,
+            "t": max(times),
+            "memory_bytes": self.memory_bytes,
+            "num_counters": self.num_counters,
+            "frames": [
+                frame_probe(frame, side_t)
+                for frame, side_t in zip(self.frames, times)
+            ],
+        }
 
     # -- query ---------------------------------------------------------------
 

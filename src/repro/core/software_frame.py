@@ -56,6 +56,11 @@ class SoftwareFrame:
         self.cells = np.full(self.num_cells, empty_value, dtype=dtype)
         # number of cell boundaries the sweeper has crossed so far
         self._boundaries_done = 0
+        # cleaning-work telemetry (read by repro.obs.probes); each cell
+        # is its own group here, so the two reset counters track together
+        self.cleaning_checks = 0
+        self.groups_cleaned = 0
+        self.cells_cleaned = 0
 
     # -- sweep bookkeeping ---------------------------------------------------
 
@@ -75,11 +80,15 @@ class SoftwareFrame:
         Cleans the cells of boundaries ``(done, B(t)]``; boundary 0 is
         consumed at construction (the array starts empty).
         """
+        self.cleaning_checks += 1
         b1 = self._boundaries_at(t)
         b0 = self._boundaries_done
         if b1 <= b0:
             return
         count = b1 - b0
+        swept = min(count, self.num_cells)
+        self.groups_cleaned += swept
+        self.cells_cleaned += swept
         if count >= self.num_cells:
             self.cells.fill(self.empty_value)
         else:
@@ -145,6 +154,9 @@ class SoftwareFrame:
     def reset(self) -> None:
         self.cells.fill(self.empty_value)
         self._boundaries_done = 0
+        self.cleaning_checks = 0
+        self.groups_cleaned = 0
+        self.cells_cleaned = 0
 
     @property
     def memory_bytes(self) -> int:

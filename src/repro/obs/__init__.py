@@ -1,0 +1,126 @@
+"""repro.obs — observability for the SHE serving stack.
+
+Four pieces, composable but independently usable:
+
+* :mod:`repro.obs.registry` — a label-aware metrics registry (Counter /
+  Gauge / Histogram) with lock-free hot-path children and no-op
+  variants for the disabled case.
+* :mod:`repro.obs.tracing` — trace spans with ids that cross the
+  executor RPC boundary, kept in a bounded ring, exported as JSON.
+* :mod:`repro.obs.probes` — read-only introspection of SHE frame state
+  (cell ages vs ``Tcycle``, young/perfect/aged counts, cleaning work).
+* :mod:`repro.obs.exporter` — a stdlib-only HTTP exporter serving
+  ``/metrics`` (Prometheus text), ``/healthz`` and ``/statusz``.
+
+:class:`Observability` bundles one registry + one tracer and is what
+the engine takes: ``StreamEngine(cfg, obs=True)`` builds an enabled
+bundle, the default is the shared disabled bundle whose
+instrumentation costs a no-op call per site.
+
+Quickstart::
+
+    from repro.obs import MetricsExporter
+    from repro.service import EngineConfig, StreamEngine
+
+    engine = StreamEngine(EngineConfig("cm", window=1 << 14, size=1 << 12),
+                          obs=True)
+    with MetricsExporter(engine) as exp:
+        engine.ingest(keys)
+        print(exp.url + "/metrics")       # Prometheus scrape target
+    print(engine.obs.tracer.dump_trace()) # where did flush time go?
+"""
+
+from __future__ import annotations
+
+from repro.obs.exporter import MetricsExporter
+from repro.obs.probes import frame_probe
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    render_prometheus,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    new_id,
+    span_record,
+)
+
+__all__ = [
+    "Observability",
+    "OBS_DISABLED",
+    "Registry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "render_prometheus",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "new_id",
+    "span_record",
+    "frame_probe",
+    "MetricsExporter",
+]
+
+
+class Observability:
+    """One registry + one tracer, enabled or a shared pair of no-ops.
+
+    Args:
+        enabled: build live metric/trace stores (True) or the no-op
+            implementations (False).
+        registry: override the registry (e.g. share one across engines;
+            note metric names are global within a registry).
+        tracer: override the tracer.
+        span_capacity: ring size for a tracer built here.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        *,
+        registry=None,
+        tracer=None,
+        span_capacity: int = 2048,
+    ):
+        self.enabled = bool(enabled)
+        if registry is not None:
+            self.registry = registry
+        else:
+            self.registry = Registry() if enabled else NULL_REGISTRY
+        if tracer is not None:
+            self.tracer = tracer
+        else:
+            self.tracer = Tracer(span_capacity) if enabled else NULL_TRACER
+
+    @classmethod
+    def coerce(cls, obs) -> "Observability":
+        """Normalise the engine's ``obs`` argument.
+
+        ``None``/``False`` -> the shared disabled bundle, ``True`` -> a
+        fresh enabled bundle, an :class:`Observability` -> itself.
+        """
+        if obs is None or obs is False:
+            return OBS_DISABLED
+        if obs is True:
+            return cls(enabled=True)
+        if isinstance(obs, cls):
+            return obs
+        raise TypeError(
+            f"obs must be a bool, None or Observability, got {type(obs).__name__}"
+        )
+
+
+OBS_DISABLED = Observability(enabled=False)

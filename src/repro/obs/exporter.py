@@ -1,0 +1,197 @@
+"""Stdlib HTTP exporter: /metrics, /healthz, /statusz on a daemon thread.
+
+One :class:`MetricsExporter` serves a :class:`~repro.service.engine.
+StreamEngine`'s observability surface over plain ``http.server`` — no
+dependencies, so it can run inside any deployment of the repro:
+
+* ``/metrics`` — the engine registry in Prometheus text exposition
+  format.  When probe refreshing is on, SHE introspection gauges
+  (:meth:`StreamEngine.update_probe_gauges`) are recomputed first.
+* ``/healthz`` — 200 with ``{"status": "ok"}`` while every shard has a
+  live, trusted worker; 503 with the down-shard list (and the
+  supervisor's view, when one is attached) otherwise.  Load balancers
+  and the CI smoke test key off the status code alone.
+* ``/statusz`` — the full JSON story: stats snapshot, supervisor
+  snapshot, per-shard probes (when refreshing is on), config.
+
+Thread safety: the exporter thread only ever touches the registry
+(lock-free snapshot reads), plain engine attributes, and — only when
+``refresh_probes`` is true — the serial executor's in-process shards.
+Probe refresh defaults *off* for process executors: their shards live
+behind a single pipe per worker, and a scrape-thread RPC would
+interleave with the engine thread's protocol.  For those deployments,
+call ``engine.update_probe_gauges()`` from the engine's own thread
+(e.g. after each checkpoint) and the exporter serves the latest values.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["MetricsExporter"]
+
+
+class MetricsExporter:
+    """Serve one engine's metrics/health/status over HTTP.
+
+    Args:
+        engine: the :class:`StreamEngine` to expose (must have been
+            built with ``obs=True`` for a non-empty ``/metrics``).
+        host: bind address (default loopback).
+        port: bind port; ``0`` picks an ephemeral port, read it back
+            from :attr:`port` after :meth:`start`.
+        refresh_probes: recompute SHE probe gauges on each scrape.
+            ``None`` (default) auto-enables for serial executors only
+            (see module docs for why).
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        refresh_probes: bool | None = None,
+    ):
+        self.engine = engine
+        self._host = host
+        self._port = port
+        if refresh_probes is None:
+            refresh_probes = getattr(engine, "executor_kind", "") == "serial"
+        self.refresh_probes = refresh_probes
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("exporter is not started")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> "MetricsExporter":
+        if self._server is not None:
+            return self
+        self._server = ThreadingHTTPServer(
+            (self._host, self._port), self._make_handler()
+        )
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-obs-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # -- endpoint bodies -----------------------------------------------------
+
+    def _metrics_text(self) -> str:
+        if self.refresh_probes:
+            try:
+                self.engine.update_probe_gauges()
+            except Exception:  # a scrape must never take the engine down
+                pass
+        return self.engine.obs.registry.render()
+
+    def _health(self) -> tuple[int, dict]:
+        down = list(getattr(self.engine, "down_shards", ()))
+        closed = getattr(self.engine, "_closed", False)
+        healthy = not down and not closed
+        body = {
+            "status": "ok" if healthy else ("closed" if closed else "degraded"),
+            "down_shards": down,
+        }
+        supervisor = getattr(self.engine, "_supervisor", None)
+        if supervisor is not None:
+            body["supervisor"] = supervisor.snapshot()
+        return (200 if healthy else 503), body
+
+    def _status(self) -> dict:
+        body = {
+            "stats": self.engine.stats_snapshot(),
+            "config": self.engine.config.to_json(),
+            "executor": self.engine.executor_kind,
+            "obs_enabled": self.engine.obs.enabled,
+        }
+        supervisor = getattr(self.engine, "_supervisor", None)
+        if supervisor is not None:
+            body["supervisor"] = supervisor.snapshot()
+        if self.refresh_probes:
+            try:
+                body["probes"] = self.engine.probe_shards()
+            except Exception:
+                pass
+        return body
+
+    def _make_handler(self):
+        exporter = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # keep scrapes off stderr
+                pass
+
+            def _reply(self, code: int, content_type: str, body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        self._reply(
+                            200,
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            exporter._metrics_text().encode(),
+                        )
+                    elif path == "/healthz":
+                        code, body = exporter._health()
+                        self._reply(
+                            code, "application/json", json.dumps(body).encode()
+                        )
+                    elif path == "/statusz":
+                        self._reply(
+                            200,
+                            "application/json",
+                            json.dumps(exporter._status()).encode(),
+                        )
+                    else:
+                        self._reply(404, "text/plain", b"not found\n")
+                except BrokenPipeError:  # client went away mid-reply
+                    pass
+                except Exception as exc:  # never kill the serving thread
+                    try:
+                        self._reply(
+                            500, "text/plain", f"error: {exc}\n".encode()
+                        )
+                    except Exception:
+                        pass
+
+        return Handler

@@ -1,0 +1,65 @@
+"""Sketch introspection probes: the paper's quantities, live.
+
+§4–§5 of the SHE paper reason about *cell age*: a cell younger than the
+window N ("young") carries incomplete window information, one at
+exactly N is "perfect", and older cells ("aged") over-cover the window
+until the cleaning process — the sweeping pointer of §3.2 or the group
+time-marks of §3.3 — resets them at most ``Tcycle`` after their last
+cleaning.  These probes read exactly those quantities off a live frame
+so an operator can see what the estimator sees: the age distribution
+relative to ``Tcycle``, the young/perfect/aged split, the legal-band
+coverage, the stored occupancy, and how much cleaning work the frame
+has actually done (:attr:`cells_cleaned` counters maintained by the
+frames).
+
+Probes are **read-only**: they never run ``prepare_*`` (which would
+lazily clean), so the occupancy they report is the stored state —
+including cells the next touch would wipe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["frame_probe", "AGE_HIST_BINS"]
+
+# cumulative age-histogram bin edges, as fractions of Tcycle
+AGE_HIST_BINS = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
+
+
+def frame_probe(frame, t: int) -> dict:
+    """Introspect one frame at time ``t`` without mutating it.
+
+    Returns a flat dict: geometry, young/perfect/aged cell counts, the
+    legal-band group fraction, stored occupancy, cumulative age
+    histogram (fractions of ``Tcycle``), and the frame's cleaning-work
+    counters.
+    """
+    ages = frame.all_cell_ages(t)
+    window = frame.window
+    t_cycle = frame.t_cycle
+    m = frame.num_cells
+    occupied = int(np.count_nonzero(frame.cells != frame.empty_value))
+    legal = frame.legal_groups(t)
+    hist = {
+        f"{frac:g}": int(np.count_nonzero(ages <= frac * t_cycle))
+        for frac in AGE_HIST_BINS
+    }
+    return {
+        "num_cells": m,
+        "num_groups": frame.num_groups,
+        "group_width": frame.group_width,
+        "window": window,
+        "t_cycle": t_cycle,
+        "young_cells": int(np.count_nonzero(ages < window)),
+        "perfect_cells": int(np.count_nonzero(ages == window)),
+        "aged_cells": int(np.count_nonzero(ages > window)),
+        "legal_group_fraction": float(np.count_nonzero(legal)) / frame.num_groups,
+        "fill_ratio": occupied / m,
+        "occupied_cells": occupied,
+        "age_mean_fraction": float(np.mean(ages)) / t_cycle,
+        "age_hist_le": hist,
+        "cells_cleaned": int(getattr(frame, "cells_cleaned", 0)),
+        "groups_cleaned": int(getattr(frame, "groups_cleaned", 0)),
+        "cleaning_checks": int(getattr(frame, "cleaning_checks", 0)),
+    }

@@ -1,0 +1,252 @@
+"""Cross-process trace spans with a bounded in-memory ring.
+
+A flush is a chain — engine drains buffers, ships batches over the
+executor RPC boundary, a worker applies them to its sketch — and
+knowing *where time goes* inside that chain needs spans, not counters.
+A :class:`Span` is one timed operation carrying a ``trace_id`` shared
+by the whole chain and a ``parent_id`` linking it to its caller; the
+engine opens the root span, passes ``(trace_id, span_id)`` with the
+RPC, and the worker process builds a child record around the sketch
+apply (:func:`span_record` — workers have no tracer, just a dict and
+two clock reads) which rides back on the acknowledgement and is
+:meth:`Tracer.ingest`-ed into the parent's ring.
+
+The ring is bounded (oldest spans fall off), so tracing is safe to
+leave on in a long-running service; :meth:`Tracer.dump_trace` exports
+one trace (or everything) as JSON for offline inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "new_id",
+    "span_record",
+]
+
+
+def new_id() -> str:
+    """A fresh 64-bit hex id for traces and spans."""
+    return os.urandom(8).hex()
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed operation."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    pid: int = field(default_factory=os.getpid)
+    start_s: float = 0.0
+    duration_ms: float | None = None
+    tags: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "start_s": self.start_s,
+            "duration_ms": self.duration_ms,
+            "tags": dict(self.tags),
+        }
+
+
+def span_record(
+    name: str,
+    trace_id: str,
+    parent_id: str | None,
+    start_s: float,
+    duration_ms: float,
+    **tags,
+) -> dict:
+    """Build a span dict without a tracer — the worker-process half.
+
+    Workers ship these back on the RPC acknowledgement; the parent
+    :meth:`Tracer.ingest`-s them so the whole chain lives in one ring.
+    """
+    return {
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": new_id(),
+        "parent_id": parent_id,
+        "pid": os.getpid(),
+        "start_s": start_s,
+        "duration_ms": duration_ms,
+        "tags": tags,
+    }
+
+
+class _ActiveSpan:
+    """Context manager that times one span and files it on exit."""
+
+    __slots__ = ("_tracer", "span", "_t0")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+        self._t0 = 0.0
+
+    @property
+    def trace_id(self) -> str:
+        return self.span.trace_id
+
+    @property
+    def span_id(self) -> str:
+        return self.span.span_id
+
+    @property
+    def context(self) -> tuple[str, str]:
+        """``(trace_id, span_id)`` — what crosses the RPC boundary."""
+        return (self.span.trace_id, self.span.span_id)
+
+    def tag(self, **tags) -> None:
+        self.span.tags.update(tags)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._t0 = self._tracer._clock()
+        self.span.start_s = self._t0
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span.duration_ms = (self._tracer._clock() - self._t0) * 1e3
+        if exc_type is not None:
+            self.span.tags.setdefault("error", exc_type.__name__)
+        self._tracer._ring.append(self.span)
+        return False
+
+
+class Tracer:
+    """Bounded span ring plus the factory for new spans.
+
+    Single-writer like the registry: the owning thread opens and closes
+    spans; worker records arrive via :meth:`ingest` on the same thread
+    (the RPC ack path).  ``capacity`` bounds memory, not correctness —
+    a dropped span is an old span.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self._ring: deque[Span] = deque(maxlen=int(capacity))
+        self._clock = clock
+
+    def span(
+        self,
+        name: str,
+        *,
+        trace_id: str | None = None,
+        parent_id: str | None = None,
+        **tags,
+    ) -> _ActiveSpan:
+        """Open a span; a fresh trace starts when no ``trace_id`` is given."""
+        return _ActiveSpan(
+            self,
+            Span(
+                name=name,
+                trace_id=trace_id or new_id(),
+                span_id=new_id(),
+                parent_id=parent_id,
+                tags=tags,
+            ),
+        )
+
+    def ingest(self, records: Iterable[dict]) -> None:
+        """File span dicts produced elsewhere (worker processes)."""
+        for rec in records:
+            self._ring.append(
+                Span(
+                    name=rec["name"],
+                    trace_id=rec["trace_id"],
+                    span_id=rec["span_id"],
+                    parent_id=rec.get("parent_id"),
+                    pid=rec.get("pid", 0),
+                    start_s=rec.get("start_s", 0.0),
+                    duration_ms=rec.get("duration_ms"),
+                    tags=dict(rec.get("tags") or {}),
+                )
+            )
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """Ring contents, optionally filtered to one trace, oldest first."""
+        if trace_id is None:
+            return list(self._ring)
+        return [s for s in self._ring if s.trace_id == trace_id]
+
+    def dump_trace(self, trace_id: str | None = None) -> str:
+        """JSON export of one trace (or the whole ring)."""
+        return json.dumps([s.to_json() for s in self.spans(trace_id)], indent=2)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class _NullActiveSpan:
+    """Reusable no-op span handle: no ids, no ring, no allocation."""
+
+    __slots__ = ()
+    trace_id = None
+    span_id = None
+    context = None
+    span = None
+
+    def tag(self, **tags) -> None:
+        pass
+
+    def __enter__(self) -> "_NullActiveSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullActiveSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every span is the shared no-op handle."""
+
+    enabled = False
+
+    def span(self, name, *, trace_id=None, parent_id=None, **tags):
+        return _NULL_SPAN
+
+    def ingest(self, records) -> None:
+        pass
+
+    def spans(self, trace_id=None) -> list:
+        return []
+
+    def dump_trace(self, trace_id=None) -> str:
+        return "[]"
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()

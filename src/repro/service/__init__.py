@@ -11,13 +11,21 @@ supervision with restart-from-checkpoint + replay
 shards (``strict=False`` → :class:`DegradedAnswer`), and deterministic
 fault injection (:class:`ChaosExecutor`) to test all of it.
 
+Observability lives in :mod:`repro.obs`: pass ``obs=True`` to the
+engine and every counter, trace span and SHE probe gauge is live;
+serve them with :class:`repro.obs.MetricsExporter` (``/metrics``,
+``/healthz``, ``/statusz``).  See ``docs/observability.md``.
+
 Quickstart::
 
+    from repro.obs import MetricsExporter
     from repro.service import EngineConfig, StreamEngine, Supervisor
 
     engine = StreamEngine(EngineConfig("cm", window=1 << 16, size=1 << 14,
-                                       num_shards=4), executor="process")
+                                       num_shards=4), executor="process",
+                          obs=True)
     sup = Supervisor(engine, "/var/tmp/ckpts")   # deadline+restart+replay
+    exporter = MetricsExporter(engine).start()   # Prometheus endpoint
     engine.ingest(keys)                  # buffered, batched, sharded
     engine.frequency(some_key)           # per-shard fan-in sum
     engine.frequency(some_key, strict=False)  # survives down shards

@@ -50,6 +50,8 @@ import numpy as np
 
 from repro.common.validation import as_key_array, require_positive_int
 from repro.core.merge import merge_many
+from repro.obs import Observability
+from repro.obs.probes import AGE_HIST_BINS
 from repro.core.she_bf import SheBloomFilter
 from repro.core.she_bm import SheBitmap
 from repro.core.she_cm import SheCountMin
@@ -214,6 +216,12 @@ class StreamEngine:
             (default: one per shard).
         clock: injectable monotonic clock for the time trigger and
             stats (tests pin it).
+        obs: observability — ``True`` / an :class:`repro.obs.Observability`
+            bundle enables the labelled metrics registry, trace spans
+            and SHE probe gauges (serve them with
+            :class:`repro.obs.MetricsExporter`); the default ``None``
+            keeps everything on no-op stand-ins so the hot path pays
+            nothing.
 
     The engine is also a context manager; ``close()`` flushes buffers
     and stops workers.
@@ -226,12 +234,17 @@ class StreamEngine:
         executor: str = "serial",
         num_workers: int | None = None,
         clock=time.monotonic,
+        obs: "Observability | bool | None" = None,
         _shards: list | None = None,
         _clock_state: list[int] | None = None,
     ):
         self.config = config
         self._clock = clock
-        self.stats = EngineStats(clock=clock)
+        self.obs = Observability.coerce(obs)
+        self.stats = EngineStats(
+            clock=clock,
+            registry=self.obs.registry if self.obs.enabled else None,
+        )
         self._two_stream = config.kind == "mh"
         shards = _shards if _shards is not None else _build_shards(config)
         if len(shards) != config.num_shards:
@@ -257,6 +270,10 @@ class StreamEngine:
             executor if isinstance(executor, str)
             else type(self._exec).__name__
         )
+        set_obs = getattr(self._exec, "set_obs", None)
+        if set_obs is not None:
+            set_obs(self.obs if self.obs.enabled else None)
+        self._init_shard_metrics()
         # global union-stream clock(s): next arrival index per side
         self._t = list(_clock_state) if _clock_state is not None else (
             [0, 0] if self._two_stream else [0]
@@ -266,6 +283,74 @@ class StreamEngine:
         self._closed = False
         self._supervisor = None  # attached by Supervisor.__init__
         self._down: set[int] = set()  # shards with no live, trusted worker
+
+    def _init_shard_metrics(self) -> None:
+        """Pre-resolve per-shard metric children so the hot path is one
+        attribute increment per touched shard (no dict lookups)."""
+        reg = self.obs.registry
+        shards = [str(s) for s in range(self.config.num_shards)]
+        items = reg.counter(
+            "engine_shard_items_total",
+            "Items routed to each shard's buffer",
+            labels=("shard",),
+        )
+        flushes = reg.counter(
+            "engine_shard_flushes_total",
+            "Batches drained into each shard",
+            labels=("shard",),
+        )
+        failures = reg.counter(
+            "engine_shard_flush_failures_total",
+            "Flush rounds that failed for each shard",
+            labels=("shard",),
+        )
+        self._m_shard_items = [items.labels(s) for s in shards]
+        self._m_shard_flushes = [flushes.labels(s) for s in shards]
+        self._m_shard_failures = [failures.labels(s) for s in shards]
+        # SHE probe gauges: refreshed by update_probe_gauges(), not the
+        # hot path — see docs/observability.md for the catalogue
+        self._g_probe = {
+            name: reg.gauge(name, help_, labels=("shard",))
+            for name, help_ in (
+                ("she_young_cells", "Probe: cells younger than the window"),
+                ("she_perfect_cells", "Probe: cells aged exactly N"),
+                ("she_aged_cells", "Probe: cells older than the window"),
+                ("she_occupied_cells", "Probe: cells holding a stored value"),
+                ("she_fill_ratio", "Probe: occupied fraction of cells"),
+                (
+                    "she_legal_group_fraction",
+                    "Probe: groups inside the legal age band",
+                ),
+                (
+                    "she_cells_cleaned_total",
+                    "Probe: cells reset by cleaning since start",
+                ),
+                (
+                    "she_groups_cleaned_total",
+                    "Probe: group resets by cleaning since start",
+                ),
+                (
+                    "she_cleaning_checks_total",
+                    "Probe: cleaning checks (CheckGroup calls / sweeps)",
+                ),
+            )
+        }
+        self._g_age_hist = reg.gauge(
+            "she_cell_age_le",
+            "Probe: cells with age <= le fraction of Tcycle (cumulative)",
+            labels=("shard", "le"),
+        )
+        self._g_queue_depth = reg.gauge(
+            "engine_queue_depth", "Buffered items per shard", labels=("shard",)
+        )
+        self._g_shard_down = reg.gauge(
+            "engine_shard_down",
+            "1 when the shard has no live, trusted worker",
+            labels=("shard",),
+        )
+        self._g_memory = reg.gauge(
+            "engine_memory_bytes", "Aggregate sketch memory across shards"
+        )
 
     # -- clock ---------------------------------------------------------------
 
@@ -310,6 +395,7 @@ class StreamEngine:
                 continue
             buf = self._buffers.setdefault((s, side), _ShardBuffer())
             buf.append(arr[mask], times[mask])
+            self._m_shard_items[s].inc(n)
         self.stats.record_ingest(arr.size)
         self._maybe_flush()
 
@@ -408,7 +494,19 @@ class StreamEngine:
             # still be replayable after restart-from-checkpoint
             self._supervisor.record_sent(batches)
         try:
-            self._exec.flush_many(batches)
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                # root of the flush chain: the trace context crosses the
+                # executor RPC boundary and the worker's apply span rides
+                # back on the ack (see repro.obs.tracing)
+                with tracer.span(
+                    "engine.flush", items=n_items, batches=len(batches)
+                ) as root:
+                    self._exec.flush_many(batches, trace=root.context)
+            else:
+                self._exec.flush_many(batches)
+            for (s, _side), _keys, _times in staged:
+                self._m_shard_flushes[s].inc()
         except ShardError as err:
             self._note_failure(err)
             recovered = (
@@ -418,6 +516,8 @@ class StreamEngine:
             )
             if not recovered:
                 failed = self._shards_of_error(err)
+                for s in failed & {s for (s, _side), _, _ in staged}:
+                    self._m_shard_failures[s].inc()
                 if not isinstance(err, ShardFailedError):
                     self._down.update(
                         failed & {s for (s, _side), _, _ in staged}
@@ -469,15 +569,16 @@ class StreamEngine:
                 shard_ids=tuple(sorted(self._down)),
             )
         self._check_open()
-        self._flush_buffers(self._flushable_keys(), strict=strict)
-        for s in range(self.config.num_shards):
-            if s in self._down:
-                continue
-            try:
-                self._advance_shard(s)
-            except ShardError as err:
-                if self._handle_executor_failure(err, strict=strict):
-                    self._advance_shard(s)  # recovered: catch up once
+        with self.obs.tracer.span("engine.sync", strict=strict):
+            self._flush_buffers(self._flushable_keys(), strict=strict)
+            for s in range(self.config.num_shards):
+                if s in self._down:
+                    continue
+                try:
+                    self._advance_shard(s)
+                except ShardError as err:
+                    if self._handle_executor_failure(err, strict=strict):
+                        self._advance_shard(s)  # recovered: catch up once
 
     def _advance_shard(self, s: int) -> None:
         if self._two_stream:
@@ -635,6 +736,86 @@ class StreamEngine:
     def down_shards(self) -> tuple[int, ...]:
         """Shards currently without a live, trusted worker."""
         return tuple(sorted(self._down))
+
+    def probe_shards(self) -> list[dict | None]:
+        """Read-only SHE introspection of every shard (no draining).
+
+        Each entry is the shard sketch's :meth:`probe` dict — cell age
+        distribution vs ``Tcycle``, young/perfect/aged counts, fill
+        ratio, cleaning telemetry — or ``None`` for down shards.  Reads
+        the in-process views (``peeks``): serial executors probe the
+        live shards, process executors probe snapshots shipped back
+        over RPC, so call this from the engine's own thread only.
+        """
+        probed: list[dict | None] = [None] * self.config.num_shards
+        views = self._exec.peeks()
+        for s, sketch in enumerate(views):
+            if s in self._down:
+                continue
+            probe = getattr(sketch, "probe", None)
+            if probe is not None:
+                probed[s] = probe()
+        return probed
+
+    @staticmethod
+    def _probe_frames(probe: dict) -> list[dict]:
+        """The frame dict(s) of one probe (MH reports one per side)."""
+        if "frames" in probe:
+            return list(probe["frames"])
+        return [probe["frame"]]
+
+    def update_probe_gauges(self) -> None:
+        """Refresh the ``she_*`` / ``engine_queue_depth`` gauges.
+
+        Cheap no-op when observability is disabled.  The exporter calls
+        this on scrape for serial engines; process deployments should
+        call it from the engine thread (e.g. after a flush round), since
+        probing a process executor issues snapshot RPCs on the worker
+        pipes.
+        """
+        if not self.obs.enabled:
+            return
+        for s, depth in enumerate(self.queue_depths()):
+            self._g_queue_depth.labels(str(s)).set(depth)
+        for s in range(self.config.num_shards):
+            self._g_shard_down.labels(str(s)).set(1 if s in self._down else 0)
+        if self._down:
+            # probing fans out to every worker; while shards are down the
+            # queue/down gauges above still refresh, the sketch-level
+            # gauges keep their last good values
+            return
+        self._g_memory.set(self.memory_bytes)
+        for s, probe in enumerate(self.probe_shards()):
+            if probe is None:
+                continue
+            frames = self._probe_frames(probe)
+            sums = {
+                key: sum(f[key] for f in frames)
+                for key in (
+                    "young_cells", "perfect_cells", "aged_cells",
+                    "occupied_cells", "cells_cleaned", "groups_cleaned",
+                    "cleaning_checks", "num_cells",
+                )
+            }
+            label = str(s)
+            g = self._g_probe
+            g["she_young_cells"].labels(label).set(sums["young_cells"])
+            g["she_perfect_cells"].labels(label).set(sums["perfect_cells"])
+            g["she_aged_cells"].labels(label).set(sums["aged_cells"])
+            g["she_occupied_cells"].labels(label).set(sums["occupied_cells"])
+            g["she_cells_cleaned_total"].labels(label).set(sums["cells_cleaned"])
+            g["she_groups_cleaned_total"].labels(label).set(sums["groups_cleaned"])
+            g["she_cleaning_checks_total"].labels(label).set(sums["cleaning_checks"])
+            n_cells = max(sums["num_cells"], 1)
+            g["she_fill_ratio"].labels(label).set(sums["occupied_cells"] / n_cells)
+            g["she_legal_group_fraction"].labels(label).set(
+                sum(f["legal_group_fraction"] for f in frames) / len(frames)
+            )
+            for frac in AGE_HIST_BINS:
+                le = f"{frac:g}"
+                self._g_age_hist.labels(label, le).set(
+                    sum(f["age_hist_le"][le] for f in frames)
+                )
 
     def stats_snapshot(self) -> dict:
         return self.stats.snapshot(

@@ -5,7 +5,7 @@ batches to it.  Two implementations share one protocol
 (``flush`` / ``flush_many`` / ``advance`` / ``snapshot`` /
 ``checkpoint`` / ``ping`` / ``close`` plus the worker topology helpers
 ``worker_of`` / ``shards_of`` / ``is_worker_alive`` /
-``restart_worker``):
+``restart_worker``, and ``set_obs`` to attach an observability bundle):
 
 * :class:`SerialExecutor` keeps the sketches in-process — zero overhead
   per flush, the right default for one CPU.
@@ -24,7 +24,16 @@ missed deadline raises :class:`ShardTimeoutError`, a vanished worker
 :class:`ShardDeadError`, a worker-reported exception
 :class:`ShardFailedError`; each names the shards whose batches are not
 known to have applied, which is what the engine's retention logic and
-the supervisor's replay need.  ``restart_worker`` is the *mechanism*
+the supervisor's replay need.
+
+Observability (:mod:`repro.obs`): with a bundle attached via
+``set_obs``, every RPC records its round-trip into the ``rpc_seconds``
+histogram, and a flush carrying a ``(trace_id, parent_span_id)``
+context is traced *across the process boundary* — the worker times the
+sketch apply, ships a ``worker.apply`` span dict back on the
+acknowledgement, and the parent files it in its span ring, so one
+batch's journey main-process → worker → sketch-apply reads as one
+trace.  ``restart_worker`` is the *mechanism*
 half of recovery — it respawns one worker with caller-provided shard
 state; the *policy* half (what state: checkpoint + replay) lives in
 :class:`repro.service.supervisor.Supervisor`.
@@ -40,6 +49,8 @@ import traceback
 import numpy as np
 
 from repro.core.she_mh import SheMinHash
+from repro.obs import OBS_DISABLED
+from repro.obs.tracing import span_record
 from repro.persist import save_sketch
 from repro.service.errors import (
     ShardDeadError,
@@ -52,6 +63,13 @@ __all__ = ["SerialExecutor", "ProcessExecutor", "DEFAULT_RPC_TIMEOUT_S"]
 DEFAULT_RPC_TIMEOUT_S = 30.0
 
 _UNSET = object()
+
+# per-RPC latency buckets: pipe round-trips live in the sub-ms to
+# tens-of-ms range; anything slower is already deadline territory
+_RPC_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0,
+)
 
 
 def _apply_flush(sketch, keys: np.ndarray, times: np.ndarray, side: int | None) -> None:
@@ -76,8 +94,18 @@ class SerialExecutor:
     fault-injection wrappers treat both uniformly.
     """
 
-    def __init__(self, shards):
+    def __init__(self, shards, *, obs=None):
         self._shards = list(shards)
+        self.set_obs(obs)
+
+    def set_obs(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle (or None)."""
+        self.obs = obs if obs is not None else OBS_DISABLED
+        self._h_apply = self.obs.registry.histogram(
+            "executor_apply_seconds",
+            "In-process sketch apply duration per batch",
+            buckets=_RPC_BUCKETS,
+        )
 
     @property
     def num_shards(self) -> int:
@@ -104,15 +132,34 @@ class SerialExecutor:
         for shard_id, sketch in shards.items():
             self._shards[shard_id] = sketch
 
-    def flush(self, shard_id: int, keys, times, side: int | None = None) -> None:
-        _apply_flush(self._shards[shard_id], keys, times, side)
+    def flush(
+        self,
+        shard_id: int,
+        keys,
+        times,
+        side: int | None = None,
+        trace: tuple[str, str] | None = None,
+    ) -> None:
+        started = time.perf_counter()
+        if trace is not None:
+            with self.obs.tracer.span(
+                "shard.apply",
+                trace_id=trace[0],
+                parent_id=trace[1],
+                shard=shard_id,
+                items=int(keys.size),
+            ):
+                _apply_flush(self._shards[shard_id], keys, times, side)
+        else:
+            _apply_flush(self._shards[shard_id], keys, times, side)
+        self._h_apply.observe(time.perf_counter() - started)
 
-    def flush_many(self, batches) -> None:
+    def flush_many(self, batches, trace: tuple[str, str] | None = None) -> None:
         """Apply batches in order; a failure names the not-applied shards."""
         batches = list(batches)
         for i, (shard_id, keys, times, side) in enumerate(batches):
             try:
-                _apply_flush(self._shards[shard_id], keys, times, side)
+                self.flush(shard_id, keys, times, side, trace)
             except Exception as exc:
                 not_applied = tuple(b[0] for b in batches[i:])
                 raise ShardFailedError(
@@ -163,9 +210,25 @@ def _worker_main(conn, shards: dict) -> None:
             cmd, *args = conn.recv()
             try:
                 if cmd == "flush":
-                    sid, keys, times, side = args
-                    _apply_flush(shards[sid], keys, times, side)
-                    conn.send(("ok", None))
+                    sid, keys, times, side, trace = args
+                    if trace is None:
+                        _apply_flush(shards[sid], keys, times, side)
+                        conn.send(("ok", None))
+                    else:
+                        # the cross-process half of a flush trace: time
+                        # the sketch apply here and ship the span back
+                        # on the acknowledgement for the parent's ring
+                        t0 = time.perf_counter()
+                        _apply_flush(shards[sid], keys, times, side)
+                        dur_ms = (time.perf_counter() - t0) * 1e3
+                        conn.send((
+                            "ok",
+                            span_record(
+                                "worker.apply", trace[0], trace[1],
+                                t0, dur_ms,
+                                shard=sid, items=int(keys.size),
+                            ),
+                        ))
                 elif cmd == "advance":
                     sid, t, side = args
                     _apply_advance(shards[sid], t, side)
@@ -232,9 +295,20 @@ class ProcessExecutor:
         # workers whose pipe can no longer be trusted (a missed deadline
         # may leave a stale ack in flight); only a restart clears this
         self._poisoned: set[int] = set()
+        self.set_obs(None)
         for w in range(self.num_workers):
             self._spawn(w, {s: shards[s] for s in self.shards_of(w)})
         self._closed = False
+
+    def set_obs(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observability` bundle (or None)."""
+        self.obs = obs if obs is not None else OBS_DISABLED
+        self._h_rpc = self.obs.registry.histogram(
+            "rpc_seconds",
+            "Worker RPC round-trip duration",
+            labels=("op", "worker"),
+            buckets=_RPC_BUCKETS,
+        )
 
     # -- topology ------------------------------------------------------------
 
@@ -375,17 +449,31 @@ class ProcessExecutor:
 
     def _call(self, shard_id: int, *message, timeout=_UNSET):
         w = self.worker_of(shard_id)
+        started = time.perf_counter()
         self._send(w, message, shard_ids=(shard_id,))
-        return self._recv(
+        payload = self._recv(
             w, op=message[0], shard_ids=(shard_id,), timeout=timeout
         )
+        self._h_rpc.labels(message[0], str(w)).observe(
+            time.perf_counter() - started
+        )
+        return payload
 
     # -- protocol verbs ------------------------------------------------------
 
-    def flush(self, shard_id: int, keys, times, side: int | None = None) -> None:
-        self._call(shard_id, "flush", shard_id, keys, times, side)
+    def flush(
+        self,
+        shard_id: int,
+        keys,
+        times,
+        side: int | None = None,
+        trace: tuple[str, str] | None = None,
+    ) -> None:
+        payload = self._call(shard_id, "flush", shard_id, keys, times, side, trace)
+        if payload is not None:
+            self.obs.tracer.ingest((payload,))
 
-    def flush_many(self, batches) -> None:
+    def flush_many(self, batches, trace: tuple[str, str] | None = None) -> None:
         """Apply ``(shard_id, keys, times, side)`` batches in parallel.
 
         Sends every batch before awaiting any acknowledgement; pipes are
@@ -398,6 +486,7 @@ class ProcessExecutor:
         — the pipe can no longer be trusted).
         """
         batches = list(batches)
+        started = time.perf_counter()
         # send phase: skip workers whose pipe already failed this round
         dead_workers: set[int] = set()
         errors: list[ShardFailedError | ShardDeadError | ShardTimeoutError] = []
@@ -409,7 +498,7 @@ class ProcessExecutor:
                 failed_shards.append(shard_id)
                 continue
             try:
-                self._send(w, ("flush", shard_id, keys, times, side),
+                self._send(w, ("flush", shard_id, keys, times, side, trace),
                            shard_ids=(shard_id,))
             except ShardDeadError as exc:
                 dead_workers.add(w)
@@ -423,7 +512,9 @@ class ProcessExecutor:
                 failed_shards.append(shard_id)
                 continue
             try:
-                self._recv(w, op="flush", shard_ids=(shard_id,))
+                payload = self._recv(w, op="flush", shard_ids=(shard_id,))
+                if payload is not None:
+                    self.obs.tracer.ingest((payload,))
             except (ShardDeadError, ShardTimeoutError) as exc:
                 dead_workers.add(w)
                 errors.append(exc)
@@ -446,6 +537,9 @@ class ProcessExecutor:
                     dict.fromkeys(w for e in errors for w in e.worker_ids)
                 ),
             ) from first
+        self._h_rpc.labels("flush_many", "all").observe(
+            time.perf_counter() - started
+        )
 
     def advance(self, shard_id: int, t: int, side: int | None = None) -> None:
         self._call(shard_id, "advance", shard_id, t, side)

@@ -44,6 +44,7 @@ from __future__ import annotations
 import os
 import signal
 
+from repro.obs import OBS_DISABLED
 from repro.service.errors import (
     ShardDeadError,
     ShardError,
@@ -92,6 +93,7 @@ class ChaosExecutor:
         self._dead: set[int] = set()  # simulated deaths (serial inner)
         self.ops = 0
         self.kills: list[tuple[int, int]] = []
+        self.set_obs(None)
         timeout_s = getattr(inner, "timeout_s", None)
         if timeout_s is not None:
             for op, seconds in self._delay_ops.items():
@@ -102,6 +104,18 @@ class ChaosExecutor:
                         "would desynchronise the ack pipe instead of timing "
                         "out)"
                     )
+
+    def set_obs(self, obs) -> None:
+        """Attach an obs bundle: chaos events become countable metrics."""
+        self.obs = obs if obs is not None else OBS_DISABLED
+        self._chaos_events = self.obs.registry.counter(
+            "chaos_events_total",
+            "Injected faults by kind",
+            labels=("event",),
+        )
+        inner_set = getattr(self._inner, "set_obs", None)
+        if inner_set is not None:
+            inner_set(obs)
 
     # -- topology (forwarded) ------------------------------------------------
 
@@ -127,6 +141,7 @@ class ChaosExecutor:
     # -- fault machinery -----------------------------------------------------
 
     def _kill(self, worker_id: int) -> None:
+        self._chaos_events.labels("kill").inc()
         self.kills.append((self.ops, worker_id))
         procs = getattr(self._inner, "_procs", None)
         if procs is not None:
@@ -138,6 +153,7 @@ class ChaosExecutor:
             self._dead.add(worker_id)
 
     def _stall(self, worker_id: int, seconds: float) -> None:
+        self._chaos_events.labels("stall").inc()
         send = getattr(self._inner, "_send", None)
         if send is not None:  # process worker: sleep inside the worker loop
             send(worker_id, ("sleep", float(seconds)))
@@ -171,6 +187,7 @@ class ChaosExecutor:
         if n in self._drop_ack_ops:
             # the op applied, but the caller must believe the ack vanished;
             # poison a real worker pool the way a genuine lost ack would
+            self._chaos_events.labels("drop_ack").inc()
             poisoned = getattr(self._inner, "_poisoned", None)
             if poisoned is not None:
                 poisoned.add(worker_id)
@@ -182,19 +199,28 @@ class ChaosExecutor:
 
     # -- protocol verbs ------------------------------------------------------
 
-    def flush(self, shard_id: int, keys, times, side: int | None = None) -> None:
+    def flush(
+        self, shard_id: int, keys, times, side: int | None = None, trace=None
+    ) -> None:
         self._run(
-            shard_id, self._inner.flush, shard_id, keys, times, side, op="flush"
+            shard_id,
+            self._inner.flush,
+            shard_id,
+            keys,
+            times,
+            side,
+            trace,
+            op="flush",
         )
 
-    def flush_many(self, batches) -> None:
+    def flush_many(self, batches, trace=None) -> None:
         """Per-batch forwarding so each batch is its own countable op."""
         batches = list(batches)
         errors: list[ShardError] = []
         failed_shards: list[int] = []
         for shard_id, keys, times, side in batches:
             try:
-                self.flush(shard_id, keys, times, side)
+                self.flush(shard_id, keys, times, side, trace)
             except ShardError as exc:
                 errors.append(exc)
                 failed_shards.append(shard_id)
@@ -229,9 +255,11 @@ class ChaosExecutor:
         self._guard(worker_id, shard_ids=(shard_id,))
         self._inner.checkpoint(shard_id, path)
         if n in self._corrupt_ops:
+            self._chaos_events.labels("corrupt_checkpoint").inc()
             with open(path, "wb") as fh:
                 fh.write(b"chaos ate this checkpoint")
         if n in self._drop_ack_ops:
+            self._chaos_events.labels("drop_ack").inc()
             poisoned = getattr(self._inner, "_poisoned", None)
             if poisoned is not None:
                 poisoned.add(worker_id)

@@ -40,6 +40,7 @@ from typing import Callable
 import numpy as np
 
 from repro.common.validation import require_positive_int
+from repro.obs import OBS_DISABLED
 from repro.service.checkpoint import (
     latest_checkpoint,
     load_checkpoint_shard,
@@ -161,6 +162,22 @@ class Supervisor:
         self._restarts: dict[int, int] = defaultdict(int)
         self._base_path: Path | None = None
         engine._supervisor = self
+        # share the engine's obs bundle (no-op stand-ins when disabled):
+        # replay-buffer exposure is the recovery-risk metric — how much
+        # stream is one worker death away from needing a replay
+        self.obs = getattr(engine, "obs", None) or OBS_DISABLED
+        reg = self.obs.registry
+        self._g_replay_batches = reg.gauge(
+            "supervisor_replay_batches", "Batches logged since the base checkpoint"
+        )
+        self._g_replay_items = reg.gauge(
+            "supervisor_replay_items", "Items logged since the base checkpoint"
+        )
+        self._g_replay_overflowed = reg.gauge(
+            "supervisor_replay_overflowed",
+            "1 when the replay log overflowed (recovery impossible until "
+            "the next checkpoint)",
+        )
         # establish the durable base this buffer is relative to
         save_checkpoint(engine, self.directory)
         if self._base_path is None:  # pragma: no cover - hook always fires
@@ -171,12 +188,19 @@ class Supervisor:
     def record_sent(self, batches) -> None:
         """Called by the engine just before batches go to the executor."""
         self.replay.record(batches)
+        self._update_replay_gauges()
 
     def on_checkpoint(self, path: Path) -> None:
         """Called after a checkpoint publishes: new base, fresh budget."""
         self._base_path = Path(path)
         self.replay.reset()
         self._restarts.clear()
+        self._update_replay_gauges()
+
+    def _update_replay_gauges(self) -> None:
+        self._g_replay_batches.set(len(self.replay))
+        self._g_replay_items.set(self.replay.items)
+        self._g_replay_overflowed.set(1 if self.replay.overflowed else 0)
 
     # -- failure handling ----------------------------------------------------
 
@@ -213,6 +237,12 @@ class Supervisor:
         False once the circuit breaker opens or the shards are
         unrecoverable (they are then marked down for degraded queries).
         """
+        with self.obs.tracer.span("supervisor.recover", worker=worker_id) as sp:
+            ok = self._recover_worker(worker_id)
+            sp.tag(outcome="recovered" if ok else "down")
+            return ok
+
+    def _recover_worker(self, worker_id: int) -> bool:
         engine, executor = self.engine, self.engine._exec
         shard_ids = tuple(executor.shards_of(worker_id))
         while True:

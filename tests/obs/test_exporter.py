@@ -1,0 +1,112 @@
+"""HTTP exporter endpoints against a live serial engine."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsExporter
+from repro.service import EngineConfig, StreamEngine
+
+
+def _cfg(**over):
+    base = dict(
+        kind="bf",
+        window=1 << 12,
+        size=1 << 13,
+        num_shards=2,
+        flush_batch_size=256,
+        flush_interval_s=None,
+    )
+    base.update(over)
+    return EngineConfig(**base)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+@pytest.fixture
+def engine():
+    with StreamEngine(_cfg(), obs=True) as eng:
+        keys = np.random.default_rng(3).integers(
+            0, 1 << 40, size=5000, dtype=np.uint64
+        )
+        eng.ingest(keys)
+        eng.flush()
+        yield eng
+
+
+class TestEndpoints:
+    def test_metrics_text_format_and_names(self, engine):
+        with MetricsExporter(engine) as exp:
+            status, ctype, body = _get(exp.url + "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain; version=0.0.4")
+        text = body.decode()
+        for name in (
+            "engine_items_ingested_total",
+            "engine_shard_items_total",
+            "engine_flush_seconds_bucket",
+            "executor_apply_seconds_bucket",
+            "she_young_cells",
+            "she_cell_age_le",
+            "engine_queue_depth",
+        ):
+            assert name in text, name
+
+    def test_healthz_ok_then_degraded(self, engine):
+        with MetricsExporter(engine) as exp:
+            status, _, body = _get(exp.url + "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+            engine._down.add(1)  # simulate an unrecoverable shard
+            try:
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    _get(exp.url + "/healthz")
+                assert err.value.code == 503
+                degraded = json.loads(err.value.read())
+                assert degraded["status"] == "degraded"
+                assert degraded["down_shards"] == [1]
+            finally:
+                engine._down.clear()
+
+    def test_statusz_serves_stats_and_probes(self, engine):
+        with MetricsExporter(engine) as exp:
+            status, ctype, body = _get(exp.url + "/statusz")
+        assert status == 200
+        assert ctype == "application/json"
+        doc = json.loads(body)
+        assert doc["stats"]["items_ingested"] == 5000
+        assert doc["config"]["kind"] == "bf"
+        assert doc["executor"] == "serial"
+        assert doc["obs_enabled"] is True
+        assert len(doc["probes"]) == 2
+        assert doc["probes"][0]["frame"]["num_cells"] > 0
+
+    def test_unknown_path_is_404(self, engine):
+        with MetricsExporter(engine) as exp:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(exp.url + "/nope")
+            assert err.value.code == 404
+
+    def test_port_property_requires_start(self, engine):
+        exp = MetricsExporter(engine)
+        with pytest.raises(RuntimeError):
+            exp.port
+        exp.start()
+        try:
+            assert exp.port > 0
+            assert exp.start() is exp  # idempotent
+        finally:
+            exp.stop()
+
+    def test_refresh_defaults_off_for_process_engines(self):
+        with StreamEngine(_cfg(), executor="process", num_workers=2, obs=True) as eng:
+            exp = MetricsExporter(eng)
+            assert exp.refresh_probes is False
+        with StreamEngine(_cfg(), obs=True) as eng:
+            assert MetricsExporter(eng).refresh_probes is True

@@ -1,0 +1,111 @@
+"""SHE introspection probes: invariants over live sketch state."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SheBitmap,
+    SheBloomFilter,
+    SheCountMin,
+    SheHyperLogLog,
+    SheMinHash,
+)
+from repro.obs.probes import AGE_HIST_BINS, frame_probe
+
+WINDOW = 1 << 10
+
+
+def _keys(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 1 << 40, size=n, dtype=np.uint64)
+
+
+def _check_frame_dict(fp):
+    n = fp["num_cells"]
+    assert fp["young_cells"] + fp["perfect_cells"] + fp["aged_cells"] == n
+    assert 0.0 <= fp["fill_ratio"] <= 1.0
+    assert fp["occupied_cells"] == round(fp["fill_ratio"] * n)
+    assert 0.0 <= fp["legal_group_fraction"] <= 1.0
+    hist = [fp["age_hist_le"][f"{b:g}"] for b in AGE_HIST_BINS]
+    assert hist == sorted(hist), "age histogram must be cumulative"
+    assert hist[-1] == n, "ages are modular in [0, Tcycle)"
+    assert fp["t_cycle"] > fp["window"], "Tcycle must exceed N"
+
+
+@pytest.mark.parametrize("frame", ["hardware", "software"])
+@pytest.mark.parametrize(
+    "cls,size",
+    [
+        (SheBloomFilter, 1 << 12),
+        (SheBitmap, 1 << 12),
+        (SheHyperLogLog, 1 << 8),
+        (SheCountMin, 1 << 10),
+    ],
+)
+def test_probe_invariants_single_frame(cls, size, frame):
+    sk = cls(WINDOW, size, frame=frame)
+    sk.insert_many(_keys(3 * WINDOW))
+    p = sk.probe()
+    assert p["kind"] == cls.__name__
+    assert p["t"] == 3 * WINDOW
+    assert p["memory_bytes"] == sk.memory_bytes
+    _check_frame_dict(p["frame"])
+
+
+def test_probe_reports_sketch_geometry():
+    bf = SheBloomFilter(WINDOW, 1 << 12, num_hashes=3)
+    assert bf.probe()["num_bits"] == 1 << 12
+    assert bf.probe()["num_hashes"] == 3
+    cm = SheCountMin(WINDOW, 1 << 10)
+    assert cm.probe()["num_counters"] == 1 << 10
+    hll = SheHyperLogLog(WINDOW, 1 << 8)
+    assert hll.probe()["num_registers"] == 1 << 8
+
+
+def test_probe_is_read_only():
+    bf = SheBloomFilter(WINDOW, 1 << 12)
+    bf.insert_many(_keys(2 * WINDOW))
+    before = bf.frame.cells.copy()
+    bf.probe()
+    np.testing.assert_array_equal(bf.frame.cells, before)
+
+
+def test_cleaning_counters_advance_past_tcycle():
+    bf = SheBloomFilter(WINDOW, 1 << 12)
+    fp0 = bf.probe()["frame"]
+    assert fp0["cells_cleaned"] == 0 and fp0["cleaning_checks"] == 0
+    # several Tcycles of stream: group resets must have happened
+    bf.insert_many(_keys(6 * WINDOW))
+    fp = bf.probe()["frame"]
+    assert fp["cleaning_checks"] > 0
+    assert fp["groups_cleaned"] > 0
+    assert fp["cells_cleaned"] >= fp["groups_cleaned"]
+
+
+def test_software_frame_counts_swept_cells():
+    bm = SheBitmap(WINDOW, 1 << 12, frame="software")
+    bm.insert_many(_keys(4 * WINDOW))
+    fp = bm.probe()["frame"]
+    assert fp["cleaning_checks"] > 0
+    # constant-speed sweeper: cells and groups are the same unit (w=1 sweep)
+    assert fp["cells_cleaned"] == fp["groups_cleaned"] > 0
+
+
+def test_minhash_probe_reports_both_sides():
+    mh = SheMinHash(WINDOW, 256)
+    mh.insert_many(0, _keys(2 * WINDOW, seed=1))
+    mh.insert_many(1, _keys(WINDOW, seed=2))
+    p = mh.probe()
+    assert p["kind"] == "SheMinHash"
+    assert p["num_counters"] == 256
+    assert len(p["frames"]) == 2
+    assert p["t"] == 2 * WINDOW  # max of the two side clocks
+    for fp in p["frames"]:
+        _check_frame_dict(fp)
+
+
+def test_frame_probe_on_raw_frame():
+    bf = SheBloomFilter(WINDOW, 1 << 12)
+    bf.insert_many(_keys(WINDOW // 2))
+    fp = frame_probe(bf.frame, WINDOW // 2)
+    _check_frame_dict(fp)
+    assert fp["occupied_cells"] > 0

@@ -1,0 +1,145 @@
+"""Registry semantics + Prometheus text exposition format."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Histogram,
+    Registry,
+    render_prometheus,
+)
+
+
+class TestFamilies:
+    def test_counter_unlabelled(self):
+        reg = Registry()
+        c = reg.counter("hits_total", "hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_set_inc_dec(self):
+        g = Registry().gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+    def test_labelled_children_are_cached(self):
+        c = Registry().counter("per_shard_total", labels=("shard",))
+        a, b = c.labels("0"), c.labels("1")
+        a.inc(3)
+        b.inc(1)
+        assert c.labels("0") is a
+        assert a.value == 3 and b.value == 1
+
+    def test_label_arity_checked(self):
+        c = Registry().counter("x_total", labels=("a", "b"))
+        with pytest.raises(ValueError, match="takes labels"):
+            c.labels("only-one")
+
+    def test_unlabelled_use_of_labelled_family_raises(self):
+        c = Registry().counter("x_total", labels=("shard",))
+        with pytest.raises(ValueError, match="call .labels"):
+            c.inc()
+
+    def test_histogram_buckets_and_sum(self):
+        h = Registry().histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+
+    def test_histogram_rejects_empty_and_inf_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, math.inf))
+
+
+class TestRegistry:
+    def test_idempotent_reregistration(self):
+        reg = Registry()
+        assert reg.counter("n_total") is reg.counter("n_total")
+
+    def test_kind_mismatch_raises(self):
+        reg = Registry()
+        reg.counter("n_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("n_total")
+
+    def test_label_mismatch_raises(self):
+        reg = Registry()
+        reg.counter("n_total", labels=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("n_total", labels=("b",))
+
+    def test_snapshot_flattens_labels(self):
+        reg = Registry()
+        reg.counter("n_total", labels=("shard",)).labels("2").inc(7)
+        reg.gauge("depth").set(3)
+        snap = reg.snapshot()
+        assert snap['n_total{shard="2"}'] == 7
+        assert snap["depth"] == 3
+
+    def test_null_registry_is_inert(self):
+        c = NULL_REGISTRY.counter("whatever")
+        c.inc(100)
+        c.labels("x").observe(1.0)  # every verb on the shared child
+        assert c.value == 0
+        assert NULL_REGISTRY.render() == ""
+        assert NULL_REGISTRY.snapshot() == {}
+        assert not NULL_REGISTRY.enabled
+
+
+class TestPrometheusText:
+    def test_help_type_and_values(self):
+        reg = Registry()
+        reg.counter("hits_total", "how many").inc(2)
+        text = render_prometheus(reg)
+        assert "# HELP hits_total how many" in text
+        assert "# TYPE hits_total counter" in text
+        assert "hits_total 2" in text.splitlines()
+
+    def test_integers_render_without_decimal_point(self):
+        reg = Registry()
+        reg.gauge("g").set(4.0)
+        assert "g 4" in reg.render().splitlines()
+
+    def test_label_value_escaping(self):
+        reg = Registry()
+        c = reg.counter("weird_total", labels=("name",))
+        c.labels('a"b\\c\nd').inc()
+        line = [l for l in reg.render().splitlines() if l.startswith("weird")][0]
+        assert line == 'weird_total{name="a\\"b\\\\c\\nd"} 1'
+
+    def test_help_newline_escaping(self):
+        reg = Registry()
+        reg.counter("h_total", "line1\nline2")
+        assert "# HELP h_total line1\\nline2" in reg.render()
+
+    def test_histogram_exposition_is_cumulative_and_monotone(self):
+        reg = Registry()
+        h = reg.histogram("lat_seconds", buckets=(0.1, 0.5, 1.0))
+        for v in (0.05, 0.05, 0.3, 0.7, 2.0):
+            h.observe(v)
+        lines = reg.render().splitlines()
+        buckets = [l for l in lines if l.startswith("lat_seconds_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert buckets[-1] == 'lat_seconds_bucket{le="+Inf"} 5'
+        assert "lat_seconds_count 5" in lines
+        assert any(l.startswith("lat_seconds_sum ") for l in lines)
+
+    def test_labelled_histogram_keeps_le_last(self):
+        reg = Registry()
+        h = reg.histogram("rpc_seconds", labels=("op",), buckets=(1.0,))
+        h.labels("flush").observe(0.5)
+        lines = [
+            l for l in reg.render().splitlines()
+            if l.startswith("rpc_seconds_bucket")
+        ]
+        assert lines[0] == 'rpc_seconds_bucket{op="flush",le="1"} 1'
+        assert lines[1] == 'rpc_seconds_bucket{op="flush",le="+Inf"} 1'

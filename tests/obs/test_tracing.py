@@ -1,0 +1,90 @@
+"""Span lifecycle, ring bounds, worker-record ingestion, JSON export."""
+
+import json
+import os
+
+from repro.obs.tracing import NULL_TRACER, Tracer, new_id, span_record
+
+
+class TestTracer:
+    def test_span_records_duration_and_tags(self):
+        t = [0.0]
+        tracer = Tracer(clock=lambda: t[0])
+        with tracer.span("work", items=3) as sp:
+            t[0] = 0.25
+            sp.tag(extra="yes")
+        (span,) = tracer.spans()
+        assert span.name == "work"
+        assert span.duration_ms == 250.0
+        assert span.tags == {"items": 3, "extra": "yes"}
+
+    def test_fresh_trace_vs_propagated_context(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            trace_id, parent = root.context
+            with tracer.span("child", trace_id=trace_id, parent_id=parent):
+                pass
+        child, root_span = tracer.spans()  # child exits first
+        assert child.trace_id == root_span.trace_id
+        assert child.parent_id == root_span.span_id
+        assert root_span.parent_id is None
+
+    def test_exception_tags_error_class(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise KeyError("x")
+        except KeyError:
+            pass
+        assert tracer.spans()[0].tags["error"] == "KeyError"
+
+    def test_ring_is_bounded(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 4
+        assert [s.name for s in tracer.spans()] == ["s6", "s7", "s8", "s9"]
+
+    def test_ingest_worker_records(self):
+        tracer = Tracer()
+        rec = span_record("worker.apply", "tid", "pid0", 1.0, 2.5, shard=3)
+        tracer.ingest([rec])
+        (span,) = tracer.spans()
+        assert span.trace_id == "tid"
+        assert span.parent_id == "pid0"
+        assert span.duration_ms == 2.5
+        assert span.pid == os.getpid()
+        assert span.tags == {"shard": 3}
+
+    def test_spans_filtered_by_trace_and_dump(self):
+        tracer = Tracer()
+        with tracer.span("a") as sp:
+            keep = sp.trace_id
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.spans(keep)] == ["a"]
+        dumped = json.loads(tracer.dump_trace(keep))
+        assert len(dumped) == 1 and dumped[0]["name"] == "a"
+        tracer.clear()
+        assert tracer.dump_trace() == "[]"
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", shard=1) as sp:
+            sp.tag(more=2)
+        assert sp.context is None
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.dump_trace() == "[]"
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_is_shared(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+def test_new_ids_are_unique_hex():
+    ids = {new_id() for _ in range(64)}
+    assert len(ids) == 64
+    assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)

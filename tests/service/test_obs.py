@@ -1,0 +1,182 @@
+"""Engine-level observability: per-shard metrics, cross-process spans,
+probe gauges, chaos-event counters, and the disabled fast path."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.obs import Observability
+from repro.service import (
+    ChaosExecutor,
+    EngineConfig,
+    SerialExecutor,
+    StreamEngine,
+)
+
+WINDOW = 1 << 12
+
+
+def _cfg(**over):
+    base = dict(
+        kind="cm",
+        window=WINDOW,
+        size=1 << 11,
+        num_shards=4,
+        flush_batch_size=512,
+        flush_interval_s=None,
+    )
+    base.update(over)
+    return EngineConfig(**base)
+
+
+def _keys(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 1 << 40, size=n, dtype=np.uint64)
+
+
+class TestEngineMetrics:
+    def test_per_shard_counters_cover_the_stream(self):
+        with StreamEngine(_cfg(), obs=True) as eng:
+            eng.ingest(_keys(20_000))
+            eng.flush()
+            snap = eng.obs.registry.snapshot()
+            per_shard = [
+                snap[f'engine_shard_items_total{{shard="{s}"}}']
+                for s in range(4)
+            ]
+            assert sum(per_shard) == 20_000
+            assert all(n > 0 for n in per_shard), "hash partitioning spreads keys"
+            assert snap["engine_items_ingested_total"] == 20_000
+            assert all(
+                snap[f'engine_shard_flushes_total{{shard="{s}"}}'] > 0
+                for s in range(4)
+            )
+
+    def test_stats_and_registry_share_storage(self):
+        with StreamEngine(_cfg(), obs=True) as eng:
+            eng.ingest(_keys(1000))
+            assert (
+                eng.obs.registry.snapshot()["engine_items_ingested_total"]
+                == eng.stats.items_ingested
+                == 1000
+            )
+
+    def test_probe_gauges_refresh(self):
+        with StreamEngine(_cfg(), obs=True) as eng:
+            eng.ingest(_keys(3 * WINDOW))
+            eng.flush()
+            eng.update_probe_gauges()
+            snap = eng.obs.registry.snapshot()
+            for s in range(4):
+                assert snap[f'she_fill_ratio{{shard="{s}"}}'] > 0
+                assert snap[f'engine_shard_down{{shard="{s}"}}'] == 0
+            assert snap["engine_memory_bytes"] == eng.memory_bytes
+            assert snap['she_cell_age_le{shard="0",le="1"}'] > 0
+
+    def test_minhash_probes_aggregate_both_sides(self):
+        with StreamEngine(_cfg(kind="mh", size=256), obs=True) as eng:
+            eng.ingest(_keys(2000, seed=1), side=0)
+            eng.ingest(_keys(2000, seed=2), side=1)
+            eng.flush()
+            eng.update_probe_gauges()
+            probes = eng.probe_shards()
+            assert all(len(p["frames"]) == 2 for p in probes)
+            snap = eng.obs.registry.snapshot()
+            # two frames of `size` counters each, fully aged or not
+            assert snap['she_occupied_cells{shard="0"}'] <= 2 * 256
+
+
+class TestSpans:
+    def test_serial_flush_chain_shares_a_trace(self):
+        with StreamEngine(_cfg(), obs=True) as eng:
+            eng.ingest(_keys(5000))
+            eng.flush()
+            spans = eng.obs.tracer.spans()
+            roots = [s for s in spans if s.name == "engine.flush"]
+            assert roots
+            applies = [s for s in spans if s.name == "shard.apply"]
+            root_ids = {r.span_id for r in roots}
+            assert applies
+            assert all(a.parent_id in root_ids for a in applies)
+            assert {s.name for s in spans} >= {"engine.flush", "shard.apply"}
+
+    def test_process_worker_spans_cross_the_rpc_boundary(self):
+        with StreamEngine(_cfg(), executor="process", num_workers=2, obs=True) as eng:
+            eng.ingest(_keys(5000))
+            eng.flush()
+            spans = eng.obs.tracer.spans()
+            workers = [s for s in spans if s.name == "worker.apply"]
+            assert workers, "worker apply spans must ride back on the ack"
+            assert all(w.pid != os.getpid() for w in workers)
+            roots = {s.span_id for s in spans if s.name == "engine.flush"}
+            assert all(w.parent_id in roots for w in workers)
+            assert all(w.duration_ms is not None for w in workers)
+            # rpc timing histogram observed per op
+            snap = eng.obs.registry.snapshot()
+            flush_counts = [
+                v for k, v in snap.items()
+                if k.startswith("rpc_seconds_count") and "flush" in k
+            ]
+            assert sum(flush_counts) > 0
+
+    def test_query_sync_span_recorded(self):
+        with StreamEngine(_cfg(), obs=True) as eng:
+            eng.ingest(_keys(1000))
+            eng.frequency(int(_keys(1)[0]))
+            assert any(
+                s.name == "engine.sync" for s in eng.obs.tracer.spans()
+            )
+
+
+class TestChaosMetrics:
+    def test_chaos_events_become_counters(self):
+        obs = Observability()
+
+        def factory(shards):
+            return ChaosExecutor(SerialExecutor(shards), drop_ack_ops={1})
+
+        with StreamEngine(_cfg(num_shards=2), executor=factory, obs=obs) as eng:
+            eng.ingest(_keys(600))
+            with pytest.raises(Exception):
+                eng.flush()
+            snap = obs.registry.snapshot()
+            assert snap['chaos_events_total{event="drop_ack"}'] == 1
+            # the failed shard's failure counter moved too
+            failures = [
+                v for k, v in snap.items()
+                if k.startswith("engine_shard_flush_failures_total")
+            ]
+            assert sum(failures) >= 1
+
+
+class TestDisabledPath:
+    def test_disabled_engine_pays_no_state(self):
+        with StreamEngine(_cfg()) as eng:
+            eng.ingest(_keys(5000))
+            eng.flush()
+            eng.update_probe_gauges()  # no-op, must not raise
+            assert not eng.obs.enabled
+            assert eng.obs.registry.render() == ""
+            assert len(eng.obs.tracer) == 0
+            # the stats surface still works (private registry)
+            assert eng.stats.items_ingested == 5000
+            assert eng.stats_snapshot()["flush_count"] >= 1
+
+    def test_obs_argument_coercion(self):
+        obs = Observability()
+        with StreamEngine(_cfg(), obs=obs) as eng:
+            assert eng.obs is obs
+        with pytest.raises(TypeError):
+            StreamEngine(_cfg(), obs="yes")
+
+    def test_probe_shards_skips_down_shards(self):
+        with StreamEngine(_cfg(num_shards=2), obs=True) as eng:
+            eng.ingest(_keys(1000))
+            eng.flush()
+            eng._down.add(0)
+            try:
+                probes = eng.probe_shards()
+                assert probes[0] is None
+                assert probes[1] is not None
+            finally:
+                eng._down.clear()

@@ -1,0 +1,115 @@
+"""EngineStats edge cases: percentile keys, snapshot clock reads, formatting."""
+
+import pytest
+
+from repro.obs.registry import Registry
+from repro.service.stats import EngineStats, format_stats
+
+
+class _CountingClock:
+    """Monotone fake clock that counts how often it is read."""
+
+    def __init__(self):
+        self.t = 0.0
+        self.calls = 0
+
+    def __call__(self) -> float:
+        self.calls += 1
+        self.t += 1.0
+        return self.t
+
+
+class TestFlushLatency:
+    def test_empty_ring_returns_empty_dict(self):
+        assert EngineStats().flush_latency_ms() == {}
+
+    def test_single_sample_all_percentiles_equal(self):
+        st = EngineStats()
+        st.record_flush(10, 0.002)
+        lat = st.flush_latency_ms()
+        assert set(lat) == {"p50", "p90", "p99"}
+        assert all(v == pytest.approx(2.0) for v in lat.values())
+
+    def test_non_integer_percentile_keeps_decimal_key(self):
+        st = EngineStats()
+        for ms in (1, 2, 3, 4):
+            st.record_flush(1, ms / 1e3)
+        lat = st.flush_latency_ms(percentiles=(50, 99.9))
+        assert set(lat) == {"p50", "p99.9"}
+        assert lat["p50"] == pytest.approx(2.5)
+
+    def test_integer_valued_float_percentile_key_is_integral(self):
+        st = EngineStats()
+        st.record_flush(1, 0.001)
+        assert set(st.flush_latency_ms(percentiles=(75.0,))) == {"p75"}
+
+
+class TestSnapshot:
+    def test_checkpoint_age_read_once_per_snapshot(self):
+        clock = _CountingClock()
+        st = EngineStats(clock=clock)  # 1 call: started_at
+        st.record_checkpoint()  # 1 call: last_checkpoint_at
+        clock.calls = 0
+        snap = st.snapshot()
+        # uptime_s + one checkpoint_age_s — a second age read under an
+        # injected clock could disagree with the first
+        assert clock.calls == 2
+        # started_at=1, checkpoint=2, age read=3 -> 3-2 (uptime reads 4th)
+        assert snap["checkpoint_age_s"] == pytest.approx(1.0)
+
+    def test_snapshot_without_checkpoint_has_none_age(self):
+        assert EngineStats().snapshot()["checkpoint_age_s"] is None
+
+    def test_counters_round_trip_via_properties(self):
+        st = EngineStats()
+        st.record_ingest(7)
+        st.record_flush(5, 0.01)
+        st.record_query()
+        st.record_timeout()
+        st.record_worker_death()
+        st.record_restart()
+        st.record_replay(9, 2)
+        st.record_degraded_query()
+        snap = st.snapshot(queue_depths=[2, 0], down_shards=[1])
+        assert snap["items_ingested"] == 7
+        assert snap["items_flushed"] == 5
+        assert snap["items_buffered"] == 2
+        assert snap["flush_count"] == 1
+        assert snap["query_count"] == 1
+        assert snap["rpc_timeouts"] == 1
+        assert snap["worker_deaths"] == 1
+        assert snap["worker_restarts"] == 1
+        assert snap["items_replayed"] == 9
+        assert snap["batches_replayed"] == 2
+        assert snap["degraded_queries"] == 1
+        assert snap["queue_depth_max"] == 2
+        assert snap["shards_down"] == [1]
+
+    def test_shared_registry_serves_the_same_values(self):
+        reg = Registry()
+        st = EngineStats(registry=reg)
+        st.record_ingest(42)
+        assert reg.snapshot()["engine_items_ingested_total"] == 42
+        assert "engine_items_ingested_total 42" in reg.render()
+
+    def test_private_registry_by_default(self):
+        a, b = EngineStats(), EngineStats()
+        a.record_ingest(5)
+        assert b.items_ingested == 0
+
+
+class TestFormatStats:
+    def test_empty_snapshot_renders_empty_string(self):
+        assert format_stats({}) == ""
+
+    def test_alignment_and_values(self):
+        text = format_stats({"a": 1, "longer_key": "x"})
+        lines = text.splitlines()
+        assert lines[0] == "a           1"
+        assert lines[1] == "longer_key  x"
+
+    def test_round_trips_snapshot(self):
+        st = EngineStats()
+        st.record_ingest(3)
+        text = format_stats(st.snapshot())
+        assert "items_ingested" in text and "3" in text
