@@ -135,25 +135,50 @@ def test_service_throughput(benchmark, results_dir, obs_mode):
     assert by["engine serial x4"] > by["single sketch"] / 8
 
 
-def check_obs_overhead(n_items: int = N_ITEMS, shards: int = 4) -> int:
+def check_obs_overhead(
+    n_items: int = N_ITEMS, shards: int = 4, trials: int = 3
+) -> int:
     """CI check mode: obs-on vs obs-off ingest throughput, no pytest.
 
-    The alternating repeats interleave the two modes so drift (thermal,
-    noisy neighbours) hits both equally; we keep the best of each to
-    compare steady-state cost.  The hard gate is deliberately placed on
-    the *enabled* path — the disabled path is byte-for-byte the seed hot
-    path plus no-op calls, so an off-regression would show up here as an
-    on-regression too.
+    ``trials`` (>= 3) alternating repeats interleave the two modes so
+    drift (thermal, noisy neighbours) hits both equally; we keep the
+    best of each to compare steady-state cost, and report each mode's
+    per-trial spread so a noisy run is visible in the output instead of
+    silently poisoning the comparison.  The reported overhead is
+    clamped at 0: a negative raw value just means obs-on won a coin
+    flip within the machine's noise floor, not that instrumentation
+    sped anything up.  The hard gate is deliberately placed on the
+    *enabled* path — the disabled path is byte-for-byte the seed hot
+    path plus no-op calls, so an off-regression would show up here as
+    an on-regression too.
     """
+    trials = max(trials, 3)
     stream = _stream(n_items)
-    off = on = 0.0
-    for _ in range(3):
-        off = max(off, _engine_mips(stream, shards, "serial", obs=False))
-        on = max(on, _engine_mips(stream, shards, "serial", obs=True))
-    overhead_pct = (off - on) / off * 100.0
-    print(f"obs off: {off:.2f} Mips")
-    print(f"obs on:  {on:.2f} Mips")
+    off_runs: list[float] = []
+    on_runs: list[float] = []
+    for _ in range(trials):
+        off_runs.append(_engine_mips(stream, shards, "serial", obs=False))
+        on_runs.append(_engine_mips(stream, shards, "serial", obs=True))
+    off, on = max(off_runs), max(on_runs)
+    off_spread = (max(off_runs) - min(off_runs)) / off * 100.0
+    on_spread = (max(on_runs) - min(on_runs)) / on * 100.0
+    raw_overhead_pct = (off - on) / off * 100.0
+    overhead_pct = max(raw_overhead_pct, 0.0)
+    noise_floor = raw_overhead_pct < 0.0
+    print(
+        f"obs off: {off:.2f} Mips  "
+        f"(best of {trials}, spread {off_spread:.1f}%)"
+    )
+    print(
+        f"obs on:  {on:.2f} Mips  "
+        f"(best of {trials}, spread {on_spread:.1f}%)"
+    )
     print(f"enabled-obs overhead: {overhead_pct:.2f}%")
+    if noise_floor:
+        print(
+            f"note: raw overhead {raw_overhead_pct:.2f}% is negative — "
+            "below the noise floor, reported as 0"
+        )
     rows = [
         (f"engine serial x{shards} (obs off)", shards, off),
         (f"engine serial x{shards} (obs on)", shards, on),
@@ -161,7 +186,16 @@ def check_obs_overhead(n_items: int = N_ITEMS, shards: int = 4) -> int:
     _write_bench_json(
         rows,
         "check",
-        extra={"obs_overhead_pct": round(overhead_pct, 2)},
+        extra={
+            "obs_overhead_pct": round(overhead_pct, 2),
+            "obs_overhead_raw_pct": round(raw_overhead_pct, 2),
+            "obs_overhead_below_noise_floor": noise_floor,
+            "trials": trials,
+            "off_mips_runs": [round(m, 3) for m in off_runs],
+            "on_mips_runs": [round(m, 3) for m in on_runs],
+            "off_spread_pct": round(off_spread, 2),
+            "on_spread_pct": round(on_spread, 2),
+        },
         n_items=n_items,
     )
     # generous CI-noise margin; locally this lands in low single digits

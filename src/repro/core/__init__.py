@@ -15,6 +15,17 @@ from repro.core.csm import (
 )
 from repro.core.generic import CellReadout, GenericSheSketch
 from repro.core.hardware_frame import HardwareFrame
+from repro.core.registry import (
+    GENERIC_KIND,
+    AlgoDescriptor,
+    cell_merge_for,
+    descriptor_of,
+    get_descriptor,
+    register_algorithm,
+    registered_kinds,
+    require_descriptor,
+    unregister_algorithm,
+)
 from repro.core.she_bf import SheBloomFilter
 from repro.core.she_bm import SheBitmap
 from repro.core.she_cm import SheCountMin
@@ -51,4 +62,13 @@ __all__ = [
     "merge_many",
     "merge_sketches",
     "mergeable",
+    "AlgoDescriptor",
+    "register_algorithm",
+    "unregister_algorithm",
+    "get_descriptor",
+    "descriptor_of",
+    "require_descriptor",
+    "registered_kinds",
+    "cell_merge_for",
+    "GENERIC_KIND",
 ]

@@ -10,6 +10,7 @@ only what the paper actually specifies for them.
 from __future__ import annotations
 
 import copy
+import inspect
 from typing import Literal
 
 import numpy as np
@@ -19,7 +20,7 @@ from repro.core.config import SheConfig
 from repro.core.hardware_frame import HardwareFrame
 from repro.core.software_frame import SoftwareFrame
 
-__all__ = ["FrameKind", "make_frame", "SheSketchBase"]
+__all__ = ["FrameKind", "make_frame", "SheSketchBase", "sized_from_memory"]
 
 FrameKind = Literal["hardware", "software"]
 
@@ -53,6 +54,41 @@ def make_frame(
     raise ValueError(f"frame kind must be 'hardware' or 'software', got {kind!r}")
 
 
+def sized_from_memory(cls, window: int, memory_bytes: int, **kwargs):
+    """Build ``cls`` sized for a memory budget (cells + group marks).
+
+    One implementation serves every SHE sketch class: the geometry
+    knobs (``alpha`` / ``beta`` / ``group_width``) come from the
+    caller's kwargs, falling back to the class constructor's own
+    defaults, so each algorithm's paper parameters apply without a
+    per-class copy of this method.  Classes without a ``group_width``
+    parameter (one cell per group, w = 1) size with ``group_width=1``;
+    classes spreading the budget over several arrays declare
+    ``memory_streams`` (SHE-MH: 2).
+    """
+    params = inspect.signature(cls.__init__).parameters
+
+    def knob(name):
+        if name in kwargs:
+            return kwargs[name]
+        p = params.get(name)
+        if p is not None and p.default is not inspect.Parameter.empty:
+            return p.default
+        return None
+
+    cfg_kwargs = {"window": window}
+    for name in ("alpha", "beta"):
+        value = knob(name)
+        if value is not None:
+            cfg_kwargs[name] = value
+    group_width = knob("group_width")
+    cfg_kwargs["group_width"] = 1 if group_width is None else group_width
+    cfg = SheConfig(**cfg_kwargs)
+    streams = getattr(cls, "memory_streams", 1)
+    m = cfg.cells_for_memory(memory_bytes // streams, cls.cell_bits)
+    return cls(window, m, **kwargs)
+
+
 class SheSketchBase:
     """Item clock + common insert/query scaffolding for SHE sketches.
 
@@ -61,6 +97,16 @@ class SheSketchBase:
     maintains ``self.t`` — the count-based clock: the number of items
     inserted so far, which is also the arrival time of the *next* item.
     """
+
+    #: two-stream sketches (SHE-MH shape) override this; executors and
+    #: the engine dispatch on it instead of on concrete classes
+    two_stream = False
+
+    #: how many equal arrays share a memory budget (SHE-MH: 2)
+    memory_streams = 1
+
+    #: shared budget sizing — ``cls.from_memory(window, memory_bytes, **kw)``
+    from_memory = classmethod(sized_from_memory)
 
     def __init__(self) -> None:
         self.t = 0

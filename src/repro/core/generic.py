@@ -96,6 +96,39 @@ class GenericSheSketch(SheSketchBase):
             cell_bits=spec.default_cell_bits,
         )
 
+    @classmethod
+    def from_memory(
+        cls,
+        spec: CsmSpec,
+        window: int,
+        memory_bytes: int,
+        *,
+        alpha: float = 0.2,
+        group_width: int = 64,
+        beta: float = 0.9,
+        frame: FrameKind = "hardware",
+        seed: int = 7,
+    ) -> "GenericSheSketch":
+        """Size the lifted sketch for a memory budget (cells + marks).
+
+        Subclasses that bake their spec into ``__init__(window,
+        num_cells, ...)`` should instead reuse the shared sizing:
+        ``from_memory = classmethod(repro.core.base.sized_from_memory)``
+        with a ``cell_bits`` class attribute.
+        """
+        cfg = SheConfig(window=window, alpha=alpha, group_width=group_width, beta=beta)
+        m = cfg.cells_for_memory(memory_bytes, spec.default_cell_bits)
+        return cls(
+            spec,
+            window,
+            m,
+            alpha=alpha,
+            group_width=group_width,
+            beta=beta,
+            frame=frame,
+            seed=seed,
+        )
+
     def _operands(self, keys: np.ndarray) -> np.ndarray | None:
         """Per-key operand the update function consumes, if any."""
         if self.spec.update is UpdateKind.MAX_RANK:

@@ -9,10 +9,17 @@ have identical group offsets, cycle lengths and virtual ages, so after
 forcing both frames to their common query time the cell-wise combine of
 the originals is exactly the SHE sketch of the union stream.
 
+Which combine applies is not decided here: every registered algorithm's
+:class:`~repro.core.registry.AlgoDescriptor` carries its cell-merge
+operator (derived from the CSM spec's
+:class:`~repro.core.csm.UpdateKind`) and its compatibility *signature*
+(type, geometry, frame kind, hash seeds), so a user-registered CSM
+sketch merges through the same code path as the five paper algorithms.
+
 What cannot merge: sketches with different windows, alphas, sizes or
-hash seeds (the combine would be meaningless), or count-based clocks
-that drifted apart (ages would disagree); :func:`merge_sketches`
-rejects all of those loudly.
+hash seeds (the combine would be meaningless), unregistered types, or
+count-based clocks that drifted apart (ages would disagree);
+:func:`merge_sketches` rejects all of those loudly.
 
 Caveat (documented, tested): lazy cleaning means a group may be stale
 in one operand and fresh in the other; forcing ``prepare_query_all`` at
@@ -30,51 +37,51 @@ from __future__ import annotations
 
 import copy
 
-import numpy as np
-
-from repro.core.she_bf import SheBloomFilter
-from repro.core.she_bm import SheBitmap
-from repro.core.she_cm import SheCountMin
-from repro.core.she_hll import SheHyperLogLog
-from repro.core.she_mh import SheMinHash
+from repro.core.registry import AlgoDescriptor, cell_merge_for, descriptor_of
 
 __all__ = ["merge_sketches", "merge_many", "mergeable"]
 
-_COMBINE = {
-    SheBloomFilter: np.maximum,   # OR on 0/1 bits
-    SheBitmap: np.maximum,        # OR on 0/1 bits
-    SheHyperLogLog: np.maximum,   # max rank
-    SheCountMin: lambda a, b: a + b,  # counts add
-    SheMinHash: np.minimum,       # min hash values
-}
+
+def _frames(sketch, desc: AlgoDescriptor) -> tuple:
+    return tuple(sketch.frames) if desc.two_stream else (sketch.frame,)
 
 
-def _config_key(sketch) -> tuple:
-    cfg = sketch.config
-    if isinstance(sketch, SheMinHash):
-        seeds = tuple(int(s) for s in sketch._col_seeds[:4])
-        return (type(sketch), cfg.window, cfg.t_cycle, sketch.num_counters, seeds)
-    cells = sketch.frame.num_cells
-    seeds = tuple(int(s) for s in sketch.hashes.seeds) if hasattr(sketch, "hashes") else (
-        tuple(int(s) for s in sketch._select.seeds) + tuple(int(s) for s in sketch._value.seeds)
-    )
-    return (
-        type(sketch),
-        cfg.window,
-        cfg.t_cycle,
-        cfg.group_width,
-        cells,
-        type(sketch.frame).__name__ if not isinstance(sketch, SheMinHash) else None,
-        seeds,
-    )
+def _clocks(sketch, desc: AlgoDescriptor) -> tuple[int, ...]:
+    if desc.two_stream:
+        return tuple(int(c) for c in sketch.counts)
+    return (int(sketch.t),)
+
+
+def _set_clocks(sketch, desc: AlgoDescriptor, times: tuple[int, ...]) -> None:
+    if desc.two_stream:
+        sketch.counts = list(times)
+    else:
+        sketch.t = times[0]
+
+
+def _combine_of(sketch, desc: AlgoDescriptor):
+    """The cell-merge operator: descriptor-level, or from the instance's
+    own spec for the generic lifting (whose F varies per instance)."""
+    if desc.cell_merge is not None:
+        return desc.cell_merge
+    spec = getattr(sketch, "spec", None)
+    if spec is None:
+        raise ValueError(
+            f"{type(sketch).__name__} has neither a descriptor-level merge "
+            "operator nor a CSM spec to derive one from"
+        )
+    return cell_merge_for(spec.update)
 
 
 def mergeable(a, b) -> bool:
     """True iff ``a`` and ``b`` are combinable (same type, geometry, seeds)."""
-    if type(a) is not type(b) or type(a) not in _COMBINE:
+    if type(a) is not type(b):
+        return False
+    desc = descriptor_of(a)
+    if desc is None:
         return False
     try:
-        return _config_key(a) == _config_key(b)
+        return desc.merge_signature(a) == desc.merge_signature(b)
     except AttributeError:
         return False
 
@@ -94,39 +101,36 @@ def merge_sketches(a, b, *, t: int | None = None):
     if not mergeable(a, b):
         raise ValueError(
             f"cannot merge {type(a).__name__} with {type(b).__name__}: "
-            "types, geometry, frame kind and hash seeds must all match"
+            "types, geometry, frame kind and hash seeds must all match "
+            "(and both types must be registered algorithms)"
         )
-    combine = _COMBINE[type(a)]
-
-    if isinstance(a, SheMinHash):
-        t0 = t if t is not None else max(a.counts[0], b.counts[0])
-        t1 = t if t is not None else max(a.counts[1], b.counts[1])
-        out = copy.deepcopy(a)
-        for side, tt in ((0, t0), (1, t1)):
-            a.frames[side].prepare_query_all(tt)
-            b.frames[side].prepare_query_all(tt)
-            out.frames[side].prepare_query_all(tt)
-            out.frames[side].cells[:] = combine(
-                a.frames[side].cells, b.frames[side].cells
-            )
-            if hasattr(out.frames[side], "marks"):
-                out.frames[side].marks[:] = a.frames[side].marks
-        out.counts = [t0, t1]
-        return out
-
-    tt = t if t is not None else max(a.t, b.t)
+    desc = descriptor_of(a)
+    combine = _combine_of(a, desc)
+    times = tuple(
+        t if t is not None else max(ca, cb)
+        for ca, cb in zip(_clocks(a, desc), _clocks(b, desc))
+    )
     out = copy.deepcopy(a)
-    for s in (a, b, out):
-        s.frame.prepare_query_all(tt)
-    out.frame.cells[:] = combine(a.frame.cells, b.frame.cells)
-    if hasattr(out.frame, "marks"):
-        out.frame.marks[:] = a.frame.marks  # identical after prepare at tt
-    out.t = tt
+    for fa, fb, fo, tt in zip(
+        _frames(a, desc), _frames(b, desc), _frames(out, desc), times
+    ):
+        fa.prepare_query_all(tt)
+        fb.prepare_query_all(tt)
+        fo.prepare_query_all(tt)
+        fo.cells[:] = combine(fa.cells, fb.cells)
+        if hasattr(fo, "marks"):
+            fo.marks[:] = fa.marks  # identical after prepare at tt
+    _set_clocks(out, desc, times)
     return out
 
 
 def _clock_of(sketch) -> tuple[int, ...]:
-    return tuple(sketch.counts) if isinstance(sketch, SheMinHash) else (sketch.t,)
+    desc = descriptor_of(sketch)
+    if desc is None:
+        raise ValueError(
+            f"{type(sketch).__name__} is not a registered algorithm"
+        )
+    return _clocks(sketch, desc)
 
 
 def merge_many(sketches, *, t: int | None = None, require_aligned: bool = False):
@@ -162,17 +166,18 @@ def merge_many(sketches, *, t: int | None = None, require_aligned: bool = False)
             )
     first = sketches[0]
     if len(sketches) == 1:
+        desc = descriptor_of(first)
+        if desc is None:
+            raise ValueError(
+                f"{type(first).__name__} is not a registered algorithm"
+            )
         out = copy.deepcopy(first)
-        if isinstance(first, SheMinHash):
-            t0 = t if t is not None else first.counts[0]
-            t1 = t if t is not None else first.counts[1]
-            out.frames[0].prepare_query_all(t0)
-            out.frames[1].prepare_query_all(t1)
-            out.counts = [t0, t1]
-        else:
-            tt = t if t is not None else first.t
-            out.frame.prepare_query_all(tt)
-            out.t = tt
+        times = tuple(
+            t if t is not None else c for c in _clocks(first, desc)
+        )
+        for frame, tt in zip(_frames(out, desc), times):
+            frame.prepare_query_all(tt)
+        _set_clocks(out, desc, times)
         return out
     out = merge_sketches(first, sketches[1], t=t)
     for s in sketches[2:]:

@@ -68,30 +68,7 @@ class SheBloomFilter(SheSketchBase):
             frame, self.config, m, dtype=np.uint8, empty_value=0, cell_bits=self.cell_bits
         )
 
-    @classmethod
-    def from_memory(
-        cls,
-        window: int,
-        memory_bytes: int,
-        *,
-        num_hashes: int = 8,
-        alpha: float = 3.0,
-        group_width: int = 64,
-        frame: FrameKind = "hardware",
-        seed: int = 1,
-    ) -> "SheBloomFilter":
-        """Size the filter for a memory budget (bits + group marks)."""
-        cfg = SheConfig(window=window, alpha=alpha, group_width=group_width)
-        m = cfg.cells_for_memory(memory_bytes, cls.cell_bits)
-        return cls(
-            window,
-            m,
-            num_hashes=num_hashes,
-            alpha=alpha,
-            group_width=group_width,
-            frame=frame,
-            seed=seed,
-        )
+    # sizing for a memory budget: the shared SheSketchBase.from_memory
 
     # -- insertion -----------------------------------------------------------
 

@@ -65,31 +65,6 @@ class SheBitmap(SheSketchBase):
             frame, self.config, m, dtype=np.uint8, empty_value=0, cell_bits=self.cell_bits
         )
 
-    @classmethod
-    def from_memory(
-        cls,
-        window: int,
-        memory_bytes: int,
-        *,
-        alpha: float = 0.2,
-        beta: float = 0.9,
-        group_width: int = 64,
-        frame: FrameKind = "hardware",
-        seed: int = 2,
-    ) -> "SheBitmap":
-        """Size the bitmap for a memory budget (bits + group marks)."""
-        cfg = SheConfig(window=window, alpha=alpha, group_width=group_width, beta=beta)
-        m = cfg.cells_for_memory(memory_bytes, cls.cell_bits)
-        return cls(
-            window,
-            m,
-            alpha=alpha,
-            beta=beta,
-            group_width=group_width,
-            frame=frame,
-            seed=seed,
-        )
-
     def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
         idx = self.hashes.indices(keys, self.num_bits)[:, 0]
         apply_batch(self.frame, times, idx, None, UpdateKind.SET_ONE)

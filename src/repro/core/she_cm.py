@@ -76,31 +76,6 @@ class SheCountMin(SheSketchBase):
             cell_bits=self.cell_bits,
         )
 
-    @classmethod
-    def from_memory(
-        cls,
-        window: int,
-        memory_bytes: int,
-        *,
-        num_hashes: int = 8,
-        alpha: float = 1.0,
-        group_width: int = 64,
-        frame: FrameKind = "hardware",
-        seed: int = 4,
-    ) -> "SheCountMin":
-        """Size for a budget of 32-bit counters + group marks."""
-        cfg = SheConfig(window=window, alpha=alpha, group_width=group_width)
-        m = cfg.cells_for_memory(memory_bytes, cls.cell_bits)
-        return cls(
-            window,
-            m,
-            num_hashes=num_hashes,
-            alpha=alpha,
-            group_width=group_width,
-            frame=frame,
-            seed=seed,
-        )
-
     def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
         idx = self.hashes.indices(keys, self.num_counters)
         touch_times = np.repeat(times, self.num_hashes)

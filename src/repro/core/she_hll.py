@@ -76,22 +76,6 @@ class SheHyperLogLog(SheSketchBase):
             cell_bits=self.cell_bits,
         )
 
-    @classmethod
-    def from_memory(
-        cls,
-        window: int,
-        memory_bytes: int,
-        *,
-        alpha: float = 0.2,
-        beta: float = 0.9,
-        frame: FrameKind = "hardware",
-        seed: int = 3,
-    ) -> "SheHyperLogLog":
-        """Size for a budget: 5-bit registers + 1 mark bit each."""
-        cfg = SheConfig(window=window, alpha=alpha, group_width=1, beta=beta)
-        m = cfg.cells_for_memory(memory_bytes, cls.cell_bits)
-        return cls(window, m, alpha=alpha, beta=beta, frame=frame, seed=seed)
-
     def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
         idx = self._select.indices(keys, self.num_registers)[:, 0]
         ranks = leading_zeros_32(self._value.values(keys)[:, 0]) + 1

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.common.hashing import splitmix64
 from repro.common.validation import as_key_array, require_non_negative_int, require_positive_int
-from repro.core.base import FrameKind, make_frame
+from repro.core.base import FrameKind, make_frame, sized_from_memory
 from repro.core.config import SheConfig
 from repro.core.hardware_frame import HardwareFrame
 from repro.core.software_frame import SoftwareFrame
@@ -49,6 +49,15 @@ class SheMinHash:
     """
 
     cell_bits = _HASH_BITS
+
+    #: two frames / per-side clocks; dispatch on this, not the class
+    two_stream = True
+
+    #: the budget covers both counter arrays
+    memory_streams = 2
+
+    #: shared budget sizing (same implementation as SheSketchBase)
+    from_memory = classmethod(sized_from_memory)
 
     def __init__(
         self,
@@ -77,22 +86,6 @@ class SheMinHash:
             for _ in range(2)
         )
         self.counts = [0, 0]  # per-side item clocks
-
-    @classmethod
-    def from_memory(
-        cls,
-        window: int,
-        memory_bytes: int,
-        *,
-        alpha: float = 0.2,
-        beta: float = 0.9,
-        frame: FrameKind = "hardware",
-        seed: int = 5,
-    ) -> "SheMinHash":
-        """Size for a total budget covering both counter arrays + marks."""
-        cfg = SheConfig(window=window, alpha=alpha, group_width=1, beta=beta)
-        m = cfg.cells_for_memory(memory_bytes // 2, cls.cell_bits)
-        return cls(window, m, alpha=alpha, beta=beta, frame=frame, seed=seed)
 
     # -- insertion ---------------------------------------------------------
 

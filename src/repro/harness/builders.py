@@ -21,13 +21,7 @@ from repro.baselines import (
     TimestampVector,
     TimingBloomFilter,
 )
-from repro.core import (
-    SheBitmap,
-    SheBloomFilter,
-    SheCountMin,
-    SheHyperLogLog,
-    SheMinHash,
-)
+from repro.core.registry import get_descriptor
 from repro.fixed import (
     IdealCardinalityBitmap,
     IdealCardinalityHLL,
@@ -76,7 +70,7 @@ def build_membership(
     """Fig. 9d's panel: SHE-BF vs TOBF, TBF, SWAMP and the Ideal."""
     out: dict[str, object] = {}
     _try(
-        lambda: SheBloomFilter.from_memory(
+        lambda: get_descriptor("bf").from_memory(
             window, memory_bytes, num_hashes=num_hashes, alpha=alpha, frame=frame, seed=seed
         ),
         out,
@@ -106,7 +100,9 @@ def build_cardinality_bitmap(
     """Fig. 9a's panel: SHE-BM vs TSV, CVS, SWAMP and the Ideal."""
     out: dict[str, object] = {}
     _try(
-        lambda: SheBitmap.from_memory(window, memory_bytes, alpha=alpha, frame=frame, seed=seed),
+        lambda: get_descriptor("bm").from_memory(
+            window, memory_bytes, alpha=alpha, frame=frame, seed=seed
+        ),
         out,
         "SHE-BM",
     )
@@ -130,7 +126,9 @@ def build_cardinality_hll(
     """Fig. 9b's panel: SHE-HLL vs SHLL and the Ideal."""
     out: dict[str, object] = {}
     _try(
-        lambda: SheHyperLogLog.from_memory(window, memory_bytes, alpha=alpha, frame=frame, seed=seed),
+        lambda: get_descriptor("hll").from_memory(
+            window, memory_bytes, alpha=alpha, frame=frame, seed=seed
+        ),
         out,
         "SHE-HLL",
     )
@@ -161,7 +159,7 @@ def build_frequency(
     """Fig. 9c's panel: SHE-CM vs ECM, SWAMP and the Ideal."""
     out: dict[str, object] = {}
     _try(
-        lambda: SheCountMin.from_memory(
+        lambda: get_descriptor("cm").from_memory(
             window, memory_bytes, num_hashes=num_hashes, alpha=alpha, frame=frame, seed=seed
         ),
         out,
@@ -190,7 +188,9 @@ def build_similarity(
     """Fig. 9e's panel: SHE-MH vs the straw-man MinHash and the Ideal."""
     out: dict[str, object] = {}
     _try(
-        lambda: SheMinHash.from_memory(window, memory_bytes, alpha=alpha, frame=frame, seed=seed),
+        lambda: get_descriptor("mh").from_memory(
+            window, memory_bytes, alpha=alpha, frame=frame, seed=seed
+        ),
         out,
         "SHE-MH",
     )

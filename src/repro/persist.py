@@ -1,12 +1,19 @@
 """Save / load SHE sketches as ``.npz`` archives.
 
 A monitoring deployment needs to persist sketch state across restarts
-and ship it between processes; this module round-trips the five SHE
-sketches (and the generic lift) through NumPy's compressed archive
-format.  Everything needed to resume — cells, marks or sweep position,
-the clock, and the constructor parameters — goes into one file;
-hash-family state is reconstructed from the stored seed, so archives
-are portable across machines.
+and ship it between processes; this module round-trips every
+*registered* SHE algorithm (the five paper sketches, the generic lift,
+and anything installed via
+:func:`repro.core.registry.register_algorithm`) through NumPy's
+compressed archive format.  Everything needed to resume — cells, marks
+or sweep position, the clock, and the constructor parameters — goes
+into one file; hash-family state is reconstructed from the stored seed,
+so archives are portable across machines.
+
+What goes into the archive for each kind is the algorithm descriptor's
+business (``to_state`` / ``from_state`` hooks); this module only owns
+the envelope: the ``__meta__`` JSON header with its format version and
+kind string, and the atomicity of the write.
 
 Writes are atomic: the archive is staged as a temporary file in the
 destination directory and renamed over the target with ``os.replace``,
@@ -19,113 +26,62 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.config import SheConfig
-from repro.core.hardware_frame import HardwareFrame
-from repro.core.she_bf import SheBloomFilter
-from repro.core.she_bm import SheBitmap
-from repro.core.she_cm import SheCountMin
-from repro.core.she_hll import SheHyperLogLog
-from repro.core.she_mh import SheMinHash
+from repro.core.registry import descriptor_of, get_descriptor, registered_kinds
 
-__all__ = ["save_sketch", "load_sketch"]
+__all__ = ["save_sketch", "load_sketch", "PersistFormatError"]
 
 _FORMAT_VERSION = 1
 
-_KINDS = {
-    "SheBloomFilter": SheBloomFilter,
-    "SheBitmap": SheBitmap,
-    "SheHyperLogLog": SheHyperLogLog,
-    "SheCountMin": SheCountMin,
-    "SheMinHash": SheMinHash,
-}
 
+class PersistFormatError(ValueError):
+    """A sketch archive could not be understood.
 
-def _frame_kind(frame) -> str:
-    return "hardware" if isinstance(frame, HardwareFrame) else "software"
+    Raised on truncated or non-archive files, missing or corrupt
+    ``__meta__`` headers, unsupported format versions, and unregistered
+    sketch kinds.  Subclasses :class:`ValueError` so pre-existing
+    ``except ValueError`` call sites keep working.
 
+    Attributes:
+        path: the archive that failed to load (when known).
+        supported_kinds: the kind strings registered at failure time —
+            what :func:`load_sketch` *could* have reconstructed.
+    """
 
-def _frame_state(frame, prefix: str, arrays: dict, meta: dict) -> None:
-    arrays[f"{prefix}cells"] = frame.cells
-    if isinstance(frame, HardwareFrame):
-        arrays[f"{prefix}marks"] = frame.marks
-    else:
-        meta[f"{prefix}boundaries"] = frame._boundaries_done
-
-
-def _restore_frame(frame, prefix: str, data, meta: dict) -> None:
-    frame.cells[:] = data[f"{prefix}cells"]
-    if isinstance(frame, HardwareFrame):
-        frame.marks[:] = data[f"{prefix}marks"]
-    else:
-        frame._boundaries_done = int(meta[f"{prefix}boundaries"])
-
-
-def _params_of(sketch) -> dict:
-    cfg: SheConfig = sketch.config
-    params = {
-        "window": cfg.window,
-        "alpha": cfg.alpha,
-        "beta": cfg.beta,
-    }
-    if isinstance(sketch, SheBloomFilter):
-        params.update(
-            num_bits=sketch.num_bits,
-            num_hashes=sketch.num_hashes,
-            group_width=cfg.group_width,
-            seed=sketch.hashes.seed,
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | Path | None = None,
+        supported_kinds: tuple[str, ...] | None = None,
+    ):
+        self.path = None if path is None else Path(path)
+        self.supported_kinds = (
+            tuple(registered_kinds()) if supported_kinds is None else tuple(supported_kinds)
         )
-    elif isinstance(sketch, SheBitmap):
-        params.update(
-            num_bits=sketch.num_bits,
-            group_width=cfg.group_width,
-            seed=sketch.hashes.seed,
-        )
-    elif isinstance(sketch, SheHyperLogLog):
-        params.update(num_registers=sketch.num_registers)
-    elif isinstance(sketch, SheCountMin):
-        params.update(
-            num_counters=sketch.num_counters,
-            num_hashes=sketch.num_hashes,
-            group_width=cfg.group_width,
-            seed=sketch.hashes.seed,
-        )
-    elif isinstance(sketch, SheMinHash):
-        params.update(num_counters=sketch.num_counters)
-    return params
+        if self.path is not None:
+            message = f"{message} (archive: {self.path})"
+        super().__init__(message)
 
 
 def save_sketch(sketch, path: str | Path) -> None:
-    """Serialise a SHE sketch to an ``.npz`` archive at ``path``."""
-    kind = type(sketch).__name__
-    if kind not in _KINDS:
-        raise TypeError(f"cannot serialise {kind}; supported: {sorted(_KINDS)}")
-
+    """Serialise a registered SHE sketch to an ``.npz`` archive."""
+    desc = descriptor_of(sketch)
+    if desc is None:
+        raise TypeError(
+            f"cannot serialise {type(sketch).__name__}; supported: "
+            f"{sorted(registered_kinds())} (register_algorithm adds more)"
+        )
+    meta_fields, arrays = desc.sketch_state(sketch)
     meta: dict = {
         "format": _FORMAT_VERSION,
-        "kind": kind,
-        "params": _params_of(sketch),
+        "kind": desc.class_name,
+        **meta_fields,
     }
-    arrays: dict = {}
-    if isinstance(sketch, SheMinHash):
-        meta["frame"] = _frame_kind(sketch.frames[0])
-        meta["counts"] = list(sketch.counts)
-        meta["seed_hint"] = "col_seeds stored"
-        arrays["col_seeds"] = sketch._col_seeds
-        for side, frame in enumerate(sketch.frames):
-            _frame_state(frame, f"f{side}_", arrays, meta)
-    else:
-        meta["frame"] = _frame_kind(sketch.frame)
-        meta["t"] = sketch.t
-        _frame_state(sketch.frame, "f_", arrays, meta)
-        if isinstance(sketch, SheHyperLogLog):
-            arrays["select_seeds"] = sketch._select.seeds.copy()
-            arrays["value_seeds"] = sketch._value.seeds.copy()
-            meta["params"]["seed"] = 0  # reconstructed from stored seeds
-
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     ).copy()
@@ -159,52 +115,51 @@ def _atomic_savez(path: Path, arrays: dict) -> None:
 
 
 def load_sketch(path: str | Path):
-    """Reconstruct a SHE sketch saved by :func:`save_sketch`."""
-    with np.load(Path(path)) as data:
-        meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+    """Reconstruct a SHE sketch saved by :func:`save_sketch`.
+
+    Raises:
+        PersistFormatError: the file is truncated, not an archive, has
+            a corrupt or missing ``__meta__`` header, an unsupported
+            format version, or a kind no registered algorithm claims.
+        FileNotFoundError: the path does not exist.
+    """
+    path = Path(path)
+    try:
+        data = np.load(path)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise PersistFormatError(
+            f"not a readable sketch archive: {exc}", path=path
+        ) from exc
+    with data:
+        try:
+            raw = bytes(data["__meta__"])
+        except KeyError as exc:
+            raise PersistFormatError(
+                "archive has no __meta__ header; not a sketch archive "
+                "(or truncated mid-write by a non-atomic copy)",
+                path=path,
+            ) from exc
+        try:
+            meta = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise PersistFormatError(
+                f"corrupt __meta__ header: {exc}", path=path
+            ) from exc
         if meta.get("format") != _FORMAT_VERSION:
-            raise ValueError(
+            raise PersistFormatError(
                 f"unsupported archive format {meta.get('format')!r} "
-                f"(expected {_FORMAT_VERSION})"
+                f"(expected {_FORMAT_VERSION})",
+                path=path,
             )
-        kind = meta["kind"]
-        if kind not in _KINDS:
-            raise ValueError(f"unknown sketch kind {kind!r} in archive")
-        cls = _KINDS[kind]
-        params = dict(meta["params"])
-        params["frame"] = meta["frame"]
-
-        if kind == "SheMinHash":
-            window = params.pop("window")
-            m = params.pop("num_counters")
-            sketch = cls(window, m, alpha=params["alpha"], beta=params["beta"], frame=params["frame"])
-            sketch._col_seeds = data["col_seeds"].copy()
-            sketch.counts = [int(c) for c in meta["counts"]]
-            for side, frame in enumerate(sketch.frames):
-                _restore_frame(frame, f"f{side}_", data, meta)
-            return sketch
-
-        window = params.pop("window")
-        if kind == "SheBloomFilter":
-            params.pop("beta", None)  # BF has no legal band
-            sketch = cls(window, params.pop("num_bits"), **params)
-        elif kind == "SheBitmap":
-            sketch = cls(window, params.pop("num_bits"), **params)
-        elif kind == "SheHyperLogLog":
-            sketch = cls(
-                window,
-                params.pop("num_registers"),
-                alpha=params["alpha"],
-                beta=params["beta"],
-                frame=params["frame"],
-            )
-            sketch._select._seeds[:] = data["select_seeds"]
-            sketch._value._seeds[:] = data["value_seeds"]
-        elif kind == "SheCountMin":
-            params.pop("beta", None)  # CM has no legal band
-            sketch = cls(window, params.pop("num_counters"), **params)
-        else:  # pragma: no cover - _KINDS is closed
-            raise AssertionError(kind)
-        sketch.t = int(meta["t"])
-        _restore_frame(sketch.frame, "f_", data, meta)
-        return sketch
+        kind = meta.get("kind")
+        try:
+            desc = get_descriptor(kind)
+        except KeyError as exc:
+            raise PersistFormatError(
+                f"unknown sketch kind {kind!r} in archive; registered: "
+                f"{sorted(registered_kinds())} (register_algorithm adds more)",
+                path=path,
+            ) from exc
+        return desc.sketch_from_state(meta, data)

@@ -75,6 +75,14 @@ def save_checkpoint(engine: StreamEngine, directory: str | Path) -> Path:
         manifest = {
             "format": _FORMAT_VERSION,
             "seq": seq,
+            # versioned registry identity: the kind string plus the
+            # persisted class name the shard archives carry, so a reader
+            # can tell what must be registered before recovery (absent
+            # from pre-registry checkpoints, which still load)
+            "algorithm": {
+                "kind": engine.config.kind,
+                "class_name": engine.config.descriptor().class_name,
+            },
             "config": engine.config.to_json(),
             "clock": list(engine._t),
             "shards": shard_files,
@@ -193,6 +201,19 @@ def recover_engine(
             continue
         try:
             meta = read_manifest(path)
+        except Exception:
+            continue  # corrupt: fall back to the next older checkpoint
+        kind = meta.get("algorithm", {}).get("kind") or meta.get(
+            "config", {}
+        ).get("kind")
+        if kind is not None:
+            # an unregistered algorithm is an environment problem, not
+            # checkpoint corruption: say so instead of skipping to an
+            # older (equally unloadable) checkpoint
+            from repro.core.registry import get_descriptor
+
+            get_descriptor(kind)
+        try:
             shards = [load_sketch(path / name) for name in meta["shards"]]
         except Exception:
             continue  # corrupt: fall back to the next older checkpoint

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -50,13 +51,9 @@ import numpy as np
 
 from repro.common.validation import as_key_array, require_positive_int
 from repro.core.merge import merge_many
+from repro.core.registry import get_descriptor, registered_kinds
 from repro.obs import Observability
 from repro.obs.probes import AGE_HIST_BINS
-from repro.core.she_bf import SheBloomFilter
-from repro.core.she_bm import SheBitmap
-from repro.core.she_cm import SheCountMin
-from repro.core.she_hll import SheHyperLogLog
-from repro.core.she_mh import SheMinHash
 from repro.service.errors import (
     ShardDeadError,
     ShardError,
@@ -70,14 +67,28 @@ from repro.service.stats import EngineStats, format_stats
 
 __all__ = ["EngineConfig", "StreamEngine", "DegradedAnswer", "KINDS"]
 
-# kind -> (sketch class, name of the size argument)
-KINDS: dict[str, tuple[type, str]] = {
-    "bf": (SheBloomFilter, "num_bits"),
-    "bm": (SheBitmap, "num_bits"),
-    "hll": (SheHyperLogLog, "num_registers"),
-    "cm": (SheCountMin, "num_counters"),
-    "mh": (SheMinHash, "num_counters"),
-}
+
+class _KindsView(Mapping):
+    """Live ``kind -> (sketch class, size-argument name)`` view.
+
+    Kept for backward compatibility with pre-registry callers of
+    ``repro.service.KINDS``; the registry is the source of truth, so
+    kinds installed via :func:`repro.core.registry.register_algorithm`
+    appear here automatically.
+    """
+
+    def __getitem__(self, kind: str) -> tuple[type, str]:
+        desc = get_descriptor(kind)
+        return (desc.cls, desc.size_arg)
+
+    def __iter__(self):
+        return iter(registered_kinds())
+
+    def __len__(self) -> int:
+        return len(registered_kinds())
+
+
+KINDS = _KindsView()
 
 
 @dataclass
@@ -85,9 +96,12 @@ class EngineConfig:
     """Everything needed to (re)build a :class:`StreamEngine`.
 
     Args:
-        kind: which SHE sketch backs the shards — ``"bf"`` (membership),
-            ``"bm"`` / ``"hll"`` (cardinality), ``"cm"`` (frequency) or
-            ``"mh"`` (two-stream similarity).
+        kind: which SHE sketch backs the shards — any registered
+            algorithm kind: ``"bf"`` (membership), ``"bm"`` / ``"hll"``
+            (cardinality), ``"cm"`` (frequency), ``"mh"`` (two-stream
+            similarity), ``"generic"`` (a :class:`CsmSpec` via
+            ``sketch_kwargs``), or anything installed with
+            :func:`repro.core.registry.register_algorithm`.
         window: sliding-window size N (items).
         size: per-shard sketch size (bits / registers / counters).
         num_shards: how many shards to hash-partition keys across.
@@ -112,18 +126,40 @@ class EngineConfig:
     sketch_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.kind not in KINDS:
-            raise ValueError(f"kind must be one of {sorted(KINDS)}, got {self.kind!r}")
+        try:
+            self.descriptor()
+        except KeyError:
+            raise ValueError(
+                f"kind must be one of {registered_kinds()}, got {self.kind!r} "
+                "(register_algorithm adds more)"
+            ) from None
         require_positive_int("window", self.window)
         require_positive_int("size", self.size)
         require_positive_int("num_shards", self.num_shards)
         require_positive_int("flush_batch_size", self.flush_batch_size)
+
+    def descriptor(self):
+        """The registered :class:`~repro.core.registry.AlgoDescriptor`."""
+        return get_descriptor(self.kind)
 
     def to_json(self) -> dict:
         return dataclasses.asdict(self)
 
     @classmethod
     def from_json(cls, data: dict) -> "EngineConfig":
+        """Rebuild a config saved by :meth:`to_json`.
+
+        Unknown keys raise a :class:`ValueError` naming them — a config
+        from a newer version (or a typo) should fail loudly, not as an
+        opaque ``TypeError`` from the dataclass constructor.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown EngineConfig keys {unknown}; known keys: "
+                f"{sorted(known)}"
+            )
         return cls(**data)
 
 
@@ -153,21 +189,9 @@ class DegradedAnswer:
         return self.shards_answered / self.shards_total
 
 
-_DEGRADED_CAVEATS = {
-    "bf": "missing shards may yield false negatives for keys they own",
-    "bm": "cardinality is a lower bound: missing shards' keys are uncounted",
-    "hll": "cardinality is a lower bound: missing shards' keys are uncounted",
-    "cm": (
-        "one-sided error is lost: keys owned by missing shards can be "
-        "underestimated (down to zero)"
-    ),
-    "mh": "similarity ignores the key subspace owned by missing shards",
-}
-
-
 def _build_shards(config: EngineConfig) -> list:
-    cls, _ = KINDS[config.kind]
-    proto = cls(config.window, config.size, **config.sketch_kwargs)
+    desc = config.descriptor()
+    proto = desc.build(config.window, config.size, **config.sketch_kwargs)
     return [proto] + [proto.clone_empty() for _ in range(config.num_shards - 1)]
 
 
@@ -245,7 +269,8 @@ class StreamEngine:
             clock=clock,
             registry=self.obs.registry if self.obs.enabled else None,
         )
-        self._two_stream = config.kind == "mh"
+        self._desc = config.descriptor()
+        self._two_stream = self._desc.two_stream
         shards = _shards if _shards is not None else _build_shards(config)
         if len(shards) != config.num_shards:
             raise ValueError(
@@ -625,11 +650,15 @@ class StreamEngine:
         t = None if self._two_stream else self._t[0]
         return merge_many(self.snapshots(), t=t, require_aligned=True)
 
-    def _require_kind(self, query: str, *kinds: str) -> None:
-        if self.config.kind not in kinds:
+    def _require_query(self, query: str) -> None:
+        if query not in self._desc.queries:
+            supporting = [
+                k for k in registered_kinds()
+                if query in get_descriptor(k).queries
+            ]
             raise TypeError(
-                f"{query} queries need a {'/'.join(kinds)} engine, "
-                f"this one is {self.config.kind!r}"
+                f"{query} queries need a {'/'.join(supporting) or '?'} "
+                f"engine, this one is {self.config.kind!r}"
             )
 
     def _degraded_answer(self, value, missing: set[int]) -> DegradedAnswer:
@@ -641,7 +670,7 @@ class StreamEngine:
             shards_answered=total - len(missing),
             shards_total=total,
             missing_shards=tuple(sorted(missing)),
-            caveat=_DEGRADED_CAVEATS[self.config.kind] if missing else None,
+            caveat=self._desc.degraded_caveat if missing else None,
         )
 
     def _degraded_merged(self) -> tuple[Any, set[int]]:
@@ -663,7 +692,7 @@ class StreamEngine:
         """Windowed membership per key; ``strict=False`` answers from
         surviving shards as a :class:`DegradedAnswer` when some are
         down (their keys may come back as false negatives)."""
-        self._require_kind("membership", "bf")
+        self._require_query("membership")
         self.stats.record_query()
         if strict:
             return self.merged().contains_many(keys)
@@ -673,7 +702,7 @@ class StreamEngine:
 
     def cardinality(self, *, strict: bool = True):
         """Distinct keys in the window (BM / HLL engines)."""
-        self._require_kind("cardinality", "bm", "hll")
+        self._require_query("cardinality")
         self.stats.record_query()
         if strict:
             return self.merged().cardinality()
@@ -690,16 +719,29 @@ class StreamEngine:
         return dataclasses.replace(res, value=value)
 
     def frequency_many(self, keys, *, strict: bool = True):
-        """Per-shard fan-in sum of Count-Min estimates.
+        """Windowed count estimates, fanned across shards per the
+        algorithm's descriptor.
 
-        ``strict=False`` sums over surviving shards only — Count-Min's
+        Count-Min declares ``query_fanin="sum"``: counts of one key live
+        entirely on its owning shard, and cross-shard summation
+        preserves the never-underestimate guarantee that a
+        min-over-merged-counters would dilute.  Algorithms declaring
+        ``"merge"`` answer from the merged snapshot instead.
+
+        ``strict=False`` answers over surviving shards only — Count-Min's
         one-sided error does not survive that (keys owned by a missing
         shard can be underestimated to zero), which the returned
         :class:`DegradedAnswer` says explicitly.
         """
-        self._require_kind("frequency", "cm")
+        self._require_query("frequency")
         self.stats.record_query()
         keys = as_key_array(keys)
+        if self._desc.query_fanin != "sum":
+            if strict:
+                return self.merged().frequency_many(keys)
+            merged, missing = self._degraded_merged()
+            value = None if merged is None else merged.frequency_many(keys)
+            return self._degraded_answer(value, missing)
         if strict:
             self._sync()
             t = self._t[0]
@@ -717,7 +759,7 @@ class StreamEngine:
 
     def similarity(self, *, strict: bool = True):
         """Jaccard similarity of the two streams (MH engines)."""
-        self._require_kind("similarity", "mh")
+        self._require_query("similarity")
         self.stats.record_query()
         if strict:
             return self.merged().similarity()

@@ -48,7 +48,6 @@ import traceback
 
 import numpy as np
 
-from repro.core.she_mh import SheMinHash
 from repro.obs import OBS_DISABLED
 from repro.obs.tracing import span_record
 from repro.persist import save_sketch
@@ -73,14 +72,16 @@ _RPC_BUCKETS = (
 
 
 def _apply_flush(sketch, keys: np.ndarray, times: np.ndarray, side: int | None) -> None:
-    if isinstance(sketch, SheMinHash):
+    # two-stream sketches (the SHE-MH shape) take the stream side first;
+    # the class attribute is the dispatch point, not the concrete type
+    if getattr(sketch, "two_stream", False):
         sketch.insert_at(0 if side is None else side, keys, times)
     else:
         sketch.insert_at(keys, times)
 
 
 def _apply_advance(sketch, t: int, side: int | None) -> None:
-    if isinstance(sketch, SheMinHash):
+    if getattr(sketch, "two_stream", False):
         sketch.advance_to(t, side)
     else:
         sketch.advance_to(t)

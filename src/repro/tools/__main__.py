@@ -25,7 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import SheBitmap, SheBloomFilter, SheCountMin, SheHyperLogLog
+from repro.core.registry import GENERIC_KIND, get_descriptor, registered_kinds
 from repro.datasets import caida_like, campus_like, distinct_stream, webpage_like
 from repro.core.merge import merge_sketches
 from repro.persist import load_sketch, save_sketch
@@ -39,12 +39,19 @@ _GENERATORS = {
     ),
 }
 
-_SKETCHES = {
-    "bf": lambda window, memory, seed: SheBloomFilter.from_memory(window, memory, seed=seed),
-    "bm": lambda window, memory, seed: SheBitmap.from_memory(window, memory, seed=seed),
-    "hll": lambda window, memory, seed: SheHyperLogLog.from_memory(window, memory, seed=seed),
-    "cm": lambda window, memory, seed: SheCountMin.from_memory(window, memory, seed=seed),
-}
+
+def _buildable_kinds() -> list[str]:
+    """Registered kinds the one-trace ``build`` command can size.
+
+    The generic lifting needs a CsmSpec and two-stream sketches need two
+    traces, so neither fits this command's shape; everything else —
+    including user-registered algorithms — is offered automatically.
+    """
+    return [
+        kind
+        for kind in registered_kinds()
+        if kind != GENERIC_KIND and not get_descriptor(kind).two_stream
+    ]
 
 
 def _cmd_generate(args) -> int:
@@ -63,7 +70,9 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_build(args) -> int:
-    sketch = _SKETCHES[args.sketch](args.window, args.memory, args.seed)
+    sketch = get_descriptor(args.sketch).from_memory(
+        args.window, args.memory, seed=args.seed
+    )
     trace = np.load(args.trace)
     chunk = max(1, args.window // 2)
     for lo in range(0, trace.size, chunk):
@@ -141,7 +150,7 @@ def main(argv: list[str] | None = None) -> int:
     g.set_defaults(fn=_cmd_generate)
 
     b = sub.add_parser("build", help="stream a trace into a sketch")
-    b.add_argument("sketch", choices=sorted(_SKETCHES))
+    b.add_argument("sketch", choices=_buildable_kinds())
     b.add_argument("--window", type=int, required=True)
     b.add_argument("--memory", type=int, required=True, help="budget in bytes")
     b.add_argument("--trace", required=True)

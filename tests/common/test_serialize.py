@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.persist import load_sketch, save_sketch
+from repro.persist import PersistFormatError, load_sketch, save_sketch
 from repro.core import (
     SheBitmap,
     SheBloomFilter,
@@ -131,3 +131,77 @@ class TestErrors:
         np.savez(path, **data)
         with pytest.raises(ValueError):
             load_sketch(path)
+
+
+class TestPersistFormatError:
+    """Typed load-path failures: every bad archive is a
+    :class:`PersistFormatError` carrying the path and supported kinds."""
+
+    def _rewrite_meta(self, path, mutate):
+        import json
+
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["__meta__"]).decode())
+        mutate(meta)
+        data["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        ).copy()
+        np.savez(path, **data)
+
+    def _saved(self, tmp_path):
+        bf = SheBloomFilter(64, 128, seed=2)
+        bf.insert_many(zipf_stream(200, 50, seed=1))
+        path = tmp_path / "bf.npz"
+        save_sketch(bf, path)
+        return path
+
+    def test_is_a_value_error(self):
+        assert issubclass(PersistFormatError, ValueError)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_sketch(tmp_path / "absent.npz")
+
+    def test_truncated_archive(self, tmp_path):
+        path = self._saved(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(PersistFormatError, match="not a readable"):
+            load_sketch(path)
+
+    def test_non_archive_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this was never an npz archive")
+        with pytest.raises(PersistFormatError):
+            load_sketch(path)
+
+    def test_missing_meta_entry(self, tmp_path):
+        path = tmp_path / "bare.npz"
+        np.savez(path, cells=np.zeros(8, dtype=np.uint8))
+        with pytest.raises(PersistFormatError, match="__meta__"):
+            load_sketch(path)
+
+    def test_bad_format_version_is_typed(self, tmp_path):
+        path = self._saved(tmp_path)
+        self._rewrite_meta(path, lambda m: m.update(format=99))
+        with pytest.raises(PersistFormatError, match="unsupported archive format"):
+            load_sketch(path)
+
+    def test_unknown_kind_names_registry(self, tmp_path):
+        path = self._saved(tmp_path)
+        self._rewrite_meta(path, lambda m: m.update(kind="SheFromTheFuture"))
+        with pytest.raises(PersistFormatError, match="unknown sketch kind") as exc:
+            load_sketch(path)
+        assert "SheBloomFilter" in str(exc.value.supported_kinds) or (
+            "bf" in exc.value.supported_kinds
+        )
+
+    def test_error_carries_path_and_supported_kinds(self, tmp_path):
+        path = self._saved(tmp_path)
+        self._rewrite_meta(path, lambda m: m.update(format=99))
+        with pytest.raises(PersistFormatError) as exc:
+            load_sketch(path)
+        err = exc.value
+        assert err.path == path
+        assert {"bf", "bm", "hll", "cm", "mh"} <= set(err.supported_kinds)
+        assert str(path) in str(err)

@@ -1,0 +1,123 @@
+"""Descriptor equivalence: the registry dispatch changes no numbers.
+
+Two independent checks of the refactor's bit-identity promise:
+
+* the generic lifting of ``BLOOM_FILTER_SPEC`` IS SHE-BF — identical
+  frame cells (and marks / sweep position) after identical ``insert_at``
+  streams, on both frame kinds;
+* the registry-derived cell-merge operators reproduce the pre-registry
+  hand-coded ``_COMBINE`` table for all five built-ins.
+"""
+
+import copy
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BLOOM_FILTER_SPEC,
+    GenericSheSketch,
+    SheBitmap,
+    SheBloomFilter,
+    SheCountMin,
+    SheHyperLogLog,
+    SheMinHash,
+    merge_sketches,
+)
+from repro.core.registry import descriptor_of
+
+streams = st.lists(st.integers(0, 500), min_size=4, max_size=150)
+
+WINDOW = 64
+CELLS = 256
+
+
+def _sparse_times(n: int, seed: int) -> np.ndarray:
+    """Non-decreasing, gappy arrival times (the sharded-substream shape)."""
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.integers(0, 4, size=n)).astype(np.int64)
+
+
+@given(streams, st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_generic_bloom_lift_is_she_bf(keys, time_seed):
+    arr = np.asarray(keys, dtype=np.uint64)
+    times = _sparse_times(arr.size, time_seed)
+    for frame in ("hardware", "software"):
+        bf = SheBloomFilter(WINDOW, CELLS, alpha=3.0, seed=11, frame=frame)
+        gen = GenericSheSketch(
+            BLOOM_FILTER_SPEC, WINDOW, CELLS, alpha=3.0, seed=11, frame=frame
+        )
+        bf.insert_at(arr, times)
+        gen.insert_at(arr, times)
+        assert bf.t == gen.t
+        assert np.array_equal(bf.frame.cells, gen.frame.cells), frame
+        if frame == "hardware":
+            assert np.array_equal(bf.frame.marks, gen.frame.marks)
+        else:
+            assert bf.frame._boundaries_done == gen.frame._boundaries_done
+
+
+#: the pre-registry merge.py _COMBINE table, kept verbatim as the oracle
+_OLD_COMBINE = {
+    SheBloomFilter: np.maximum,
+    SheBitmap: np.maximum,
+    SheHyperLogLog: np.maximum,
+    SheCountMin: lambda a, b: a + b,
+    SheMinHash: np.minimum,
+}
+
+
+def _expected_merge_cells(a, b, t: int) -> np.ndarray:
+    """What the pre-registry code combined: prepare both at t, apply op."""
+    op = _OLD_COMBINE[type(a)]
+    fa, fb = copy.deepcopy(a.frame), copy.deepcopy(b.frame)
+    fa.prepare_query_all(t)
+    fb.prepare_query_all(t)
+    return op(fa.cells, fb.cells)
+
+
+@given(streams, st.integers(0, 2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_registry_merge_matches_old_combine_table(keys, split_seed):
+    arr = np.asarray(keys, dtype=np.uint64)
+    side = np.random.default_rng(split_seed).random(arr.size) < 0.5
+    t = int(arr.size)
+    for cls in (SheBloomFilter, SheBitmap, SheHyperLogLog, SheCountMin):
+        a, b = cls(WINDOW, CELLS, seed=17), cls(WINDOW, CELLS, seed=17)
+        a.insert_many(arr[side])
+        b.insert_many(arr[~side])
+        expected = _expected_merge_cells(a, b, t)
+        merged = merge_sketches(a, b, t=t)
+        assert np.array_equal(merged.frame.cells, expected), cls.__name__
+        # the descriptor's operator is the same function family
+        assert descriptor_of(cls) is not None
+
+
+@given(streams, st.integers(0, 2**32 - 1))
+@settings(max_examples=15, deadline=None)
+def test_registry_merge_matches_old_combine_minhash(keys, split_seed):
+    arr = np.asarray(keys, dtype=np.uint64)
+    side = np.random.default_rng(split_seed).random(arr.size) < 0.5
+    a, b = SheMinHash(WINDOW, 64, seed=17), SheMinHash(WINDOW, 64, seed=17)
+    a.insert_many(0, arr[side])
+    a.insert_many(1, arr[~side])
+    b.insert_many(0, arr[~side])
+    b.insert_many(1, arr[side])
+    t = int(arr.size)
+    expected = [
+        np.minimum(
+            _prepared(a.frames[s], t), _prepared(b.frames[s], t)
+        )
+        for s in (0, 1)
+    ]
+    merged = merge_sketches(a, b, t=t)
+    for s in (0, 1):
+        assert np.array_equal(merged.frames[s].cells, expected[s]), s
+
+
+def _prepared(frame, t: int) -> np.ndarray:
+    f = copy.deepcopy(frame)
+    f.prepare_query_all(t)
+    return f.cells

@@ -275,6 +275,51 @@ class TestFanInRejections:
             eng.cardinality()
 
 
+class TestEngineConfigJson:
+    """to_json/from_json round-trips: the checkpoint manifest contract."""
+
+    def test_round_trip_defaults(self):
+        cfg = EngineConfig("bf", window=1024, size=2048)
+        assert EngineConfig.from_json(cfg.to_json()) == cfg
+
+    def test_round_trip_with_sketch_kwargs(self):
+        import json
+
+        cfg = EngineConfig(
+            "cm",
+            window=4096,
+            size=1 << 13,
+            num_shards=6,
+            flush_batch_size=512,
+            flush_interval_s=None,
+            rpc_timeout_s=2.5,
+            sketch_kwargs={"seed": 7, "alpha": 3.0, "frame": "software"},
+        )
+        # through actual JSON text, as the checkpoint manifest does
+        back = EngineConfig.from_json(json.loads(json.dumps(cfg.to_json())))
+        assert back == cfg
+        assert back.sketch_kwargs == {"seed": 7, "alpha": 3.0, "frame": "software"}
+
+    def test_unknown_keys_rejected_by_name(self):
+        data = EngineConfig("bm", window=256, size=512).to_json()
+        data["shard_count"] = 4  # typo'd / future-version key
+        with pytest.raises(ValueError, match="shard_count"):
+            EngineConfig.from_json(data)
+
+    def test_unknown_key_error_lists_known_keys(self):
+        data = EngineConfig("bm", window=256, size=512).to_json()
+        data["nope"] = 1
+        with pytest.raises(ValueError, match="known keys") as exc:
+            EngineConfig.from_json(data)
+        assert "num_shards" in str(exc.value)
+
+    def test_unregistered_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            EngineConfig.from_json(
+                {"kind": "not-a-kind", "window": 256, "size": 512}
+            )
+
+
 class TestApplications:
     def test_heavy_hitters_over_engine(self):
         """HeavyHitters drives a sharded engine as its CM backend."""

@@ -1,0 +1,83 @@
+"""Dispatch lint: algorithm dispatch lives in the registry, nowhere else.
+
+The registry refactor's structural guarantee — adding an algorithm means
+one ``register_algorithm()`` call, never editing per-kind branches — only
+holds while no ``isinstance(x, She...)`` type-switching creeps back into
+the framework.  This lint walks every Python file under ``src/`` and
+fails on such a check outside ``core/registry.py`` (the one module
+allowed to know the concrete classes).
+
+Uses the AST, not a regex, so strings/docstrings/comments mentioning the
+pattern don't trip it and aliased tuple forms ``isinstance(x, (SheA,
+SheB))`` do.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+#: the one module allowed to dispatch on concrete sketch classes
+ALLOWED = {SRC / "repro" / "core" / "registry.py"}
+
+#: class-name prefixes whose isinstance checks count as algorithm dispatch
+DISPATCH_PREFIXES = ("She", "GenericShe")
+
+
+def _names_in(node: ast.expr):
+    """Bare names mentioned in an isinstance() second argument."""
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+    elif isinstance(node, ast.Tuple):
+        for elt in node.elts:
+            yield from _names_in(elt)
+
+
+def _violations(path: Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            continue
+        hits = [
+            name
+            for name in _names_in(node.args[1])
+            if name.startswith(DISPATCH_PREFIXES)
+        ]
+        if hits:
+            found.append(f"{path}:{node.lineno}: isinstance on {', '.join(hits)}")
+    return found
+
+
+def test_no_isinstance_dispatch_outside_registry():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        offenders.extend(_violations(path))
+    assert not offenders, (
+        "algorithm dispatch belongs in repro/core/registry.py "
+        "(register an AlgoDescriptor instead):\n" + "\n".join(offenders)
+    )
+
+
+def test_lint_actually_detects_dispatch(tmp_path):
+    """The lint is live: a synthetic violation is caught."""
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def f(x):\n"
+        "    if isinstance(x, (SheMinHash, SheCountMin)):\n"
+        "        return 2\n"
+        "    # isinstance(x, SheBloomFilter) in a comment is fine\n"
+        "    s = 'isinstance(x, SheBitmap) in a string is fine'\n"
+        "    return 1\n"
+    )
+    found = _violations(bad)
+    assert len(found) == 1 and "SheMinHash" in found[0]
