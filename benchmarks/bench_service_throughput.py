@@ -203,7 +203,46 @@ def check_obs_overhead(
     if overhead_pct > limit:
         print(f"FAIL: overhead {overhead_pct:.2f}% exceeds {limit}%")
         return 1
+    if _shed_counter_smoke() != 0:
+        return 1
     print("OK")
+    return 0
+
+
+def _shed_counter_smoke() -> int:
+    """Overload accounting smoke: shed counters must reach /metrics.
+
+    Drives a burst into a bounded engine with one shard pinned down
+    under ``shed_oldest`` and checks that the registry-rendered shed
+    totals match the stats snapshot and close the conservation
+    identity — the admission-control path CI actually depends on.
+    """
+    cfg = EngineConfig(
+        "cm", window=WINDOW, size=SIZE, num_shards=4,
+        flush_batch_size=CHUNK, flush_interval_s=None,
+        max_buffered_items=1024, overload_policy="shed_oldest",
+        sketch_kwargs={"seed": 7},
+    )
+    eng = StreamEngine(cfg, obs=True)
+    eng._down.add(0)
+    stream = _stream(50_000)
+    for lo in range(0, stream.size, 2048):
+        eng.ingest(stream[lo:lo + 2048])
+    snap = eng.stats_snapshot(tick=False)
+    conserved = snap["items_ingested"] == (
+        snap["items_flushed"] + snap["items_buffered"]
+        + snap["items_shed"] + snap["items_retained_down"]
+    )
+    text = eng.obs.registry.render()
+    exported = f"engine_items_shed_total {snap['items_shed']}" in text
+    per_shard = 'engine_shard_items_shed_total{shard="0"}' in text
+    print(
+        f"shed smoke: shed={snap['items_shed']} conserved={conserved} "
+        f"exported={exported and per_shard}"
+    )
+    if snap["items_shed"] <= 0 or not conserved or not exported or not per_shard:
+        print("FAIL: shed accounting did not reach the metrics registry")
+        return 1
     return 0
 
 

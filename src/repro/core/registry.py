@@ -234,6 +234,12 @@ class AlgoDescriptor:
             min-over-merged-counters would dilute).
         degraded_caveat: what guarantee missing shards cost a
             ``strict=False`` query (:class:`DegradedAnswer.caveat`).
+        shed_caveat: what guarantee is lost when admission control shed
+            arrivals inside the current window (overload policies
+            ``"shed_oldest"`` / ``"shed_newest"``) — the shed keys are
+            simply absent from the sketch, which costs the same class
+            of guarantee as a missing shard but only for the shed
+            items, not the shard's whole key range.
         build: factory ``build(window, size, **sketch_kwargs)``;
             defaults to ``cls(window, size, **sketch_kwargs)``.
         from_memory: budget sizing ``(window, memory_bytes, **kwargs)``;
@@ -258,6 +264,10 @@ class AlgoDescriptor:
     degraded_caveat: str = (
         "missing shards' keys are unrepresented; per-key and aggregate "
         "answers may be incomplete"
+    )
+    shed_caveat: str = (
+        "overload shedding dropped arrivals inside the current window; "
+        "answers undercount the shed items"
     )
     build: Callable | None = None
     from_memory: Callable | None = None
@@ -299,6 +309,21 @@ class AlgoDescriptor:
 
     def merge_signature(self, sketch) -> tuple:
         return self.signature(self, sketch)
+
+    def caveat(self, *, missing: bool = False, shed: bool = False) -> str | None:
+        """The caveat a ``strict=False`` answer should carry.
+
+        The engine's degraded-query path calls this with whether shards
+        were missing from the fan-in and whether any answering shard
+        shed arrivals inside the current window; both can hold at once,
+        in which case the caveats concatenate.
+        """
+        parts = []
+        if missing:
+            parts.append(self.degraded_caveat)
+        if shed:
+            parts.append(self.shed_caveat)
+        return "; ".join(parts) if parts else None
 
     def sketch_state(self, sketch) -> tuple[dict, dict]:
         return self.to_state(self, sketch)
@@ -618,6 +643,9 @@ register_algorithm(AlgoDescriptor(
     spec=BLOOM_FILTER_SPEC,
     queries=frozenset({"membership"}),
     degraded_caveat="missing shards may yield false negatives for keys they own",
+    shed_caveat=(
+        "shed arrivals inside the window may read as false negatives"
+    ),
     to_state=_bf_to_state,
     from_state=_bf_from_state,
 ))
@@ -631,6 +659,10 @@ register_algorithm(AlgoDescriptor(
     degraded_caveat=(
         "cardinality is a lower bound: missing shards' keys are uncounted"
     ),
+    shed_caveat=(
+        "cardinality undercounts: shed arrivals inside the window are "
+        "uncounted"
+    ),
     to_state=_bm_to_state,
     from_state=_bm_from_state,
 ))
@@ -643,6 +675,10 @@ register_algorithm(AlgoDescriptor(
     queries=frozenset({"cardinality"}),
     degraded_caveat=(
         "cardinality is a lower bound: missing shards' keys are uncounted"
+    ),
+    shed_caveat=(
+        "cardinality undercounts: shed arrivals inside the window are "
+        "uncounted"
     ),
     to_state=_hll_to_state,
     from_state=_hll_from_state,
@@ -659,6 +695,10 @@ register_algorithm(AlgoDescriptor(
         "one-sided error is lost: keys owned by missing shards can be "
         "underestimated (down to zero)"
     ),
+    shed_caveat=(
+        "one-sided error is lost for shed arrivals: windowed counts of "
+        "affected keys can be underestimated"
+    ),
     to_state=_cm_to_state,
     from_state=_cm_from_state,
 ))
@@ -671,6 +711,10 @@ register_algorithm(AlgoDescriptor(
     two_stream=True,
     queries=frozenset({"similarity"}),
     degraded_caveat="similarity ignores the key subspace owned by missing shards",
+    shed_caveat=(
+        "similarity ignores arrivals shed inside the window on either "
+        "stream"
+    ),
     to_state=_mh_to_state,
     from_state=_mh_from_state,
 ))

@@ -132,12 +132,18 @@ class MetricsExporter:
         return (200 if healthy else 503), body
 
     def _status(self) -> dict:
+        # tick=False: a scrape is a pure read — the idle-engine flush
+        # belongs to the engine thread's own stats/tick calls, never to
+        # this thread (flushing mutates buffers; probing only reads)
         body = {
-            "stats": self.engine.stats_snapshot(),
+            "stats": self.engine.stats_snapshot(tick=False),
             "config": self.engine.config.to_json(),
             "executor": self.engine.executor_kind,
             "obs_enabled": self.engine.obs.enabled,
         }
+        overload = getattr(self.engine, "overload_snapshot", None)
+        if overload is not None:
+            body["overload"] = overload()
         supervisor = getattr(self.engine, "_supervisor", None)
         if supervisor is not None:
             body["supervisor"] = supervisor.snapshot()

@@ -106,6 +106,20 @@ def _atomic_savez(path: Path, arrays: dict) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_name, path)
+        # the rename is directory metadata: without a directory fsync a
+        # power cut can durably keep the file contents yet forget the
+        # file exists (best-effort where dirs can't be opened)
+        try:
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+        except OSError:
+            dir_fd = None
+        if dir_fd is not None:
+            try:
+                os.fsync(dir_fd)
+            except OSError:
+                pass
+            finally:
+                os.close(dir_fd)
     except BaseException:
         try:
             os.unlink(tmp_name)

@@ -8,8 +8,12 @@ flush executors, merge-based query fan-in, atomic checkpoint/recovery
 a typed error hierarchy (:mod:`repro.service.errors`), worker
 supervision with restart-from-checkpoint + replay
 (:class:`Supervisor`), degraded queries that answer from surviving
-shards (``strict=False`` → :class:`DegradedAnswer`), and deterministic
-fault injection (:class:`ChaosExecutor`) to test all of it.
+shards (``strict=False`` → :class:`DegradedAnswer`), deterministic
+fault injection (:class:`ChaosExecutor`) to test all of it, and
+admission control: bounded ingestion buffers with typed overload
+policies (``EngineConfig(max_buffered_items=..., overload_policy=...)``
+→ :class:`EngineOverloadedError` / exact shed accounting; see
+``docs/service.md``).
 
 Observability lives in :mod:`repro.obs`: pass ``obs=True`` to the
 engine and every counter, trace span and SHE probe gauge is live;
@@ -43,11 +47,13 @@ from repro.service.checkpoint import (
 )
 from repro.service.engine import (
     KINDS,
+    OVERLOAD_POLICIES,
     DegradedAnswer,
     EngineConfig,
     StreamEngine,
 )
 from repro.service.errors import (
+    EngineOverloadedError,
     ShardDeadError,
     ShardError,
     ShardFailedError,
@@ -66,6 +72,7 @@ from repro.service.supervisor import ReplayBuffer, RetryPolicy, Supervisor
 
 __all__ = [
     "KINDS",
+    "OVERLOAD_POLICIES",
     "EngineConfig",
     "StreamEngine",
     "DegradedAnswer",
@@ -84,6 +91,7 @@ __all__ = [
     "RetryPolicy",
     "ReplayBuffer",
     "ShardError",
+    "EngineOverloadedError",
     "ShardTimeoutError",
     "ShardDeadError",
     "ShardFailedError",

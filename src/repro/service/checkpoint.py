@@ -51,6 +51,24 @@ def _shard_name(shard_id: int) -> str:
     return f"shard-{shard_id:02d}.npz"
 
 
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory's metadata (entry renames) to stable storage.
+
+    Best-effort on platforms whose directories cannot be opened or
+    fsynced (Windows); the data files themselves are already synced.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def save_checkpoint(engine: StreamEngine, directory: str | Path) -> Path:
     """Persist every shard plus a manifest; returns the published path.
 
@@ -91,7 +109,15 @@ def save_checkpoint(engine: StreamEngine, directory: str | Path) -> Path:
         tmp_manifest = staging / (_MANIFEST + ".tmp")
         tmp_manifest.write_text(json.dumps(manifest, indent=2))
         os.replace(tmp_manifest, staging / _MANIFEST)
+        # shard files and manifest contents are fsynced individually
+        # (persist.py), but the *renames* live in directory metadata:
+        # fsync the staging dir so its entries are durable before the
+        # publish, then the parent so the publish rename itself is —
+        # otherwise a power cut can forget a checkpoint that
+        # prune_checkpoints already treated as the newest
+        _fsync_dir(staging)
         os.replace(staging, final)
+        _fsync_dir(directory)
     except BaseException:
         shutil.rmtree(staging, ignore_errors=True)
         raise

@@ -19,6 +19,15 @@ distributed sliding-window monitors:
   queries and checkpoints drain everything first, so they always see
   the full stream.
 
+* **Admission control.** Buffers are bounded when
+  :class:`EngineConfig` sets budgets (``max_buffered_items`` /
+  ``max_buffered_total`` / ``down_retention_items``): ingest *admits
+  before it stamps*, so arrivals rejected by the ``raise`` / ``block``
+  policies — or turned away by ``shed_newest`` — never consume
+  union-stream clock ticks, while ``shed_oldest`` evicts the oldest
+  buffered items with exact per-shard accounting.  The default
+  (no budgets) is today's unbounded behaviour, untouched.
+
 * **Query fan-in.** Membership / cardinality / similarity snapshot the
   shards and combine them via ``merge_many`` — the engine answers
   exactly as the merged single sketch would.  Frequency (SHE-CM) sums
@@ -55,6 +64,7 @@ from repro.core.registry import get_descriptor, registered_kinds
 from repro.obs import Observability
 from repro.obs.probes import AGE_HIST_BINS
 from repro.service.errors import (
+    EngineOverloadedError,
     ShardDeadError,
     ShardError,
     ShardFailedError,
@@ -65,7 +75,16 @@ from repro.service.executor import ProcessExecutor, SerialExecutor
 from repro.service.sharding import DEFAULT_SHARD_SEED, shard_ids
 from repro.service.stats import EngineStats, format_stats
 
-__all__ = ["EngineConfig", "StreamEngine", "DegradedAnswer", "KINDS"]
+__all__ = [
+    "EngineConfig",
+    "StreamEngine",
+    "DegradedAnswer",
+    "KINDS",
+    "OVERLOAD_POLICIES",
+]
+
+#: admission-control responses when a buffer budget would be breached
+OVERLOAD_POLICIES = ("raise", "shed_oldest", "shed_newest", "block")
 
 
 class _KindsView(Mapping):
@@ -111,6 +130,27 @@ class EngineConfig:
         shard_seed: partitioner seed (independent of sketch seeds).
         rpc_timeout_s: per-RPC deadline for worker executors (None
             waits forever); see :class:`ProcessExecutor`.
+        max_buffered_items: per-shard buffer budget (items, summed over
+            sides for two-stream engines).  ``None`` (the default)
+            disables admission control entirely and preserves the
+            unbounded pre-budget behaviour.
+        max_buffered_total: engine-wide buffer budget across all
+            shards; ``None`` disables the global bound.
+        down_retention_items: retention cap for a *down* shard's buffer
+            (its data cannot drain until recovery, so a long outage
+            must degrade coverage, not memory).  ``None`` falls back to
+            ``max_buffered_items``.
+        overload_policy: what admission control does when a budget
+            would be breached and draining the live buffers did not
+            free enough room — ``"raise"`` rejects the batch with
+            :class:`~repro.service.errors.EngineOverloadedError`
+            (atomically: no arrival of it consumes a clock tick),
+            ``"shed_oldest"`` admits the arrivals and evicts the oldest
+            buffered items, ``"shed_newest"`` turns away the arrivals
+            that do not fit (they never consume clock ticks), and
+            ``"block"`` retries draining for up to ``block_timeout_s``
+            before escalating to the raise behaviour.
+        block_timeout_s: bounded wait for the ``"block"`` policy.
         sketch_kwargs: forwarded to the sketch constructor (``seed``,
             ``alpha``, ``num_hashes``, ``frame``, ...).
     """
@@ -123,6 +163,11 @@ class EngineConfig:
     flush_interval_s: float | None = 1.0
     shard_seed: int = DEFAULT_SHARD_SEED
     rpc_timeout_s: float | None = 30.0
+    max_buffered_items: int | None = None
+    max_buffered_total: int | None = None
+    down_retention_items: int | None = None
+    overload_policy: str = "raise"
+    block_timeout_s: float = 2.0
     sketch_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -137,6 +182,32 @@ class EngineConfig:
         require_positive_int("size", self.size)
         require_positive_int("num_shards", self.num_shards)
         require_positive_int("flush_batch_size", self.flush_batch_size)
+        if self.max_buffered_items is not None:
+            require_positive_int("max_buffered_items", self.max_buffered_items)
+        if self.max_buffered_total is not None:
+            require_positive_int("max_buffered_total", self.max_buffered_total)
+        if self.down_retention_items is not None:
+            require_positive_int(
+                "down_retention_items", self.down_retention_items
+            )
+        if self.overload_policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"overload_policy must be one of {OVERLOAD_POLICIES}, "
+                f"got {self.overload_policy!r}"
+            )
+        if self.block_timeout_s <= 0:
+            raise ValueError(
+                f"block_timeout_s must be positive, got {self.block_timeout_s}"
+            )
+
+    @property
+    def bounded(self) -> bool:
+        """True when any admission-control budget is configured."""
+        return (
+            self.max_buffered_items is not None
+            or self.max_buffered_total is not None
+            or self.down_retention_items is not None
+        )
 
     def descriptor(self):
         """The registered :class:`~repro.core.registry.AlgoDescriptor`."""
@@ -172,6 +243,12 @@ class DegradedAnswer:
     sketch kind, which guarantee the missing shards cost — e.g. SHE-CM
     loses its one-sided error: keys owned by a missing shard can now be
     *under*-estimated (to zero), which a strict CM answer never does.
+
+    ``shed_shards`` lists answering shards that shed arrivals inside
+    the current window under an overload policy: their portion of the
+    answer silently omits the shed items, and ``caveat`` (via the
+    algorithm descriptor's caveat hook) says which guarantee that
+    costs.
     """
 
     value: Any
@@ -179,10 +256,11 @@ class DegradedAnswer:
     shards_total: int
     missing_shards: tuple[int, ...] = ()
     caveat: str | None = None
+    shed_shards: tuple[int, ...] = ()
 
     @property
     def degraded(self) -> bool:
-        return self.shards_answered < self.shards_total
+        return self.shards_answered < self.shards_total or bool(self.shed_shards)
 
     @property
     def coverage(self) -> float:
@@ -225,6 +303,30 @@ class _ShardBuffer:
         self.times.insert(0, times)
         self.count += int(keys.size)
 
+    def shed_oldest(self, n: int) -> int:
+        """Drop up to ``n`` of the oldest buffered items; returns the
+        number actually dropped.  Chunks are time-ordered front-to-back
+        and ascending within, so popping from the front is oldest-first."""
+        dropped = 0
+        while dropped < n and self.keys:
+            head = self.keys[0]
+            take = min(int(head.size), n - dropped)
+            if take == int(head.size):
+                self.keys.pop(0)
+                self.times.pop(0)
+            else:
+                self.keys[0] = head[take:]
+                self.times[0] = self.times[0][take:]
+            dropped += take
+        self.count -= dropped
+        return dropped
+
+    def front_time(self) -> int | None:
+        """Union-stream time of the oldest buffered item (None if empty)."""
+        if not self.times:
+            return None
+        return int(self.times[0][0])
+
 
 class StreamEngine:
     """Sharded, buffered ingestion and query serving over SHE sketches.
@@ -240,6 +342,8 @@ class StreamEngine:
             (default: one per shard).
         clock: injectable monotonic clock for the time trigger and
             stats (tests pin it).
+        sleep: injectable sleep used by the ``"block"`` overload
+            policy's bounded wait (tests stub it).
         obs: observability — ``True`` / an :class:`repro.obs.Observability`
             bundle enables the labelled metrics registry, trace spans
             and SHE probe gauges (serve them with
@@ -258,6 +362,7 @@ class StreamEngine:
         executor: str = "serial",
         num_workers: int | None = None,
         clock=time.monotonic,
+        sleep=time.sleep,
         obs: "Observability | bool | None" = None,
         _shards: list | None = None,
         _clock_state: list[int] | None = None,
@@ -308,6 +413,14 @@ class StreamEngine:
         self._closed = False
         self._supervisor = None  # attached by Supervisor.__init__
         self._down: set[int] = set()  # shards with no live, trusted worker
+        # admission-control bookkeeping (all zero-cost when unbounded):
+        # lifetime shed count per shard, the union-stream time of each
+        # shard's latest shed event (keyed by side, for the shed-in-window
+        # caveat), and the deepest the queue has ever been per shard
+        self._sleep = sleep
+        self._shed_counts = [0] * config.num_shards
+        self._last_shed_t: dict[tuple[int, int], int] = {}
+        self._queue_high_water = [0] * config.num_shards
 
     def _init_shard_metrics(self) -> None:
         """Pre-resolve per-shard metric children so the hot path is one
@@ -329,9 +442,15 @@ class StreamEngine:
             "Flush rounds that failed for each shard",
             labels=("shard",),
         )
+        shed = reg.counter(
+            "engine_shard_items_shed_total",
+            "Items dropped by the overload shed policies, per shard",
+            labels=("shard",),
+        )
         self._m_shard_items = [items.labels(s) for s in shards]
         self._m_shard_flushes = [flushes.labels(s) for s in shards]
         self._m_shard_failures = [failures.labels(s) for s in shards]
+        self._m_shard_shed = [shed.labels(s) for s in shards]
         # SHE probe gauges: refreshed by update_probe_gauges(), not the
         # hot path — see docs/observability.md for the catalogue
         self._g_probe = {
@@ -368,6 +487,11 @@ class StreamEngine:
         self._g_queue_depth = reg.gauge(
             "engine_queue_depth", "Buffered items per shard", labels=("shard",)
         )
+        self._g_queue_high_water = reg.gauge(
+            "engine_queue_depth_high_water",
+            "Deepest buffered-item count observed per shard",
+            labels=("shard",),
+        )
         self._g_shard_down = reg.gauge(
             "engine_shard_down",
             "1 when the shard has no live, trusted worker",
@@ -398,6 +522,14 @@ class StreamEngine:
 
         ``side`` selects the stream for two-stream (MH) engines and must
         be omitted otherwise.
+
+        The batch is *admitted before it is stamped*: when admission
+        control is configured (:attr:`EngineConfig.bounded`) the budgets
+        are checked first, and only the admitted arrivals receive
+        union-stream clock ticks.  A batch rejected by the ``"raise"``
+        / ``"block"`` policies — and arrivals turned away by
+        ``"shed_newest"`` — never advance the clock, so a caller that
+        backs off and retries delivers exactly the stream it meant to.
         """
         self._check_open()
         if self._two_stream:
@@ -409,10 +541,15 @@ class StreamEngine:
         arr = as_key_array(keys)
         if arr.size == 0:
             return
+        n_offered = int(arr.size)
+        sids = shard_ids(arr, self.config.num_shards, self.config.shard_seed)
+        admit = self._admit(arr, sids, side)  # may raise EngineOverloadedError
+        if admit is not None:
+            arr = arr[admit]
+            sids = sids[admit]
         t0 = self._t[side]
         times = t0 + np.arange(arr.size, dtype=np.int64)
         self._t[side] = t0 + int(arr.size)
-        sids = shard_ids(arr, self.config.num_shards, self.config.shard_seed)
         for s in range(self.config.num_shards):
             mask = sids == s
             n = int(np.count_nonzero(mask))
@@ -421,8 +558,220 @@ class StreamEngine:
             buf = self._buffers.setdefault((s, side), _ShardBuffer())
             buf.append(arr[mask], times[mask])
             self._m_shard_items[s].inc(n)
-        self.stats.record_ingest(arr.size)
+            depth = buf.count
+            if self._two_stream:
+                other = self._buffers.get((s, 1 - side))
+                if other is not None:
+                    depth += other.count
+            if depth > self._queue_high_water[s]:
+                self._queue_high_water[s] = depth
+        # offered, not admitted: arrivals a shed policy dropped still
+        # count as ingested, so the conservation identity
+        #   ingested == flushed + buffered + shed + retained_down
+        # closes.  raise/block rejections never reach this line.
+        self.stats.record_ingest(n_offered)
+        if self.config.bounded and self.config.overload_policy == "shed_oldest":
+            self._enforce_caps_shed_oldest(side)
         self._maybe_flush()
+
+    # -- admission control ---------------------------------------------------
+
+    def _shard_cap(self, s: int) -> int | None:
+        """The per-shard budget in force for shard ``s`` right now:
+        the down-shard retention cap while it is down (falling back to
+        the live cap), the live cap otherwise."""
+        cfg = self.config
+        if s in self._down and cfg.down_retention_items is not None:
+            return cfg.down_retention_items
+        return cfg.max_buffered_items
+
+    def _over_budget(
+        self, counts: np.ndarray
+    ) -> tuple[dict[int, int], bool]:
+        """Would admitting ``counts`` (incoming items per shard) breach
+        a budget?  Returns (over-budget shard -> current depth, whether
+        the engine-wide budget would be breached)."""
+        cfg = self.config
+        depths = self.queue_depths()
+        over = {}
+        for s in range(cfg.num_shards):
+            cap = self._shard_cap(s)
+            if cap is not None and counts[s] and depths[s] + int(counts[s]) > cap:
+                over[s] = depths[s]
+        over_total = (
+            cfg.max_buffered_total is not None
+            and sum(depths) + int(counts.sum()) > cfg.max_buffered_total
+        )
+        return over, over_total
+
+    def _record_shed(self, s: int, side: int, n: int) -> None:
+        """Account ``n`` items shed from shard ``s``: global and
+        per-shard counters, plus the shed-event time used by the
+        shed-in-window query caveat."""
+        if n <= 0:
+            return
+        self.stats.record_shed(n)
+        self._m_shard_shed[s].inc(n)
+        self._shed_counts[s] += n
+        mark = self._t[side]
+        prev = self._last_shed_t.get((s, side))
+        if prev is None or mark > prev:
+            self._last_shed_t[s, side] = mark
+
+    def _admit(
+        self, arr: np.ndarray, sids: np.ndarray, side: int
+    ) -> np.ndarray | None:
+        """Admission control for one ingest batch.
+
+        Returns ``None`` to admit everything (the unbounded fast path
+        and the ``shed_oldest`` policy, which admits then evicts), or a
+        boolean mask of the admitted arrivals (``shed_newest``).  The
+        ``raise`` policy — and ``block`` once its deadline passes —
+        raises :class:`EngineOverloadedError` for the whole batch
+        instead; partial admission would reorder the union stream.
+
+        Before any policy fires, flushable live buffers are drained
+        (a *relief flush*): data is never rejected or dropped while
+        room can still be made.
+        """
+        cfg = self.config
+        if not cfg.bounded:
+            return None
+        policy = cfg.overload_policy
+        if policy == "shed_oldest":
+            return None
+        counts = np.bincount(sids, minlength=cfg.num_shards)
+        deadline = (
+            self._clock() + cfg.block_timeout_s if policy == "block" else None
+        )
+        while True:
+            over, over_total = self._over_budget(counts)
+            if not over and not over_total:
+                return None
+            flushable = self._flushable_keys()
+            if flushable:
+                self._flush_buffers(flushable, strict=False)
+                over, over_total = self._over_budget(counts)
+                if not over and not over_total:
+                    return None
+            if deadline is not None and self._clock() < deadline:
+                # bounded wait: nothing drains by itself in this
+                # synchronous engine, but a supervisor thread or an
+                # injected clock can change the picture between polls
+                self._sleep(min(0.05, cfg.block_timeout_s / 10))
+                continue
+            break
+        if policy in ("raise", "block"):
+            self.stats.record_rejected(int(arr.size))
+            limits = {self._shard_cap(s) for s in over} - {None}
+            parts = []
+            if over:
+                parts.append(
+                    "per-shard budget full: "
+                    + ", ".join(f"shard {s} depth {d}" for s, d in sorted(over.items()))
+                )
+            if over_total:
+                parts.append(
+                    f"engine-wide budget {cfg.max_buffered_total} full"
+                )
+            raise EngineOverloadedError(
+                f"ingest of {arr.size} items rejected ({'; '.join(parts)}); "
+                "no clock ticks were consumed — back off and retry",
+                shard_ids=tuple(sorted(over)),
+                depths=over,
+                limit=min(limits) if limits else None,
+                total_limit=cfg.max_buffered_total,
+                policy=policy,
+            )
+        # shed_newest: turn away exactly the overflow at the door —
+        # per over-budget shard keep the earliest arrivals that fit,
+        # then trim the batch tail for the engine-wide budget
+        depths = self.queue_depths()
+        admit = np.ones(arr.size, dtype=bool)
+        for s in over:
+            cap = self._shard_cap(s)
+            room = max(0, cap - depths[s])
+            idx = np.flatnonzero(sids == s)
+            if idx.size > room:
+                admit[idx[room:]] = False
+        if cfg.max_buffered_total is not None:
+            room_total = max(0, cfg.max_buffered_total - sum(depths))
+            kept = np.flatnonzero(admit)
+            if kept.size > room_total:
+                admit[kept[room_total:]] = False
+        dropped = sids[~admit]
+        if dropped.size:
+            drop_counts = np.bincount(dropped, minlength=cfg.num_shards)
+            for s in np.flatnonzero(drop_counts):
+                self._record_shed(int(s), side, int(drop_counts[s]))
+        return admit
+
+    def _enforce_caps_shed_oldest(self, side: int) -> None:
+        """Post-admission eviction for the ``shed_oldest`` policy: the
+        new arrivals are already stamped and buffered; evict the oldest
+        buffered items until every budget holds again.  A relief flush
+        runs first so live data drains instead of dropping."""
+        cfg = self.config
+        depths = self.queue_depths()
+        caps = [self._shard_cap(s) for s in range(cfg.num_shards)]
+        over = any(
+            cap is not None and depths[s] > cap for s, cap in enumerate(caps)
+        )
+        over_total = (
+            cfg.max_buffered_total is not None
+            and sum(depths) > cfg.max_buffered_total
+        )
+        if not over and not over_total:
+            return
+        flushable = self._flushable_keys()
+        if flushable:
+            self._flush_buffers(flushable, strict=False)
+        depths = self.queue_depths()
+        for s in range(cfg.num_shards):
+            cap = self._shard_cap(s)
+            if cap is not None and depths[s] > cap:
+                depths[s] -= self._shed_from_shard(s, depths[s] - cap)
+        if cfg.max_buffered_total is not None:
+            excess = sum(depths) - cfg.max_buffered_total
+            while excess > 0:
+                # evict globally-oldest: the shard whose front item is
+                # earliest sheds first (front chunks only, so each pass
+                # stays oldest-first at chunk granularity)
+                oldest, oldest_t = None, None
+                for (s, sd), buf in self._buffers.items():
+                    ft = buf.front_time()
+                    if ft is not None and (oldest_t is None or ft < oldest_t):
+                        oldest, oldest_t = s, ft
+                if oldest is None:
+                    break
+                shed = self._shed_from_shard(oldest, excess)
+                if shed == 0:
+                    break
+                excess -= shed
+
+    def _shed_from_shard(self, s: int, n: int) -> int:
+        """Evict up to ``n`` oldest buffered items from shard ``s``
+        (across its sides, oldest front chunk first); returns the
+        number evicted."""
+        remaining = n
+        while remaining > 0:
+            best_side, best_t, best_buf = None, None, None
+            for side in ((0, 1) if self._two_stream else (0,)):
+                buf = self._buffers.get((s, side))
+                if buf is None:
+                    continue
+                ft = buf.front_time()
+                if ft is not None and (best_t is None or ft < best_t):
+                    best_side, best_t, best_buf = side, ft, buf
+            if best_buf is None:
+                break
+            head = int(best_buf.keys[0].size)
+            dropped = best_buf.shed_oldest(min(remaining, head))
+            if dropped == 0:
+                break
+            self._record_shed(s, best_side, dropped)
+            remaining -= dropped
+        return n - remaining
 
     # alias so sketch-shaped consumers (HeavyHitters, harness drivers)
     # can drive an engine where they would drive a sketch
@@ -461,6 +810,22 @@ class StreamEngine:
         """
         self._check_open()
         self._flush_buffers(self._flushable_keys())
+
+    def tick(self) -> None:
+        """Run the time-based flush trigger without new arrivals.
+
+        ``flush_interval_s`` used to be checked only inside
+        :meth:`ingest`, so a quiet stream held buffered items (and an
+        overloaded engine its backlog) until the next arrival.  The
+        stats path calls this automatically on serial engines; drivers
+        of idle engines should call it periodically.  Cheap no-op when
+        nothing is due.
+        """
+        if self._closed:
+            return
+        interval = self.config.flush_interval_s
+        if interval is not None and self._clock() - self._last_drain >= interval:
+            self._flush_buffers(self._flushable_keys(), strict=False)
 
     # -- failure plumbing ----------------------------------------------------
 
@@ -661,8 +1026,21 @@ class StreamEngine:
                 f"engine, this one is {self.config.kind!r}"
             )
 
+    def _shards_shed_in_window(self) -> set[int]:
+        """Shards whose latest shed event is still inside the current
+        window — their portion of any answer undercounts the stream."""
+        if not self._last_shed_t:
+            return set()
+        window = self.config.window
+        return {
+            s
+            for (s, side), mark in self._last_shed_t.items()
+            if mark > self._t[side] - window
+        }
+
     def _degraded_answer(self, value, missing: set[int]) -> DegradedAnswer:
         total = self.config.num_shards
+        shed = self._shards_shed_in_window() - missing
         if missing:
             self.stats.record_degraded_query()
         return DegradedAnswer(
@@ -670,7 +1048,8 @@ class StreamEngine:
             shards_answered=total - len(missing),
             shards_total=total,
             missing_shards=tuple(sorted(missing)),
-            caveat=self._desc.degraded_caveat if missing else None,
+            caveat=self._desc.caveat(missing=bool(missing), shed=bool(shed)),
+            shed_shards=tuple(sorted(shed)),
         )
 
     def _degraded_merged(self) -> tuple[Any, set[int]]:
@@ -819,6 +1198,8 @@ class StreamEngine:
             return
         for s, depth in enumerate(self.queue_depths()):
             self._g_queue_depth.labels(str(s)).set(depth)
+        for s, hw in enumerate(self._queue_high_water):
+            self._g_queue_high_water.labels(str(s)).set(hw)
         for s in range(self.config.num_shards):
             self._g_shard_down.labels(str(s)).set(1 if s in self._down else 0)
         if self._down:
@@ -859,7 +1240,41 @@ class StreamEngine:
                     sum(f["age_hist_le"][le] for f in frames)
                 )
 
-    def stats_snapshot(self) -> dict:
+    def overload_snapshot(self) -> dict:
+        """Admission-control state for ``/statusz``: the configured
+        budgets and policy, live depths, high-water marks, per-shard
+        shed counts, and which shards shed inside the current window."""
+        cfg = self.config
+        return {
+            "policy": cfg.overload_policy,
+            "bounded": cfg.bounded,
+            "max_buffered_items": cfg.max_buffered_items,
+            "max_buffered_total": cfg.max_buffered_total,
+            "down_retention_items": cfg.down_retention_items,
+            "block_timeout_s": (
+                cfg.block_timeout_s if cfg.overload_policy == "block" else None
+            ),
+            "queue_depths": self.queue_depths(),
+            "queue_high_water": list(self._queue_high_water),
+            "items_shed_per_shard": list(self._shed_counts),
+            "items_shed_total": self.stats.items_shed,
+            "items_rejected_total": self.stats.items_rejected,
+            "shed_in_window": sorted(self._shards_shed_in_window()),
+        }
+
+    def stats_snapshot(self, *, tick: bool | None = None) -> dict:
+        """Counter snapshot; see :meth:`EngineStats.snapshot`.
+
+        ``tick`` runs the time-based flush trigger first so an idle
+        engine's buffers still drain when only stats are being read.
+        The default (``None``) ticks serial engines only: the metrics
+        exporter scrapes from its own thread, and ticking a process
+        executor there would issue worker RPCs off the engine thread.
+        """
+        if tick is None:
+            tick = isinstance(self._exec, SerialExecutor)
+        if tick and not self._closed:
+            self.tick()
         return self.stats.snapshot(
             queue_depths=self.queue_depths(), down_shards=self.down_shards
         )

@@ -27,6 +27,7 @@ __all__ = [
     "ShardDeadError",
     "ShardFailedError",
     "ShardUnrecoverableError",
+    "EngineOverloadedError",
 ]
 
 
@@ -85,3 +86,44 @@ class ShardUnrecoverableError(ShardError):
     """A shard cannot be rebuilt: replay buffer overflowed, checkpoint
     missing/corrupt, or the restart circuit breaker is open.  Strict
     queries fail with this; ``strict=False`` queries degrade instead."""
+
+
+class EngineOverloadedError(ShardError):
+    """Admission control rejected an ingest batch: buffer budgets full.
+
+    Raised by the ``"raise"`` overload policy (and by ``"block"`` once
+    its deadline passes) *before* any arrival of the batch is stamped —
+    rejected keys never consume union-stream clock ticks, so a caller
+    that backs off and retries observes exactly the stream it delivered.
+    The whole batch is rejected atomically: admitting a prefix would
+    silently reorder the union stream relative to what the caller sent.
+
+    Args:
+        message: human-readable description.
+        depths: shard id -> buffered depth at rejection time for the
+            over-budget shards.
+        limit: the per-shard budget in force for those shards (the
+            down-shard retention cap when the shard was down), None
+            when only the engine-wide budget was breached.
+        total_limit: the engine-wide budget, None when unset.
+        policy: the overload policy that escalated here (``"raise"`` or
+            ``"block"``).
+        shard_ids / worker_ids: standard :class:`ShardError`
+            attribution (the over-budget shards).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        depths: dict[int, int] | None = None,
+        limit: int | None = None,
+        total_limit: int | None = None,
+        policy: str = "raise",
+        **kw,
+    ):
+        super().__init__(message, **kw)
+        self.depths = dict(depths or {})
+        self.limit = limit
+        self.total_limit = total_limit
+        self.policy = policy

@@ -25,6 +25,15 @@ Fault semantics:
   :class:`ShardTimeoutError` (the worker is then poisoned, exactly as
   a production stall would leave it).  Delays smaller than the deadline
   would desynchronise the pipe and are rejected up front.
+* ``slow_workers={W: seconds}`` — a *slow* worker, distinct from a
+  stalled one: every op forwarded to worker ``W`` first pays
+  ``seconds`` of latency, kept strictly below the executor's
+  ``timeout_s`` so the op still completes inside its deadline.  The
+  injection round-trips a real sleep through the worker loop (send +
+  acknowledge), so the pipe stays in sync — this models a CPU-starved
+  or swapping worker that drags the whole engine's throughput down
+  without ever tripping the fault machinery, which is exactly the
+  overload regime admission control exists for.
 * ``drop_ack_ops={N}`` — forward op ``N``, let it apply, then raise
   :class:`ShardTimeoutError` as if the acknowledgement were lost.
   This is the at-least-once ambiguity that forces restart-from-
@@ -43,6 +52,7 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 
 from repro.obs import OBS_DISABLED
 from repro.service.errors import (
@@ -65,6 +75,9 @@ class ChaosExecutor:
             op index (1-based) executes.
         kill_worker_id: kill this worker instead of the op's owner.
         delay_ops: op index -> seconds to stall the owning worker first.
+        slow_workers: worker id -> seconds of latency paid before every
+            op on that worker (must stay below the executor deadline;
+            use ``delay_ops`` to trip it instead).
         drop_ack_ops: op indices whose acknowledgement is "lost" after
             the op applies.
         corrupt_checkpoint_ops: checkpoint op indices whose file is
@@ -81,6 +94,7 @@ class ChaosExecutor:
         kill_worker_after_ops: int | None = None,
         kill_worker_id: int | None = None,
         delay_ops: dict[int, float] | None = None,
+        slow_workers: dict[int, float] | None = None,
         drop_ack_ops=(),
         corrupt_checkpoint_ops=(),
     ):
@@ -88,12 +102,18 @@ class ChaosExecutor:
         self._kill_at = kill_worker_after_ops
         self._kill_worker = kill_worker_id
         self._delay_ops = dict(delay_ops or {})
+        self._slow_workers = dict(slow_workers or {})
         self._drop_ack_ops = set(drop_ack_ops)
         self._corrupt_ops = set(corrupt_checkpoint_ops)
         self._dead: set[int] = set()  # simulated deaths (serial inner)
         self.ops = 0
         self.kills: list[tuple[int, int]] = []
         self.set_obs(None)
+        for w, seconds in self._slow_workers.items():
+            if seconds <= 0:
+                raise ValueError(
+                    f"slow_workers[{w}]={seconds}s must be positive"
+                )
         timeout_s = getattr(inner, "timeout_s", None)
         if timeout_s is not None:
             for op, seconds in self._delay_ops.items():
@@ -103,6 +123,14 @@ class ChaosExecutor:
                         f"executor's timeout_s={timeout_s}s (a shorter stall "
                         "would desynchronise the ack pipe instead of timing "
                         "out)"
+                    )
+            for w, seconds in self._slow_workers.items():
+                if seconds >= timeout_s:
+                    raise ValueError(
+                        f"slow_workers[{w}]={seconds}s must stay below the "
+                        f"inner executor's timeout_s={timeout_s}s — a slow "
+                        "worker completes inside its deadline; use delay_ops "
+                        "to trip it"
                     )
 
     def set_obs(self, obs) -> None:
@@ -160,6 +188,26 @@ class ChaosExecutor:
         # serial inner: the deadline machinery doesn't exist in-process,
         # so a stall there has nothing to trip; treat it as a no-op.
 
+    def _maybe_slow(self, worker_id: int, shard_ids=()) -> None:
+        """Pay the configured latency for a slow worker before its op.
+
+        Unlike :meth:`_stall`, the sleep's acknowledgement is consumed,
+        keeping the worker pipe in sync — the subsequent real op then
+        completes inside its deadline, just late.
+        """
+        seconds = self._slow_workers.get(worker_id)
+        if not seconds:
+            return
+        self._chaos_events.labels("slow").inc()
+        send = getattr(self._inner, "_send", None)
+        if send is not None:
+            send(worker_id, ("sleep", float(seconds)), shard_ids=shard_ids)
+            self._inner._recv(
+                worker_id, op="chaos-slow", shard_ids=shard_ids
+            )
+        else:
+            time.sleep(float(seconds))
+
     def _guard(self, worker_id: int, shard_ids=()) -> None:
         if worker_id in self._dead:
             raise ShardDeadError(
@@ -183,6 +231,7 @@ class ChaosExecutor:
         worker_id = self.worker_of(shard_id)
         n = self._before_op(worker_id)
         self._guard(worker_id, shard_ids=(shard_id,))
+        self._maybe_slow(worker_id, shard_ids=(shard_id,))
         result = fn(*args)
         if n in self._drop_ack_ops:
             # the op applied, but the caller must believe the ack vanished;
@@ -253,6 +302,7 @@ class ChaosExecutor:
         worker_id = self.worker_of(shard_id)
         n = self._before_op(worker_id)
         self._guard(worker_id, shard_ids=(shard_id,))
+        self._maybe_slow(worker_id, shard_ids=(shard_id,))
         self._inner.checkpoint(shard_id, path)
         if n in self._corrupt_ops:
             self._chaos_events.labels("corrupt_checkpoint").inc()

@@ -94,6 +94,18 @@ class EngineStats:
             "engine_degraded_queries_total",
             "Queries answered with shards missing",
         )
+        # admission-control counters: items dropped by a shed policy
+        # (admitted then evicted, or turned away at the door) and whole
+        # batches rejected by the raise/block policies (those never
+        # consume union-stream clock ticks and are NOT in items_ingested)
+        self._shed = reg.counter(
+            "engine_items_shed_total",
+            "Items dropped by the overload shed policies",
+        )
+        self._rejected = reg.counter(
+            "engine_items_rejected_total",
+            "Items in batches rejected by the raise/block overload policies",
+        )
         self._flush_hist = reg.histogram(
             "engine_flush_seconds", "Buffer drain duration", buckets=_FLUSH_BUCKETS
         )
@@ -134,6 +146,12 @@ class EngineStats:
 
     def record_degraded_query(self) -> None:
         self._degraded.inc()
+
+    def record_shed(self, n: int) -> None:
+        self._shed.inc(int(n))
+
+    def record_rejected(self, n: int) -> None:
+        self._rejected.inc(int(n))
 
     # -- the original attribute surface (now registry-backed reads) ---------
 
@@ -181,6 +199,14 @@ class EngineStats:
     def degraded_queries(self) -> int:
         return int(self._degraded.value)
 
+    @property
+    def items_shed(self) -> int:
+        return int(self._shed.value)
+
+    @property
+    def items_rejected(self) -> int:
+        return int(self._rejected.value)
+
     # -- derived views ------------------------------------------------------
 
     def flush_latency_ms(self, percentiles: Iterable[float] = (50, 90, 99)) -> dict[str, float]:
@@ -209,6 +235,21 @@ class EngineStats:
     ) -> dict:
         """One flat dict of everything, for printing or scraping."""
         depths = list(queue_depths)
+        down = [int(s) for s in down_shards]
+        # conservation identity: items_ingested == items_flushed +
+        # items_buffered + items_shed + items_retained_down.  Buffered
+        # splits into live-shard queues and down-shard retention; when
+        # the caller supplies real per-shard depths those are the source
+        # of truth, otherwise fall back to counter arithmetic.
+        retained_down = sum(
+            depths[s] for s in down if 0 <= s < len(depths)
+        )
+        if depths:
+            buffered = sum(depths) - retained_down
+        else:
+            buffered = (
+                self.items_ingested - self.items_flushed - self.items_shed
+            )
         # read the clock once: under an injected clock, calling
         # checkpoint_age_s() twice could yield inconsistent None/float
         # (or two different ages) within one snapshot
@@ -217,7 +258,10 @@ class EngineStats:
             "uptime_s": round(self.uptime_s(), 3),
             "items_ingested": self.items_ingested,
             "items_flushed": self.items_flushed,
-            "items_buffered": self.items_ingested - self.items_flushed,
+            "items_buffered": buffered,
+            "items_shed": self.items_shed,
+            "items_rejected": self.items_rejected,
+            "items_retained_down": retained_down,
             "flush_count": self.flush_count,
             "query_count": self.query_count,
             "checkpoint_count": self.checkpoint_count,
@@ -232,7 +276,7 @@ class EngineStats:
             "items_replayed": self.items_replayed,
             "batches_replayed": self.batches_replayed,
             "degraded_queries": self.degraded_queries,
-            "shards_down": list(down_shards),
+            "shards_down": down,
         }
         if self.recovered_from is not None:
             out["recovered_from"] = self.recovered_from

@@ -341,7 +341,7 @@ class Supervisor:
 
     def snapshot(self) -> dict:
         """Supervision counters for dashboards."""
-        return {
+        out = {
             "replay_buffer_batches": len(self.replay),
             "replay_buffer_items": self.replay.items,
             "replay_buffer_overflowed": self.replay.overflowed,
@@ -349,3 +349,11 @@ class Supervisor:
             "base_checkpoint": str(self._base_path),
             "down_shards": sorted(self.engine._down),
         }
+        # overload context: a down shard under admission control keeps
+        # at most the retention cap buffered, and anything it shed
+        # before recovery is gone for good — dashboards correlating
+        # replay size with recovery prospects need both numbers
+        if self.engine.config.bounded:
+            out["items_shed_per_shard"] = list(self.engine._shed_counts)
+            out["overload_policy"] = self.engine.config.overload_policy
+        return out
