@@ -1,0 +1,51 @@
+"""Drift detection-delay vs false-alarm-rate curves -> BENCH_drift.json.
+
+Not a paper figure — this benchmarks the drift service the ROADMAP asks
+for.  For every distance estimator (Jaccard / cardinality / frequency)
+and every drift kind (stationary / abrupt / gradual / recurring), seeded
+synthetic streams are scored once and a sweep of ``alarm_sigma``
+thresholds replays each score series through fresh detectors, tracing
+out the delay-vs-false-alarm tradeoff.  The machine-readable grid lands
+in ``BENCH_drift.json`` at the repo root.
+
+Run:  python benchmarks/bench_drift.py [--quick] [--out PATH]
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.applications.drift.eval import sweep  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small windows / fewer seeds and thresholds (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", default=str(_REPO_ROOT / "BENCH_drift.json"),
+        help="output path (default: BENCH_drift.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    t0 = time.time()
+    payload = sweep(args.out, quick=args.quick, verbose=True)
+    n_points = sum(
+        len(points)
+        for by_drift in payload["curves"].values()
+        for points in by_drift.values()
+    )
+    print(
+        f"wrote {args.out}: {n_points} curve points "
+        f"({time.time() - t0:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,55 +1,58 @@
-"""Similarity tracking: SHE-MH following a drifting Jaccard index.
+"""Similarity drift: a detector watching the Jaccard index of two venues.
 
 Financial-tracker flavour: two exchanges publish trade streams; how
 similar are the instruments traded on each over the last window?  The
-overlap drifts over time and the sketch must follow it — exactly what a
-sliding window buys over a fixed window, and what the straw-man's
-sticky timestamps smear out.
+overlap flips every two windows, and a
+:class:`~repro.applications.drift.JaccardDistance` in ``external``
+reference mode (exchange B *is* the reference) feeds a
+:class:`~repro.applications.drift.DriftDetector` — the detector
+calibrates its own thresholds during burn-in, alarms when the overlap
+regime flips, then recovers and re-baselines on the new regime.  An
+exact-Jaccard oracle runs alongside to show what the sketch is
+tracking.
 
 Run:  python examples/similarity_drift.py
 """
 
-import numpy as np
-
-from repro import ExactJaccard, SheMinHash
-from repro.baselines import StrawmanMinHash
+from repro import ExactJaccard
+from repro.applications.drift import DriftDetector, DriftState, JaccardDistance
 from repro.datasets import relevant_pair
 
 WINDOW = 1 << 12
-DRIFT = 2 * WINDOW  # overlap flips every two windows
+DRIFT = 4 * WINDOW  # overlap flips every four windows
 
 
 def main() -> None:
     a, b = relevant_pair(
-        12 * WINDOW, 2 * WINDOW, overlap=0.7, drift_period=DRIFT, seed=5
+        16 * WINDOW, 2 * WINDOW, overlap=0.7, drift_period=DRIFT, seed=5
     )
-    mh = SheMinHash(WINDOW, num_counters=768)
-    straw = StrawmanMinHash(WINDOW, num_counters=768)
+    dist = JaccardDistance(WINDOW, mode="external", num_counters=768)
     oracle = ExactJaccard(WINDOW)
+    detector = DriftDetector("venue-overlap", burn_in=8, alarm_sigma=4.0)
 
-    print(f"SHE-MH memory {mh.memory_bytes} B vs straw-man {straw.memory_bytes} B")
-    print("\ntime(win)   exact   SHE-MH   straw-man")
-    she_err, straw_err = [], []
-    step = WINDOW // 2
-    for lo in range(0, 12 * WINDOW, step):
-        for side, s in ((0, a.items), (1, b.items)):
-            chunk = s[lo : lo + step]
-            mh.insert_many(side, chunk)
-            straw.insert_many(side, chunk)
-            oracle.insert_many(side, chunk)
-        if lo < 2 * WINDOW:
+    print(f"estimator memory {dist.memory_bytes} B; drift every {DRIFT} items")
+    print("\ntime(win)   exact   distance   state")
+    step = WINDOW // 4
+    for lo in range(0, 16 * WINDOW, step):
+        chunk_a = a.items[lo : lo + step]
+        chunk_b = b.items[lo : lo + step]
+        dist.observe(chunk_a, reference_keys=chunk_b)
+        oracle.insert_many(0, chunk_a)
+        oracle.insert_many(1, chunk_b)
+        if not dist.ready():
             continue
-        true_s = oracle.similarity()
-        e1, e2 = mh.similarity(), straw.similarity()
-        she_err.append(abs(e1 - true_s))
-        straw_err.append(abs(e2 - true_s))
-        print(f"{(lo + step) / WINDOW:8.1f}   {true_s:.3f}   {e1:6.3f}   {e2:9.3f}")
+        t = lo + step
+        before = detector.alarm_count
+        state = detector.update(dist.distance(), t)
+        flag = " <- regime change" if detector.alarm_count > before else ""
+        print(
+            f"{t / WINDOW:8.1f}   {oracle.similarity():.3f}   "
+            f"{dist.distance():8.3f}   {state.value}{flag}"
+        )
 
-    print(
-        f"\nmean |error|: SHE-MH {np.mean(she_err):.4f} "
-        f"vs straw-man {np.mean(straw_err):.4f} "
-        f"(straw-man uses {straw.memory_bytes / mh.memory_bytes:.1f}x the memory)"
-    )
+    alarms = detector.alarms()
+    print(f"\n{len(alarms)} alarm(s) at t = {[e.t for e in alarms]}")
+    print(f"overlap flips occur at multiples of t = {DRIFT}")
 
 
 if __name__ == "__main__":

@@ -1,6 +1,69 @@
-"""Applied structures over the SHE sketches (the intro's use cases)."""
+"""Applied structures over the SHE sketches (the intro's use cases).
 
-from repro.applications.anomaly import AnomalyEvent, CardinalityAnomalyDetector
-from repro.applications.heavy_hitters import HeavyHitters
+Submodules — :mod:`~repro.applications.anomaly` (cardinality anomaly
+detection), :mod:`~repro.applications.heavy_hitters` (threshold-τ heavy
+hitters), and the :mod:`~repro.applications.drift` package (streaming
+drift detection service) — are imported lazily: ``import
+repro.applications`` stays cheap, and each symbol pulls in only the
+module that defines it on first attribute access.
+"""
 
-__all__ = ["AnomalyEvent", "CardinalityAnomalyDetector", "HeavyHitters"]
+from typing import TYPE_CHECKING
+
+# public name -> defining submodule (PEP 562 lazy surface)
+_EXPORTS = {
+    "AnomalyEvent": "repro.applications.anomaly",
+    "CardinalityAnomalyDetector": "repro.applications.anomaly",
+    "HeavyHitters": "repro.applications.heavy_hitters",
+    "DriftState": "repro.applications.drift",
+    "DriftEvent": "repro.applications.drift",
+    "DriftDetector": "repro.applications.drift",
+    "CompositeDriftDetector": "repro.applications.drift",
+    "DriftMonitor": "repro.applications.drift",
+    "JaccardDistance": "repro.applications.drift",
+    "CardinalityShiftDistance": "repro.applications.drift",
+    "FrequencyProfileDivergence": "repro.applications.drift",
+    "MultiResolutionBank": "repro.applications.drift",
+    "ReferenceWindow": "repro.applications.drift",
+    "make_estimator": "repro.applications.drift",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # static analyzers see the eager imports
+    from repro.applications.anomaly import (  # noqa: F401
+        AnomalyEvent,
+        CardinalityAnomalyDetector,
+    )
+    from repro.applications.drift import (  # noqa: F401
+        CardinalityShiftDistance,
+        CompositeDriftDetector,
+        DriftDetector,
+        DriftEvent,
+        DriftMonitor,
+        DriftState,
+        FrequencyProfileDivergence,
+        JaccardDistance,
+        MultiResolutionBank,
+        ReferenceWindow,
+        make_estimator,
+    )
+    from repro.applications.heavy_hitters import HeavyHitters  # noqa: F401
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

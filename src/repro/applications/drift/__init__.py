@@ -1,0 +1,51 @@
+"""Streaming drift detection on SHE window-vs-window distances.
+
+Layers (each usable alone):
+
+* :mod:`~repro.applications.drift.distances` — window-vs-window
+  distance estimators (Jaccard / cardinality shift / frequency-profile
+  divergence) with trailing, pinned and multi-resolution references.
+* :mod:`~repro.applications.drift.detectors` — EWMA-baselined,
+  hysteretic drift state machines and the composite quorum vote.
+* :mod:`~repro.applications.drift.monitor` — the service:
+  :class:`DriftMonitor` wired to a :class:`StreamEngine` with
+  degraded-coverage alarm suppression and obs integration.
+* :mod:`~repro.applications.drift.eval` — synthetic drift injection
+  and the detection-delay / false-alarm-rate sweep.
+
+See ``docs/drift.md``.
+"""
+
+from repro.applications.drift.detectors import (
+    CompositeDriftDetector,
+    DriftDetector,
+    DriftEvent,
+    DriftState,
+)
+from repro.applications.drift.distances import (
+    DISTANCE_KINDS,
+    REFERENCE_MODES,
+    CardinalityShiftDistance,
+    FrequencyProfileDivergence,
+    JaccardDistance,
+    MultiResolutionBank,
+    ReferenceWindow,
+    make_estimator,
+)
+from repro.applications.drift.monitor import DriftMonitor
+
+__all__ = [
+    "DISTANCE_KINDS",
+    "REFERENCE_MODES",
+    "ReferenceWindow",
+    "JaccardDistance",
+    "CardinalityShiftDistance",
+    "FrequencyProfileDivergence",
+    "MultiResolutionBank",
+    "make_estimator",
+    "DriftState",
+    "DriftEvent",
+    "DriftDetector",
+    "CompositeDriftDetector",
+    "DriftMonitor",
+]

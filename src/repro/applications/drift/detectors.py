@@ -1,0 +1,354 @@
+"""Drift detector state machines over window-vs-window distance scores.
+
+A :class:`DriftDetector` consumes one scalar distance score per
+evaluation and runs the classic four-state monitor::
+
+    STABLE --(score >= warn)--> WARN --(hysteresis x >= alarm)--> ALARM
+      ^                          |                                  |
+      |<---(hysteresis x < warn)-+       (recovery x < warn)        v
+      +<--------(recovery x < warn)------------------------- RECOVERING
+
+* **Burn-in calibration.**  Unless explicit thresholds are given, the
+  first ``burn_in`` scores build an EWMA baseline and a mean-absolute
+  deviation spread; thresholds resolve to ``baseline + k * spread``
+  (``warn_sigma`` / ``alarm_sigma``), floored by ``min_spread`` so a
+  perfectly flat burn-in does not produce hair-trigger thresholds.
+* **Hysteresis.**  ALARM needs ``hysteresis`` *consecutive* scores at
+  or above the alarm threshold; returning to STABLE needs consecutive
+  quiet scores too, so a score oscillating around a threshold cannot
+  flap the state.
+* **Robust baseline.**  Only STABLE, unsuppressed scores adapt the
+  baseline (and auto-calibrated thresholds), so the excursion being
+  judged never drags the yardstick after it.  After RECOVERING ->
+  STABLE the detector re-anchors on the new regime: post-drift traffic
+  becomes the new normal instead of a permanent alarm.
+* **Suppression.**  ``update(score, suppress=True)`` — the monitor's
+  degraded-coverage path — can never *enter* ALARM: a would-be alarm is
+  recorded as a suppressed :class:`DriftEvent` instead, because a
+  distance computed while shards are down or arrivals were shed
+  measures the outage, not the stream.
+
+:class:`CompositeDriftDetector` votes across several member detectors
+(one per distance estimator): ALARM only when at least ``quorum``
+members alarm, which suppresses single-estimator noise while keeping
+sensitivity to real drift (which moves several distances at once).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.validation import require_positive_float, require_positive_int
+
+__all__ = ["DriftState", "DriftEvent", "DriftDetector", "CompositeDriftDetector"]
+
+
+class DriftState(enum.Enum):
+    STABLE = "stable"
+    WARN = "warn"
+    ALARM = "alarm"
+    RECOVERING = "recovering"
+
+
+#: gauge encoding of the states (monitor publishes these)
+STATE_CODES = {
+    DriftState.STABLE: 0,
+    DriftState.WARN: 1,
+    DriftState.ALARM: 2,
+    DriftState.RECOVERING: 3,
+}
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One state transition (or suppressed would-be transition)."""
+
+    t: int
+    state_from: DriftState
+    state_to: DriftState
+    score: float
+    threshold: float | None
+    suppressed: bool = False
+
+
+class DriftDetector:
+    """EWMA-baselined, hysteretic drift state machine (module docs).
+
+    Args:
+        name: label used in events, metrics and ``/statusz``.
+        warn_threshold / alarm_threshold: fixed thresholds; ``None``
+            (default) calibrates both from the burn-in scores.
+        burn_in: scores consumed building the baseline before any state
+            can leave STABLE.
+        ewma: baseline smoothing factor.
+        warn_sigma / alarm_sigma: calibrated thresholds sit this many
+            spread units above the baseline.
+        hysteresis: consecutive scores required to enter ALARM (and to
+            fall back from WARN to STABLE).
+        recovery_steps: consecutive quiet scores required to leave
+            ALARM (via RECOVERING) and to complete recovery.
+        min_spread: spread floor for calibration — also the floor while
+            adapting, so a long flat stretch cannot collapse the band.
+    """
+
+    def __init__(
+        self,
+        name: str = "drift",
+        *,
+        warn_threshold: float | None = None,
+        alarm_threshold: float | None = None,
+        burn_in: int = 16,
+        ewma: float = 0.1,
+        warn_sigma: float = 3.0,
+        alarm_sigma: float = 6.0,
+        hysteresis: int = 2,
+        recovery_steps: int = 4,
+        min_spread: float = 0.02,
+    ):
+        self.name = name
+        self.burn_in = require_positive_int("burn_in", burn_in)
+        self.ewma = require_positive_float("ewma", ewma)
+        self.warn_sigma = require_positive_float("warn_sigma", warn_sigma)
+        self.alarm_sigma = require_positive_float("alarm_sigma", alarm_sigma)
+        self.hysteresis = require_positive_int("hysteresis", hysteresis)
+        self.recovery_steps = require_positive_int("recovery_steps", recovery_steps)
+        self.min_spread = require_positive_float("min_spread", min_spread)
+        if warn_threshold is not None and alarm_threshold is not None:
+            if alarm_threshold < warn_threshold:
+                raise ValueError(
+                    f"alarm_threshold {alarm_threshold} < warn_threshold "
+                    f"{warn_threshold}"
+                )
+        self._fixed_warn = warn_threshold
+        self._fixed_alarm = alarm_threshold
+        self.warn_threshold = warn_threshold
+        self.alarm_threshold = alarm_threshold
+        self.state = DriftState.STABLE
+        self.events: list[DriftEvent] = []
+        self.alarm_count = 0
+        self.suppressed_count = 0
+        self.updates = 0
+        self.last_score: float | None = None
+        self._baseline: float | None = None
+        self._spread = 0.0
+        self._seen = 0  # burn-in / re-anchor progress
+        self._hot = 0  # consecutive scores >= alarm threshold
+        self._cool = 0  # consecutive scores < warn threshold
+
+    # -- calibration ---------------------------------------------------------
+
+    @property
+    def baseline(self) -> float | None:
+        return self._baseline
+
+    @property
+    def spread(self) -> float:
+        return self._spread
+
+    @property
+    def calibrated(self) -> bool:
+        """Are both thresholds resolved (fixed or burned in)?"""
+        return self.warn_threshold is not None and self.alarm_threshold is not None
+
+    def _absorb(self, score: float) -> None:
+        """Fold one score into the EWMA baseline + spread.
+
+        The deviation is winsorized at two spreads: a slow ramp (or a
+        near-threshold excursion) cannot drag the baseline after it or
+        inflate the spread faster than stationary noise could, which
+        would otherwise legalize gradual drift score by score.
+        """
+        if self._baseline is None:
+            self._baseline = score
+            self._spread = self.min_spread
+            return
+        cap = 2.0 * self._spread
+        deviation = min(cap, max(-cap, score - self._baseline))
+        self._baseline += self.ewma * deviation
+        self._spread += self.ewma * (abs(deviation) - self._spread)
+        self._spread = max(self._spread, self.min_spread)
+
+    def _refresh_thresholds(self) -> None:
+        if self._fixed_warn is None:
+            self.warn_threshold = self._baseline + self.warn_sigma * self._spread
+        if self._fixed_alarm is None:
+            self.alarm_threshold = self._baseline + self.alarm_sigma * self._spread
+        if self.alarm_threshold < self.warn_threshold:  # fixed/calibrated mix
+            self.alarm_threshold = self.warn_threshold
+
+    def _rebaseline(self) -> None:
+        """Adopt the current regime as normal (post-recovery re-anchor)."""
+        if self._fixed_warn is None or self._fixed_alarm is None:
+            self._baseline = None
+            self._seen = 0
+            if self._fixed_warn is None:
+                self.warn_threshold = None
+            if self._fixed_alarm is None:
+                self.alarm_threshold = None
+
+    # -- the state machine ---------------------------------------------------
+
+    def _transition(
+        self, to: DriftState, t: int, score: float, threshold: float | None,
+        *, suppressed: bool = False,
+    ) -> None:
+        self.events.append(
+            DriftEvent(t, self.state, to, score, threshold, suppressed)
+        )
+        if suppressed:
+            self.suppressed_count += 1
+            return
+        if to is DriftState.ALARM:
+            self.alarm_count += 1
+        self.state = to
+
+    def update(self, score: float, t: int | None = None, *, suppress: bool = False) -> DriftState:
+        """Consume one distance score; returns the (possibly new) state.
+
+        ``t`` stamps events (default: the update ordinal).  With
+        ``suppress=True`` the score can never *enter* ALARM and never
+        adapts the baseline — would-be alarms are recorded as
+        suppressed events (degraded-coverage semantics, module docs).
+        """
+        score = float(score)
+        self.updates += 1
+        self.last_score = score
+        t = self.updates if t is None else int(t)
+        # burn-in (and post-recovery re-anchoring): absorb, then arm
+        if not self.calibrated or (self._seen < self.burn_in and self.state is DriftState.STABLE):
+            if not suppress:
+                self._absorb(score)
+                self._seen += 1
+                self._refresh_thresholds()
+            if self._seen < self.burn_in:
+                return self.state
+        over_alarm = score >= self.alarm_threshold
+        over_warn = score >= self.warn_threshold
+        self._hot = min(self._hot + 1, self.hysteresis) if over_alarm else 0
+        self._cool = min(self._cool + 1, max(self.hysteresis, self.recovery_steps)) if not over_warn else 0
+
+        if self.state in (DriftState.STABLE, DriftState.WARN):
+            if self._hot >= self.hysteresis:
+                if suppress:
+                    self._transition(
+                        DriftState.ALARM, t, score, self.alarm_threshold,
+                        suppressed=True,
+                    )
+                else:
+                    self._transition(DriftState.ALARM, t, score, self.alarm_threshold)
+            elif over_warn or over_alarm:
+                if self.state is DriftState.STABLE:
+                    self._transition(DriftState.WARN, t, score, self.warn_threshold)
+            elif self.state is DriftState.WARN:
+                if self._cool >= self.hysteresis:
+                    self._transition(DriftState.STABLE, t, score, self.warn_threshold)
+            else:  # quiet STABLE score: keep adapting the yardstick
+                if not suppress:
+                    self._absorb(score)
+                    self._refresh_thresholds()
+        elif self.state is DriftState.ALARM:
+            if self._cool >= self.recovery_steps:
+                self._transition(DriftState.RECOVERING, t, score, self.warn_threshold)
+                self._cool = 0
+        elif self.state is DriftState.RECOVERING:
+            if self._hot >= self.hysteresis:
+                if suppress:
+                    self._transition(
+                        DriftState.ALARM, t, score, self.alarm_threshold,
+                        suppressed=True,
+                    )
+                else:
+                    self._transition(DriftState.ALARM, t, score, self.alarm_threshold)
+            elif self._cool >= self.recovery_steps:
+                self._transition(DriftState.STABLE, t, score, self.warn_threshold)
+                self._rebaseline()
+        return self.state
+
+    # -- introspection -------------------------------------------------------
+
+    def alarms(self) -> list[DriftEvent]:
+        """Unsuppressed transitions into ALARM, oldest first."""
+        return [
+            e for e in self.events
+            if e.state_to is DriftState.ALARM and not e.suppressed
+        ]
+
+    def snapshot(self) -> dict:
+        """JSON-safe state for ``/statusz`` and dashboards."""
+        return {
+            "name": self.name,
+            "state": self.state.value,
+            "last_score": self.last_score,
+            "baseline": self._baseline,
+            "spread": self._spread,
+            "warn_threshold": self.warn_threshold,
+            "alarm_threshold": self.alarm_threshold,
+            "calibrated": self.calibrated,
+            "updates": self.updates,
+            "alarms_total": self.alarm_count,
+            "alarms_suppressed_total": self.suppressed_count,
+        }
+
+
+class CompositeDriftDetector:
+    """Quorum vote across member detectors (one per distance estimator).
+
+    Args:
+        members: ``name -> DriftDetector`` mapping.
+        quorum: members that must be in ALARM for the composite to
+            alarm (clamped to the member count).
+    """
+
+    def __init__(self, members: dict[str, DriftDetector], *, quorum: int = 2):
+        if not members:
+            raise ValueError("composite detector needs at least one member")
+        self.members = dict(members)
+        self.quorum = min(require_positive_int("quorum", quorum), len(self.members))
+        self.state = DriftState.STABLE
+        self.events: list[DriftEvent] = []
+        self.alarm_count = 0
+
+    def update(
+        self,
+        scores: dict[str, float],
+        t: int | None = None,
+        *,
+        suppress: bool = False,
+    ) -> DriftState:
+        """Feed each member its score; recompute the composite state.
+
+        Members absent from ``scores`` keep their current state (their
+        estimator was not ready this evaluation).
+        """
+        for name, score in scores.items():
+            self.members[name].update(score, t, suppress=suppress)
+        states = [d.state for d in self.members.values()]
+        n_alarm = sum(s is DriftState.ALARM for s in states)
+        if n_alarm >= self.quorum:
+            new = DriftState.ALARM
+        elif any(s in (DriftState.WARN, DriftState.ALARM) for s in states):
+            new = DriftState.WARN
+        elif any(s is DriftState.RECOVERING for s in states):
+            new = DriftState.RECOVERING
+        else:
+            new = DriftState.STABLE
+        if new is not self.state:
+            worst = max(
+                (d.last_score or 0.0 for d in self.members.values()), default=0.0
+            )
+            self.events.append(DriftEvent(
+                t if t is not None else -1, self.state, new, worst, None,
+            ))
+            if new is DriftState.ALARM:
+                self.alarm_count += 1
+            self.state = new
+        return self.state
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state.value,
+            "quorum": self.quorum,
+            "alarms_total": self.alarm_count,
+            "members": {n: d.snapshot() for n, d in self.members.items()},
+        }

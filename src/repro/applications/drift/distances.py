@@ -1,0 +1,620 @@
+"""Window-vs-window distance estimators on SHE sketches.
+
+Drift detection compares the *live* sliding window against a
+*reference* window of the same stream.  SHE makes the comparisons cheap
+because every sketch is mergeable and clock-aligned snapshots are exact
+(:mod:`repro.core.merge`), so a reference is either a second small
+sketch trailing the live one, or a frozen ``merge_many([live])``
+snapshot.  (The one exception is *pinned* Jaccard: SHE-MH's two sides
+must share a clock phase to be comparable, so its pin stores one exact
+window of keys — see :class:`JaccardDistance`.)
+
+Three estimators, one per query family:
+
+* :class:`JaccardDistance` — SHE-MH similarity between the live and
+  reference windows; drift in *key identity* (new keys replace old).
+* :class:`CardinalityShiftDistance` — SHE-HLL distinct counts; drift in
+  *stream width* (scans, churn, key-space growth or collapse).
+* :class:`FrequencyProfileDivergence` — SHE-CM frequency profiles over
+  a tracked hot-key set; drift in *mass allocation* (the heavy hitters
+  change even when the key pool does not), per the learning-augmented
+  frequency-estimation line of work.
+
+Reference policies (:class:`ReferenceWindow`):
+
+* ``trailing`` — the reference sketch sees the same stream delayed by
+  ``lag`` items, so it always covers the window just behind the live
+  one.  The steady-state policy.
+* ``pinned`` — :meth:`ReferenceWindow.pin` freezes a snapshot of the
+  live sketch via ``merge_many([live])`` (clone + merge, so the copy is
+  prepared at the pin clock and never ages).  Baseline-vs-now
+  monitoring against a known-good epoch; :class:`JaccardDistance` pins
+  by exact-window replay instead (class docs).
+* ``external`` — the caller feeds the reference side explicitly (e.g.
+  a second exchange's stream, a canary vs control split).
+
+Multi-resolution references (:class:`MultiResolutionBank`) run one
+estimator per window scale (1x/2x/4x by default) so an alarm can be
+*localized*: a coarse reference dilutes fresh drift, so the smallest
+scale whose distance is elevated bounds how long ago drift began —
+the interval-query idea of "Heavy Hitters over Interval Queries"
+applied to drift onset.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.common.validation import (
+    as_key_array,
+    require_positive_float,
+    require_positive_int,
+)
+from repro.core.merge import merge_many
+from repro.core.she_cm import SheCountMin
+from repro.core.she_hll import SheHyperLogLog
+from repro.core.she_mh import SheMinHash
+
+__all__ = [
+    "REFERENCE_MODES",
+    "DISTANCE_KINDS",
+    "ReferenceWindow",
+    "JaccardDistance",
+    "CardinalityShiftDistance",
+    "FrequencyProfileDivergence",
+    "MultiResolutionBank",
+    "make_estimator",
+]
+
+REFERENCE_MODES = ("trailing", "pinned", "external")
+
+#: estimator kinds accepted by :func:`make_estimator`
+DISTANCE_KINDS = ("jaccard", "cardinality", "frequency")
+
+
+def _check_mode(mode: str) -> str:
+    if mode not in REFERENCE_MODES:
+        raise ValueError(
+            f"reference mode must be one of {REFERENCE_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+class _LagBuffer:
+    """FIFO of key chunks releasing items ``lag`` positions behind."""
+
+    __slots__ = ("lag", "_chunks", "_buffered")
+
+    def __init__(self, lag: int):
+        self.lag = require_positive_int("lag", lag)
+        self._chunks: deque[np.ndarray] = deque()
+        self._buffered = 0
+
+    def push(self, keys: np.ndarray) -> list[np.ndarray]:
+        """Buffer ``keys``; return the chunks now older than ``lag``."""
+        if keys.size:
+            self._chunks.append(keys)
+            self._buffered += int(keys.size)
+        released: list[np.ndarray] = []
+        while self._buffered > self.lag:
+            head = self._chunks[0]
+            take = min(int(head.size), self._buffered - self.lag)
+            if take == int(head.size):
+                released.append(self._chunks.popleft())
+            else:
+                released.append(head[:take])
+                self._chunks[0] = head[take:]
+            self._buffered -= take
+        return released
+
+
+class ReferenceWindow:
+    """The reference side of a window-vs-window comparison.
+
+    Args:
+        live: the live single-stream sketch being compared against
+            (supplies ``clone_empty`` geometry and pin snapshots).
+        mode: ``"trailing"`` / ``"pinned"`` / ``"external"`` (see
+            module docs).
+        lag: trailing delay in items (default: the live window, so the
+            reference covers the window immediately behind the live
+            one).
+        window: reference window size (default: the live window).  A
+            larger window needs ``factory`` since it changes geometry.
+        factory: ``factory(window) -> sketch`` for reference windows
+            that differ from the live geometry (multi-resolution).
+    """
+
+    def __init__(
+        self,
+        live,
+        *,
+        mode: str = "trailing",
+        lag: int | None = None,
+        window: int | None = None,
+        factory=None,
+    ):
+        self.mode = _check_mode(mode)
+        self._live = live
+        base_window = int(live.config.window)
+        self.window = require_positive_int(
+            "window", base_window if window is None else window
+        )
+        if self.window != base_window and factory is None:
+            raise ValueError(
+                f"reference window {self.window} != live window "
+                f"{base_window}; pass factory= to build it"
+            )
+        self._sketch = None
+        self._buf: _LagBuffer | None = None
+        if mode == "trailing":
+            self._sketch = (
+                factory(self.window) if factory is not None else live.clone_empty()
+            )
+            self._buf = _LagBuffer(base_window if lag is None else lag)
+        elif mode == "external":
+            self._sketch = (
+                factory(self.window) if factory is not None else live.clone_empty()
+            )
+        # pinned: no sketch until pin() snapshots the live side
+
+    @property
+    def lag(self) -> int | None:
+        return self._buf.lag if self._buf is not None else None
+
+    @property
+    def sketch(self):
+        """The current reference sketch (None before a pin)."""
+        return self._sketch
+
+    def observe(self, keys: np.ndarray) -> None:
+        """Tap of the live stream (trailing mode buffers and delays)."""
+        if self._buf is not None:
+            for chunk in self._buf.push(keys):
+                self._sketch.insert_many(chunk)
+
+    def observe_reference(self, keys: np.ndarray) -> None:
+        """Feed the reference side directly (external mode only)."""
+        if self.mode != "external":
+            raise ValueError(
+                f"observe_reference is for external references, mode is "
+                f"{self.mode!r}"
+            )
+        self._sketch.insert_many(keys)
+
+    def pin(self) -> None:
+        """Freeze the live window as the reference (pinned mode).
+
+        The snapshot is ``merge_many([live])`` — a clone prepared at
+        the pin clock, so its content never ages while the live sketch
+        moves on.  Re-pinning replaces the snapshot (epoch rotation).
+        """
+        if self.mode != "pinned":
+            raise ValueError(f"pin() is for pinned references, mode is {self.mode!r}")
+        self._sketch = merge_many([self._live])
+
+    def ready(self) -> bool:
+        """Does the reference hold a full window yet?"""
+        if self.mode == "pinned":
+            return self._sketch is not None
+        return int(self._sketch.t) >= self.window
+
+
+class _EstimatorBase:
+    """Shared observe/reference plumbing for the single-stream estimators."""
+
+    name = "distance"
+
+    def __init__(self, live, *, mode, lag, window=None, factory=None):
+        self._live = live
+        self.reference = ReferenceWindow(
+            live, mode=mode, lag=lag, window=window, factory=factory
+        )
+
+    @property
+    def window(self) -> int:
+        return int(self._live.config.window)
+
+    @property
+    def mode(self) -> str:
+        return self.reference.mode
+
+    def observe(self, keys, reference_keys=None) -> None:
+        """Feed a batch of live arrivals (and, externally, reference ones)."""
+        keys = as_key_array(keys)
+        if keys.size:
+            self._live.insert_many(keys)
+            self.reference.observe(keys)
+        if reference_keys is not None:
+            self.reference.observe_reference(as_key_array(reference_keys))
+
+    def pin(self) -> None:
+        self.reference.pin()
+
+    def ready(self) -> bool:
+        """Both windows hold enough stream for the distance to mean much."""
+        return int(self._live.t) >= self.window and self.reference.ready()
+
+    def distance(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def memory_bytes(self) -> int:
+        ref = self.reference.sketch
+        return self._live.memory_bytes + (ref.memory_bytes if ref is not None else 0)
+
+
+class JaccardDistance:
+    """``1 - Jaccard(live window, reference window)`` via SHE-MH.
+
+    One two-stream :class:`SheMinHash` holds both sides: side 0 is the
+    live stream, side 1 the reference stream per the chosen policy.
+
+    Pinned mode cannot freeze side 1's clock the way single-stream
+    sketches pin via clone+merge: SHE-MH legality is a rotating phase
+    band per side, so two sides at different clocks have (almost) no
+    legal counters in common.  Instead, :meth:`pin` stores the pinned
+    window's keys exactly (``8 * N`` bytes) and *replays* them into
+    side 1 in lockstep with live arrivals — side 1's clock stays
+    aligned with side 0 while its content stays the pinned window.
+
+    Args:
+        window: sliding-window size N per side.
+        num_counters: MinHash functions M (accuracy ~ 1/sqrt(M)).
+        mode: reference policy (module docs).
+        lag: trailing delay (default N).
+        seed: column-hash seed.
+        frame: SHE frame kind.
+    """
+
+    name = "jaccard"
+
+    def __init__(
+        self,
+        window: int,
+        *,
+        num_counters: int = 2048,
+        mode: str = "trailing",
+        lag: int | None = None,
+        seed: int = 11,
+        frame: str = "hardware",
+    ):
+        self.mode = _check_mode(mode)
+        self._mh = SheMinHash(window, num_counters, seed=seed, frame=frame)
+        self._buf = (
+            _LagBuffer(window if lag is None else lag)
+            if mode == "trailing"
+            else None
+        )
+        # pinned mode: the last <= N live keys, promoted to the exact
+        # pinned window by pin(), then replayed cyclically into side 1
+        self._recent: deque[np.ndarray] = deque()
+        self._recent_size = 0
+        self._pin_keys: np.ndarray | None = None
+        self._pin_pos = 0
+
+    @property
+    def window(self) -> int:
+        return int(self._mh.config.window)
+
+    @property
+    def lag(self) -> int | None:
+        return self._buf.lag if self._buf is not None else None
+
+    def observe(self, keys, reference_keys=None) -> None:
+        keys = as_key_array(keys)
+        if keys.size:
+            self._mh.insert_many(0, keys)
+            if self._buf is not None:
+                for chunk in self._buf.push(keys):
+                    self._mh.insert_many(1, chunk)
+            elif self.mode == "pinned":
+                if self._pin_keys is None:
+                    # pre-pin: mirror the live stream (and remember the
+                    # last window of it, the pin candidate)
+                    self._mh.insert_many(1, keys)
+                    self._recent.append(keys)
+                    self._recent_size += int(keys.size)
+                    while (
+                        self._recent_size - int(self._recent[0].size)
+                        >= self.window
+                    ):
+                        self._recent_size -= int(self._recent.popleft().size)
+                else:
+                    self._mh.insert_many(1, self._replay(int(keys.size)))
+        if reference_keys is not None:
+            if self.mode != "external":
+                raise ValueError(
+                    f"reference_keys is for external references, mode is "
+                    f"{self.mode!r}"
+                )
+            self._mh.insert_many(1, as_key_array(reference_keys))
+
+    def _replay(self, n: int) -> np.ndarray:
+        """The next ``n`` pinned-window keys, cycling."""
+        reps = []
+        pos = self._pin_pos
+        size = int(self._pin_keys.size)
+        while n > 0:
+            take = min(n, size - pos)
+            reps.append(self._pin_keys[pos : pos + take])
+            n -= take
+            pos = (pos + take) % size
+        self._pin_pos = pos
+        return np.concatenate(reps) if len(reps) > 1 else reps[0]
+
+    def pin(self) -> None:
+        """Freeze the current window as the reference (pinned mode).
+
+        Snapshots the last (up to) N live keys exactly; from here on
+        side 1 replays them in lockstep with live arrivals (class docs).
+        Re-pinning later re-snapshots the *pinned* stream, not the live
+        one, so pin once per epoch from live data.
+        """
+        if self.mode != "pinned":
+            raise ValueError(f"pin() is for pinned references, mode is {self.mode!r}")
+        if not self._recent:
+            raise ValueError("nothing observed yet; pin() needs a live window")
+        window = np.concatenate(self._recent)[-self.window :]
+        self._pin_keys = window
+        self._pin_pos = 0
+        self._recent.clear()
+        self._recent_size = 0
+
+    def ready(self) -> bool:
+        w = self.window
+        if self.mode == "pinned":
+            return self._pin_keys is not None and self._mh.counts[0] >= w
+        return self._mh.counts[0] >= w and self._mh.counts[1] >= w
+
+    def distance(self) -> float:
+        """``1 - similarity`` clamped into [0, 1]."""
+        return float(min(1.0, max(0.0, 1.0 - self._mh.similarity())))
+
+    def similarity(self) -> float:
+        return float(self._mh.similarity())
+
+    @property
+    def memory_bytes(self) -> int:
+        extra = self._recent_size + (
+            int(self._pin_keys.size) if self._pin_keys is not None else 0
+        )
+        return self._mh.memory_bytes + 8 * extra
+
+
+class CardinalityShiftDistance(_EstimatorBase):
+    """Relative distinct-count shift between the two windows via SHE-HLL.
+
+    ``distance = 1 - min(c_live, c_ref) / max(c_live, c_ref)`` — 0 when
+    the windows hold equally many distinct keys, approaching 1 when one
+    side's key space collapses or explodes.  Insensitive to *which*
+    keys changed (that is :class:`JaccardDistance`'s job).
+    """
+
+    name = "cardinality"
+
+    def __init__(
+        self,
+        window: int,
+        *,
+        num_registers: int = 1024,
+        mode: str = "trailing",
+        lag: int | None = None,
+        seed: int = 13,
+        frame: str = "hardware",
+        window_scale: int = 1,
+    ):
+        require_positive_int("window_scale", window_scale)
+        live = SheHyperLogLog(window, num_registers, seed=seed, frame=frame)
+        factory = (
+            (lambda w: SheHyperLogLog(w, num_registers, seed=seed, frame=frame))
+            if window_scale != 1
+            else None
+        )
+        super().__init__(
+            live,
+            mode=mode,
+            lag=lag,
+            window=window * window_scale if window_scale != 1 else None,
+            factory=factory,
+        )
+
+    def distance(self) -> float:
+        ref = self.reference.sketch
+        c_live = float(self._live.cardinality())
+        c_ref = float(ref.cardinality())
+        hi = max(c_live, c_ref)
+        if hi <= 0.0:
+            return 0.0
+        return float(min(1.0, max(0.0, 1.0 - min(c_live, c_ref) / hi)))
+
+
+class FrequencyProfileDivergence(_EstimatorBase):
+    """Total-variation-style divergence of hot-key frequency profiles.
+
+    A small exact set of *tracked keys* — the hottest keys by live
+    SHE-CM estimate, refreshed on every batch — anchors the comparison:
+    both windows' estimated counts over the tracked set are normalised
+    into profiles p (live) and q (reference) and the distance is
+    ``0.5 * sum |p - q|``.  Keys that newly dominate the live window
+    enter the tracked set with near-zero reference mass (and vice
+    versa), so heavy-hitter churn registers even when cardinality and
+    Jaccard barely move.
+
+    Args:
+        window: sliding-window size N.
+        num_counters: SHE-CM counters per window.
+        track_keys: tracked hot-key budget.
+        mode / lag / seed / frame: as the other estimators.
+    """
+
+    name = "frequency"
+
+    def __init__(
+        self,
+        window: int,
+        *,
+        num_counters: int = 4096,
+        track_keys: int = 128,
+        mode: str = "trailing",
+        lag: int | None = None,
+        seed: int = 17,
+        frame: str = "hardware",
+        window_scale: int = 1,
+    ):
+        require_positive_int("window_scale", window_scale)
+        live = SheCountMin(window, num_counters, seed=seed, frame=frame)
+        factory = (
+            (lambda w: SheCountMin(w, num_counters, seed=seed, frame=frame))
+            if window_scale != 1
+            else None
+        )
+        super().__init__(
+            live,
+            mode=mode,
+            lag=lag,
+            window=window * window_scale if window_scale != 1 else None,
+            factory=factory,
+        )
+        self.track_keys = require_positive_int("track_keys", track_keys)
+        self._tracked: dict[int, float] = {}
+
+    def observe(self, keys, reference_keys=None) -> None:
+        keys = as_key_array(keys)
+        super().observe(keys, reference_keys)
+        if keys.size == 0:
+            return
+        # refresh the tracked hot set from this batch's distinct keys
+        distinct = np.unique(keys)
+        est = self._live.frequency_many(distinct)
+        for k, e in zip(distinct.tolist(), est.tolist()):
+            self._tracked[int(k)] = float(e)
+        if len(self._tracked) > self.track_keys:
+            self._revalidate()
+
+    def _revalidate(self) -> None:
+        """Re-estimate every tracked key; keep the hottest ``track_keys``."""
+        if not self._tracked:
+            return
+        arr = np.fromiter(self._tracked.keys(), dtype=np.uint64)
+        est = self._live.frequency_many(arr)
+        order = np.argsort(-est, kind="stable")[: self.track_keys]
+        self._tracked = {
+            int(arr[i]): float(est[i]) for i in order
+        }
+
+    def tracked(self) -> np.ndarray:
+        """The current tracked key set (hottest first)."""
+        self._revalidate()
+        arr = np.fromiter(self._tracked.keys(), dtype=np.uint64)
+        return arr
+
+    def distance(self) -> float:
+        keys = self.tracked()
+        if keys.size == 0:
+            return 0.0
+        ref = self.reference.sketch
+        p = self._live.frequency_many(keys).astype(np.float64)
+        q = ref.frequency_many(keys).astype(np.float64)
+        ps, qs = float(p.sum()), float(q.sum())
+        if ps <= 0.0 and qs <= 0.0:
+            return 0.0
+        if ps <= 0.0 or qs <= 0.0:
+            return 1.0
+        tv = 0.5 * float(np.abs(p / ps - q / qs).sum())
+        return float(min(1.0, max(0.0, tv)))
+
+
+_FACTORIES = {
+    "jaccard": JaccardDistance,
+    "cardinality": CardinalityShiftDistance,
+    "frequency": FrequencyProfileDivergence,
+}
+
+
+def make_estimator(kind: str, window: int, **kwargs):
+    """Build a distance estimator by kind string.
+
+    ``kind`` is one of :data:`DISTANCE_KINDS`; ``kwargs`` forward to
+    the estimator constructor (``mode``, ``lag``, sizes, ``seed``).
+    """
+    try:
+        cls = _FACTORIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"estimator kind must be one of {DISTANCE_KINDS}, got {kind!r}"
+        ) from None
+    return cls(window, **kwargs)
+
+
+class MultiResolutionBank:
+    """One estimator per reference scale, for drift-onset localization.
+
+    Scale ``s`` compares the live window (N items) against a reference
+    window of ``s * N`` items trailing directly behind it.  Fresh drift
+    contaminates a coarse reference ``s`` times slower than a fine one,
+    so right after onset *every* scale is elevated, and as drifted data
+    floods the references the fine scales decay back first.  The
+    smallest still-elevated scale therefore bounds how long ago drift
+    began: :meth:`localize` returns that bound in items.
+
+    Args:
+        kind: estimator kind (:data:`DISTANCE_KINDS`); ``"jaccard"`` is
+            excluded (SHE-MH sides share one window size).
+        window: live window size N.
+        scales: reference window multipliers, ascending.
+        estimator_kwargs: forwarded to every member estimator.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        window: int,
+        *,
+        scales: tuple[int, ...] = (1, 2, 4),
+        **estimator_kwargs,
+    ):
+        if kind == "jaccard":
+            raise ValueError(
+                "multi-resolution references need per-side window sizes; "
+                "SHE-MH shares one — use 'cardinality' or 'frequency'"
+            )
+        if not scales or any(s < 1 for s in scales):
+            raise ValueError(f"scales must be positive ints, got {scales!r}")
+        self.window = require_positive_int("window", window)
+        self.scales = tuple(sorted(set(int(s) for s in scales)))
+        estimator_kwargs.setdefault("mode", "trailing")
+        estimator_kwargs.setdefault("lag", window)
+        self.members = {
+            s: make_estimator(kind, window, window_scale=s, **estimator_kwargs)
+            for s in self.scales
+        }
+
+    def observe(self, keys) -> None:
+        keys = as_key_array(keys)
+        for member in self.members.values():
+            member.observe(keys)
+
+    def distances(self) -> dict[int, float]:
+        """Per-scale distance (NaN until that scale's reference fills)."""
+        return {
+            s: (m.distance() if m.ready() else float("nan"))
+            for s, m in self.members.items()
+        }
+
+    def localize(self, threshold: float) -> int | None:
+        """Upper bound, in items, on how long ago drift began.
+
+        The smallest ready scale ``s`` whose distance meets
+        ``threshold`` says drift entered within the last
+        ``s * N + lag`` items; ``None`` when no scale is elevated.
+        """
+        require_positive_float("threshold", threshold)
+        for s in self.scales:
+            member = self.members[s]
+            if member.ready() and member.distance() >= threshold:
+                lag = member.reference.lag or 0
+                return s * self.window + lag
+        return None

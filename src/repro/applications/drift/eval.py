@@ -1,0 +1,353 @@
+"""Synthetic drift evaluation: detection delay vs false-alarm rate.
+
+The injected drift is a *mixture shift*: after onset, a fraction of
+arrivals is redirected into a disjoint alternate key pool (twice the
+universe, flatter skew, keys offset far above the base pool).  One
+mechanism moves all three distances at once — key identity (Jaccard),
+distinct count (cardinality, the alternate pool is wider), and hot-key
+mass (frequency divergence, the alternate pool's law is flatter).
+
+Drift kinds (:data:`DRIFT_KINDS`):
+
+* ``none`` — stationary control; every alarm is a false alarm.
+* ``abrupt`` — the mixture fraction steps to ``drift_frac`` at onset.
+* ``gradual`` — it ramps linearly from 0 to ``drift_frac`` over
+  ``ramp`` items after onset.
+* ``recurring`` — it alternates between ``drift_frac`` and 0 every
+  ``period`` items after onset (regime flapping).
+
+:func:`score_series` runs a stream through one estimator once and
+records the (t, distance) series; :func:`detect` replays a series
+through a fresh :class:`DriftDetector` — so :func:`sweep` pays each
+stream once and sweeps ``alarm_sigma`` for free, emitting
+``BENCH_drift.json`` with per-estimator, per-drift-kind curves of
+detection delay and false-alarm rate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.applications.drift.detectors import DriftDetector
+from repro.applications.drift.distances import DISTANCE_KINDS, make_estimator
+from repro.datasets.zipf import BoundedZipf
+
+__all__ = [
+    "DRIFT_KINDS",
+    "DetectionResult",
+    "drift_stream",
+    "score_series",
+    "detect",
+    "run_detection",
+    "sweep",
+]
+
+DRIFT_KINDS = ("none", "abrupt", "gradual", "recurring")
+
+#: alternate-pool keys live far above any base-pool key (base keys are
+#: 32-bit; see repro.datasets.zipf.BoundedZipf key_bits)
+_ALT_OFFSET = np.uint64(1) << np.uint64(40)
+
+
+def _mix_fraction(t: int, *, kind: str, onset: int, drift_frac: float,
+                  ramp: int, period: int) -> float:
+    """Alternate-pool mixture fraction at stream position ``t``."""
+    if kind == "none" or t < onset:
+        return 0.0
+    if kind == "abrupt":
+        return drift_frac
+    if kind == "gradual":
+        return drift_frac * min(1.0, (t - onset) / ramp)
+    if kind == "recurring":
+        return drift_frac if ((t - onset) // period) % 2 == 0 else 0.0
+    raise ValueError(f"drift kind must be one of {DRIFT_KINDS}, got {kind!r}")
+
+
+def drift_stream(
+    n: int,
+    *,
+    kind: str = "abrupt",
+    onset: int | None = None,
+    drift_frac: float = 0.75,
+    ramp: int | None = None,
+    period: int | None = None,
+    universe: int = 1 << 14,
+    skew: float = 1.1,
+    batch: int = 512,
+    seed: int = 0,
+):
+    """Yield uint64 key batches of a stream with injected drift.
+
+    ``onset`` defaults to ``n // 2``; ``ramp`` (gradual) to ``n // 4``;
+    ``period`` (recurring) to ``n // 8``.  ``kind="none"`` ignores all
+    drift parameters and yields a stationary Zipf stream.
+    """
+    if kind not in DRIFT_KINDS:
+        raise ValueError(f"drift kind must be one of {DRIFT_KINDS}, got {kind!r}")
+    onset = n // 2 if onset is None else int(onset)
+    ramp = max(1, n // 4 if ramp is None else int(ramp))
+    period = max(1, n // 8 if period is None else int(period))
+    rng = np.random.default_rng(seed)
+    base = BoundedZipf(universe, skew, seed=seed)
+    alt = BoundedZipf(2 * universe, max(0.1, skew - 0.6), seed=seed + 9001)
+    t = 0
+    while t < n:
+        b = min(batch, n - t)
+        frac = _mix_fraction(
+            t, kind=kind, onset=onset, drift_frac=drift_frac,
+            ramp=ramp, period=period,
+        )
+        keys = base.sample(b)
+        if frac > 0.0:
+            mask = rng.random(b) < frac
+            n_alt = int(mask.sum())
+            if n_alt:
+                keys = keys.copy()
+                keys[mask] = alt.sample(n_alt) + _ALT_OFFSET
+        yield keys
+        t += b
+
+
+def score_series(
+    estimator_kind: str,
+    *,
+    window: int = 1 << 12,
+    n: int | None = None,
+    eval_every: int | None = None,
+    drift_kind: str = "abrupt",
+    onset: int | None = None,
+    seed: int = 0,
+    estimator_kwargs: dict | None = None,
+    **stream_kwargs,
+) -> tuple[list[tuple[int, float]], int]:
+    """Run one stream through one estimator; return ([(t, score)], onset).
+
+    Scores start once both windows are warm (``estimator.ready()``) and
+    are spaced ``eval_every`` (default ``window // 4``) items apart.
+    """
+    n = 16 * window if n is None else int(n)
+    eval_every = max(1, window // 4) if eval_every is None else int(eval_every)
+    onset = n // 2 if onset is None else int(onset)
+    # keep the key universe proportional to the window: a universe far
+    # wider than one window makes adjacent windows nearly disjoint and
+    # buries the drift signal in baseline Jaccard distance
+    stream_kwargs.setdefault("universe", 4 * window)
+    est = make_estimator(
+        estimator_kind, window, mode="trailing", **(estimator_kwargs or {})
+    )
+    series: list[tuple[int, float]] = []
+    t = 0
+    next_eval = eval_every
+    for keys in drift_stream(
+        n, kind=drift_kind, onset=onset, seed=seed, **stream_kwargs
+    ):
+        est.observe(keys)
+        t += int(keys.size)
+        if t >= next_eval:
+            if est.ready():
+                series.append((t, est.distance()))
+            next_eval = t + eval_every
+    return series, onset
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """One (estimator, drift kind, threshold, seed) detection run."""
+
+    estimator: str
+    drift_kind: str
+    alarm_sigma: float
+    seed: int
+    onset: int | None  # None for stationary runs
+    detection_t: int | None  # first alarm at/after onset
+    detection_delay: int | None
+    false_alarms: int  # alarms before onset (all alarms when stationary)
+    evaluations: int
+    clean_evaluations: int  # evaluations that could have false-alarmed
+
+    @property
+    def detected(self) -> bool:
+        return self.detection_t is not None
+
+    @property
+    def false_alarm_rate(self) -> float:
+        if self.clean_evaluations == 0:
+            return 0.0
+        return self.false_alarms / self.clean_evaluations
+
+
+def detect(
+    series: list[tuple[int, float]],
+    *,
+    estimator: str,
+    drift_kind: str,
+    seed: int,
+    onset: int | None,
+    alarm_sigma: float = 6.0,
+    detector_kwargs: dict | None = None,
+) -> DetectionResult:
+    """Replay a score series through a fresh :class:`DriftDetector`."""
+    dk = dict(detector_kwargs or {})
+    dk.setdefault("alarm_sigma", alarm_sigma)
+    dk.setdefault("warn_sigma", min(3.0, dk["alarm_sigma"]))
+    det = DriftDetector(estimator, **dk)
+    detection_t = None
+    false_alarms = 0
+    clean = 0
+    for t, score in series:
+        before = det.alarm_count
+        det.update(score, t)
+        alarmed = det.alarm_count > before
+        if onset is None or t < onset:
+            clean += 1
+            if alarmed:
+                false_alarms += 1
+        elif alarmed and detection_t is None:
+            detection_t = t
+    return DetectionResult(
+        estimator=estimator,
+        drift_kind=drift_kind,
+        alarm_sigma=float(dk["alarm_sigma"]),
+        seed=seed,
+        onset=onset,
+        detection_t=detection_t,
+        detection_delay=None if detection_t is None else detection_t - onset,
+        false_alarms=false_alarms,
+        evaluations=len(series),
+        clean_evaluations=clean,
+    )
+
+
+def run_detection(
+    estimator_kind: str,
+    *,
+    drift_kind: str = "abrupt",
+    window: int = 1 << 12,
+    n: int | None = None,
+    seed: int = 0,
+    alarm_sigma: float = 6.0,
+    detector_kwargs: dict | None = None,
+    estimator_kwargs: dict | None = None,
+    **stream_kwargs,
+) -> DetectionResult:
+    """One end-to-end run: stream -> estimator -> detector -> result.
+
+    This is the CI smoke path: ``drift_kind="none"`` must report zero
+    false alarms at defaults, ``"abrupt"`` a bounded detection delay.
+    """
+    series, onset = score_series(
+        estimator_kind,
+        window=window,
+        n=n,
+        drift_kind=drift_kind,
+        seed=seed,
+        estimator_kwargs=estimator_kwargs,
+        **stream_kwargs,
+    )
+    return detect(
+        series,
+        estimator=estimator_kind,
+        drift_kind=drift_kind,
+        seed=seed,
+        onset=None if drift_kind == "none" else onset,
+        alarm_sigma=alarm_sigma,
+        detector_kwargs=detector_kwargs,
+    )
+
+
+def _curve_point(results: list[DetectionResult]) -> dict:
+    """Aggregate same-threshold runs into one curve point."""
+    delays = [r.detection_delay for r in results if r.detected]
+    return {
+        "alarm_sigma": results[0].alarm_sigma,
+        "runs": len(results),
+        "detected": len(delays),
+        "mean_delay": (sum(delays) / len(delays)) if delays else None,
+        "max_delay": max(delays) if delays else None,
+        "false_alarm_rate": (
+            sum(r.false_alarm_rate for r in results) / len(results)
+        ),
+        "results": [asdict(r) for r in results],
+    }
+
+
+def sweep(
+    out_path: str | None = "BENCH_drift.json",
+    *,
+    quick: bool = False,
+    window: int | None = None,
+    n: int | None = None,
+    seeds: tuple[int, ...] | None = None,
+    sigmas: tuple[float, ...] | None = None,
+    estimator_kwargs: dict | None = None,
+    verbose: bool = False,
+) -> dict:
+    """Full evaluation grid -> ``BENCH_drift.json``.
+
+    For every estimator kind and drift kind, each (seed) stream is
+    scored once and every ``alarm_sigma`` replays the same series, so
+    the curve sweep costs detectors, not sketches.  ``quick=True``
+    shrinks everything for smoke runs.
+    """
+    window = (1 << 10 if quick else 1 << 12) if window is None else window
+    n = (8 * window if quick else 16 * window) if n is None else n
+    seeds = ((1, 2) if quick else (1, 2, 3)) if seeds is None else seeds
+    sigmas = ((4.0, 8.0) if quick else (3.0, 4.0, 6.0, 8.0, 10.0)) if sigmas is None else sigmas
+    per_kind = estimator_kwargs or {}
+    curves: dict[str, dict[str, list[dict]]] = {}
+    for est_kind in DISTANCE_KINDS:
+        curves[est_kind] = {}
+        for drift_kind in DRIFT_KINDS:
+            series_by_seed = {}
+            for seed in seeds:
+                series_by_seed[seed] = score_series(
+                    est_kind,
+                    window=window,
+                    n=n,
+                    drift_kind=drift_kind,
+                    seed=seed,
+                    estimator_kwargs=per_kind.get(est_kind),
+                )
+            points = []
+            for sigma in sigmas:
+                results = [
+                    detect(
+                        series,
+                        estimator=est_kind,
+                        drift_kind=drift_kind,
+                        seed=seed,
+                        onset=None if drift_kind == "none" else onset,
+                        alarm_sigma=sigma,
+                    )
+                    for seed, (series, onset) in series_by_seed.items()
+                ]
+                points.append(_curve_point(results))
+            curves[est_kind][drift_kind] = points
+            if verbose:
+                summary = ", ".join(
+                    f"s{p['alarm_sigma']:g}:{p['detected']}/{p['runs']}"
+                    for p in points
+                )
+                print(f"{est_kind:11s} {drift_kind:9s} {summary}", flush=True)
+    payload = {
+        "bench": "drift",
+        "config": {
+            "window": window,
+            "n": n,
+            "eval_every": max(1, window // 4),
+            "seeds": list(seeds),
+            "alarm_sigmas": list(sigmas),
+            "quick": quick,
+            "estimators": list(DISTANCE_KINDS),
+            "drift_kinds": list(DRIFT_KINDS),
+        },
+        "curves": curves,
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return payload

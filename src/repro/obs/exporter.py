@@ -147,6 +147,9 @@ class MetricsExporter:
         supervisor = getattr(self.engine, "_supervisor", None)
         if supervisor is not None:
             body["supervisor"] = supervisor.snapshot()
+        drift = getattr(self.engine, "_drift_monitor", None)
+        if drift is not None:
+            body["drift"] = drift.statusz_section()
         if self.refresh_probes:
             try:
                 body["probes"] = self.engine.probe_shards()

@@ -1,0 +1,140 @@
+"""CardinalityAnomalyDetector: baseline, scoring, robustness."""
+
+import numpy as np
+import pytest
+
+from repro.applications.anomaly import AnomalyEvent, CardinalityAnomalyDetector
+
+
+class ScriptedSketch:
+    """Cardinality sketch double with a scripted estimate sequence."""
+
+    def __init__(self, estimates):
+        self.estimates = list(estimates)
+        self.inserted = 0
+        self._calls = 0
+
+    def insert_many(self, keys):
+        self.inserted += len(keys)
+
+    def cardinality(self):
+        est = self.estimates[min(self._calls, len(self.estimates) - 1)]
+        self._calls += 1
+        return est
+
+    def now(self):
+        return self.inserted
+
+
+def feed(det, n):
+    """n items in one batch (keys are irrelevant to the stub)."""
+    return det.insert_many(np.zeros(n, dtype=np.uint64))
+
+
+class TestCheckCadence:
+    def test_one_check_per_check_every_items(self):
+        sk = ScriptedSketch([100.0])
+        det = CardinalityAnomalyDetector(sk, check_every=64)
+        feed(det, 64 * 5)
+        assert sk._calls == 5
+
+    def test_batches_split_at_check_boundaries(self):
+        sk = ScriptedSketch([100.0])
+        det = CardinalityAnomalyDetector(sk, check_every=64)
+        for n in (30, 30, 30, 30, 8):  # 128 items in ragged batches
+            feed(det, n)
+        assert sk._calls == 2
+        assert sk.inserted == 128
+
+    def test_no_check_until_boundary(self):
+        sk = ScriptedSketch([100.0])
+        det = CardinalityAnomalyDetector(sk, check_every=64)
+        feed(det, 63)
+        assert sk._calls == 0
+
+
+class TestFlagging:
+    def test_stable_stream_never_flags(self):
+        sk = ScriptedSketch([100.0, 101.0, 99.0, 100.0, 102.0, 98.0, 100.0])
+        det = CardinalityAnomalyDetector(sk, check_every=8, warmup_checks=2)
+        events = feed(det, 8 * 7)
+        assert events == []
+        assert det.events == []
+
+    def test_excursion_flags_after_warmup(self):
+        # stable at ~100 for warmup, then a 10x jump
+        sk = ScriptedSketch([100.0] * 6 + [1000.0])
+        det = CardinalityAnomalyDetector(
+            sk, check_every=8, warmup_checks=4, score_threshold=4.0
+        )
+        events = feed(det, 8 * 7)
+        assert len(events) == 1
+        ev = events[0]
+        assert isinstance(ev, AnomalyEvent)
+        assert ev.estimate == 1000.0
+        assert ev.baseline == pytest.approx(100.0)
+        assert ev.score >= 4.0
+        assert ev.t == sk.now()
+
+    def test_no_flags_during_warmup(self):
+        sk = ScriptedSketch([100.0, 100.0, 1000.0, 100.0])
+        det = CardinalityAnomalyDetector(
+            sk, check_every=8, warmup_checks=4, score_threshold=4.0
+        )
+        assert feed(det, 8 * 4) == []
+
+    def test_anomalous_check_does_not_move_baseline(self):
+        sk = ScriptedSketch([100.0] * 6 + [1000.0, 1000.0])
+        det = CardinalityAnomalyDetector(
+            sk, check_every=8, warmup_checks=4, score_threshold=4.0
+        )
+        feed(det, 8 * 6)
+        base_before = det.baseline
+        events = feed(det, 8 * 2)
+        assert len(events) == 2  # both excursions flagged ...
+        assert det.baseline == base_before  # ... and neither absorbed
+
+    def test_events_accumulate_on_detector(self):
+        sk = ScriptedSketch([100.0] * 6 + [1000.0])
+        det = CardinalityAnomalyDetector(sk, check_every=8, warmup_checks=4)
+        feed(det, 8 * 6)
+        feed(det, 8)
+        assert len(det.events) == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"check_every": 0},
+            {"check_every": 8, "score_threshold": 0.0},
+            {"check_every": 8, "warmup_checks": 0},
+            {"check_every": 8, "ewma": 0.0},
+        ],
+    )
+    def test_bad_params_raise(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            CardinalityAnomalyDetector(ScriptedSketch([1.0]), **kwargs)
+
+
+class TestWithRealSketch:
+    def test_scan_detected_on_she_hll(self):
+        from repro.core.she_hll import SheHyperLogLog
+
+        rng = np.random.default_rng(7)
+        window = 1 << 10
+        det = CardinalityAnomalyDetector(
+            SheHyperLogLog(window, 1024, seed=5),
+            check_every=window // 4,
+            warmup_checks=4,
+            score_threshold=4.0,
+        )
+        # steady state: ~128 distinct keys per window
+        for _ in range(16):
+            det.insert_many(
+                rng.choice(np.arange(128, dtype=np.uint64), size=window // 4)
+            )
+        assert det.events == []
+        # scan: a burst of fresh keys floods the window
+        det.insert_many(np.arange(10_000, 10_000 + window, dtype=np.uint64))
+        assert len(det.events) >= 1

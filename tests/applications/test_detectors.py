@@ -1,0 +1,213 @@
+"""DriftDetector state machine and composite quorum voting."""
+
+import pytest
+
+from repro.applications.drift.detectors import (
+    STATE_CODES,
+    CompositeDriftDetector,
+    DriftDetector,
+    DriftState,
+)
+
+
+def make(**kw):
+    kw.setdefault("burn_in", 8)
+    kw.setdefault("hysteresis", 2)
+    kw.setdefault("recovery_steps", 3)
+    return DriftDetector("t", **kw)
+
+
+def feed(det, scores, start_t=0, suppress=False):
+    for i, s in enumerate(scores):
+        det.update(s, start_t + i, suppress=suppress)
+    return det
+
+
+class TestCalibration:
+    def test_burn_in_blocks_state_changes(self):
+        det = make()
+        feed(det, [0.2, 0.9, 0.1, 0.8, 0.2, 0.9, 0.3])  # 7 < burn_in
+        assert det.state is DriftState.STABLE
+        assert not det.calibrated or det.updates < det.burn_in
+
+    def test_thresholds_resolve_after_burn_in(self):
+        det = make()
+        feed(det, [0.2] * 8)
+        assert det.calibrated
+        assert det.baseline == pytest.approx(0.2)
+        assert det.warn_threshold > 0.2
+        assert det.alarm_threshold >= det.warn_threshold
+
+    def test_min_spread_floors_flat_burn_in(self):
+        det = make(min_spread=0.05)
+        feed(det, [0.3] * 8)
+        assert det.spread >= 0.05
+
+    def test_fixed_thresholds_bypass_calibration(self):
+        det = make(warn_threshold=0.5, alarm_threshold=0.7)
+        assert det.calibrated
+        # ordering enforced up front
+        with pytest.raises(ValueError, match="alarm_threshold"):
+            make(warn_threshold=0.7, alarm_threshold=0.5)
+
+
+class TestTransitions:
+    def test_step_drift_alarms_with_hysteresis(self):
+        det = make()
+        feed(det, [0.2] * 10)
+        det.update(0.9, 100)  # first hot score: warn, not alarm
+        assert det.state is DriftState.WARN
+        det.update(0.9, 101)  # second consecutive: alarm
+        assert det.state is DriftState.ALARM
+        assert det.alarm_count == 1
+        assert [e.state_to for e in det.events] == [
+            DriftState.WARN, DriftState.ALARM,
+        ]
+
+    def test_single_spike_does_not_alarm(self):
+        det = make()
+        feed(det, [0.2] * 10)
+        det.update(0.9, 100)
+        feed(det, [0.2, 0.2, 0.2], 101)  # cools back down
+        assert det.state is DriftState.STABLE
+        assert det.alarm_count == 0
+
+    def test_recovery_and_rebaseline_on_new_regime(self):
+        det = make()
+        feed(det, [0.2] * 10)
+        feed(det, [0.9, 0.9], 100)
+        assert det.state is DriftState.ALARM
+        # quiet scores: ALARM -> RECOVERING -> STABLE with re-anchor
+        feed(det, [0.2] * 3, 200)
+        assert det.state is DriftState.RECOVERING
+        feed(det, [0.2] * 3, 300)
+        assert det.state is DriftState.STABLE
+        # re-anchored: a fresh burn-in adopts the new regime as baseline
+        feed(det, [0.5] * 8, 400)
+        assert det.baseline == pytest.approx(0.5, abs=0.05)
+
+    def test_alarm_again_after_recovery(self):
+        det = make()
+        feed(det, [0.2] * 10)
+        feed(det, [0.9, 0.9], 100)
+        feed(det, [0.2] * 6, 200)   # recover to stable
+        feed(det, [0.2] * 8, 300)   # re-anchor burn-in
+        feed(det, [0.9, 0.9], 400)  # second drift
+        assert det.alarm_count == 2
+
+    def test_alarms_lists_unsuppressed_alarm_events(self):
+        det = make()
+        feed(det, [0.2] * 10)
+        feed(det, [0.9, 0.9], 100)
+        alarms = det.alarms()
+        assert len(alarms) == 1
+        assert alarms[0].t == 101
+        assert alarms[0].score == pytest.approx(0.9)
+
+
+class TestSuppression:
+    def test_suppressed_update_cannot_enter_alarm(self):
+        det = make()
+        feed(det, [0.2] * 10)
+        det.update(0.9, 100, suppress=True)
+        det.update(0.9, 101, suppress=True)
+        assert det.state is not DriftState.ALARM
+        assert det.alarm_count == 0
+        assert det.suppressed_count >= 1
+        sup = [e for e in det.events if e.suppressed]
+        assert sup and all(e.state_to is DriftState.ALARM for e in sup)
+
+    def test_alarm_fires_once_suppression_lifts(self):
+        det = make()
+        feed(det, [0.2] * 10)
+        feed(det, [0.9, 0.9], 100, suppress=True)
+        assert det.alarm_count == 0
+        feed(det, [0.9, 0.9], 200)  # coverage restored
+        assert det.alarm_count == 1
+
+    def test_suppressed_scores_do_not_adapt_baseline(self):
+        det = make()
+        feed(det, [0.2] * 10)
+        base = det.baseline
+        feed(det, [0.3] * 5, 100, suppress=True)
+        assert det.baseline == base
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_shaped(self):
+        det = make()
+        feed(det, [0.2] * 9)
+        snap = det.snapshot()
+        assert snap["name"] == "t"
+        assert snap["state"] == "stable"
+        assert snap["calibrated"] is True
+        assert snap["updates"] == 9
+        assert set(STATE_CODES.values()) == {0, 1, 2, 3}
+
+
+class TestComposite:
+    def two_member(self, quorum=2):
+        return CompositeDriftDetector(
+            {"a": make(), "b": make()}, quorum=quorum
+        )
+
+    def warm(self, comp, n=10):
+        for i in range(n):
+            comp.update({"a": 0.2, "b": 0.2}, i)
+
+    def test_quorum_required_for_alarm(self):
+        comp = self.two_member()
+        self.warm(comp)
+        for i in range(3):  # only one member sees drift
+            comp.update({"a": 0.9, "b": 0.2}, 100 + i)
+        assert comp.members["a"].state is DriftState.ALARM
+        assert comp.state is DriftState.WARN
+        assert comp.alarm_count == 0
+
+    def test_quorum_met_alarms(self):
+        comp = self.two_member()
+        self.warm(comp)
+        for i in range(3):
+            comp.update({"a": 0.9, "b": 0.9}, 100 + i)
+        assert comp.state is DriftState.ALARM
+        assert comp.alarm_count == 1
+
+    def test_missing_member_scores_keep_state(self):
+        comp = self.two_member(quorum=1)
+        self.warm(comp)
+        for i in range(3):
+            comp.update({"a": 0.9}, 100 + i)  # b not ready this eval
+        assert comp.members["a"].state is DriftState.ALARM
+        assert comp.members["b"].state is DriftState.STABLE
+        assert comp.state is DriftState.ALARM
+
+    def test_quorum_clamped_to_member_count(self):
+        comp = CompositeDriftDetector({"a": make()}, quorum=5)
+        assert comp.quorum == 1
+
+    def test_needs_members(self):
+        with pytest.raises(ValueError, match="member"):
+            CompositeDriftDetector({})
+
+    def test_snapshot_nests_members(self):
+        comp = self.two_member()
+        snap = comp.snapshot()
+        assert set(snap["members"]) == {"a", "b"}
+        assert snap["quorum"] == 2
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"burn_in": 0},
+            {"ewma": 0.0},
+            {"hysteresis": 0},
+            {"recovery_steps": 0},
+            {"min_spread": 0.0},
+            {"alarm_sigma": 0.0},
+        ],
+    )
+    def test_bad_params_raise(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            DriftDetector("t", **kwargs)

@@ -1,0 +1,253 @@
+"""Window-vs-window distance estimators and reference policies."""
+
+import numpy as np
+import pytest
+
+from repro.applications.drift.distances import (
+    DISTANCE_KINDS,
+    CardinalityShiftDistance,
+    FrequencyProfileDivergence,
+    JaccardDistance,
+    MultiResolutionBank,
+    ReferenceWindow,
+    _LagBuffer,
+    make_estimator,
+)
+from repro.core.she_hll import SheHyperLogLog
+
+WINDOW = 1 << 9
+
+
+def pool(rng, lo, hi, n):
+    return rng.integers(lo, hi, size=n, dtype=np.uint64)
+
+
+class TestLagBuffer:
+    def test_releases_nothing_until_lag_exceeded(self):
+        buf = _LagBuffer(100)
+        assert buf.push(np.arange(100, dtype=np.uint64)) == []
+
+    def test_fifo_order_and_exact_split(self):
+        buf = _LagBuffer(10)
+        buf.push(np.arange(10, dtype=np.uint64))
+        out = buf.push(np.arange(10, 17, dtype=np.uint64))
+        released = np.concatenate(out)
+        # 17 buffered, 10 held back -> the 7 oldest come out, in order
+        np.testing.assert_array_equal(released, np.arange(7, dtype=np.uint64))
+
+    def test_total_conservation(self):
+        rng = np.random.default_rng(1)
+        buf = _LagBuffer(37)
+        total_out = 0
+        total_in = 0
+        for _ in range(50):
+            n = int(rng.integers(1, 30))
+            total_in += n
+            total_out += sum(c.size for c in buf.push(pool(rng, 0, 100, n)))
+        assert total_in - total_out == 37
+
+
+class TestReferenceWindow:
+    def test_trailing_reference_lags_live(self):
+        live = SheHyperLogLog(WINDOW, 256, seed=2)
+        ref = ReferenceWindow(live, mode="trailing")
+        keys = np.arange(WINDOW, dtype=np.uint64)
+        live.insert_many(keys)
+        ref.observe(keys)
+        assert int(ref.sketch.t) == 0  # all still inside the lag
+        assert not ref.ready()
+        more = np.arange(WINDOW, 3 * WINDOW, dtype=np.uint64)
+        live.insert_many(more)
+        ref.observe(more)
+        assert int(ref.sketch.t) == 2 * WINDOW
+        assert ref.ready()
+
+    def test_pinned_reference_freezes_snapshot(self):
+        live = SheHyperLogLog(WINDOW, 256, seed=2)
+        ref = ReferenceWindow(live, mode="pinned")
+        assert not ref.ready()
+        live.insert_many(np.arange(WINDOW, dtype=np.uint64))
+        ref.pin()
+        assert ref.ready()
+        frozen = ref.sketch.cardinality()
+        live.insert_many(np.arange(10_000, 10_000 + 2 * WINDOW, dtype=np.uint64))
+        assert ref.sketch.cardinality() == frozen  # never ages
+        assert live.cardinality() != frozen or True  # live moved on
+
+    def test_pin_requires_pinned_mode(self):
+        live = SheHyperLogLog(WINDOW, 256)
+        with pytest.raises(ValueError, match="pinned"):
+            ReferenceWindow(live, mode="trailing").pin()
+
+    def test_external_feed_and_mode_guard(self):
+        live = SheHyperLogLog(WINDOW, 256)
+        ref = ReferenceWindow(live, mode="external")
+        ref.observe_reference(np.arange(WINDOW, dtype=np.uint64))
+        assert ref.ready()
+        with pytest.raises(ValueError, match="external"):
+            ReferenceWindow(live, mode="trailing").observe_reference(
+                np.arange(4, dtype=np.uint64)
+            )
+
+    def test_scaled_window_needs_factory(self):
+        live = SheHyperLogLog(WINDOW, 256)
+        with pytest.raises(ValueError, match="factory"):
+            ReferenceWindow(live, window=2 * WINDOW)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ReferenceWindow(SheHyperLogLog(WINDOW, 256), mode="nope")
+
+
+class TestJaccardDistance:
+    def test_identical_windows_have_near_zero_distance(self):
+        rng = np.random.default_rng(3)
+        d = JaccardDistance(WINDOW, mode="external", num_counters=1024)
+        for _ in range(4):
+            keys = pool(rng, 0, 200, WINDOW // 2)
+            d.observe(keys, reference_keys=keys)
+        assert d.ready()
+        assert d.distance() < 0.15
+
+    def test_disjoint_windows_have_near_one_distance(self):
+        rng = np.random.default_rng(4)
+        d = JaccardDistance(WINDOW, mode="external", num_counters=1024)
+        for _ in range(4):
+            d.observe(
+                pool(rng, 0, 1 << 16, WINDOW // 2),
+                reference_keys=pool(rng, 1 << 20, 1 << 24, WINDOW // 2),
+            )
+        assert d.distance() > 0.9
+
+    def test_trailing_detects_pool_swap(self):
+        rng = np.random.default_rng(5)
+        d = JaccardDistance(WINDOW, num_counters=1024)
+        for _ in range(6):
+            d.observe(pool(rng, 0, 300, WINDOW // 2))
+        stationary = d.distance()
+        # swap the key pool; one window later the live side is fully
+        # drifted while the trailing reference still holds the old pool
+        for _ in range(2):
+            d.observe(pool(rng, 1 << 20, (1 << 20) + 300, WINDOW // 2))
+        assert d.distance() > stationary + 0.3
+
+    def test_pinned_mode_freezes_side_one(self):
+        rng = np.random.default_rng(6)
+        d = JaccardDistance(WINDOW, mode="pinned", num_counters=1024)
+        for _ in range(2):
+            d.observe(pool(rng, 0, 300, WINDOW // 2))
+        assert not d.ready()  # pin not taken yet
+        d.pin()
+        assert d.ready()
+        for _ in range(4):
+            d.observe(pool(rng, 0, 300, WINDOW // 2))
+        same_pool = d.distance()
+        for _ in range(4):
+            d.observe(pool(rng, 1 << 20, (1 << 20) + 300, WINDOW // 2))
+        assert d.distance() > same_pool + 0.3
+
+    def test_reference_keys_guarded_by_mode(self):
+        d = JaccardDistance(WINDOW)
+        with pytest.raises(ValueError, match="external"):
+            d.observe(
+                np.arange(4, dtype=np.uint64),
+                reference_keys=np.arange(4, dtype=np.uint64),
+            )
+
+
+class TestCardinalityShiftDistance:
+    def test_stationary_near_zero_and_shift_detected(self):
+        rng = np.random.default_rng(7)
+        d = CardinalityShiftDistance(WINDOW, num_registers=512)
+        for _ in range(6):
+            d.observe(pool(rng, 0, 200, WINDOW // 2))
+        assert d.ready()
+        assert d.distance() < 0.25
+        # key-space explosion: every arrival now distinct
+        d.observe(np.arange(1 << 20, (1 << 20) + WINDOW, dtype=np.uint64))
+        assert d.distance() > 0.4
+
+    def test_empty_windows_distance_zero(self):
+        d = CardinalityShiftDistance(WINDOW, num_registers=512, mode="external")
+        assert d.distance() == 0.0
+
+
+class TestFrequencyProfileDivergence:
+    def test_stationary_profile_low_divergence(self):
+        rng = np.random.default_rng(8)
+        d = FrequencyProfileDivergence(WINDOW, num_counters=2048, track_keys=32)
+        hot = np.repeat(np.arange(8, dtype=np.uint64), WINDOW // 16)
+        for _ in range(6):
+            batch = hot.copy()
+            rng.shuffle(batch)
+            d.observe(batch)
+        assert d.ready()
+        assert d.distance() < 0.2
+
+    def test_hot_set_swap_detected(self):
+        rng = np.random.default_rng(9)
+        d = FrequencyProfileDivergence(WINDOW, num_counters=2048, track_keys=32)
+        hot_a = np.repeat(np.arange(8, dtype=np.uint64), WINDOW // 16)
+        for _ in range(6):
+            batch = hot_a.copy()
+            rng.shuffle(batch)
+            d.observe(batch)
+        before = d.distance()
+        hot_b = np.repeat(np.arange(100, 108, dtype=np.uint64), WINDOW // 16)
+        for _ in range(3):
+            batch = hot_b.copy()
+            rng.shuffle(batch)
+            d.observe(batch)
+        assert d.distance() > before + 0.3
+
+    def test_tracked_set_bounded(self):
+        rng = np.random.default_rng(10)
+        d = FrequencyProfileDivergence(WINDOW, num_counters=2048, track_keys=16)
+        for _ in range(4):
+            d.observe(pool(rng, 0, 1 << 16, WINDOW // 2))
+        assert len(d.tracked()) <= 16
+
+
+class TestFactoryAndBank:
+    def test_make_estimator_kinds(self):
+        for kind in DISTANCE_KINDS:
+            est = make_estimator(kind, WINDOW)
+            assert est.window == WINDOW
+
+    def test_make_estimator_rejects_unknown(self):
+        with pytest.raises(ValueError, match="kind"):
+            make_estimator("wavelet", WINDOW)
+
+    def test_bank_rejects_jaccard(self):
+        with pytest.raises(ValueError, match="jaccard|window"):
+            MultiResolutionBank("jaccard", WINDOW)
+
+    def test_bank_scales_fill_coarse_to_fine(self):
+        rng = np.random.default_rng(11)
+        bank = MultiResolutionBank(
+            "cardinality", WINDOW, scales=(1, 2), num_registers=256
+        )
+        # one window in: nothing ready (trailing lag = one window)
+        bank.observe(pool(rng, 0, 200, WINDOW))
+        d = bank.distances()
+        assert all(np.isnan(v) for v in d.values())
+        # 2.5 windows in: scale 1 ready, scale 2 (ref window 2N) filling
+        bank.observe(pool(rng, 0, 200, 3 * WINDOW // 2))
+        d = bank.distances()
+        assert not np.isnan(d[1])
+        assert np.isnan(d[2])
+        # 4.5 windows in: both ready, stationary stream -> no drift
+        bank.observe(pool(rng, 0, 200, 2 * WINDOW))
+        d = bank.distances()
+        assert all(not np.isnan(v) for v in d.values())
+        assert bank.localize(threshold=0.5) is None
+
+    def test_bank_localizes_fresh_drift_to_finest_scale(self):
+        rng = np.random.default_rng(12)
+        bank = MultiResolutionBank(
+            "cardinality", WINDOW, scales=(1, 2), num_registers=256
+        )
+        bank.observe(pool(rng, 0, 100, 6 * WINDOW))  # warm, stationary
+        bank.observe(np.arange(1 << 20, (1 << 20) + WINDOW, dtype=np.uint64))
+        bound = bank.localize(threshold=0.3)
+        assert bound == 1 * WINDOW + WINDOW  # finest scale + its lag

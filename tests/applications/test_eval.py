@@ -1,0 +1,171 @@
+"""Drift evaluation harness + the CI smoke assertions.
+
+The two ``TestSmoke`` cases are the contract CI runs on every push:
+a stationary stream must raise zero alarms at default thresholds, and
+abrupt drift must be detected within a bounded delay.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.applications.drift.eval import (
+    DRIFT_KINDS,
+    DetectionResult,
+    _ALT_OFFSET,
+    detect,
+    drift_stream,
+    run_detection,
+    score_series,
+    sweep,
+)
+from repro.applications.drift.distances import DISTANCE_KINDS
+
+WINDOW = 1 << 10
+
+
+def collect(**kw):
+    kw.setdefault("batch", 256)
+    return np.concatenate(list(drift_stream(**kw)))
+
+
+class TestDriftStream:
+    def test_yields_exactly_n_uint64_keys(self):
+        keys = collect(n=3000, kind="none", seed=1)
+        assert keys.size == 3000
+        assert keys.dtype == np.uint64
+
+    def test_stationary_never_touches_alternate_pool(self):
+        keys = collect(n=4096, kind="none", seed=2)
+        assert not (keys >= _ALT_OFFSET).any()
+
+    def test_abrupt_mixes_alternate_pool_only_after_onset(self):
+        keys = collect(n=4096, kind="abrupt", onset=2048, drift_frac=0.75, seed=3)
+        alt = keys >= _ALT_OFFSET
+        assert not alt[:2048].any()
+        # post-onset the mixture fraction is ~0.75
+        frac = alt[2048:].mean()
+        assert 0.6 < frac < 0.9
+
+    def test_gradual_ramps_mixture_fraction(self):
+        keys = collect(
+            n=8192, kind="gradual", onset=2048, ramp=4096,
+            drift_frac=0.8, seed=4,
+        )
+        alt = keys >= _ALT_OFFSET
+        early = alt[2048:3072].mean()
+        late = alt[6144:7168].mean()
+        assert not alt[:2048].any()
+        assert early < late
+        assert late > 0.5
+
+    def test_recurring_alternates_regimes(self):
+        keys = collect(
+            n=8192, kind="recurring", onset=0, period=2048,
+            drift_frac=0.75, seed=5,
+        )
+        alt = keys >= _ALT_OFFSET
+        assert alt[:2048].mean() > 0.5      # on
+        assert not alt[2048:4096].any()     # off
+        assert alt[4096:6144].mean() > 0.5  # on again
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            list(drift_stream(100, kind="seasonal"))
+
+    def test_same_seed_is_reproducible(self):
+        a = collect(n=2048, kind="abrupt", seed=6)
+        b = collect(n=2048, kind="abrupt", seed=6)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestScoreSeries:
+    def test_series_spacing_and_warmup(self):
+        series, onset = score_series(
+            "cardinality", window=WINDOW, n=6 * WINDOW, drift_kind="none",
+            seed=1, batch=WINDOW // 4,
+        )
+        assert onset == 3 * WINDOW
+        ts = [t for t, _ in series]
+        # trailing reference needs two windows before scores start
+        assert ts[0] >= 2 * WINDOW
+        spacing = set(np.diff(ts).tolist())
+        assert spacing == {WINDOW // 4}
+        assert all(np.isfinite(s) for _, s in series)
+
+
+class TestDetect:
+    def series_with_step(self, onset=1000):
+        quiet = [(t, 0.1) for t in range(0, onset, 100)]
+        loud = [(t, 0.9) for t in range(onset, onset + 1000, 100)]
+        return quiet + loud
+
+    def test_detects_step_and_reports_delay(self):
+        res = detect(
+            self.series_with_step(onset=2000),
+            estimator="cardinality", drift_kind="abrupt", seed=0,
+            onset=2000, alarm_sigma=6.0,
+        )
+        assert isinstance(res, DetectionResult)
+        assert res.detected
+        assert res.detection_t >= 2000
+        assert res.detection_delay == res.detection_t - 2000
+        assert res.false_alarms == 0
+
+    def test_stationary_series_counts_all_alarms_as_false(self):
+        # an excursion in a run declared stationary (onset=None)
+        series = self.series_with_step(onset=2000) + [
+            (t, 0.1) for t in range(3000, 4000, 100)
+        ]
+        res = detect(
+            series, estimator="cardinality", drift_kind="none", seed=0,
+            onset=None, alarm_sigma=6.0,
+        )
+        assert not res.detected
+        assert res.false_alarms >= 1
+        assert res.clean_evaluations == res.evaluations
+        assert res.false_alarm_rate > 0.0
+
+
+class TestSmoke:
+    """CI contract: stationary stays silent, abrupt drift is caught."""
+
+    @pytest.mark.parametrize("estimator", DISTANCE_KINDS)
+    def test_stationary_zero_false_alarms(self, estimator):
+        res = run_detection(
+            estimator, drift_kind="none", window=WINDOW, seed=1,
+            batch=WINDOW // 4,
+        )
+        assert res.false_alarms == 0
+
+    @pytest.mark.parametrize("estimator", ("cardinality", "frequency"))
+    def test_abrupt_drift_detected_within_two_windows(self, estimator):
+        res = run_detection(
+            estimator, drift_kind="abrupt", window=WINDOW, seed=1,
+            alarm_sigma=4.0, batch=WINDOW // 4,
+        )
+        assert res.detected
+        assert res.detection_delay <= 2 * WINDOW
+        assert res.false_alarms == 0
+
+
+class TestSweep:
+    def test_quick_sweep_writes_full_grid(self, tmp_path):
+        out = tmp_path / "BENCH_drift.json"
+        payload = sweep(
+            str(out), quick=True, window=WINDOW // 2, n=4 * WINDOW,
+            seeds=(1,), sigmas=(4.0,),
+        )
+        doc = json.loads(out.read_text())
+        assert doc == payload
+        assert doc["bench"] == "drift"
+        assert set(doc["curves"]) == set(DISTANCE_KINDS)
+        for est_kind in DISTANCE_KINDS:
+            assert set(doc["curves"][est_kind]) == set(DRIFT_KINDS)
+            for points in doc["curves"][est_kind].values():
+                assert len(points) == 1
+                p = points[0]
+                assert p["alarm_sigma"] == 4.0
+                assert p["runs"] == 1
+                assert 0.0 <= p["false_alarm_rate"] <= 1.0

@@ -1,0 +1,112 @@
+"""HeavyHitters: admission, re-validation, expiry, eviction."""
+
+import numpy as np
+import pytest
+
+from repro.applications.heavy_hitters import HeavyHitters
+from repro.core.she_cm import SheCountMin
+
+WINDOW = 1 << 10
+
+
+def hot_and_tail(rng, hot_keys, copies, n_tail):
+    """A shuffled batch: each hot key ``copies`` times plus unique tail."""
+    hot = np.repeat(np.asarray(hot_keys, dtype=np.uint64), copies)
+    tail = rng.integers(1 << 20, 1 << 32, size=n_tail, dtype=np.uint64)
+    batch = np.concatenate([hot, tail])
+    rng.shuffle(batch)
+    return batch
+
+
+class TestDetection:
+    def test_hot_keys_reported_hottest_first(self):
+        rng = np.random.default_rng(3)
+        hh = HeavyHitters(WINDOW, threshold=40.0, num_counters=1 << 12)
+        hh.insert_many(hot_and_tail(rng, [7, 11], copies=64, n_tail=512))
+        found = hh.heavy_hitters()
+        assert {k for k, _ in found} >= {7, 11}
+        counts = [c for _, c in found]
+        assert counts == sorted(counts, reverse=True)
+        # CM never underestimates a mature key's windowed count
+        assert all(c >= 40.0 for c in counts)
+
+    def test_cold_keys_not_reported(self):
+        rng = np.random.default_rng(4)
+        hh = HeavyHitters(WINDOW, threshold=40.0, num_counters=1 << 12)
+        hh.insert_many(hot_and_tail(rng, [7], copies=64, n_tail=256))
+        assert all(k != 3 for k, _ in hh.heavy_hitters())
+        assert hh.is_heavy(7)
+        assert not hh.is_heavy(3)
+
+    def test_single_insert_path(self):
+        hh = HeavyHitters(WINDOW, threshold=2.0, num_counters=1 << 10)
+        for _ in range(3):
+            hh.insert(42)
+        assert hh.is_heavy(42)
+        assert 42 in {k for k, _ in hh.heavy_hitters()}
+
+
+class TestSlidingExpiry:
+    def test_hot_key_expires_with_the_window(self):
+        rng = np.random.default_rng(5)
+        hh = HeavyHitters(WINDOW, threshold=40.0, num_counters=1 << 12)
+        hh.insert_many(hot_and_tail(rng, [7], copies=64, n_tail=128))
+        assert 7 in {k for k, _ in hh.heavy_hitters()}
+        # slide two full windows of pure tail past it (SHE's cleaning is
+        # exponential, so one exact window still carries residual mass)
+        hh.insert_many(
+            rng.integers(1 << 20, 1 << 32, size=2 * WINDOW, dtype=np.uint64)
+        )
+        assert 7 not in {k for k, _ in hh.heavy_hitters()}
+
+
+class TestCandidateBudget:
+    def test_eviction_keeps_hottest(self):
+        rng = np.random.default_rng(6)
+        hh = HeavyHitters(
+            WINDOW, threshold=2.0, num_counters=1 << 12, max_candidates=4
+        )
+        # 8 keys over threshold with distinct heats; budget holds 4
+        batch = np.concatenate(
+            [np.repeat(np.uint64(k), 4 + 4 * k) for k in range(8)]
+        )
+        rng.shuffle(batch)
+        hh.insert_many(batch)
+        found = dict(hh.heavy_hitters())
+        assert len(found) <= 4
+        assert 7 in found  # the hottest key survives eviction
+
+    def test_reset_clears_sketch_and_candidates(self):
+        hh = HeavyHitters(WINDOW, threshold=2.0, num_counters=1 << 10)
+        hh.insert_many(np.repeat(np.uint64(9), 8))
+        assert hh.heavy_hitters()
+        hh.reset()
+        assert hh.heavy_hitters() == []
+        assert not hh.is_heavy(9)
+
+
+class TestConstruction:
+    def test_prebuilt_sketch_window_must_match(self):
+        with pytest.raises(ValueError, match="window"):
+            HeavyHitters(WINDOW, 10.0, sketch=SheCountMin(2 * WINDOW, 1 << 10))
+
+    def test_prebuilt_sketch_is_used(self):
+        sk = SheCountMin(WINDOW, 1 << 10, seed=9)
+        hh = HeavyHitters(WINDOW, 2.0, sketch=sk)
+        assert hh.sketch is sk
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0, "threshold": 1.0},
+            {"window": WINDOW, "threshold": 0.0},
+            {"window": WINDOW, "threshold": 1.0, "max_candidates": 0},
+        ],
+    )
+    def test_bad_params_raise(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            HeavyHitters(**kwargs)
+
+    def test_memory_accounts_for_candidate_map(self):
+        hh = HeavyHitters(WINDOW, 10.0, num_counters=1 << 10, max_candidates=64)
+        assert hh.memory_bytes == hh.sketch.memory_bytes + 16 * 64

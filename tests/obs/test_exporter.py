@@ -104,6 +104,34 @@ class TestEndpoints:
         finally:
             exp.stop()
 
+    def test_statusz_and_metrics_grow_drift_section(self, engine):
+        from repro.applications.drift.monitor import DriftMonitor
+
+        mon = DriftMonitor(
+            engine, kinds=("cardinality",), eval_every=1 << 10
+        )
+        keys = np.random.default_rng(11).integers(
+            0, 1 << 12, size=1 << 13, dtype=np.uint64
+        )
+        mon.ingest(keys)
+        with MetricsExporter(engine) as exp:
+            _, _, status_body = _get(exp.url + "/statusz")
+            _, _, metrics_body = _get(exp.url + "/metrics")
+        drift = json.loads(status_body)["drift"]
+        assert drift["state"] == "stable"
+        assert drift["evaluations"] >= 1
+        assert drift["coverage"]["degraded"] is False
+        assert "cardinality" in drift["detector"]["members"]
+        text = metrics_body.decode()
+        assert 'drift_score{estimator="cardinality"}' in text
+        assert 'drift_alarms_total{detector="composite"}' in text
+        assert "drift_evaluations_total" in text
+
+    def test_statusz_has_no_drift_section_without_monitor(self, engine):
+        with MetricsExporter(engine) as exp:
+            _, _, body = _get(exp.url + "/statusz")
+        assert "drift" not in json.loads(body)
+
     def test_refresh_defaults_off_for_process_engines(self):
         with StreamEngine(_cfg(), executor="process", num_workers=2, obs=True) as eng:
             exp = MetricsExporter(eng)
