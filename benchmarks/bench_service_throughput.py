@@ -19,10 +19,22 @@ Observability modes:
   CI mode: no pytest-benchmark needed, measures the obs-on vs obs-off
   ingest overhead directly and fails when the *disabled* path's
   overhead bound is blown (the obs subsystem must be free when off).
+
+Durability modes:
+
+* ``pytest benchmarks/bench_service_throughput.py --wal interval``
+  (or ``always``) runs the grid with engines appending every admitted
+  batch to a write-ahead log under that fsync policy — the sustained
+  cost of crash safety.
+* ``python benchmarks/bench_service_throughput.py --check-wal`` is the
+  CI gate: serial-engine ingest at WAL off / ``interval`` / ``always``,
+  failing when logging overhead blows its bound.  Results merge into
+  ``BENCH_service.json`` under ``wal_overhead``.
 """
 
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -45,24 +57,36 @@ def _stream(n_items: int = N_ITEMS):
     return BoundedZipf(50_000, 1.05, seed=31).sample(n_items)
 
 
-def _engine_mips(stream, shards, executor, num_workers=None, obs=False):
-    cfg = EngineConfig(
-        "cm",
-        window=WINDOW,
-        size=SIZE,
-        num_shards=shards,
-        flush_batch_size=CHUNK,
-        flush_interval_s=None,
-        sketch_kwargs={"seed": 7},
-    )
-    with StreamEngine(
-        cfg, executor=executor, num_workers=num_workers, obs=obs
-    ) as eng:
-        started = time.perf_counter()
-        for lo in range(0, stream.size, CHUNK):
-            eng.ingest(stream[lo : lo + CHUNK])
-        eng.flush()
-        seconds = time.perf_counter() - started
+def _engine_mips(stream, shards, executor, num_workers=None, obs=False,
+                 wal="off"):
+    """Ingest Mips for one engine configuration.
+
+    ``wal`` is ``"off"`` (no log) or a fsync policy (``"interval"`` /
+    ``"always"``); WAL runs log into a throwaway temp directory so the
+    measurement includes the real write(+fsync) path.
+    """
+    with tempfile.TemporaryDirectory(prefix="bench-wal-") as td:
+        extra = {}
+        if wal != "off":
+            extra = {"wal_dir": str(Path(td) / "wal"), "wal_fsync": wal}
+        cfg = EngineConfig(
+            "cm",
+            window=WINDOW,
+            size=SIZE,
+            num_shards=shards,
+            flush_batch_size=CHUNK,
+            flush_interval_s=None,
+            sketch_kwargs={"seed": 7},
+            **extra,
+        )
+        with StreamEngine(
+            cfg, executor=executor, num_workers=num_workers, obs=obs
+        ) as eng:
+            started = time.perf_counter()
+            for lo in range(0, stream.size, CHUNK):
+                eng.ingest(stream[lo : lo + CHUNK])
+            eng.flush()
+            seconds = time.perf_counter() - started
     return stream.size / seconds / 1e6
 
 
@@ -86,7 +110,7 @@ def _write_bench_json(rows, obs_mode, extra=None, n_items=N_ITEMS) -> None:
     )
 
 
-def test_service_throughput(benchmark, results_dir, obs_mode):
+def test_service_throughput(benchmark, results_dir, obs_mode, wal_mode):
     from conftest import emit  # pytest-only helper; keeps --check-obs stdlib
 
     stream = _stream()
@@ -104,7 +128,8 @@ def test_service_throughput(benchmark, results_dir, obs_mode):
                 (
                     f"engine serial x{shards}",
                     shards,
-                    _engine_mips(stream, shards, "serial", obs=obs),
+                    _engine_mips(stream, shards, "serial", obs=obs,
+                                 wal=wal_mode),
                 )
             )
         for shards in (2, 4):
@@ -113,7 +138,8 @@ def test_service_throughput(benchmark, results_dir, obs_mode):
                     f"engine process x{shards}",
                     shards,
                     _engine_mips(
-                        stream, shards, "process", num_workers=shards, obs=obs
+                        stream, shards, "process", num_workers=shards,
+                        obs=obs, wal=wal_mode,
                     ),
                 )
             )
@@ -121,12 +147,15 @@ def test_service_throughput(benchmark, results_dir, obs_mode):
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    header = f"{'configuration':<24} {'shards':>6} {'Mips':>8}   (obs {obs_mode})"
+    header = (
+        f"{'configuration':<24} {'shards':>6} {'Mips':>8}"
+        f"   (obs {obs_mode}, wal {wal_mode})"
+    )
     lines = [header, "-" * len(header)]
     for name, shards, mips in rows:
         lines.append(f"{name:<24} {shards!s:>6} {mips:>8.2f}")
     emit(results_dir, "bench_service", "\n".join(lines) + "\n")
-    _write_bench_json(rows, obs_mode)
+    _write_bench_json(rows, obs_mode, extra={"wal_mode": wal_mode})
 
     by = {name: mips for name, _, mips in rows}
     # the serving layer must stay within a small factor of the raw sketch
@@ -246,7 +275,77 @@ def _shed_counter_smoke() -> int:
     return 0
 
 
+def check_wal_overhead(
+    n_items: int = N_ITEMS, shards: int = 4, trials: int = 3
+) -> int:
+    """CI gate mode: WAL-off vs logged ingest throughput, no pytest.
+
+    Same methodology as :func:`check_obs_overhead` — alternating
+    trials, best-of-N per mode, overhead clamped at 0 when the
+    measurement is below the noise floor.  The gated number is the
+    ``interval`` policy (the recommended production setting: one
+    buffered write per batch, fsync on a timer); ``always`` pays a real
+    fsync per batch, so its bound is far looser — it exists to catch a
+    pathological regression (per-item syscalls), not to promise that
+    synchronous durability is cheap.  Results merge into
+    ``BENCH_service.json`` under ``wal_overhead`` so the trajectory
+    file keeps the obs-check numbers alongside.
+    """
+    trials = max(trials, 3)
+    stream = _stream(n_items)
+    runs: dict[str, list[float]] = {"off": [], "interval": [], "always": []}
+    for _ in range(trials):
+        for mode in runs:
+            runs[mode].append(
+                _engine_mips(stream, shards, "serial", wal=mode)
+            )
+    best = {mode: max(vals) for mode, vals in runs.items()}
+    overhead = {
+        mode: max(0.0, (best["off"] - best[mode]) / best["off"] * 100.0)
+        for mode in ("interval", "always")
+    }
+    print(f"wal off:      {best['off']:.2f} Mips  (best of {trials})")
+    for mode in ("interval", "always"):
+        print(
+            f"wal {mode:<8} {best[mode]:.2f} Mips  "
+            f"(overhead {overhead[mode]:.2f}%)"
+        )
+    path = _REPO_ROOT / "BENCH_service.json"
+    payload = (
+        json.loads(path.read_text())
+        if path.exists()
+        else {"benchmark": "bench_service_throughput"}
+    )
+    payload["wal_overhead"] = {
+        "n_items": n_items,
+        "shards": shards,
+        "trials": trials,
+        "mips": {m: round(v, 3) for m, v in best.items()},
+        "mips_runs": {
+            m: [round(x, 3) for x in vals] for m, vals in runs.items()
+        },
+        "overhead_pct": {m: round(v, 2) for m, v in overhead.items()},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    limits = {"interval": 30.0, "always": 80.0}
+    rc = 0
+    for mode, limit in limits.items():
+        if overhead[mode] > limit:
+            print(
+                f"FAIL: wal={mode} overhead {overhead[mode]:.2f}% "
+                f"exceeds {limit}%"
+            )
+            rc = 1
+    if rc == 0:
+        print("OK")
+    return rc
+
+
 if __name__ == "__main__":
     if "--check-obs" in sys.argv:
         sys.exit(check_obs_overhead(n_items=200_000))
-    sys.exit("usage: python bench_service_throughput.py --check-obs")
+    if "--check-wal" in sys.argv:
+        sys.exit(check_wal_overhead(n_items=200_000))
+    sys.exit(
+        "usage: python bench_service_throughput.py --check-obs | --check-wal"
+    )

@@ -20,12 +20,26 @@ def pytest_addoption(parser):
         help="run service benchmarks with engine observability enabled "
         "('on') or on the no-op stand-ins ('off', the default)",
     )
+    parser.addoption(
+        "--wal",
+        choices=("off", "interval", "always"),
+        default="off",
+        help="run service benchmarks with a write-ahead log under the "
+        "given fsync policy ('off', the default, disables the WAL)",
+    )
 
 
 @pytest.fixture(scope="session")
 def obs_mode(request):
     """Whether the service benchmarks build engines with obs enabled."""
     return request.config.getoption("--obs")
+
+
+@pytest.fixture(scope="session")
+def wal_mode(request):
+    """Whether the service benchmarks log ingests to a WAL, and how
+    durably ('interval'/'always' fsync policies)."""
+    return request.config.getoption("--wal")
 
 
 @pytest.fixture(scope="session")

@@ -8,11 +8,13 @@ dependencies, so it can run inside any deployment of the repro:
   format.  When probe refreshing is on, SHE introspection gauges
   (:meth:`StreamEngine.update_probe_gauges`) are recomputed first.
 * ``/healthz`` — 200 with ``{"status": "ok"}`` while every shard has a
-  live, trusted worker; 503 with the down-shard list (and the
+  live, trusted worker *and* the write-ahead log (when enabled) is not
+  erroring; 503 with the down-shard list / WAL error (and the
   supervisor's view, when one is attached) otherwise.  Load balancers
   and the CI smoke test key off the status code alone.
 * ``/statusz`` — the full JSON story: stats snapshot, supervisor
-  snapshot, per-shard probes (when refreshing is on), config.
+  snapshot, durability section (``engine.wal_status()``), per-shard
+  probes (when refreshing is on), config.
 
 Thread safety: the exporter thread only ever touches the registry
 (lock-free snapshot reads), plain engine attributes, and — only when
@@ -121,11 +123,22 @@ class MetricsExporter:
     def _health(self) -> tuple[int, dict]:
         down = list(getattr(self.engine, "down_shards", ()))
         closed = getattr(self.engine, "_closed", False)
-        healthy = not down and not closed
+        # a WAL whose last append/fsync failed means new data is not
+        # durable: that is degraded service even with every shard up
+        wal_status_fn = getattr(self.engine, "wal_status", None)
+        wal = wal_status_fn() if wal_status_fn is not None else {"enabled": False}
+        wal_error = wal.get("last_error")
+        healthy = not down and not closed and wal_error is None
         body = {
             "status": "ok" if healthy else ("closed" if closed else "degraded"),
             "down_shards": down,
         }
+        if wal.get("enabled"):
+            body["wal"] = {
+                "last_error": wal_error,
+                "lag_items": wal.get("lag_items"),
+                "fsync": wal.get("fsync"),
+            }
         supervisor = getattr(self.engine, "_supervisor", None)
         if supervisor is not None:
             body["supervisor"] = supervisor.snapshot()
@@ -144,6 +157,9 @@ class MetricsExporter:
         overload = getattr(self.engine, "overload_snapshot", None)
         if overload is not None:
             body["overload"] = overload()
+        wal_status = getattr(self.engine, "wal_status", None)
+        if wal_status is not None:
+            body["durability"] = wal_status()
         supervisor = getattr(self.engine, "_supervisor", None)
         if supervisor is not None:
             body["supervisor"] = supervisor.snapshot()

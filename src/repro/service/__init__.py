@@ -44,6 +44,14 @@ from repro.service.checkpoint import (
     read_manifest,
     recover_engine,
     save_checkpoint,
+    verify_checkpoint,
+)
+from repro.service.crashsim import (
+    CrashHarness,
+    SimulatedCrash,
+    flip_bit,
+    simulate_process_kill,
+    tear_tail,
 )
 from repro.service.engine import (
     KINDS,
@@ -53,12 +61,16 @@ from repro.service.engine import (
     StreamEngine,
 )
 from repro.service.errors import (
+    CheckpointCorruptionError,
     EngineOverloadedError,
     ShardDeadError,
     ShardError,
     ShardFailedError,
     ShardTimeoutError,
     ShardUnrecoverableError,
+    WalCorruptionError,
+    WalError,
+    WalWriteError,
 )
 from repro.service.executor import (
     DEFAULT_RPC_TIMEOUT_S,
@@ -69,6 +81,15 @@ from repro.service.faults import ChaosExecutor
 from repro.service.sharding import DEFAULT_SHARD_SEED, partition, shard_ids
 from repro.service.stats import EngineStats, format_stats
 from repro.service.supervisor import ReplayBuffer, RetryPolicy, Supervisor
+from repro.service.wal import (
+    WAL_FSYNC_POLICIES,
+    WalPosition,
+    WriteAheadLog,
+    inspect_wal,
+    iter_records,
+    replay_into,
+    verify_wal,
+)
 
 __all__ = [
     "KINDS",
@@ -101,4 +122,22 @@ __all__ = [
     "DEFAULT_SHARD_SEED",
     "shard_ids",
     "partition",
+    # durability: write-ahead log + checksummed checkpoints (PR 7)
+    "WAL_FSYNC_POLICIES",
+    "WalPosition",
+    "WriteAheadLog",
+    "iter_records",
+    "replay_into",
+    "verify_wal",
+    "inspect_wal",
+    "verify_checkpoint",
+    "WalError",
+    "WalWriteError",
+    "WalCorruptionError",
+    "CheckpointCorruptionError",
+    "CrashHarness",
+    "SimulatedCrash",
+    "simulate_process_kill",
+    "tear_tail",
+    "flip_bit",
 ]

@@ -31,6 +31,13 @@ from pathlib import Path
 
 from repro.common.validation import require_positive_int
 from repro.service.engine import EngineConfig, StreamEngine
+from repro.service.errors import CheckpointCorruptionError
+from repro.service.wal import (
+    WalPosition,
+    checksum,
+    replay_into,
+    verify_checksum,
+)
 
 __all__ = [
     "Checkpointer",
@@ -40,6 +47,7 @@ __all__ = [
     "recover_engine",
     "read_manifest",
     "load_checkpoint_shard",
+    "verify_checkpoint",
 ]
 
 _MANIFEST = "MANIFEST.json"
@@ -90,6 +98,17 @@ def save_checkpoint(engine: StreamEngine, directory: str | Path) -> Path:
             name = _shard_name(s)
             engine._exec.checkpoint(s, staging / name)
             shard_files.append(name)
+        # integrity record: size + checksum of every shard file as
+        # written, so recovery *detects* bit rot / truncation instead of
+        # trusting whatever load_sketch makes of the bytes
+        shard_meta = []
+        for name in shard_files:
+            data = (staging / name).read_bytes()
+            crc, variant = checksum(data)
+            shard_meta.append(
+                {"name": name, "bytes": len(data), "crc": crc,
+                 "crc_variant": variant}
+            )
         manifest = {
             "format": _FORMAT_VERSION,
             "seq": seq,
@@ -104,8 +123,22 @@ def save_checkpoint(engine: StreamEngine, directory: str | Path) -> Path:
             "config": engine.config.to_json(),
             "clock": list(engine._t),
             "shards": shard_files,
+            "shard_meta": shard_meta,
             "created_unix": time.time(),
         }
+        wal = getattr(engine, "_wal", None)
+        if wal is not None:
+            # sync first: the recorded position must never exceed the
+            # durable horizon, or a power cut right after publishing
+            # would leave a checkpoint pointing past the surviving log
+            wal.sync()
+            manifest["wal"] = {
+                "position": [int(x) for x in wal.position()],
+                "fsync": wal.fsync_policy,
+            }
+        body = json.dumps(manifest, sort_keys=True).encode()
+        crc, variant = checksum(body)
+        manifest["manifest_crc"] = {"crc": crc, "variant": variant}
         tmp_manifest = staging / (_MANIFEST + ".tmp")
         tmp_manifest.write_text(json.dumps(manifest, indent=2))
         os.replace(tmp_manifest, staging / _MANIFEST)
@@ -162,7 +195,32 @@ def _next_seq(directory: Path) -> int:
     return max(seqs, default=-1) + 1
 
 
+def _manifest_crc_ok(meta: dict) -> bool:
+    """Self-checksum check; vacuously true for pre-durability manifests.
+
+    The checksum covers the sorted-keys JSON dump of every field except
+    ``manifest_crc`` itself; json round-trips ints and floats exactly,
+    so re-serialising the loaded dict reproduces the hashed bytes.
+    """
+    rec = meta.get("manifest_crc")
+    if rec is None:
+        return True
+    try:
+        body = {k: v for k, v in meta.items() if k != "manifest_crc"}
+        return verify_checksum(
+            json.dumps(body, sort_keys=True).encode(),
+            int(rec["crc"]),
+            int(rec["variant"]),
+        )
+    except Exception:
+        return False
+
+
 def _is_complete(path: Path) -> bool:
+    """Cheap completeness scan: manifest readable and self-consistent,
+    every shard file present at its recorded size.  Full checksums are
+    :func:`verify_checkpoint`'s job (this runs inside directory scans).
+    """
     manifest = path / _MANIFEST
     if not manifest.is_file():
         return False
@@ -172,7 +230,64 @@ def _is_complete(path: Path) -> bool:
         return False
     if meta.get("format") != _FORMAT_VERSION:
         return False
-    return all((path / name).is_file() for name in meta.get("shards", []))
+    if not _manifest_crc_ok(meta):
+        return False
+    sizes = {
+        m.get("name"): m.get("bytes") for m in meta.get("shard_meta", [])
+    }
+    for name in meta.get("shards", []):
+        f = path / name
+        if not f.is_file():
+            return False
+        # a truncated shard file must make the checkpoint invisible to
+        # recovery scans, not blow up (or worse, load) later
+        if name in sizes and f.stat().st_size != sizes[name]:
+            return False
+    return True
+
+
+def verify_checkpoint(path: str | Path) -> dict:
+    """Affirmative integrity check of one checkpoint directory.
+
+    Verifies the manifest self-checksum and every shard file's recorded
+    size and checksum; returns the manifest on success.  Pre-durability
+    checkpoints (no ``shard_meta``) only get existence checks — they
+    carry nothing stronger to verify against.
+
+    Raises:
+        CheckpointCorruptionError: naming the first damaged file.
+    """
+    path = Path(path)
+    try:
+        meta = read_manifest(path)
+    except Exception as exc:
+        raise CheckpointCorruptionError(
+            f"{path}: manifest unreadable ({exc})"
+        ) from exc
+    if not _manifest_crc_ok(meta):
+        raise CheckpointCorruptionError(
+            f"{path}: manifest failed its self-checksum"
+        )
+    recorded = {m["name"]: m for m in meta.get("shard_meta", [])}
+    for name in meta.get("shards", []):
+        f = path / name
+        if not f.is_file():
+            raise CheckpointCorruptionError(f"{path}: missing shard {name}")
+        m = recorded.get(name)
+        if m is None:
+            continue
+        data = f.read_bytes()
+        if len(data) != int(m["bytes"]):
+            raise CheckpointCorruptionError(
+                f"{path}: shard {name} is {len(data)} bytes, "
+                f"manifest recorded {m['bytes']} — truncated"
+            )
+        if not verify_checksum(data, int(m["crc"]), int(m["crc_variant"])):
+            raise CheckpointCorruptionError(
+                f"{path}: shard {name} failed its checksum — bit rot or "
+                "a torn write survived the size check"
+            )
+    return meta
 
 
 def latest_checkpoint(directory: str | Path) -> Path | None:
@@ -199,16 +314,34 @@ def recover_engine(
     *,
     executor="serial",
     num_workers: int | None = None,
+    replay_wal: bool = True,
 ) -> StreamEngine:
-    """Rebuild the engine from the newest *loadable* checkpoint.
+    """Rebuild the engine from the newest *loadable* checkpoint, then
+    replay its WAL suffix.
 
     A checkpoint whose shard files turn out to be corrupt (bit rot,
     torn storage, injected chaos) is skipped in favour of the next
-    older complete one — a stale answer beats no answer.
+    older complete one — a stale base beats no base, and because every
+    older checkpoint records an older WAL position, the replay suffix
+    grows to cover exactly the difference: recovery from an older base
+    loses nothing.
+
+    When the checkpoint records a WAL position (the engine ran with
+    ``wal_dir``), the log suffix is fed back through the normal ingest
+    path — the recovered engine is bit-identical to one that never
+    crashed (up to the durable horizon of the configured fsync policy).
+    ``replay_wal=False`` skips that and *truncates* the log at the
+    checkpoint's position instead, explicitly discarding the suffix, so
+    the log never disagrees with the state that was restored.
 
     Raises:
-        FileNotFoundError: if the directory holds no complete,
-            loadable checkpoint.
+        FileNotFoundError: no complete checkpoint exists at all.
+        CheckpointCorruptionError: checkpoints exist but every one
+            failed integrity verification — corruption is surfaced,
+            never silently ingested.
+        WalCorruptionError: the checkpoint base loaded but its WAL
+            suffix is damaged mid-log (torn tails are fine); an older
+            base cannot help, it needs even more of the same log.
     """
     directory = Path(directory)
     # local import: persist -> core only, but keep engine import-light
@@ -222,13 +355,19 @@ def recover_engine(
         ),
         reverse=True,
     ) if directory.is_dir() else []
+    corruption: list[str] = []
+    saw_candidate = False
     for path in candidates:
-        if not _is_complete(path):
-            continue
+        if not (path / _MANIFEST).is_file():
+            continue  # torn staging attempt, never published
+        saw_candidate = True
         try:
-            meta = read_manifest(path)
-        except Exception:
-            continue  # corrupt: fall back to the next older checkpoint
+            meta = verify_checkpoint(path)
+        except CheckpointCorruptionError as exc:
+            corruption.append(str(exc))
+            continue  # fall back to the next older checkpoint
+        if meta.get("format") != _FORMAT_VERSION:
+            continue
         kind = meta.get("algorithm", {}).get("kind") or meta.get(
             "config", {}
         ).get("kind")
@@ -241,8 +380,11 @@ def recover_engine(
             get_descriptor(kind)
         try:
             shards = [load_sketch(path / name) for name in meta["shards"]]
-        except Exception:
-            continue  # corrupt: fall back to the next older checkpoint
+        except Exception as exc:
+            # pre-durability checkpoints have no checksums to flag this
+            # earlier; count it as corruption and fall back
+            corruption.append(f"{path}: shard load failed ({exc})")
+            continue
         config = EngineConfig.from_json(meta["config"])
         engine = StreamEngine(
             config,
@@ -252,7 +394,19 @@ def recover_engine(
             _clock_state=[int(t) for t in meta["clock"]],
         )
         engine.stats.recovered_from = str(path)
+        wal_meta = meta.get("wal")
+        if engine._wal is not None and wal_meta is not None:
+            position = WalPosition(*(int(x) for x in wal_meta["position"]))
+            if replay_wal:
+                engine._wal_replayed_items = replay_into(engine, position)
+            else:
+                engine._wal.truncate_to(position)
         return engine
+    if corruption:
+        raise CheckpointCorruptionError(
+            f"no loadable checkpoint under {directory!s}; corruption "
+            "detected: " + "; ".join(corruption)
+        )
     raise FileNotFoundError(
         f"no complete, loadable checkpoint under {directory!s}"
     )
@@ -282,6 +436,14 @@ def prune_checkpoints(directory: str | Path, keep: int) -> list[Path]:
             continue
         if torn and (newest is None or p.name > newest):
             continue  # possibly a checkpoint being written right now
+        # manifest first: a concurrent latest_checkpoint/recover scan
+        # that races this deletion sees a manifest-less directory (a
+        # torn attempt, skipped) instead of a manifest whose shard
+        # files are vanishing under it
+        try:
+            (p / _MANIFEST).unlink(missing_ok=True)
+        except OSError:
+            pass
         shutil.rmtree(p, ignore_errors=True)
         deleted.append(p)
     return deleted
@@ -338,9 +500,36 @@ class Checkpointer:
         return self.save()
 
     def save(self) -> Path:
-        """Checkpoint unconditionally and prune old ones."""
+        """Checkpoint unconditionally, prune old ones, and trim the WAL.
+
+        WAL segments are pruned to the *oldest* position any retained
+        checkpoint records: every checkpoint an operator could still
+        fall back to keeps its full replay suffix.  A retained
+        checkpoint without a WAL position (taken before the WAL was
+        enabled) pins the whole log.
+        """
         path = save_checkpoint(self.engine, self.directory)
         self._last_time = self._clock()
         self._last_items = self.engine.stats.items_ingested
         prune_checkpoints(self.directory, self.keep)
+        wal = getattr(self.engine, "_wal", None)
+        if wal is not None:
+            positions = []
+            for p in sorted(self.directory.iterdir()):
+                if not (p.is_dir() and p.name.startswith(_PREFIX)):
+                    continue
+                if not _is_complete(p):
+                    continue
+                try:
+                    wal_meta = read_manifest(p).get("wal")
+                except Exception:
+                    wal_meta = None
+                if wal_meta is None:
+                    positions = None  # pre-WAL checkpoint pins everything
+                    break
+                positions.append(
+                    WalPosition(*(int(x) for x in wal_meta["position"]))
+                )
+            if positions:
+                wal.prune_to(min(positions))
         return path

@@ -1,0 +1,125 @@
+"""Deterministic process-crash injection for durability tests.
+
+:mod:`repro.service.faults` kills *workers*; this module kills the
+*engine process* — the failure mode the write-ahead log exists for.  A
+real SIGKILL cannot be injected inside one pytest process, so
+:func:`simulate_process_kill` produces exactly what a kill plus power
+cut leaves behind: the durable on-disk artifacts (published checkpoints
+and the WAL's fsynced prefix) and nothing else.  In-memory state —
+buffers, shard sketches, clocks — is abandoned, and the WAL is
+truncated to its durable horizon, the *worst* outcome a power cut can
+legally produce (a gentler crash keeps more; tests must survive the
+worst).
+
+:class:`CrashHarness` makes the kill deterministic: it counts engine
+operations and kills immediately *before* the configured op index
+executes, raising :class:`SimulatedCrash` for the test to catch before
+it runs recovery.  The file fault injectors (:func:`tear_tail`,
+:func:`flip_bit`) cover the other half of the fault model — torn
+writes and bit rot on artifacts that survived the crash.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = [
+    "SimulatedCrash",
+    "CrashHarness",
+    "simulate_process_kill",
+    "tear_tail",
+    "flip_bit",
+]
+
+
+class SimulatedCrash(BaseException):
+    """The harness killed the engine at its configured op index.
+
+    Derives from ``BaseException`` so no library ``except Exception``
+    can swallow it mid-operation — a SIGKILL is not catchable either.
+    """
+
+
+def simulate_process_kill(engine) -> None:
+    """Leave behind exactly what outlives a SIGKILL + power cut.
+
+    The WAL is truncated to its durable (fsynced) horizon, the engine
+    is marked closed (any later call is a bug in the test), and worker
+    processes are reaped so nothing leaks — their in-memory shard
+    state dies with them either way.
+    """
+    wal = getattr(engine, "_wal", None)
+    if wal is not None:
+        wal.simulate_crash()
+    engine._closed = True
+    try:
+        engine._exec.close()
+    except Exception:
+        pass  # a dying process does not get to fail at dying
+
+
+class CrashHarness:
+    """Drive an engine through ops, killing at an exact op index.
+
+    Args:
+        engine: the engine under test (built with ``wal_dir`` for
+            recovery to have anything to work with).
+        crash_at_op: 1-based op index at which to kill — the op with
+            that index never executes, matching ``ChaosExecutor``'s
+            kill-before-op semantics.  ``None`` never crashes (the
+            reference run).
+
+    Route every operation through the harness (:meth:`ingest`,
+    :meth:`checkpoint`) so the op count is the same for the crashed and
+    reference runs; :attr:`ops` after a full reference run bounds the
+    kill indices worth parametrising over.
+    """
+
+    def __init__(self, engine, *, crash_at_op: int | None = None):
+        self.engine = engine
+        self.crash_at_op = crash_at_op
+        self.ops = 0
+        self.crashed = False
+
+    def _op(self, fn, *args, **kwargs):
+        self.ops += 1
+        if self.crash_at_op is not None and self.ops == self.crash_at_op:
+            self.kill()
+        return fn(*args, **kwargs)
+
+    def ingest(self, keys, side=None):
+        return self._op(self.engine.ingest, keys, side=side)
+
+    def checkpoint(self, directory):
+        from repro.service.checkpoint import save_checkpoint
+
+        return self._op(save_checkpoint, self.engine, directory)
+
+    def kill(self) -> None:
+        """Kill now, regardless of the op counter."""
+        simulate_process_kill(self.engine)
+        self.crashed = True
+        raise SimulatedCrash(f"simulated SIGKILL at op {self.ops}")
+
+
+def tear_tail(wal_dir: str | Path, drop_bytes: int) -> Path:
+    """Torn-write injector: chop ``drop_bytes`` off the newest WAL
+    segment, leaving a partial record for tail recovery to truncate.
+    Returns the torn segment's path."""
+    segments = sorted(Path(wal_dir).glob("wal-*.log"))
+    if not segments:
+        raise FileNotFoundError(f"no WAL segments under {wal_dir}")
+    last = segments[-1]
+    keep = max(0, last.stat().st_size - int(drop_bytes))
+    with open(last, "rb+") as f:
+        f.truncate(keep)
+    return last
+
+
+def flip_bit(path: str | Path, byte_index: int, bit: int = 0) -> None:
+    """Bit-rot injector: flip one bit of one byte in ``path``
+    (``byte_index`` may be negative to count from the end)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    data[byte_index] ^= 1 << bit
+    path.write_bytes(bytes(data))

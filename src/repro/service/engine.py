@@ -74,6 +74,7 @@ from repro.service.errors import (
 from repro.service.executor import ProcessExecutor, SerialExecutor
 from repro.service.sharding import DEFAULT_SHARD_SEED, shard_ids
 from repro.service.stats import EngineStats, format_stats
+from repro.service.wal import WAL_FSYNC_POLICIES, WriteAheadLog
 
 __all__ = [
     "EngineConfig",
@@ -151,6 +152,20 @@ class EngineConfig:
             ``"block"`` retries draining for up to ``block_timeout_s``
             before escalating to the raise behaviour.
         block_timeout_s: bounded wait for the ``"block"`` policy.
+        wal_dir: directory for the durable ingestion write-ahead log
+            (:mod:`repro.service.wal`).  ``None`` (the default) disables
+            the WAL entirely.  When set, every *admitted* ingest batch
+            is appended (checksummed) before it is stamped, checkpoints
+            record their WAL position, and ``recover_engine`` replays
+            the suffix — a crashed process recovers bit-identical to a
+            crash-free run under ``wal_fsync="always"``.
+        wal_fsync: durability policy, one of
+            :data:`~repro.service.wal.WAL_FSYNC_POLICIES` —
+            ``"always"`` fsyncs every append, ``"interval"`` at most
+            every ``wal_fsync_interval_s``, ``"off"`` never (OS page
+            cache only).  See docs/service.md "Durability model".
+        wal_fsync_interval_s: max fsync staleness for ``"interval"``.
+        wal_segment_bytes: WAL segment rotation size.
         sketch_kwargs: forwarded to the sketch constructor (``seed``,
             ``alpha``, ``num_hashes``, ``frame``, ...).
     """
@@ -168,6 +183,10 @@ class EngineConfig:
     down_retention_items: int | None = None
     overload_policy: str = "raise"
     block_timeout_s: float = 2.0
+    wal_dir: str | None = None
+    wal_fsync: str = "always"
+    wal_fsync_interval_s: float = 1.0
+    wal_segment_bytes: int = 64 * 1024 * 1024
     sketch_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -199,6 +218,21 @@ class EngineConfig:
             raise ValueError(
                 f"block_timeout_s must be positive, got {self.block_timeout_s}"
             )
+        if self.wal_dir is not None:
+            # JSON round-trip stability: manifests store the config, so
+            # a Path here must not come back as a different type
+            self.wal_dir = str(self.wal_dir)
+        if self.wal_fsync not in WAL_FSYNC_POLICIES:
+            raise ValueError(
+                f"wal_fsync must be one of {WAL_FSYNC_POLICIES}, "
+                f"got {self.wal_fsync!r}"
+            )
+        if self.wal_fsync_interval_s <= 0:
+            raise ValueError(
+                "wal_fsync_interval_s must be positive, "
+                f"got {self.wal_fsync_interval_s}"
+            )
+        require_positive_int("wal_segment_bytes", self.wal_segment_bytes)
 
     @property
     def bounded(self) -> bool:
@@ -421,6 +455,22 @@ class StreamEngine:
         self._shed_counts = [0] * config.num_shards
         self._last_shed_t: dict[tuple[int, int], int] = {}
         self._queue_high_water = [0] * config.num_shards
+        # durable ingestion log (repro.service.wal): opening an existing
+        # directory recovers the tail (truncating torn appends) and
+        # raises WalCorruptionError on mid-log damage — an engine must
+        # refuse to start on a log it cannot trust
+        self._wal = None
+        self._wal_replaying = False
+        self._wal_replayed_items = 0
+        if config.wal_dir is not None:
+            self._wal = WriteAheadLog(
+                config.wal_dir,
+                fsync=config.wal_fsync,
+                fsync_interval_s=config.wal_fsync_interval_s,
+                segment_max_bytes=config.wal_segment_bytes,
+                clock=clock,
+                registry=self.obs.registry if self.obs.enabled else None,
+            )
 
     def _init_shard_metrics(self) -> None:
         """Pre-resolve per-shard metric children so the hot path is one
@@ -543,10 +593,22 @@ class StreamEngine:
             return
         n_offered = int(arr.size)
         sids = shard_ids(arr, self.config.num_shards, self.config.shard_seed)
-        admit = self._admit(arr, sids, side)  # may raise EngineOverloadedError
+        # during WAL replay the arrivals were already admitted (and
+        # logged) before the crash: re-running admission control could
+        # shed them a second time and break bit-identical recovery
+        admit = (
+            None if self._wal_replaying
+            else self._admit(arr, sids, side)  # may raise EngineOverloadedError
+        )
         if admit is not None:
             arr = arr[admit]
             sids = sids[admit]
+        if self._wal is not None and not self._wal_replaying and arr.size:
+            # durability point: the *admitted* batch hits the log before
+            # it is stamped — shed/rejected arrivals are never logged,
+            # and a failed append (WalWriteError) rejects the batch
+            # before any clock tick, like the raise overload policy
+            self._wal.append(side, arr)
         t0 = self._t[side]
         times = t0 + np.arange(arr.size, dtype=np.int64)
         self._t[side] = t0 + int(arr.size)
@@ -1262,6 +1324,35 @@ class StreamEngine:
             "shed_in_window": sorted(self._shards_shed_in_window()),
         }
 
+    def wal_status(self) -> dict:
+        """Durability state for ``/statusz`` and ``/healthz``.
+
+        ``last_error`` is non-None while the most recent WAL append or
+        fsync failed (the exporter reports degraded until a later sync
+        clears it); ``lag_items`` counts appended items not yet covered
+        by an fsync — what a power cut could take under the current
+        policy.
+        """
+        if self._wal is None:
+            return {"enabled": False}
+        w = self._wal
+        return {
+            "enabled": True,
+            "directory": str(w.directory),
+            "fsync": w.fsync_policy,
+            "fsync_interval_s": w.fsync_interval_s,
+            "position": list(w.position()),
+            "durable_position": list(w.durable_position()),
+            "segments": w.segment_count(),
+            "bytes": w.total_bytes,
+            "lag_items": w.pending_items,
+            "appends_total": w.appends,
+            "fsyncs_total": w.fsyncs,
+            "torn_bytes_dropped": w.torn_bytes_dropped,
+            "last_error": w.last_error,
+            "replayed_items": self._wal_replayed_items,
+        }
+
     def stats_snapshot(self, *, tick: bool | None = None) -> dict:
         """Counter snapshot; see :meth:`EngineStats.snapshot`.
 
@@ -1301,7 +1392,11 @@ class StreamEngine:
             self._flush_buffers(self._flushable_keys(), strict=False)
         finally:
             self._closed = True
-            self._exec.close()
+            try:
+                if self._wal is not None:
+                    self._wal.close()
+            finally:
+                self._exec.close()
 
     def __enter__(self) -> "StreamEngine":
         return self

@@ -28,6 +28,10 @@ __all__ = [
     "ShardFailedError",
     "ShardUnrecoverableError",
     "EngineOverloadedError",
+    "WalError",
+    "WalWriteError",
+    "WalCorruptionError",
+    "CheckpointCorruptionError",
 ]
 
 
@@ -127,3 +131,30 @@ class EngineOverloadedError(ShardError):
         self.limit = limit
         self.total_limit = total_limit
         self.policy = policy
+
+
+class WalError(RuntimeError):
+    """Base for write-ahead-log failures (:mod:`repro.service.wal`)."""
+
+
+class WalWriteError(WalError):
+    """The OS rejected a WAL append or fsync.  The batch that triggered
+    it was *not* ingested (no clock ticks were consumed) and the log's
+    ``last_error`` stays set — ``/healthz`` reports degraded — until a
+    later sync succeeds."""
+
+
+class WalCorruptionError(WalError):
+    """The log is damaged in a way recovery must not paper over: a
+    mid-log record fails its checksum with valid records after it, a
+    segment is missing from the middle of the sequence, or a recorded
+    replay position points past the data.  A *torn tail* — the final
+    segment ending mid-record — is NOT this error; torn bytes were
+    never durable and are silently truncated on open."""
+
+
+class CheckpointCorruptionError(RuntimeError):
+    """Checkpoint integrity verification failed: a manifest or shard
+    file does not match its recorded checksum/size.  ``recover_engine``
+    falls back to an older checkpoint when one is loadable and raises
+    this (never silently loads damaged state) when none is."""

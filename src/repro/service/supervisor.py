@@ -44,6 +44,7 @@ from repro.obs import OBS_DISABLED
 from repro.service.checkpoint import (
     latest_checkpoint,
     load_checkpoint_shard,
+    read_manifest,
     save_checkpoint,
 )
 from repro.service.errors import (
@@ -51,6 +52,8 @@ from repro.service.errors import (
     ShardFailedError,
     ShardUnrecoverableError,
 )
+from repro.service.sharding import shard_ids as _shard_ids
+from repro.service.wal import WalPosition, iter_records
 
 __all__ = ["RetryPolicy", "ReplayBuffer", "Supervisor"]
 
@@ -161,6 +164,12 @@ class Supervisor:
         self._sleep = sleep
         self._restarts: dict[int, int] = defaultdict(int)
         self._base_path: Path | None = None
+        # WAL fallback: when the engine runs with a write-ahead log, the
+        # base checkpoint's WAL position + clock let a worker replay
+        # from *disk* after the in-memory buffer overflows — the replay
+        # buffer effectively trims to the WAL's durable horizon
+        self._base_wal: WalPosition | None = None
+        self._base_clock: list[int] | None = None
         engine._supervisor = self
         # share the engine's obs bundle (no-op stand-ins when disabled):
         # replay-buffer exposure is the recovery-risk metric — how much
@@ -193,6 +202,18 @@ class Supervisor:
     def on_checkpoint(self, path: Path) -> None:
         """Called after a checkpoint publishes: new base, fresh budget."""
         self._base_path = Path(path)
+        self._base_wal = None
+        self._base_clock = None
+        try:
+            meta = read_manifest(self._base_path)
+            wal_meta = meta.get("wal")
+            if wal_meta is not None:
+                self._base_wal = WalPosition(
+                    *(int(x) for x in wal_meta["position"])
+                )
+                self._base_clock = [int(t) for t in meta["clock"]]
+        except Exception:
+            pass  # no WAL fallback from this base; replay buffer only
         self.replay.reset()
         self._restarts.clear()
         self._update_replay_gauges()
@@ -266,9 +287,19 @@ class Supervisor:
             engine._down.difference_update(shard_ids)
             return True
 
+    def _wal_fallback_ready(self) -> bool:
+        """Can a worker be replayed from the engine's WAL instead of
+        the in-memory buffer?  Needs a live log and a base checkpoint
+        that recorded its WAL position and clock."""
+        return (
+            getattr(self.engine, "_wal", None) is not None
+            and self._base_wal is not None
+            and self._base_clock is not None
+        )
+
     def _base_shards(self, worker_id: int, shard_ids) -> dict:
         """Load the worker's shards from the base checkpoint."""
-        if self.replay.overflowed:
+        if self.replay.overflowed and not self._wal_fallback_ready():
             raise ShardUnrecoverableError(
                 f"replay buffer overflowed its {self.replay.limit_items}-item "
                 "bound; batches since the last checkpoint are gone",
@@ -293,12 +324,63 @@ class Supervisor:
 
     def _replay_worker(self, worker_id: int, shard_ids) -> None:
         """Re-apply every logged batch owned by the restarted worker."""
+        if self.replay.overflowed:
+            self._replay_worker_from_wal(worker_id, shard_ids)
+            return
         engine, executor = self.engine, self.engine._exec
         n_items = n_batches = 0
         for shard_id, keys, times, side in self.replay.batches_for(shard_ids):
             executor.flush(shard_id, keys, times, side)
             n_batches += 1
             n_items += int(keys.size)
+        engine.stats.record_replay(n_items, n_batches)
+
+    def _replay_worker_from_wal(self, worker_id: int, shards) -> None:
+        """Rebuild a worker's flushed suffix from the engine's WAL.
+
+        The in-memory log is gone (overflowed), but the WAL holds every
+        admitted batch since the base checkpoint.  Walking it from the
+        base position while re-deriving union-stream times from the
+        base clock reproduces exactly the (keys, times) the engine
+        stamped — the same math :meth:`StreamEngine.ingest` ran.  Items
+        still sitting in the engine's buffers are the contiguous
+        *un-flushed* suffix per (shard, side); replay stops short of
+        each buffer's front time so they are not applied twice (the
+        normal flush path will deliver them).
+        """
+        engine, executor = self.engine, self.engine._exec
+        cfg = engine.config
+        sides = (0, 1) if engine._two_stream else (0,)
+        wanted = set(shards)
+        cutoff: dict[tuple[int, int], int] = {}
+        for s in wanted:
+            for side in sides:
+                buf = engine._buffers.get((s, side))
+                front = buf.front_time() if buf is not None else None
+                cutoff[s, side] = engine._t[side] if front is None else front
+        t = list(self._base_clock)
+        n_items = n_batches = 0
+        for _pos, side, keys in iter_records(
+            engine._wal.directory, start=self._base_wal
+        ):
+            times = t[side] + np.arange(keys.size, dtype=np.int64)
+            t[side] += int(keys.size)
+            owners = _shard_ids(keys, cfg.num_shards, cfg.shard_seed)
+            for s in wanted:
+                mask = owners == s
+                if not mask.any():
+                    continue
+                keep = times[mask] < cutoff[s, side]
+                if not keep.any():
+                    continue
+                executor.flush(
+                    s,
+                    keys[mask][keep],
+                    times[mask][keep],
+                    side if engine._two_stream else None,
+                )
+                n_batches += 1
+                n_items += int(np.count_nonzero(keep))
         engine.stats.record_replay(n_items, n_batches)
 
     # -- liveness ------------------------------------------------------------
@@ -348,6 +430,7 @@ class Supervisor:
             "restarts_since_checkpoint": dict(self._restarts),
             "base_checkpoint": str(self._base_path),
             "down_shards": sorted(self.engine._down),
+            "wal_fallback_available": self._wal_fallback_ready(),
         }
         # overload context: a down shard under admission control keeps
         # at most the retention cap buffered, and anything it shed

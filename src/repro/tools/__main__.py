@@ -14,6 +14,10 @@ Sub-commands::
         python -m repro.tools inspect bf.npz
     merge      union-merge same-config sketch archives
         python -m repro.tools merge a.npz b.npz --out all.npz
+    wal        inspect / verify a durable ingestion log
+        python -m repro.tools wal inspect /var/lib/engine/wal
+        python -m repro.tools wal verify /var/lib/engine/wal \\
+            --checkpoints /var/lib/engine/ckpt
 """
 
 from __future__ import annotations
@@ -137,6 +141,55 @@ def _cmd_merge(args) -> int:
     return 0
 
 
+def _cmd_wal_inspect(args) -> int:
+    from repro.service.wal import inspect_wal
+
+    print(json.dumps(inspect_wal(args.directory), indent=2))
+    return 0
+
+
+def _cmd_wal_verify(args) -> int:
+    """Exit 0 only when the log (and optionally every complete
+    checkpoint) passes affirmative checksum verification."""
+    from repro.service.errors import (
+        CheckpointCorruptionError,
+        WalCorruptionError,
+    )
+    from repro.service.wal import verify_wal
+
+    rc = 0
+    report: dict = {}
+    try:
+        report["wal"] = verify_wal(args.directory)
+    except WalCorruptionError as exc:
+        report["wal"] = {"error": str(exc)}
+        rc = 1
+    if args.checkpoints is not None:
+        from repro.service.checkpoint import verify_checkpoint
+
+        report["checkpoints"] = []
+        root = Path(args.checkpoints)
+        entries = sorted(
+            p for p in root.iterdir()
+            if p.is_dir() and p.name.startswith("ckpt-")
+        ) if root.is_dir() else []
+        for path in entries:
+            entry = {"path": str(path), "status": "ok"}
+            try:
+                meta = verify_checkpoint(path)
+                entry["seq"] = meta.get("seq")
+                entry["wal_position"] = meta.get("wal", {}).get("position")
+            except CheckpointCorruptionError as exc:
+                entry["status"] = "corrupt"
+                entry["error"] = str(exc)
+                rc = 1
+            report["checkpoints"].append(entry)
+    print(json.dumps(report, indent=2))
+    if rc:
+        print("verification FAILED", file=sys.stderr)
+    return rc
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.tools", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -174,6 +227,22 @@ def main(argv: list[str] | None = None) -> int:
     m.add_argument("--out", required=True)
     m.add_argument("--at", type=int, default=None, help="common query time")
     m.set_defaults(fn=_cmd_merge)
+
+    w = sub.add_parser("wal", help="inspect / verify a write-ahead log")
+    wsub = w.add_subparsers(dest="wal_command", required=True)
+    wi = wsub.add_parser("inspect", help="per-segment record counts + status")
+    wi.add_argument("directory")
+    wi.set_defaults(fn=_cmd_wal_inspect)
+    wv = wsub.add_parser(
+        "verify", help="checksum-verify the log (exit 1 on corruption)"
+    )
+    wv.add_argument("directory")
+    wv.add_argument(
+        "--checkpoints",
+        default=None,
+        help="also checksum-verify every checkpoint under this directory",
+    )
+    wv.set_defaults(fn=_cmd_wal_verify)
 
     args = parser.parse_args(argv)
     return args.fn(args)

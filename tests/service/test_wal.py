@@ -1,0 +1,423 @@
+"""WAL unit surface: format, fsync policies, tail recovery, corruption.
+
+The end-to-end crash→recover property tests live in
+``test_crash_recovery.py``; this file pins the log itself — byte
+format, rotation, the durable horizon under each fsync policy, and the
+torn-tail / mid-log-corruption distinction the recovery path builds on.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    EngineConfig,
+    StreamEngine,
+    WalCorruptionError,
+    WalPosition,
+    WalWriteError,
+    WriteAheadLog,
+    flip_bit,
+    inspect_wal,
+    iter_records,
+    tear_tail,
+    verify_wal,
+)
+from repro.tools.__main__ import main as tools_main
+
+
+def keys_of(n, seed=0):
+    return np.random.default_rng(seed).integers(0, 1 << 40, size=n, dtype=np.uint64)
+
+
+class TestRoundTrip:
+    def test_append_then_iter_yields_the_same_records(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        batches = [(0, keys_of(100, 1)), (1, keys_of(57, 2)), (0, keys_of(1, 3))]
+        for side, ks in batches:
+            wal.append(side, ks)
+        wal.close()
+        got = list(iter_records(tmp_path))
+        assert len(got) == 3
+        for (pos, side, ks), (want_side, want_ks) in zip(got, batches):
+            assert side == want_side
+            assert np.array_equal(ks, want_ks)
+        # positions are strictly increasing and end at the write position
+        positions = [pos for pos, _s, _k in got]
+        assert positions == sorted(positions)
+
+    def test_iter_from_position_yields_the_suffix(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(0, keys_of(10, 1))
+        mid = wal.position()
+        wal.append(0, keys_of(20, 2))
+        wal.append(0, keys_of(30, 3))
+        wal.close()
+        got = list(iter_records(tmp_path, start=mid))
+        assert [k.size for _p, _s, k in got] == [20, 30]
+
+    def test_empty_log_iterates_nothing(self, tmp_path):
+        WriteAheadLog(tmp_path).close()
+        assert list(iter_records(tmp_path)) == []
+
+    def test_reopen_continues_the_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(0, keys_of(5, 1))
+        wal.close()
+        wal2 = WriteAheadLog(tmp_path)
+        wal2.append(0, keys_of(7, 2))
+        wal2.close()
+        assert [k.size for _p, _s, k in iter_records(tmp_path)] == [5, 7]
+
+
+class TestRotation:
+    def test_segments_rotate_and_iterate_in_order(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_max_bytes=600)
+        for i in range(10):
+            wal.append(0, keys_of(30, i))
+        assert wal.segment_count() > 1
+        wal.close()
+        sizes = [k.size for _p, _s, k in iter_records(tmp_path)]
+        assert sizes == [30] * 10
+
+    def test_prune_to_keeps_the_needed_suffix(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_max_bytes=600)
+        for i in range(6):
+            wal.append(0, keys_of(30, i))
+        cut = wal.position()
+        for i in range(6, 10):
+            wal.append(0, keys_of(30, i))
+        deleted = wal.prune_to(cut)
+        assert deleted  # old segments really went away
+        # the suffix from the cut is fully replayable
+        assert [k.size for _p, _s, k in iter_records(tmp_path, start=cut)] == [30] * 4
+        wal.close()
+
+    def test_iter_from_pruned_position_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_max_bytes=600)
+        start = wal.position()
+        for i in range(10):
+            wal.append(0, keys_of(30, i))
+        wal.prune_to(wal.position())
+        wal.close()
+        with pytest.raises(WalCorruptionError, match="pruned"):
+            list(iter_records(tmp_path, start=start))
+
+    def test_missing_middle_segment_is_a_gap(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_max_bytes=600)
+        for i in range(10):
+            wal.append(0, keys_of(30, i))
+        wal.close()
+        segments = sorted(tmp_path.glob("wal-*.log"))
+        assert len(segments) >= 3
+        segments[1].unlink()
+        with pytest.raises(WalCorruptionError, match="gap"):
+            list(iter_records(tmp_path))
+
+
+class TestFsyncPolicies:
+    def test_always_keeps_durable_at_position(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="always")
+        for i in range(3):
+            wal.append(0, keys_of(10, i))
+            assert wal.durable_position() == wal.position()
+            assert wal.pending_items == 0
+        assert wal.fsyncs >= 3
+        wal.close()
+
+    def test_off_never_advances_durable_until_sync(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        base = wal.durable_position()
+        wal.append(0, keys_of(10, 1))
+        wal.append(0, keys_of(10, 2))
+        assert wal.durable_position() == base
+        assert wal.pending_items == 20
+        wal.sync()
+        assert wal.durable_position() == wal.position()
+        assert wal.pending_items == 0
+        wal.close()
+
+    def test_interval_syncs_once_the_clock_passes(self, tmp_path):
+        fake = [0.0]
+        wal = WriteAheadLog(
+            tmp_path, fsync="interval", fsync_interval_s=5.0,
+            clock=lambda: fake[0],
+        )
+        base = wal.durable_position()
+        wal.append(0, keys_of(10, 1))
+        assert wal.durable_position() == base  # interval not yet up
+        fake[0] = 6.0
+        wal.append(0, keys_of(10, 2))
+        assert wal.durable_position() == wal.position()
+        wal.close()
+
+    def test_simulate_crash_drops_exactly_the_unsynced_tail(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append(0, keys_of(10, 1))
+        wal.sync()
+        wal.append(0, keys_of(99, 2))  # never synced
+        wal.simulate_crash()
+        assert [k.size for _p, _s, k in iter_records(tmp_path)] == [10]
+
+    def test_simulate_crash_loses_nothing_under_always(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="always")
+        wal.append(0, keys_of(10, 1))
+        wal.append(0, keys_of(20, 2))
+        wal.simulate_crash()
+        assert [k.size for _p, _s, k in iter_records(tmp_path)] == [10, 20]
+
+    def test_fsync_failure_raises_typed_and_records_error(self, tmp_path, monkeypatch):
+        wal = WriteAheadLog(tmp_path, fsync="always")
+        real_fsync = os.fsync
+
+        def broken(fd):
+            raise OSError("device error")
+
+        monkeypatch.setattr(os, "fsync", broken)
+        with pytest.raises(WalWriteError):
+            wal.append(0, keys_of(10, 1))
+        assert wal.last_error is not None
+        monkeypatch.setattr(os, "fsync", real_fsync)
+        wal.sync()
+        assert wal.last_error is None  # a later sync clears the condition
+        wal.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.close()
+        with pytest.raises(WalWriteError):
+            wal.append(0, keys_of(1))
+
+
+class TestTornAndCorrupt:
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(0, keys_of(10, 1))
+        wal.append(0, keys_of(10, 2))
+        wal.close()
+        tear_tail(tmp_path, 5)  # partial final record
+        wal2 = WriteAheadLog(tmp_path)
+        assert wal2.torn_bytes_dropped > 0
+        assert [k.size for _p, _s, k in iter_records(tmp_path)] == [10]
+        # and the log accepts appends where the tear was
+        wal2.append(0, keys_of(3, 3))
+        wal2.close()
+        assert [k.size for _p, _s, k in iter_records(tmp_path)] == [10, 3]
+
+    def test_iter_records_tolerates_torn_tail(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(0, keys_of(10, 1))
+        wal.append(0, keys_of(10, 2))
+        wal.close()
+        tear_tail(tmp_path, 5)
+        assert [k.size for _p, _s, k in iter_records(tmp_path)] == [10]
+
+    def test_midlog_bitflip_raises_on_open(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(0, keys_of(10, 1))
+        wal.append(0, keys_of(10, 2))
+        wal.close()
+        seg = sorted(tmp_path.glob("wal-*.log"))[0]
+        flip_bit(seg, 40)  # inside the first record's payload
+        with pytest.raises(WalCorruptionError, match="bit rot"):
+            WriteAheadLog(tmp_path)
+        with pytest.raises(WalCorruptionError):
+            list(iter_records(tmp_path))
+        with pytest.raises(WalCorruptionError):
+            verify_wal(tmp_path)
+
+    def test_bitflip_in_nonfinal_segment_raises_on_read(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_max_bytes=600)
+        for i in range(10):
+            wal.append(0, keys_of(30, i))
+        wal.close()
+        seg = sorted(tmp_path.glob("wal-*.log"))[0]
+        flip_bit(seg, 40)
+        with pytest.raises(WalCorruptionError):
+            list(iter_records(tmp_path))
+
+    def test_final_record_bitflip_is_truncated_as_torn(self, tmp_path):
+        # a flip in the very last record is indistinguishable from a
+        # torn append — tail recovery truncates it (documented loss)
+        wal = WriteAheadLog(tmp_path)
+        wal.append(0, keys_of(10, 1))
+        wal.append(0, keys_of(10, 2))
+        wal.close()
+        seg = sorted(tmp_path.glob("wal-*.log"))[0]
+        flip_bit(seg, -4)
+        wal2 = WriteAheadLog(tmp_path)
+        assert wal2.torn_bytes_dropped > 0
+        wal2.close()
+        assert [k.size for _p, _s, k in iter_records(tmp_path)] == [10]
+
+    def test_bad_segment_header_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(0, keys_of(5, 1))
+        wal.close()
+        seg = sorted(tmp_path.glob("wal-*.log"))[0]
+        flip_bit(seg, 0)
+        with pytest.raises(WalCorruptionError, match="header"):
+            list(iter_records(tmp_path))
+
+
+class TestVerifyInspect:
+    def test_verify_summary(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_max_bytes=600)
+        for i in range(6):
+            wal.append(i % 2, keys_of(30, i))
+        wal.close()
+        summary = verify_wal(tmp_path)
+        assert summary["records"] == 6
+        assert summary["items"] == 180
+        assert summary["segments"] == wal.segment_count()
+        assert summary["torn_tail_bytes"] == 0
+
+    def test_inspect_reports_torn_and_corrupt_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_max_bytes=600)
+        for i in range(10):
+            wal.append(0, keys_of(30, i))
+        wal.close()
+        segments = sorted(tmp_path.glob("wal-*.log"))
+        flip_bit(segments[0], 40)
+        tear_tail(tmp_path, 5)
+        report = inspect_wal(tmp_path)
+        assert report["ok"] is False
+        statuses = {e["segment"]: e["status"] for e in report["segments"]}
+        assert statuses[1] == "corrupt"
+        assert statuses[max(statuses)] == "torn-tail"
+
+
+class TestEngineIntegration:
+    def cfg(self, tmp_path, **over):
+        kw = dict(
+            window=2048, size=1024, num_shards=3,
+            flush_batch_size=500, flush_interval_s=None,
+            wal_dir=str(tmp_path / "wal"), sketch_kwargs={"seed": 7},
+        )
+        kw.update(over)
+        return EngineConfig("cm", **kw)
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="wal_fsync"):
+            self.cfg(tmp_path, wal_fsync="sometimes")
+        with pytest.raises(ValueError, match="wal_fsync_interval_s"):
+            self.cfg(tmp_path, wal_fsync_interval_s=0)
+        with pytest.raises(ValueError, match="wal_segment_bytes"):
+            self.cfg(tmp_path, wal_segment_bytes=-1)
+        # a Path wal_dir is coerced so the config JSON round-trips
+        cfg = self.cfg(tmp_path)
+        assert EngineConfig.from_json(cfg.to_json()) == cfg
+
+    def test_admitted_batches_are_logged(self, tmp_path):
+        eng = StreamEngine(self.cfg(tmp_path))
+        eng.ingest(keys_of(100, 1))
+        eng.ingest(keys_of(50, 2))
+        eng.close()
+        assert sum(
+            k.size for _p, _s, k in iter_records(tmp_path / "wal")
+        ) == 150
+
+    def test_rejected_batches_never_reach_the_log(self, tmp_path):
+        eng = StreamEngine(
+            self.cfg(tmp_path, max_buffered_items=64, overload_policy="raise")
+        )
+        from repro.service import EngineOverloadedError
+
+        with pytest.raises(EngineOverloadedError):
+            eng.ingest(keys_of(5000, 1))
+        status = eng.wal_status()
+        assert status["appends_total"] == 0
+        assert eng.now() == 0
+        eng.close()
+        assert list(iter_records(tmp_path / "wal")) == []
+
+    def test_shed_newest_logs_only_the_admitted_subset(self, tmp_path):
+        eng = StreamEngine(
+            self.cfg(
+                tmp_path,
+                max_buffered_total=128,
+                overload_policy="shed_newest",
+                flush_batch_size=10**9,  # nothing drains: forces shedding
+            )
+        )
+        eng.ingest(keys_of(5000, 1))
+        admitted = eng.now()
+        assert admitted < 5000
+        eng.close()
+        logged = sum(k.size for _p, _s, k in iter_records(tmp_path / "wal"))
+        assert logged == admitted
+
+    def test_wal_status_shape(self, tmp_path):
+        eng = StreamEngine(self.cfg(tmp_path))
+        eng.ingest(keys_of(10, 1))
+        status = eng.wal_status()
+        assert status["enabled"] is True
+        assert status["fsync"] == "always"
+        assert status["lag_items"] == 0
+        assert status["last_error"] is None
+        assert status["appends_total"] == 1
+        eng.close()
+        assert StreamEngine(
+            EngineConfig("cm", window=64, size=64)
+        ).wal_status() == {"enabled": False}
+
+    def test_wal_metrics_exported(self, tmp_path):
+        eng = StreamEngine(self.cfg(tmp_path), obs=True)
+        eng.ingest(keys_of(10, 1))
+        text = eng.obs.registry.render()
+        for name in (
+            "engine_wal_appends_total",
+            "engine_wal_fsyncs_total",
+            "engine_wal_bytes",
+            "engine_wal_lag_items",
+        ):
+            assert name in text
+        eng.close()
+
+
+class TestCli:
+    def test_wal_inspect_and_verify(self, tmp_path, capsys):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(0, keys_of(10, 1))
+        wal.close()
+        assert tools_main(["wal", "inspect", str(tmp_path / "wal")]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True and report["segments"][0]["records"] == 1
+        assert tools_main(["wal", "verify", str(tmp_path / "wal")]) == 0
+        assert json.loads(capsys.readouterr().out)["wal"]["records"] == 1
+
+    def test_wal_verify_fails_on_corruption(self, tmp_path, capsys):
+        wal = WriteAheadLog(tmp_path / "wal")
+        wal.append(0, keys_of(10, 1))
+        wal.append(0, keys_of(10, 2))
+        wal.close()
+        flip_bit(sorted((tmp_path / "wal").glob("wal-*.log"))[0], 40)
+        assert tools_main(["wal", "verify", str(tmp_path / "wal")]) == 1
+
+    def test_wal_verify_checkpoints(self, tmp_path, capsys):
+        from repro.service import save_checkpoint
+
+        eng = StreamEngine(EngineConfig(
+            "cm", window=512, size=256, num_shards=2,
+            flush_batch_size=100, flush_interval_s=None,
+            wal_dir=str(tmp_path / "wal"), sketch_kwargs={"seed": 3},
+        ))
+        eng.ingest(keys_of(300, 1))
+        ckpt = save_checkpoint(eng, tmp_path / "ckpt")
+        eng.close()
+        argv = ["wal", "verify", str(tmp_path / "wal"),
+                "--checkpoints", str(tmp_path / "ckpt")]
+        assert tools_main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["checkpoints"][0]["status"] == "ok"
+        # flip a bit in a shard file: verify must fail loudly
+        flip_bit(ckpt / "shard-00.npz", 100)
+        assert tools_main(argv) == 1
+
+
+class TestWalPosition:
+    def test_ordering_across_segments(self):
+        assert WalPosition(1, 500) < WalPosition(2, 16)
+        assert WalPosition(2, 16) < WalPosition(2, 17)
