@@ -44,6 +44,12 @@ from repro.obs.registry import (
     Registry,
     render_prometheus,
 )
+from repro.obs.slo import (
+    DEFAULT_RULES,
+    BurnRateRule,
+    SloEngine,
+    SloObjective,
+)
 from repro.obs.tracing import (
     NULL_TRACER,
     NullTracer,
@@ -53,9 +59,31 @@ from repro.obs.tracing import (
     span_record,
 )
 
+# importing the windowed-telemetry module registers the "wq" sliding
+# quantile kind with repro.core.registry, so any process that builds an
+# Observability bundle (every engine) can also serve/recover it
+from repro.obs.windows import (
+    ENGINE_STAGES,
+    NULL_STAGES,
+    ExemplarReservoir,
+    SheWindowedQuantile,
+    StageLatencyRecorder,
+    WindowedRegistryView,
+)
+
 __all__ = [
     "Observability",
     "OBS_DISABLED",
+    "SheWindowedQuantile",
+    "StageLatencyRecorder",
+    "ExemplarReservoir",
+    "WindowedRegistryView",
+    "ENGINE_STAGES",
+    "NULL_STAGES",
+    "SloEngine",
+    "SloObjective",
+    "BurnRateRule",
+    "DEFAULT_RULES",
     "Registry",
     "NullRegistry",
     "NULL_REGISTRY",
@@ -85,6 +113,11 @@ class Observability:
             note metric names are global within a registry).
         tracer: override the tracer.
         span_capacity: ring size for a tracer built here.
+        telemetry: build the sliding-window telemetry layer — a
+            :class:`StageLatencyRecorder` at :attr:`stages` and a
+            :class:`WindowedRegistryView` at :attr:`windows` (defaults
+            to ``enabled``; pass ``False`` to measure an engine with
+            plain counters only, as the overhead benchmark does).
     """
 
     def __init__(
@@ -94,6 +127,7 @@ class Observability:
         registry=None,
         tracer=None,
         span_capacity: int = 2048,
+        telemetry: bool | None = None,
     ):
         self.enabled = bool(enabled)
         if registry is not None:
@@ -104,6 +138,34 @@ class Observability:
             self.tracer = tracer
         else:
             self.tracer = Tracer(span_capacity) if enabled else NULL_TRACER
+        self.telemetry = self.enabled if telemetry is None else (
+            bool(telemetry) and self.enabled
+        )
+        if self.telemetry:
+            self.stages = StageLatencyRecorder(self.registry)
+            self.windows = WindowedRegistryView(self.registry)
+        else:
+            self.stages = NULL_STAGES
+            self.windows = None
+
+    def refresh_telemetry(self) -> None:
+        """Drain stage samples and republish every windowed gauge.
+
+        The exporter calls this on each ``/metrics`` scrape; no-op for
+        bundles built without the telemetry layer.
+        """
+        if self.windows is not None:
+            self.stages.refresh()
+            self.windows.refresh()
+
+    def telemetry_section(self):
+        """``/statusz`` body for the windowed-telemetry layer (or None)."""
+        if self.windows is None:
+            return None
+        return {
+            "stages": self.stages.statusz_section(),
+            "windows": self.windows.statusz_section(),
+        }
 
     @classmethod
     def coerce(cls, obs) -> "Observability":

@@ -12,9 +12,14 @@ dependencies, so it can run inside any deployment of the repro:
   erroring; 503 with the down-shard list / WAL error (and the
   supervisor's view, when one is attached) otherwise.  Load balancers
   and the CI smoke test key off the status code alone.
-* ``/statusz`` — the full JSON story: stats snapshot, supervisor
-  snapshot, durability section (``engine.wal_status()``), per-shard
-  probes (when refreshing is on), config.
+* ``/statusz`` — the full JSON story: stats snapshot plus one section
+  per registered hook (overload, durability, supervisor, drift,
+  windowed telemetry, SLO states — and anything added through
+  :meth:`MetricsExporter.register_statusz_section`), then per-shard
+  probes (when refreshing is on) and config.
+* ``/alertz`` — the SLO engine's firing/pending burn-rate alerts
+  (each GET triggers an evaluation); ``{"enabled": false}`` when no
+  :class:`~repro.obs.slo.SloEngine` is attached.
 
 Thread safety: the exporter thread only ever touches the registry
 (lock-free snapshot reads), plain engine attributes, and — only when
@@ -65,6 +70,61 @@ class MetricsExporter:
         self.refresh_probes = refresh_probes
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
+        # /statusz sections are pluggable: name -> zero-arg callable
+        # returning a JSON-safe value, or None to omit the section this
+        # scrape.  The defaults probe optional engine surfaces lazily,
+        # so subsystems attached after construction still show up.
+        self._statusz_sections: dict = {}
+        for name, fn in self._default_sections():
+            self.register_statusz_section(name, fn)
+
+    def register_statusz_section(self, name: str, fn) -> None:
+        """Add (or replace) one named ``/statusz`` section.
+
+        ``fn`` is called on each scrape with no arguments; return
+        ``None`` to omit the section, any JSON-serialisable value to
+        include it.  A raising hook degrades to ``{"error": ...}``
+        rather than failing the scrape.
+        """
+        if not callable(fn):
+            raise TypeError(f"statusz section {name!r} needs a callable")
+        self._statusz_sections[str(name)] = fn
+
+    def _default_sections(self):
+        engine = self.engine
+
+        def overload():
+            fn = getattr(engine, "overload_snapshot", None)
+            return fn() if fn is not None else None
+
+        def durability():
+            fn = getattr(engine, "wal_status", None)
+            return fn() if fn is not None else None
+
+        def supervisor():
+            sup = getattr(engine, "_supervisor", None)
+            return sup.snapshot() if sup is not None else None
+
+        def drift():
+            monitor = getattr(engine, "_drift_monitor", None)
+            return monitor.statusz_section() if monitor is not None else None
+
+        def telemetry():
+            section = getattr(engine.obs, "telemetry_section", None)
+            return section() if section is not None else None
+
+        def slo():
+            slo_engine = getattr(engine, "_slo_engine", None)
+            return slo_engine.statusz_section() if slo_engine is not None else None
+
+        return (
+            ("overload", overload),
+            ("durability", durability),
+            ("supervisor", supervisor),
+            ("drift", drift),
+            ("telemetry", telemetry),
+            ("slo", slo),
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -118,6 +178,12 @@ class MetricsExporter:
                 self.engine.update_probe_gauges()
             except Exception:  # a scrape must never take the engine down
                 pass
+        refresh = getattr(self.engine.obs, "refresh_telemetry", None)
+        if refresh is not None:
+            try:
+                refresh()  # windowed rates/quantiles + stage gauges
+            except Exception:
+                pass
         return self.engine.obs.registry.render()
 
     def _health(self) -> tuple[int, dict]:
@@ -154,24 +220,25 @@ class MetricsExporter:
             "executor": self.engine.executor_kind,
             "obs_enabled": self.engine.obs.enabled,
         }
-        overload = getattr(self.engine, "overload_snapshot", None)
-        if overload is not None:
-            body["overload"] = overload()
-        wal_status = getattr(self.engine, "wal_status", None)
-        if wal_status is not None:
-            body["durability"] = wal_status()
-        supervisor = getattr(self.engine, "_supervisor", None)
-        if supervisor is not None:
-            body["supervisor"] = supervisor.snapshot()
-        drift = getattr(self.engine, "_drift_monitor", None)
-        if drift is not None:
-            body["drift"] = drift.statusz_section()
+        for name, fn in self._statusz_sections.items():
+            try:
+                section = fn()
+            except Exception as exc:  # one bad hook must not eat the page
+                section = {"error": str(exc)}
+            if section is not None:
+                body[name] = section
         if self.refresh_probes:
             try:
                 body["probes"] = self.engine.probe_shards()
             except Exception:
                 pass
         return body
+
+    def _alertz(self) -> dict:
+        slo_engine = getattr(self.engine, "_slo_engine", None)
+        if slo_engine is None:
+            return {"enabled": False, "alerts": [], "firing": []}
+        return slo_engine.alertz_payload()
 
     def _make_handler(self):
         exporter = self
@@ -206,6 +273,12 @@ class MetricsExporter:
                             200,
                             "application/json",
                             json.dumps(exporter._status()).encode(),
+                        )
+                    elif path == "/alertz":
+                        self._reply(
+                            200,
+                            "application/json",
+                            json.dumps(exporter._alertz()).encode(),
                         )
                     else:
                         self._reply(404, "text/plain", b"not found\n")

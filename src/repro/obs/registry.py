@@ -134,6 +134,14 @@ class _Family:
     def children(self) -> Iterator[tuple[tuple[str, ...], object]]:
         yield from sorted(self._children.items())
 
+    def clear(self) -> None:
+        """Drop every labelled child (bounds churning label sets, e.g.
+        exemplar trace-ids that are re-published on each refresh)."""
+        self._children.clear()
+        if not self.labelnames:
+            self._default = self._make_child()
+            self._children[()] = self._default
+
     # unlabelled convenience: delegate to the default child
     def _require_default(self):
         if self.labelnames:
@@ -257,7 +265,8 @@ class Registry:
             for key, child in metric.children():
                 suffix = (
                     "{" + ",".join(
-                        f'{n}="{v}"' for n, v in zip(metric.labelnames, key)
+                        f'{n}="{_escape_label_value(v)}"'
+                        for n, v in zip(metric.labelnames, key)
                     ) + "}"
                     if key else ""
                 )
@@ -293,6 +302,9 @@ class _NullChild:
         pass
 
     def observe(self, v: float) -> None:
+        pass
+
+    def clear(self) -> None:
         pass
 
 

@@ -1,0 +1,352 @@
+"""SLO engine: multi-window, multi-burn-rate alert evaluation.
+
+Google-SRE-style burn-rate alerting over the engine's own event
+counters.  An :class:`SloObjective` names an error-ratio objective:
+
+* ``kind="availability"`` — bad = rejected + shed arrivals, total =
+  offered arrivals (ingested + rejected), straight off
+  :class:`~repro.service.stats.EngineStats`.
+* ``kind="latency"`` — bad = stage samples above ``threshold_s``,
+  total = all samples of that stage, off
+  :class:`~repro.obs.windows.StageLatencyRecorder` threshold counters.
+
+Each :class:`BurnRateRule` pairs a fast and a slow window: the alert
+condition is *both* windows burning error budget faster than
+``factor`` × the sustainable rate, which keeps time-to-detect short
+(fast window) without paging on blips (slow window must agree).  The
+defaults are the classic pair — (5m, 1h) × 14.4 pages, (1h, 6h) × 6
+tickets.  A condition must hold for two consecutive evaluations to go
+``firing`` (one evaluation shows it ``pending``); a clean evaluation
+clears it back to ``ok``.
+
+:class:`SloEngine` attaches to a ``StreamEngine`` as
+``engine._slo_engine`` — the exporter then serves firing/pending
+alerts on ``/alertz`` and the transition timeline on ``/statusz``.
+Evaluation only reads cumulative integer counters, so it is safe from
+the exporter's scrape thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = [
+    "SloObjective",
+    "BurnRateRule",
+    "DEFAULT_RULES",
+    "WINDOW_SECONDS",
+    "SloEngine",
+]
+
+#: window name -> span in seconds (the SRE fast/slow alerting windows)
+WINDOW_SECONDS = {
+    "5m": 300.0,
+    "1h": 3600.0,
+    "6h": 21600.0,
+}
+
+OK, PENDING, FIRING = "ok", "pending", "firing"
+_STATE_VALUE = {OK: 0, PENDING: 1, FIRING: 2}
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One error-ratio objective (e.g. 99.9% of arrivals admitted).
+
+    Args:
+        name: label value on the ``slo_*`` metrics and ``/alertz``.
+        target: the objective as a success ratio in (0, 1), e.g.
+            ``0.999`` — the error budget is ``1 - target``.
+        kind: ``"availability"`` or ``"latency"``.
+        threshold_s: latency objectives only — a sample counts against
+            the budget when the stage took longer than this.
+        stage: latency objectives only — which hot-path stage to hold
+            to the threshold (default ``"flush_rpc"``).
+    """
+
+    name: str
+    target: float
+    kind: str = "availability"
+    threshold_s: float | None = None
+    stage: str = "flush_rpc"
+    description: str = ""
+
+    def __post_init__(self):
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(
+                f"kind must be 'availability' or 'latency', got {self.kind!r}"
+            )
+        if self.kind == "latency" and self.threshold_s is None:
+            raise ValueError("latency objectives need threshold_s")
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Alert when both windows burn budget at ≥ ``factor`` × sustainable."""
+
+    short: str
+    long: str
+    factor: float
+    severity: str
+
+    def __post_init__(self):
+        for w in (self.short, self.long):
+            if w not in WINDOW_SECONDS:
+                raise ValueError(
+                    f"unknown window {w!r}; known: {sorted(WINDOW_SECONDS)}"
+                )
+        if self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+
+
+#: the classic SRE-workbook pair: page fast on a hard burn, ticket on a
+#: slow sustained one
+DEFAULT_RULES = (
+    BurnRateRule(short="5m", long="1h", factor=14.4, severity="page"),
+    BurnRateRule(short="1h", long="6h", factor=6.0, severity="ticket"),
+)
+
+
+class _WindowRing:
+    """Per-horizon ring of (bad, total) cumulative snapshots.
+
+    Each evaluation writes the current counters into the slot for the
+    current time; the window's error ratio is the delta against the
+    oldest in-horizon slot.  Before the ring spans its full horizon the
+    delta covers available history — a ratio, so still meaningful.
+    """
+
+    def __init__(self, seconds: float, slots: int = 12):
+        self._seconds = float(seconds)
+        self._slots = int(slots)
+        self._ring: list = [None] * self._slots  # [epoch, ts, bad, total]
+
+    def update(self, now: float, bad: int, total: int) -> tuple[int, int]:
+        """Record the snapshot; return the window's (Δbad, Δtotal)."""
+        slot_s = self._seconds / self._slots
+        epoch = int(now // slot_s)
+        i = epoch % self._slots
+        cell = self._ring[i]
+        if cell is None or cell[0] != epoch:
+            self._ring[i] = [epoch, now, bad, total]
+        base = None
+        for cell in self._ring:
+            if cell is None or epoch - cell[0] >= self._slots:
+                continue
+            if base is None or cell[0] < base[0]:
+                base = cell
+        if base is None:
+            return bad, total
+        return max(bad - base[2], 0), max(total - base[3], 0)
+
+
+class SloEngine:
+    """Evaluate burn-rate rules against a live engine's counters.
+
+    Args:
+        engine: the :class:`~repro.service.engine.StreamEngine` whose
+            stats (and stage recorder, for latency objectives) feed the
+            objectives.  The engine gains an ``_slo_engine`` attribute
+            so the exporter can find this instance for ``/alertz``.
+        objectives: defaults to one availability objective at 99.9%.
+        rules: burn-rate rule set (default :data:`DEFAULT_RULES`).
+        clock: injectable wall clock (tests drive synthetic timelines).
+        timeline_capacity: how many state transitions ``/statusz`` keeps.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        objectives: tuple[SloObjective, ...] | list | None = None,
+        rules: tuple[BurnRateRule, ...] = DEFAULT_RULES,
+        clock=time.time,
+        slots: int = 12,
+        timeline_capacity: int = 128,
+    ):
+        self.engine = engine
+        if objectives is None:
+            objectives = (SloObjective(name="availability", target=0.999),)
+        self.objectives = tuple(objectives)
+        self.rules = tuple(rules)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.evaluations = 0
+        self._rings = {
+            (obj.name, w): _WindowRing(WINDOW_SECONDS[w], slots=slots)
+            for obj in self.objectives
+            for w in self._windows_of(obj)
+        }
+        # (objective, severity) -> consecutive evaluations the condition held
+        self._hits = {
+            (obj.name, rule.severity): 0
+            for obj in self.objectives
+            for rule in self.rules
+        }
+        self._states = {key: OK for key in self._hits}
+        self._burns: dict = {}
+        self._timeline: deque = deque(maxlen=int(timeline_capacity))
+        stages = getattr(engine.obs, "stages", None)
+        for obj in self.objectives:
+            if obj.kind == "latency":
+                if stages is None or not stages.enabled:
+                    raise ValueError(
+                        f"latency objective {obj.name!r} needs an engine "
+                        "with windowed telemetry enabled (obs=True)"
+                    )
+                stages.track_threshold(obj.stage, obj.threshold_s)
+        reg = engine.obs.registry
+        self._g_burn = reg.gauge(
+            "slo_burn_rate",
+            "Error-budget burn rate per objective and window "
+            "(1.0 = exactly sustainable)",
+            labels=("slo", "window"),
+        )
+        self._g_state = reg.gauge(
+            "slo_alert_state",
+            "Burn-rate alert state per objective and severity "
+            "(0 ok, 1 pending, 2 firing)",
+            labels=("slo", "severity"),
+        )
+        self._c_transitions = reg.counter(
+            "slo_alert_transitions_total",
+            "Alert state transitions per objective and new state",
+            labels=("slo", "to"),
+        )
+        engine._slo_engine = self
+
+    def _windows_of(self, obj: SloObjective) -> set[str]:
+        return {w for rule in self.rules for w in (rule.short, rule.long)}
+
+    # -- event sources -------------------------------------------------------
+
+    def _totals(self, obj: SloObjective) -> tuple[int, int]:
+        """Cumulative (bad events, total events) for one objective."""
+        if obj.kind == "availability":
+            stats = self.engine.stats
+            bad = int(stats.items_rejected) + int(stats.items_shed)
+            total = int(stats.items_ingested) + int(stats.items_rejected)
+            return bad, total
+        stages = self.engine.obs.stages
+        return stages.threshold_totals(obj.stage, obj.threshold_s)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self) -> dict:
+        """One evaluation pass: update burns, step alert states.
+
+        Returns the ``/alertz`` payload.  Call it on a schedule (or let
+        ``/alertz`` requests drive it — each GET evaluates first).
+        """
+        with self._lock:
+            now = self._clock()
+            self.evaluations += 1
+            burns: dict = {}
+            for obj in self.objectives:
+                bad, total = self._totals(obj)
+                budget = 1.0 - obj.target
+                for w in self._windows_of(obj):
+                    d_bad, d_total = self._rings[obj.name, w].update(
+                        now, bad, total
+                    )
+                    ratio = (d_bad / d_total) if d_total > 0 else 0.0
+                    burns[obj.name, w] = ratio / budget
+                    self._g_burn.labels(obj.name, w).set(burns[obj.name, w])
+            for obj in self.objectives:
+                for rule in self.rules:
+                    key = (obj.name, rule.severity)
+                    burning = (
+                        burns[obj.name, rule.short] >= rule.factor
+                        and burns[obj.name, rule.long] >= rule.factor
+                    )
+                    self._hits[key] = self._hits[key] + 1 if burning else 0
+                    new = (
+                        FIRING if self._hits[key] >= 2
+                        else PENDING if self._hits[key] == 1
+                        else OK
+                    )
+                    old = self._states[key]
+                    if new != old:
+                        self._states[key] = new
+                        self._c_transitions.labels(obj.name, new).inc()
+                        self._timeline.append({
+                            "at": now,
+                            "slo": obj.name,
+                            "severity": rule.severity,
+                            "from": old,
+                            "to": new,
+                            "burn_short": round(burns[obj.name, rule.short], 4),
+                            "burn_long": round(burns[obj.name, rule.long], 4),
+                        })
+                    self._g_state.labels(obj.name, rule.severity).set(
+                        _STATE_VALUE[new]
+                    )
+            self._burns = burns
+            return self._payload_locked(now)
+
+    def _payload_locked(self, now: float) -> dict:
+        alerts = []
+        for obj in self.objectives:
+            for rule in self.rules:
+                key = (obj.name, rule.severity)
+                alerts.append({
+                    "slo": obj.name,
+                    "kind": obj.kind,
+                    "target": obj.target,
+                    "severity": rule.severity,
+                    "state": self._states[key],
+                    "factor": rule.factor,
+                    "windows": {
+                        rule.short: round(
+                            self._burns.get((obj.name, rule.short), 0.0), 4
+                        ),
+                        rule.long: round(
+                            self._burns.get((obj.name, rule.long), 0.0), 4
+                        ),
+                    },
+                })
+        return {
+            "enabled": True,
+            "evaluated_at": now,
+            "evaluations": self.evaluations,
+            "alerts": alerts,
+            "firing": [a for a in alerts if a["state"] == FIRING],
+        }
+
+    def alertz_payload(self, *, evaluate: bool = True) -> dict:
+        """The ``/alertz`` body; evaluates first unless told not to."""
+        if evaluate:
+            return self.evaluate()
+        with self._lock:
+            return self._payload_locked(self._clock())
+
+    def statusz_section(self) -> dict:
+        """Objectives + current states + recent transition timeline."""
+        with self._lock:
+            return {
+                "evaluations": self.evaluations,
+                "objectives": [
+                    {
+                        "name": obj.name,
+                        "kind": obj.kind,
+                        "target": obj.target,
+                        "threshold_s": obj.threshold_s,
+                        "stage": obj.stage if obj.kind == "latency" else None,
+                    }
+                    for obj in self.objectives
+                ],
+                "states": {
+                    f"{slo}/{severity}": state
+                    for (slo, severity), state in sorted(self._states.items())
+                },
+                "burn_rates": {
+                    f"{slo}/{window}": round(burn, 4)
+                    for (slo, window), burn in sorted(self._burns.items())
+                },
+                "timeline": list(self._timeline),
+            }

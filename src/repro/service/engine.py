@@ -61,7 +61,7 @@ import numpy as np
 from repro.common.validation import as_key_array, require_positive_int
 from repro.core.merge import merge_many
 from repro.core.registry import get_descriptor, registered_kinds
-from repro.obs import Observability
+from repro.obs import Observability, new_id, span_record
 from repro.obs.probes import AGE_HIST_BINS
 from repro.service.errors import (
     EngineOverloadedError,
@@ -437,6 +437,11 @@ class StreamEngine:
         set_obs = getattr(self._exec, "set_obs", None)
         if set_obs is not None:
             set_obs(self.obs if self.obs.enabled else None)
+        # stage-level latency attribution (repro.obs.windows): the
+        # recorder is the bundle's NULL_STAGES no-op unless windowed
+        # telemetry is on, so hot-path guards are one attribute read
+        self._stages = self.obs.stages
+        self._last_sync_trace: str | None = None
         self._init_shard_metrics()
         # global union-stream clock(s): next arrival index per side
         self._t = list(_clock_state) if _clock_state is not None else (
@@ -593,6 +598,17 @@ class StreamEngine:
             return
         n_offered = int(arr.size)
         sids = shard_ids(arr, self.config.num_shards, self.config.shard_seed)
+        # stage timing (repro.obs.windows): zero-cost when telemetry is
+        # off; when on, each hot-path stage feeds a windowed quantile
+        # and the whole ingest files one span whose id rides into the
+        # stage exemplars
+        stages = self._stages
+        timed = stages.enabled
+        if timed:
+            perf = time.perf_counter
+            ingest_start = perf()
+            trace_id = new_id() if self.obs.tracer.enabled else None
+            stage_t0 = perf()
         # during WAL replay the arrivals were already admitted (and
         # logged) before the crash: re-running admission control could
         # shed them a second time and break bit-identical recovery
@@ -603,12 +619,20 @@ class StreamEngine:
         if admit is not None:
             arr = arr[admit]
             sids = sids[admit]
+        if timed:
+            stages.observe("admit", perf() - stage_t0, trace_id)
         if self._wal is not None and not self._wal_replaying and arr.size:
             # durability point: the *admitted* batch hits the log before
             # it is stamped — shed/rejected arrivals are never logged,
             # and a failed append (WalWriteError) rejects the batch
             # before any clock tick, like the raise overload policy
+            if timed:
+                stage_t0 = perf()
             self._wal.append(side, arr)
+            if timed:
+                stages.observe("wal_append", perf() - stage_t0, trace_id)
+        if timed:
+            stage_t0 = perf()
         t0 = self._t[side]
         times = t0 + np.arange(arr.size, dtype=np.int64)
         self._t[side] = t0 + int(arr.size)
@@ -627,6 +651,16 @@ class StreamEngine:
                     depth += other.count
             if depth > self._queue_high_water[s]:
                 self._queue_high_water[s] = depth
+        if timed:
+            stages.observe("stamp", perf() - stage_t0, trace_id)
+            if trace_id is not None:
+                # file a complete ingest span so the exemplar trace-ids
+                # the stage recorder samples resolve in the span ring
+                self.obs.tracer.ingest((span_record(
+                    "engine.ingest", trace_id, None, ingest_start,
+                    (perf() - ingest_start) * 1e3,
+                    items=n_offered, side=side,
+                ),))
         # offered, not admitted: arrivals a shed policy dropped still
         # count as ingested, so the conservation identity
         #   ingested == flushed + buffered + shed + retained_down
@@ -947,6 +981,8 @@ class StreamEngine:
             self._supervisor.record_sent(batches)
         try:
             tracer = self.obs.tracer
+            stages = self._stages
+            rpc_start = time.perf_counter() if stages.enabled else None
             if tracer.enabled:
                 # root of the flush chain: the trace context crosses the
                 # executor RPC boundary and the worker's apply span rides
@@ -955,8 +991,15 @@ class StreamEngine:
                     "engine.flush", items=n_items, batches=len(batches)
                 ) as root:
                     self._exec.flush_many(batches, trace=root.context)
+                flush_trace = root.trace_id
             else:
                 self._exec.flush_many(batches)
+                flush_trace = None
+            if rpc_start is not None:
+                # the full executor round-trip: send + apply + ack wait
+                stages.observe(
+                    "flush_rpc", time.perf_counter() - rpc_start, flush_trace
+                )
             for (s, _side), _keys, _times in staged:
                 self._m_shard_flushes[s].inc()
         except ShardError as err:
@@ -1021,7 +1064,10 @@ class StreamEngine:
                 shard_ids=tuple(sorted(self._down)),
             )
         self._check_open()
-        with self.obs.tracer.span("engine.sync", strict=strict):
+        with self.obs.tracer.span("engine.sync", strict=strict) as sync_span:
+            # remembered for the query_fanin stage exemplar: the fan-in
+            # that follows this sync belongs to the same logical trace
+            self._last_sync_trace = sync_span.trace_id
             self._flush_buffers(self._flushable_keys(), strict=strict)
             for s in range(self.config.num_shards):
                 if s in self._down:
@@ -1074,8 +1120,20 @@ class StreamEngine:
         This is the engine's fan-in: ``merge_many`` over the aligned
         shard snapshots, per :mod:`repro.core.merge` semantics.
         """
+        started = time.perf_counter() if self._stages.enabled else None
         t = None if self._two_stream else self._t[0]
-        return merge_many(self.snapshots(), t=t, require_aligned=True)
+        out = merge_many(self.snapshots(), t=t, require_aligned=True)
+        self._observe_fanin(started)
+        return out
+
+    def _observe_fanin(self, started: float | None) -> None:
+        """File one query_fanin stage sample (no-op when untimed)."""
+        if started is not None:
+            self._stages.observe(
+                "query_fanin",
+                time.perf_counter() - started,
+                self._last_sync_trace,
+            )
 
     def _require_query(self, query: str) -> None:
         if query not in self._desc.queries:
@@ -1115,11 +1173,14 @@ class StreamEngine:
         )
 
     def _degraded_merged(self) -> tuple[Any, set[int]]:
+        started = time.perf_counter() if self._stages.enabled else None
         snaps, missing = self._surviving_snapshots()
         if not snaps:
             return None, missing
         t = None if self._two_stream else self._t[0]
-        return merge_many(snaps, t=t, require_aligned=True), missing
+        out = merge_many(snaps, t=t, require_aligned=True), missing
+        self._observe_fanin(started)
+        return out
 
     def contains(self, key: int, *, strict: bool = True):
         """Membership of ``key`` in the window (BF engines)."""
@@ -1184,11 +1245,14 @@ class StreamEngine:
             value = None if merged is None else merged.frequency_many(keys)
             return self._degraded_answer(value, missing)
         if strict:
+            started = time.perf_counter() if self._stages.enabled else None
             self._sync()
             t = self._t[0]
-            return np.sum(
+            out = np.sum(
                 [s.frequency_many(keys, t) for s in self._exec.peeks()], axis=0
             )
+            self._observe_fanin(started)
+            return out
         snaps, missing = self._surviving_snapshots()
         t = self._t[0]
         value = (
@@ -1206,6 +1270,24 @@ class StreamEngine:
             return self.merged().similarity()
         merged, missing = self._degraded_merged()
         value = None if merged is None else merged.similarity()
+        return self._degraded_answer(value, missing)
+
+    def quantile(self, q: float, *, strict: bool = True):
+        """The ``q``-quantile of the windowed measurements (WQ engines).
+
+        Served by the ``"wq"`` sliding-window quantile kind
+        (:class:`repro.obs.windows.SheWindowedQuantile`): keys are
+        non-negative integer measurements, the answer is the log-bucket
+        representative value with the sketch's γ relative error, over
+        (approximately) the last ``window`` arrivals of the union
+        stream.  NaN when the window holds no samples.
+        """
+        self._require_query("quantile")
+        self.stats.record_query()
+        if strict:
+            return self.merged().quantile(q)
+        merged, missing = self._degraded_merged()
+        value = None if merged is None else merged.quantile(q)
         return self._degraded_answer(value, missing)
 
     # -- observability -------------------------------------------------------

@@ -153,7 +153,11 @@ class SerialExecutor:
                 _apply_flush(self._shards[shard_id], keys, times, side)
         else:
             _apply_flush(self._shards[shard_id], keys, times, side)
-        self._h_apply.observe(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self._h_apply.observe(elapsed)
+        self.obs.stages.observe(
+            "apply", elapsed, trace[0] if trace is not None else None
+        )
 
     def flush_many(self, batches, trace: tuple[str, str] | None = None) -> None:
         """Apply batches in order; a failure names the not-applied shards."""
@@ -473,6 +477,21 @@ class ProcessExecutor:
         payload = self._call(shard_id, "flush", shard_id, keys, times, side, trace)
         if payload is not None:
             self.obs.tracer.ingest((payload,))
+            self._observe_apply(payload)
+
+    def _observe_apply(self, payload: dict) -> None:
+        """Feed the worker's timed apply into the stage recorder.
+
+        The worker half of the flush trace already times the sketch
+        apply (``worker.apply`` span records, repro.obs.tracing); the
+        same measurement feeds the windowed ``apply`` stage so process
+        deployments attribute apply latency without extra clock reads.
+        """
+        duration_ms = payload.get("duration_ms")
+        if duration_ms is not None:
+            self.obs.stages.observe(
+                "apply", duration_ms / 1e3, payload.get("trace_id")
+            )
 
     def flush_many(self, batches, trace: tuple[str, str] | None = None) -> None:
         """Apply ``(shard_id, keys, times, side)`` batches in parallel.
@@ -516,6 +535,7 @@ class ProcessExecutor:
                 payload = self._recv(w, op="flush", shard_ids=(shard_id,))
                 if payload is not None:
                     self.obs.tracer.ingest((payload,))
+                    self._observe_apply(payload)
             except (ShardDeadError, ShardTimeoutError) as exc:
                 dead_workers.add(w)
                 errors.append(exc)

@@ -18,6 +18,8 @@ Sub-commands::
         python -m repro.tools wal inspect /var/lib/engine/wal
         python -m repro.tools wal verify /var/lib/engine/wal \\
             --checkpoints /var/lib/engine/ckpt
+    slo        burn-rate alert states from a running exporter
+        python -m repro.tools slo status http://127.0.0.1:9464
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.registry import GENERIC_KIND, get_descriptor, registered_kinds
+import repro.obs.windows  # noqa: F401  (registers the "wq" quantile kind)
 from repro.datasets import caida_like, campus_like, distinct_stream, webpage_like
 from repro.core.merge import merge_sketches
 from repro.persist import load_sketch, save_sketch
@@ -106,8 +109,17 @@ def _cmd_query(args) -> int:
             print("sketch does not answer cardinality", file=sys.stderr)
             return 2
         print(json.dumps({"cardinality": float(sketch.cardinality())}))
+    elif args.quantile is not None:
+        if not hasattr(sketch, "quantile"):
+            print("sketch does not answer quantiles", file=sys.stderr)
+            return 2
+        print(json.dumps({"quantile": float(sketch.quantile(args.quantile))}))
     else:
-        print("nothing to query; pass --contains/--frequency/--cardinality", file=sys.stderr)
+        print(
+            "nothing to query; pass --contains/--frequency/--cardinality"
+            "/--quantile",
+            file=sys.stderr,
+        )
         return 2
     return 0
 
@@ -190,6 +202,37 @@ def _cmd_wal_verify(args) -> int:
     return rc
 
 
+def _cmd_slo_status(args) -> int:
+    """Fetch ``/alertz`` from a running exporter and summarise it.
+
+    Exit codes: 0 when nothing is firing (including exporters without
+    an SLO engine), 1 when at least one alert is firing — so the
+    command drops straight into scripts and CI gates.
+    """
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/alertz"
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+            payload = json.loads(resp.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"cannot read {url}: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(payload, indent=2))
+    if not payload.get("enabled", False):
+        print("no SLO engine attached to this exporter", file=sys.stderr)
+        return 0
+    firing = payload.get("firing", [])
+    if firing:
+        names = ", ".join(
+            f"{a['slo']}/{a['severity']}" for a in firing
+        )
+        print(f"FIRING: {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.tools", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -216,6 +259,12 @@ def main(argv: list[str] | None = None) -> int:
     q.add_argument("--contains", type=int, default=None)
     q.add_argument("--frequency", type=int, default=None)
     q.add_argument("--cardinality", action="store_true")
+    q.add_argument(
+        "--quantile",
+        type=float,
+        default=None,
+        help="windowed quantile in [0, 1] (wq archives)",
+    )
     q.set_defaults(fn=_cmd_query)
 
     i = sub.add_parser("inspect", help="summarise a sketch archive")
@@ -243,6 +292,15 @@ def main(argv: list[str] | None = None) -> int:
         help="also checksum-verify every checkpoint under this directory",
     )
     wv.set_defaults(fn=_cmd_wal_verify)
+
+    s = sub.add_parser("slo", help="SLO / burn-rate alert tooling")
+    ssub = s.add_subparsers(dest="slo_command", required=True)
+    st = ssub.add_parser(
+        "status", help="alert states from /alertz (exit 1 when firing)"
+    )
+    st.add_argument("url", help="exporter base URL, e.g. http://127.0.0.1:9464")
+    st.add_argument("--timeout", type=float, default=5.0)
+    st.set_defaults(fn=_cmd_slo_status)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,117 @@
+"""Exposition-format pinning: golden file, label escaping, name lint.
+
+Three layers of defence for the scrape surface:
+
+* a golden file pins the exact text exposition (HELP/TYPE lines,
+  histogram buckets, label escaping) so format drift is a reviewed
+  diff, not a silent change;
+* ``snapshot()`` key escaping is asserted directly (the /statusz and
+  test surface shares the escaper with the renderer);
+* every metric a fully-instrumented engine registers is linted against
+  the Prometheus naming conventions the dashboards rely on.
+"""
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import Registry
+from repro.obs.slo import SloEngine
+from repro.service import EngineConfig, StreamEngine
+
+GOLDEN = Path(__file__).parent / "golden" / "exposition.txt"
+
+
+def _demo_registry() -> Registry:
+    """A registry covering every renderer branch, deterministically."""
+    reg = Registry()
+    c = reg.counter(
+        "demo_requests_total", "Requests by path", labels=("path", "note")
+    )
+    c.labels("/metrics", "plain").inc(3)
+    c.labels("C:\\temp\\trace", "back\\slash").inc()
+    c.labels('say "hi"', "quote").inc(2)
+    c.labels("line1\nline2", "newline").inc()
+    g = reg.gauge(
+        "demo_temperature_celsius", "Escaped help: back\\slash\nnewline"
+    )
+    g.set(21.5)
+    h = reg.histogram("demo_latency_seconds", "Latency", buckets=(0.1, 1.0))
+    for v in (0.05, 0.5, 5.0):
+        h.observe(v)
+    reg.counter("demo_unlabelled_total", "No labels, never incremented")
+    return reg
+
+
+class TestGoldenExposition:
+    def test_render_matches_golden_file(self):
+        assert _demo_registry().render() == GOLDEN.read_text()
+
+    def test_snapshot_keys_escape_label_values(self):
+        snap = _demo_registry().snapshot()
+        assert snap['demo_requests_total{path="/metrics",note="plain"}'] == 3.0
+        assert snap[
+            'demo_requests_total{path="C:\\\\temp\\\\trace",note="back\\\\slash"}'
+        ] == 1.0
+        assert snap[
+            'demo_requests_total{path="say \\"hi\\"",note="quote"}'
+        ] == 2.0
+        assert snap[
+            'demo_requests_total{path="line1\\nline2",note="newline"}'
+        ] == 1.0
+        # histograms flatten to _count/_sum; escaping identical
+        assert snap["demo_latency_seconds_count"] == 3
+        assert snap["demo_latency_seconds_sum"] == pytest.approx(5.55)
+
+    def test_rendered_lines_stay_single_line(self):
+        # a raw newline in a label value would corrupt the whole scrape
+        for line in _demo_registry().render().splitlines():
+            assert "\n" not in line
+            if "line1" in line:
+                assert '\\n' in line
+
+
+#: gauges grandfathered with a _total suffix: they mirror cumulative
+#: cleaning counters maintained inside the SHE frames
+_GAUGE_TOTAL_ALLOWLIST = {
+    "she_cells_cleaned_total",
+    "she_groups_cleaned_total",
+    "she_cleaning_checks_total",
+}
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+class TestMetricNameLint:
+    def test_live_engine_metric_names_follow_conventions(self, tmp_path):
+        """Walk every family a fully-loaded engine registers."""
+        cfg = EngineConfig("cm", window=4096, size=1024, num_shards=2,
+                           wal_dir=str(tmp_path / "wal"),
+                           sketch_kwargs={"seed": 1})
+        with StreamEngine(cfg, obs=True) as eng:
+            SloEngine(eng).evaluate()
+            eng.ingest(np.arange(3000, dtype=np.uint64))
+            eng.flush()
+            eng.frequency(7)
+            eng.obs.refresh_telemetry()
+            families = eng.obs.registry.metrics()
+            assert len(families) > 20  # the walk actually saw the fleet
+            for fam in families:
+                name, kind = fam.name, fam.kind
+                assert _NAME_RE.match(name), f"bad metric name {name!r}"
+                if kind == "counter":
+                    assert name.endswith("_total"), (
+                        f"counter {name} must end in _total"
+                    )
+                elif kind == "histogram":
+                    assert name.endswith(("_seconds", "_bytes")), (
+                        f"histogram {name} needs a unit suffix"
+                    )
+                elif kind == "gauge":
+                    if name not in _GAUGE_TOTAL_ALLOWLIST:
+                        assert not name.endswith("_total"), (
+                            f"gauge {name} must not look like a counter"
+                        )
+                assert fam.help, f"{name} has no HELP text"

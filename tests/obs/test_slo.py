@@ -1,0 +1,215 @@
+"""SLO engine unit tests: burn math and alert state stepping.
+
+Every test drives :class:`SloEngine` with an injected wall clock over a
+real (tiny, serial) engine, feeding the availability counters directly
+through :class:`EngineStats` — the ring/delta arithmetic and the
+pending → firing → ok state machine are what is under test, not the
+ingestion path (that is ``tests/service/test_slo_alerts.py``).
+"""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.slo import (
+    DEFAULT_RULES,
+    FIRING,
+    OK,
+    PENDING,
+    BurnRateRule,
+    SloEngine,
+    SloObjective,
+)
+from repro.service import EngineConfig, StreamEngine
+
+
+@pytest.fixture
+def engine():
+    cfg = EngineConfig("cm", window=256, size=256, num_shards=1,
+                       flush_interval_s=None, sketch_kwargs={"seed": 7})
+    with StreamEngine(cfg, obs=True) as eng:
+        yield eng
+
+
+def make_slo(engine, clk, **kwargs):
+    kwargs.setdefault(
+        "objectives", (SloObjective(name="avail", target=0.9),)
+    )
+    kwargs.setdefault(
+        "rules", (BurnRateRule("5m", "1h", 2.0, "page"),)
+    )
+    return SloEngine(engine, clock=lambda: clk[0], **kwargs)
+
+
+class TestValidation:
+    def test_target_must_be_a_ratio(self):
+        with pytest.raises(ValueError, match="target"):
+            SloObjective(name="x", target=99.9)
+
+    def test_kind_must_be_known(self):
+        with pytest.raises(ValueError, match="kind"):
+            SloObjective(name="x", target=0.99, kind="durability")
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError, match="threshold_s"):
+            SloObjective(name="x", target=0.99, kind="latency")
+
+    def test_rule_windows_must_be_known(self):
+        with pytest.raises(ValueError, match="unknown window"):
+            BurnRateRule("2m", "1h", 14.4, "page")
+
+    def test_rule_factor_must_be_positive(self):
+        with pytest.raises(ValueError, match="factor"):
+            BurnRateRule("5m", "1h", 0.0, "page")
+
+    def test_latency_objective_needs_windowed_telemetry(self):
+        cfg = EngineConfig("cm", window=256, size=256, num_shards=1)
+        with StreamEngine(
+            cfg, obs=Observability(enabled=True, telemetry=False)
+        ) as eng:
+            with pytest.raises(ValueError, match="windowed telemetry"):
+                SloEngine(eng, objectives=(
+                    SloObjective(name="lat", target=0.99, kind="latency",
+                                 threshold_s=0.01),
+                ))
+
+
+class TestAvailabilityBurn:
+    def test_healthy_stream_stays_ok(self, engine):
+        clk = [10_000.0]
+        slo = make_slo(engine, clk)
+        engine.stats.record_ingest(1000)
+        for _ in range(4):
+            payload = slo.evaluate()
+            clk[0] += 30.0
+        assert all(a["state"] == OK for a in payload["alerts"])
+        assert payload["firing"] == []
+
+    def test_burn_rate_is_ratio_over_budget(self, engine):
+        clk = [10_000.0]
+        slo = make_slo(engine, clk)
+        engine.stats.record_ingest(900)
+        slo.evaluate()  # seeds the rings with the healthy baseline
+        clk[0] += 30.0
+        engine.stats.record_ingest(50)
+        engine.stats.record_rejected(50)
+        payload = slo.evaluate()
+        # delta bad=50 over delta total=100 against a 10% budget -> burn 5
+        (alert,) = payload["alerts"]
+        assert alert["windows"]["5m"] == pytest.approx(50 / 100 / 0.1, abs=1e-3)
+
+    def test_pending_then_firing_then_clear(self, engine):
+        clk = [10_000.0]
+        slo = make_slo(engine, clk)
+        engine.stats.record_ingest(1000)
+        slo.evaluate()  # baseline
+        clk[0] += 30.0
+        engine.stats.record_rejected(500)  # the regression
+        p1 = slo.evaluate()
+        assert p1["alerts"][0]["state"] == PENDING
+        clk[0] += 30.0
+        p2 = slo.evaluate()  # second consecutive burning evaluation
+        assert p2["alerts"][0]["state"] == FIRING
+        assert p2["firing"][0]["slo"] == "avail"
+        # recovery: no new bad events; rotate the fast window clean
+        for _ in range(8):
+            clk[0] += 60.0
+            p3 = slo.evaluate()
+        assert p3["alerts"][0]["state"] == OK
+        assert p3["firing"] == []
+
+    def test_both_windows_must_burn(self, engine):
+        # a pure blip: bad events whose 5m burn is huge but whose 1h
+        # window has rotated... simulate by seeding the 1h ring early so
+        # its delta dilutes below the factor while 5m stays hot
+        clk = [10_000.0]
+        slo = make_slo(
+            engine, clk,
+            rules=(BurnRateRule("5m", "1h", 5.0, "page"),),
+        )
+        engine.stats.record_ingest(10_000)
+        slo.evaluate()
+        clk[0] += 30.0
+        # 100 bad of 10100 total: 1h burn ~ 0.099/0.1 ~ 1 < 5, but make
+        # the 5m window see only the bad tail by a fresh 5m slot
+        engine.stats.record_ingest(0)
+        engine.stats.record_rejected(100)
+        engine.stats.record_ingest(50)
+        payload = slo.evaluate()
+        (alert,) = payload["alerts"]
+        burn_5m = alert["windows"]["5m"]
+        burn_1h = alert["windows"]["1h"]
+        assert burn_5m == burn_1h  # same baseline slot here: sanity
+        # now force asymmetry: advance past the 5m horizon but not 1h
+        for _ in range(8):
+            clk[0] += 60.0
+            payload = slo.evaluate()
+        (alert,) = payload["alerts"]
+        assert alert["windows"]["5m"] == pytest.approx(0.0)
+        assert alert["windows"]["1h"] > 0.0
+        assert alert["state"] == OK  # 1h alone cannot hold the alert
+
+
+class TestLatencyObjective:
+    def test_latency_bad_events_come_from_the_stage_recorder(self, engine):
+        clk = [20_000.0]
+        slo = make_slo(
+            engine, clk,
+            objectives=(SloObjective(name="lat", target=0.99, kind="latency",
+                                     threshold_s=0.01, stage="flush_rpc"),),
+        )
+        stages = engine.obs.stages
+        for _ in range(10):
+            stages.observe("flush_rpc", 0.001)
+        slo.evaluate()  # healthy baseline
+        clk[0] += 30.0
+        for _ in range(5):
+            stages.observe("flush_rpc", 0.1)  # all above threshold
+        p1 = slo.evaluate()
+        clk[0] += 30.0
+        p2 = slo.evaluate()
+        assert p1["alerts"][0]["state"] == PENDING
+        assert p2["alerts"][0]["state"] == FIRING
+        assert p2["alerts"][0]["kind"] == "latency"
+
+
+class TestSurfaces:
+    def test_default_objective_and_rules(self, engine):
+        clk = [30_000.0]
+        slo = SloEngine(engine, clock=lambda: clk[0])
+        assert [o.name for o in slo.objectives] == ["availability"]
+        assert slo.rules == DEFAULT_RULES
+        payload = slo.evaluate()
+        assert {a["severity"] for a in payload["alerts"]} == {"page", "ticket"}
+
+    def test_transitions_feed_metrics_and_timeline(self, engine):
+        clk = [40_000.0]
+        slo = make_slo(engine, clk)
+        engine.stats.record_ingest(100)
+        slo.evaluate()
+        clk[0] += 30.0
+        engine.stats.record_rejected(100)
+        slo.evaluate()
+        clk[0] += 30.0
+        slo.evaluate()
+        snap = engine.obs.registry.snapshot()
+        assert snap['slo_alert_state{slo="avail",severity="page"}'] == 2.0
+        assert snap['slo_alert_transitions_total{slo="avail",to="pending"}'] == 1.0
+        assert snap['slo_alert_transitions_total{slo="avail",to="firing"}'] == 1.0
+        section = slo.statusz_section()
+        assert section["states"]["avail/page"] == FIRING
+        transitions = [(e["from"], e["to"]) for e in section["timeline"]]
+        assert transitions == [(OK, PENDING), (PENDING, FIRING)]
+        assert section["objectives"][0]["name"] == "avail"
+
+    def test_alertz_payload_without_evaluation(self, engine):
+        clk = [50_000.0]
+        slo = make_slo(engine, clk)
+        slo.evaluate()
+        before = slo.evaluations
+        payload = slo.alertz_payload(evaluate=False)
+        assert payload["evaluations"] == before
+        assert slo.evaluations == before
+
+    def test_engine_gains_the_slo_attribute(self, engine):
+        slo = make_slo(engine, [0.0])
+        assert engine._slo_engine is slo

@@ -1,0 +1,367 @@
+"""Sliding-window telemetry: quantile sketch, stage recorder, views.
+
+The telemetry layer eats what the repo serves: the windowed quantile
+sketch is a SHE frame (expiry by the union-stream clock, merge by cell
+addition) under a DDSketch-style log-bucket mapping, the stage recorder
+attributes engine hot-path latency through it, and the registry view
+derives last-1m/5m/1h rates and quantiles from scrape-time snapshots.
+These tests pin each piece in isolation with injected clocks; the
+end-to-end serving contract lives in
+``tests/service/test_windowed_kind.py`` and the alerting acceptance in
+``tests/service/test_slo_alerts.py``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import merge_sketches, mergeable
+from repro.core.registry import get_descriptor, registered_kinds
+from repro.obs.registry import Registry
+from repro.obs.windows import (
+    ENGINE_STAGES,
+    NULL_STAGES,
+    ExemplarReservoir,
+    SheWindowedQuantile,
+    StageLatencyRecorder,
+    WindowedRegistryView,
+    _bucket_quantile,
+)
+from repro.persist import load_sketch, save_sketch
+
+GAMMA = 0.05
+
+
+class TestBucketMapping:
+    def test_small_values_share_bucket_zero(self):
+        wq = SheWindowedQuantile(256, 128, gamma=GAMMA)
+        assert list(wq.bucket_of([0, 1])) == [0, 0]
+        assert wq.representative(0) == 1.0
+
+    def test_round_trip_is_gamma_relative(self):
+        wq = SheWindowedQuantile(256, 256, gamma=GAMMA)
+        values = np.geomspace(2, 1e5, num=200)
+        buckets = wq.bucket_of(values)
+        # nearest-bucket rounding: representative within sqrt(base) of
+        # the value, i.e. gamma + O(gamma^2) relative error
+        bound = math.sqrt((1 + GAMMA) / (1 - GAMMA)) - 1 + 1e-9
+        for v, b in zip(values, buckets):
+            rep = wq.representative(int(b))
+            assert abs(rep - v) / v <= bound
+
+    def test_huge_values_saturate_into_the_top_bucket(self):
+        wq = SheWindowedQuantile(256, 64, gamma=GAMMA)
+        assert int(wq.bucket_of([1e30])[0]) == wq.num_cells_total - 1
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError, match="gamma"):
+            SheWindowedQuantile(256, 128, gamma=0.0)
+        with pytest.raises(ValueError, match="gamma"):
+            SheWindowedQuantile(256, 128, gamma=1.0)
+
+
+class TestWindowedQuantile:
+    def test_matches_exact_quantiles_within_gamma(self):
+        wq = SheWindowedQuantile(1 << 12, 256, gamma=GAMMA)
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(mean=8.0, sigma=1.0, size=2000).astype(np.uint64)
+        values = np.maximum(values, 2)
+        wq.insert_many(values)
+        for q in (0.5, 0.95, 0.99):
+            exact = float(np.quantile(values, q))
+            est = wq.quantile(q)
+            # one gamma band for the bucket representative plus one for
+            # the rank landing at a bucket boundary
+            assert abs(est - exact) / exact <= 3 * GAMMA
+
+    def test_empty_window_is_nan(self):
+        wq = SheWindowedQuantile(256, 128)
+        assert math.isnan(wq.quantile(0.5))
+        assert wq.quantiles([0.5, 0.99]) == pytest.approx(
+            [float("nan")] * 2, nan_ok=True
+        )
+        assert wq.sample_count() == 0
+
+    def test_q_out_of_range_raises(self):
+        wq = SheWindowedQuantile(256, 128)
+        wq.insert_many(np.asarray([10], dtype=np.uint64))
+        with pytest.raises(ValueError, match="q must be"):
+            wq.quantile(1.5)
+        with pytest.raises(ValueError, match="q must be"):
+            wq.quantiles([0.5, -0.1])
+
+    def test_old_samples_expire_with_the_window(self):
+        window = 256
+        wq = SheWindowedQuantile(window, 128, gamma=GAMMA)
+        wq.insert_many(np.full(window, 10, dtype=np.uint64))
+        assert wq.quantile(0.5) < 100
+        # push three windows of large samples: the small ones are far
+        # outside the legality band and must be cleaned out
+        wq.insert_many(np.full(3 * window, 100_000, dtype=np.uint64))
+        assert wq.quantile(0.01) > 1000
+        assert wq.sample_count() <= 3 * window
+
+    def test_merge_equals_single_observer(self):
+        a = SheWindowedQuantile(1024, 256, gamma=GAMMA, seed=5)
+        b = a.clone_empty()
+        rng = np.random.default_rng(1)
+        values = rng.integers(2, 1 << 20, size=400, dtype=np.uint64)
+        a.insert_many(values[:200])
+        b.advance_to(200)
+        b.insert_many(values[200:])
+        assert mergeable(a, b)
+        merged = merge_sketches(a, b)
+        whole = SheWindowedQuantile(1024, 256, gamma=GAMMA, seed=5)
+        whole.insert_many(values)
+        for q in (0.5, 0.9, 0.99):
+            assert merged.quantile(q) == pytest.approx(whole.quantile(q))
+
+
+class TestRegisteredKind:
+    def test_wq_is_registered(self):
+        assert "wq" in registered_kinds()
+        desc = get_descriptor("wq")
+        assert desc.cls is SheWindowedQuantile
+        assert "quantile" in desc.queries
+
+    def test_from_memory_budget(self):
+        wq = get_descriptor("wq").from_memory(1 << 12, 2048, gamma=0.02)
+        assert isinstance(wq, SheWindowedQuantile)
+        assert wq.memory_bytes <= 2048
+        assert wq.gamma == 0.02
+
+    def test_persist_round_trip_keeps_gamma_and_cells(self, tmp_path):
+        wq = SheWindowedQuantile(512, 128, gamma=0.03, seed=9)
+        wq.insert_many(np.arange(2, 300, dtype=np.uint64))
+        save_sketch(wq, tmp_path / "wq.npz")
+        back = load_sketch(tmp_path / "wq.npz")
+        assert isinstance(back, SheWindowedQuantile)
+        assert back.gamma == 0.03
+        assert np.array_equal(back.frame.cells, wq.frame.cells)
+        assert back.quantile(0.9) == wq.quantile(0.9)
+
+
+class TestExemplarReservoir:
+    def test_none_trace_ids_are_skipped(self):
+        res = ExemplarReservoir(lambda v: int(v))
+        res.offer(3.0, None, now=0.0)
+        assert res.read(now=0.0) == []
+
+    def test_highest_buckets_first_with_limit(self):
+        res = ExemplarReservoir(lambda v: int(v))
+        for v in (1.0, 5.0, 9.0):
+            res.offer(v, f"trace-{int(v)}", now=0.0)
+        out = res.read(now=1.0, limit=2)
+        assert [e["trace_id"] for e in out] == ["trace-9", "trace-5"]
+
+    def test_min_bucket_filters_the_body_of_the_distribution(self):
+        res = ExemplarReservoir(lambda v: int(v))
+        res.offer(1.0, "low", now=0.0)
+        res.offer(9.0, "high", now=0.0)
+        out = res.read(min_bucket=5, now=0.0)
+        assert [e["trace_id"] for e in out] == ["high"]
+
+    def test_stale_exemplars_age_out(self):
+        res = ExemplarReservoir(lambda v: int(v), max_age_s=10.0)
+        res.offer(5.0, "old", now=0.0)
+        assert res.read(now=5.0)[0]["trace_id"] == "old"
+        assert res.read(now=11.0) == []
+
+    def test_reservoir_counts_every_offer(self):
+        res = ExemplarReservoir(lambda v: int(v), seed=1)
+        ids = [f"t{i}" for i in range(50)]
+        for tid in ids:
+            res.offer(5.0, tid, now=0.0)
+        (entry,) = res.read(now=0.0)
+        assert entry["samples_seen"] == 50
+        assert entry["trace_id"] in ids
+
+
+class TestStageLatencyRecorder:
+    def _recorder(self, reg=None, **kwargs):
+        reg = reg if reg is not None else Registry()
+        kwargs.setdefault("batch", 4)
+        kwargs.setdefault("window", 512)
+        return StageLatencyRecorder(reg, **kwargs), reg
+
+    def test_unknown_stage_raises(self):
+        rec, _ = self._recorder()
+        with pytest.raises(ValueError, match="unknown stage"):
+            rec.observe("warp", 0.001)
+
+    def test_quantile_reads_back_in_seconds(self):
+        rec, _ = self._recorder()
+        for _ in range(32):
+            rec.observe("admit", 0.002)
+        est = rec.quantile("admit", 0.5)
+        assert est == pytest.approx(0.002, rel=3 * GAMMA)
+        assert rec.quantile("flush_rpc", 0.5) is None
+
+    def test_threshold_totals_count_bad_samples(self):
+        rec, _ = self._recorder()
+        rec.track_threshold("flush_rpc", 0.01)
+        for s in (0.001, 0.002, 0.05, 0.2):
+            rec.observe("flush_rpc", s)
+        assert rec.threshold_totals("flush_rpc", 0.01) == (2, 4)
+        with pytest.raises(ValueError, match="unknown stage"):
+            rec.track_threshold("warp", 0.01)
+
+    def test_refresh_publishes_quantile_and_exemplar_gauges(self):
+        clk = [100.0]
+        rec, reg = self._recorder(clock=lambda: clk[0])
+        for i in range(16):
+            rec.observe("stamp", 0.001, trace_id=f"aa{i:02d}")
+        rec.observe("stamp", 0.5, trace_id="deadbeef")  # the tail outlier
+        rec.refresh()
+        snap = reg.snapshot()
+        assert snap['engine_stage_latency_seconds{stage="stamp",quantile="0.5"}'] == (
+            pytest.approx(0.001, rel=3 * GAMMA)
+        )
+        assert snap['engine_stage_latency_seconds{stage="stamp",quantile="0.99"}'] == (
+            pytest.approx(0.5, rel=3 * GAMMA)
+        )
+        # the p99 outlier's trace id is advertised as an exemplar
+        assert any(
+            'engine_stage_exemplar_seconds{stage="stamp",trace_id="deadbeef"}' in k
+            for k in snap
+        )
+        # refresh re-publishes: churned trace-id children do not pile up
+        rec.refresh()
+        families = {m.name: m for m in reg.metrics()}
+        n_children = len(list(families["engine_stage_exemplar_seconds"].children()))
+        assert n_children <= len(ENGINE_STAGES) * 3
+
+    def test_statusz_section_shape(self):
+        rec, _ = self._recorder()
+        rec.observe("apply", 0.004, trace_id="cafe0001")
+        section = rec.statusz_section()
+        assert section["window_samples"] == 512
+        apply = section["stages"]["apply"]
+        assert apply["samples_total"] == 1
+        assert apply["samples_in_window"] == 1
+        assert apply["quantiles_s"]["0.5"] == pytest.approx(0.004, rel=3 * GAMMA)
+        assert apply["exemplars"][0]["trace_id"] == "cafe0001"
+        empty = section["stages"]["wal_append"]
+        assert empty["quantiles_s"]["0.5"] is None
+
+    def test_null_recorder_is_inert(self):
+        assert NULL_STAGES.enabled is False
+        NULL_STAGES.observe("anything", 1.0)
+        NULL_STAGES.track_threshold("anything", 1.0)
+        assert NULL_STAGES.threshold_totals("anything", 1.0) == (0, 0)
+        assert NULL_STAGES.quantile("anything", 0.5) is None
+        NULL_STAGES.refresh()
+        assert NULL_STAGES.statusz_section() == {}
+
+
+class TestWindowedRegistryView:
+    def test_counter_rates_per_horizon(self):
+        reg = Registry()
+        clk = [1000.0]
+        view = WindowedRegistryView(
+            reg, horizons=(("1m", 60.0),), slots=6, clock=lambda: clk[0]
+        )
+        c = reg.counter("reqs_total", "requests")
+        c.inc(100)
+        view.refresh()  # first pass only seeds the ring
+        assert 'reqs_rate{window="1m"}' not in reg.snapshot()
+        c.inc(30)
+        clk[0] += 30.0
+        view.refresh()
+        snap = reg.snapshot()
+        assert snap['reqs_rate{window="1m"}'] == pytest.approx(1.0)
+        assert view.statusz_section()["rates"]["reqs_total"]["1m"] == (
+            pytest.approx(1.0)
+        )
+
+    def test_histogram_windowed_quantiles_see_only_the_delta(self):
+        reg = Registry()
+        clk = [2000.0]
+        view = WindowedRegistryView(
+            reg, horizons=(("1m", 60.0),), slots=6,
+            quantiles=(0.5,), clock=lambda: clk[0]
+        )
+        h = reg.histogram("op_seconds", "ops", buckets=(0.1, 1.0))
+        for _ in range(8):
+            h.observe(0.05)  # old traffic, before the window
+        view.refresh()
+        for _ in range(4):
+            h.observe(0.5)  # the windowed delta lives in (0.1, 1.0]
+        clk[0] += 30.0
+        view.refresh()
+        snap = reg.snapshot()
+        est = snap['op_windowed_seconds{window="1m",quantile="0.5"}']
+        assert 0.1 < est <= 1.0  # old 0.05s samples are outside the window
+        assert view.statusz_section()["quantiles"]["op_seconds"]["1m"]["0.5"] == (
+            pytest.approx(est)
+        )
+
+    def test_rates_age_out_of_the_horizon(self):
+        reg = Registry()
+        clk = [3000.0]
+        view = WindowedRegistryView(
+            reg, horizons=(("1m", 60.0),), slots=6, clock=lambda: clk[0]
+        )
+        c = reg.counter("burst_total")
+        c.inc(600)
+        view.refresh()
+        for _ in range(6):  # rotate the whole ring past the burst
+            clk[0] += 20.0
+            view.refresh()
+        assert reg.snapshot()['burst_rate{window="1m"}'] == pytest.approx(0.0)
+
+    def test_derived_gauges_are_never_windowed_again(self):
+        reg = Registry()
+        clk = [4000.0]
+        view = WindowedRegistryView(
+            reg, horizons=(("1m", 60.0),), slots=6, clock=lambda: clk[0]
+        )
+        reg.counter("x_total").inc(5)
+        for _ in range(3):
+            clk[0] += 10.0
+            view.refresh()
+        names = {m.name for m in reg.metrics()}
+        assert "x_rate" in names
+        assert "x_rate_rate" not in names
+
+    def test_labelled_families_window_per_child(self):
+        reg = Registry()
+        clk = [5000.0]
+        view = WindowedRegistryView(
+            reg, horizons=(("1m", 60.0),), slots=6, clock=lambda: clk[0]
+        )
+        c = reg.counter("shard_items_total", labels=("shard",))
+        c.labels("0").inc(10)
+        c.labels("1").inc(20)
+        view.refresh()
+        c.labels("0").inc(60)
+        clk[0] += 30.0
+        view.refresh()
+        snap = reg.snapshot()
+        assert snap['shard_items_rate{shard="0",window="1m"}'] == pytest.approx(2.0)
+        assert snap['shard_items_rate{shard="1",window="1m"}'] == pytest.approx(0.0)
+
+    def test_naming_rules(self):
+        assert WindowedRegistryView.rate_name("x_total") == "x_rate"
+        assert WindowedRegistryView.rate_name("x") == "x_rate"
+        assert WindowedRegistryView.windowed_name("f_seconds") == "f_windowed_seconds"
+        assert WindowedRegistryView.windowed_name("f_bytes") == "f_windowed_bytes"
+        assert WindowedRegistryView.windowed_name("f") == "f_windowed"
+
+    def test_needs_at_least_two_slots(self):
+        with pytest.raises(ValueError, match="slots"):
+            WindowedRegistryView(Registry(), slots=1)
+
+
+class TestBucketQuantileHelper:
+    def test_interpolates_inside_a_bucket(self):
+        # 4 samples in (0.1, 1.0]: the median sits halfway up the bucket
+        est = _bucket_quantile((0.1, 1.0), [0, 4, 0], 0.5)
+        assert est == pytest.approx(0.55)
+
+    def test_inf_bucket_answers_with_the_top_bound(self):
+        assert _bucket_quantile((0.1, 1.0), [0, 0, 3], 0.5) == pytest.approx(1.0)
+
+    def test_empty_is_none(self):
+        assert _bucket_quantile((0.1, 1.0), [0, 0, 0], 0.5) is None

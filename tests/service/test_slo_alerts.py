@@ -1,0 +1,111 @@
+"""Acceptance: chaos-injected latency drives ``/alertz`` to firing.
+
+ChaosExecutor slow mode degrades the flush RPC past a latency
+objective's threshold; the burn-rate alert must go firing on
+``/alertz`` within two fast-window evaluations, ``repro.tools slo
+status`` must exit non-zero while it burns, and recovery (slowness
+removed, clean evaluations rotating the burst out of the fast window)
+must clear the alert back to ``ok``.
+"""
+
+import json
+import urllib.request
+
+import numpy as np
+
+from repro.obs.exporter import MetricsExporter
+from repro.obs.slo import BurnRateRule, SloEngine, SloObjective
+from repro.service import EngineConfig, StreamEngine
+from repro.service.executor import SerialExecutor
+from repro.service.faults import ChaosExecutor
+from repro.tools.__main__ import main as tools_main
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+class TestChaosDrivenBurnRate:
+    def test_slow_executor_fires_and_recovery_clears(self, capsys):
+        chaos = {}
+
+        def factory(shards):
+            chaos["x"] = ChaosExecutor(SerialExecutor(shards))
+            return chaos["x"]
+
+        cfg = EngineConfig("cm", window=65536, size=1024, num_shards=2,
+                           flush_batch_size=100_000, flush_interval_s=None,
+                           sketch_kwargs={"seed": 11})
+        clk = [10_000.0]
+        rng = np.random.default_rng(0)
+
+        eng = StreamEngine(cfg, executor=factory, obs=True)
+        SloEngine(
+            eng,
+            objectives=(SloObjective(name="flush-latency", target=0.99,
+                                     kind="latency", threshold_s=0.15,
+                                     stage="flush_rpc"),),
+            rules=(BurnRateRule("5m", "1h", 10.0, "page"),),
+            clock=lambda: clk[0],
+        )
+
+        def round_trip():
+            eng.ingest(rng.integers(0, 1000, size=512, dtype=np.uint64))
+            eng.flush()  # exactly one flush_rpc sample per round
+
+        try:
+            with MetricsExporter(eng) as exp:
+                round_trip()  # healthy baseline seeds the burn rings
+                p0 = _get(exp.url + "/alertz")
+                assert p0["enabled"] and p0["firing"] == []
+
+                # inject: every op on both (serial) workers pays 0.2 s,
+                # so each flush RPC lands far above the 0.15 s threshold
+                chaos["x"]._slow_workers.update({0: 0.2, 1: 0.2})
+                clk[0] += 30.0
+                round_trip()
+                p1 = _get(exp.url + "/alertz")  # first fast-window evaluation
+                assert p1["alerts"][0]["state"] == "pending"
+
+                clk[0] += 30.0
+                round_trip()
+                p2 = _get(exp.url + "/alertz")  # second: must be firing
+                assert p2["alerts"][0]["state"] == "firing"
+                assert p2["firing"][0]["slo"] == "flush-latency"
+                assert tools_main(["slo", "status", exp.url]) == 1
+                assert "FIRING: flush-latency/page" in capsys.readouterr().err
+
+                # recovery: remove the slowness, rotate clean windows in
+                chaos["x"]._slow_workers.clear()
+                state = None
+                for _ in range(9):
+                    clk[0] += 60.0
+                    round_trip()
+                    state = _get(exp.url + "/alertz")["alerts"][0]["state"]
+                assert state == "ok"
+                assert tools_main(["slo", "status", exp.url]) == 0
+
+                statusz = _get(exp.url + "/statusz")
+                transitions = [e["to"] for e in statusz["slo"]["timeline"]]
+                assert "firing" in transitions
+                assert transitions[-1] == "ok"
+                assert statusz["slo"]["states"]["flush-latency/page"] == "ok"
+        finally:
+            eng.close()
+
+
+class TestExporterWithoutSlo:
+    def test_alertz_reports_disabled_and_cli_exits_zero(self, capsys):
+        cfg = EngineConfig("cm", window=256, size=256, num_shards=1)
+        with StreamEngine(cfg, obs=True) as eng, MetricsExporter(eng) as exp:
+            payload = _get(exp.url + "/alertz")
+            assert payload == {"enabled": False, "alerts": [], "firing": []}
+            assert tools_main(["slo", "status", exp.url]) == 0
+            assert "no SLO engine" in capsys.readouterr().err
+
+    def test_cli_exits_two_when_exporter_unreachable(self, capsys):
+        rc = tools_main(
+            ["slo", "status", "http://127.0.0.1:1", "--timeout", "0.5"]
+        )
+        assert rc == 2
