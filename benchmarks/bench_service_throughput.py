@@ -30,6 +30,17 @@ Durability modes:
   CI gate: serial-engine ingest at WAL off / ``interval`` / ``always``,
   failing when logging overhead blows its bound.  Results merge into
   ``BENCH_service.json`` under ``wal_overhead``.
+
+Transport modes:
+
+* ``pytest benchmarks/bench_service_throughput.py --transport shm``
+  runs the process-executor rows over the shared-memory data plane
+  (``EngineConfig(transport="shm")``) instead of pickled pipes.
+* ``python benchmarks/bench_service_throughput.py --check-transport``
+  is the CI gate: shm vs pickle throughput measured in adjacent pairs
+  (see :func:`check_transport` for the methodology), failing when the
+  zero-copy path loses its edge.  Results merge into
+  ``BENCH_service.json`` under ``transport``.
 """
 
 import json
@@ -58,12 +69,13 @@ def _stream(n_items: int = N_ITEMS):
 
 
 def _engine_mips(stream, shards, executor, num_workers=None, obs=False,
-                 wal="off"):
+                 wal="off", transport="pickle"):
     """Ingest Mips for one engine configuration.
 
     ``wal`` is ``"off"`` (no log) or a fsync policy (``"interval"`` /
     ``"always"``); WAL runs log into a throwaway temp directory so the
-    measurement includes the real write(+fsync) path.
+    measurement includes the real write(+fsync) path.  ``transport``
+    selects the flush data plane (``"pickle"`` / ``"shm"``).
     """
     with tempfile.TemporaryDirectory(prefix="bench-wal-") as td:
         extra = {}
@@ -76,6 +88,7 @@ def _engine_mips(stream, shards, executor, num_workers=None, obs=False,
             num_shards=shards,
             flush_batch_size=CHUNK,
             flush_interval_s=None,
+            transport=transport,
             sketch_kwargs={"seed": 7},
             **extra,
         )
@@ -90,27 +103,52 @@ def _engine_mips(stream, shards, executor, num_workers=None, obs=False,
     return stream.size / seconds / 1e6
 
 
+#: repeats per throughput row — rows report the best of these, so one
+#: noisy-neighbour stall cannot poison the committed trajectory
+BEST_OF = 3
+
+
+def _best_engine_mips(*args, k: int = BEST_OF, **kwargs) -> float:
+    """Best-of-``k`` :func:`_engine_mips` for one configuration."""
+    return max(_engine_mips(*args, **kwargs) for _ in range(k))
+
+
 def _write_bench_json(rows, obs_mode, extra=None, n_items=N_ITEMS) -> None:
-    """Persist the machine-readable perf trajectory at the repo root."""
-    payload = {
+    """Persist the machine-readable perf trajectory at the repo root.
+
+    ``rows`` are ``(name, shards, transport, mips)``; every row carries
+    the transport it was measured under so trajectories under different
+    data planes never get compared silently.  Sections other check
+    modes merged in (``transport``, ``windowed_overhead``,
+    ``wal_overhead``) are preserved, so the check order does not matter.
+    """
+    path = _REPO_ROOT / "BENCH_service.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload.update({
         "benchmark": "bench_service_throughput",
         "obs_mode": obs_mode,
         "n_items": n_items,
         "window": WINDOW,
         "size": SIZE,
+        "best_of": BEST_OF,
         "rows": [
-            {"configuration": name, "shards": shards, "mips": round(mips, 3)}
-            for name, shards, mips in rows
+            {
+                "configuration": name,
+                "shards": shards,
+                "transport": transport,
+                "mips": round(mips, 3),
+            }
+            for name, shards, transport, mips in rows
         ],
-    }
+    })
     if extra:
         payload.update(extra)
-    (_REPO_ROOT / "BENCH_service.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
-    )
+    path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
-def test_service_throughput(benchmark, results_dir, obs_mode, wal_mode):
+def test_service_throughput(
+    benchmark, results_dir, obs_mode, wal_mode, transport_mode
+):
     from conftest import emit  # pytest-only helper; keeps --check-obs stdlib
 
     stream = _stream()
@@ -118,18 +156,22 @@ def test_service_throughput(benchmark, results_dir, obs_mode, wal_mode):
 
     def run():
         rows = []
-        base = measure_throughput(
-            SheCountMin(WINDOW, SIZE, seed=7), stream, chunk=CHUNK,
-            name="SHE-CM insert_many",
+        base = max(
+            measure_throughput(
+                SheCountMin(WINDOW, SIZE, seed=7), stream, chunk=CHUNK,
+                name="SHE-CM insert_many",
+            ).mips
+            for _ in range(BEST_OF)
         )
-        rows.append(("single sketch", "-", base.mips))
+        rows.append(("single sketch", "-", "-", base))
         for shards in (1, 2, 4, 8):
             rows.append(
                 (
                     f"engine serial x{shards}",
                     shards,
-                    _engine_mips(stream, shards, "serial", obs=obs,
-                                 wal=wal_mode),
+                    transport_mode,
+                    _best_engine_mips(stream, shards, "serial", obs=obs,
+                                      wal=wal_mode, transport=transport_mode),
                 )
             )
         for shards in (2, 4):
@@ -137,9 +179,10 @@ def test_service_throughput(benchmark, results_dir, obs_mode, wal_mode):
                 (
                     f"engine process x{shards}",
                     shards,
-                    _engine_mips(
+                    transport_mode,
+                    _best_engine_mips(
                         stream, shards, "process", num_workers=shards,
-                        obs=obs, wal=wal_mode,
+                        obs=obs, wal=wal_mode, transport=transport_mode,
                     ),
                 )
             )
@@ -148,16 +191,18 @@ def test_service_throughput(benchmark, results_dir, obs_mode, wal_mode):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
 
     header = (
-        f"{'configuration':<24} {'shards':>6} {'Mips':>8}"
-        f"   (obs {obs_mode}, wal {wal_mode})"
+        f"{'configuration':<24} {'shards':>6} {'transport':>9} {'Mips':>8}"
+        f"   (obs {obs_mode}, wal {wal_mode}, best of {BEST_OF})"
     )
     lines = [header, "-" * len(header)]
-    for name, shards, mips in rows:
-        lines.append(f"{name:<24} {shards!s:>6} {mips:>8.2f}")
+    for name, shards, transport, mips in rows:
+        lines.append(
+            f"{name:<24} {shards!s:>6} {transport:>9} {mips:>8.2f}"
+        )
     emit(results_dir, "bench_service", "\n".join(lines) + "\n")
     _write_bench_json(rows, obs_mode, extra={"wal_mode": wal_mode})
 
-    by = {name: mips for name, _, mips in rows}
+    by = {name: mips for name, _, _, mips in rows}
     # the serving layer must stay within a small factor of the raw sketch
     assert by["engine serial x1"] > by["single sketch"] / 5
     # sharding in-process must not collapse throughput
@@ -209,8 +254,8 @@ def check_obs_overhead(
             "below the noise floor, reported as 0"
         )
     rows = [
-        (f"engine serial x{shards} (obs off)", shards, off),
-        (f"engine serial x{shards} (obs on)", shards, on),
+        (f"engine serial x{shards} (obs off)", shards, "pickle", off),
+        (f"engine serial x{shards} (obs on)", shards, "pickle", on),
     ]
     _write_bench_json(
         rows,
@@ -407,12 +452,104 @@ def check_wal_overhead(
     return rc
 
 
+def check_transport(
+    n_items: int = N_ITEMS, shards: int = 4, trials: int = 4,
+    min_ratio: float = 1.8,
+) -> int:
+    """CI gate mode: shm vs pickle flush throughput on the process pool.
+
+    The gated number is a *ratio*, so the methodology differs from the
+    other check modes: machine-wide load on a shared CI box drifts
+    between runs, and drift that hits only one side of the quotient
+    shows up as gate noise.  The two transports are therefore measured
+    in adjacent pairs (pickle then shm, back to back) after one
+    unmeasured warmup pair, and the gate takes the best per-pair ratio
+    — load drift that is slow relative to one pair cancels out of the
+    quotient.  On the reference container the per-pair ratio has a
+    median of ~1.9-2.0x and a best of 2.0-2.7x; the gate sits at 1.8x
+    to leave noise margin below the typical measurement while still
+    catching a real regression of the zero-copy path (a broken shm
+    fast path collapses the ratio to ~1.0x).  Results merge into
+    ``BENCH_service.json`` under ``transport`` with one row per
+    transport plus the per-pair ratios.
+    """
+    trials = max(trials, 3)
+    stream = _stream(n_items)
+    for mode in ("pickle", "shm"):  # warmup pair: spawn pools, fault pages
+        _engine_mips(stream, shards, "process", num_workers=shards, transport=mode)
+    runs: dict[str, list[float]] = {"pickle": [], "shm": []}
+    ratios: list[float] = []
+    for _ in range(trials):
+        pair = {}
+        for mode in ("pickle", "shm"):
+            pair[mode] = _engine_mips(
+                stream, shards, "process", num_workers=shards,
+                transport=mode,
+            )
+            runs[mode].append(pair[mode])
+        ratios.append(pair["shm"] / pair["pickle"])
+    best = {mode: max(vals) for mode, vals in runs.items()}
+    ratio = max(ratios)
+    for mode in ("pickle", "shm"):
+        print(
+            f"process x{shards}, transport {mode:<7} {best[mode]:.2f} Mips "
+            f"(best of {trials})"
+        )
+    print(
+        "shm/pickle per-pair ratios: "
+        + " ".join(f"{r:.2f}" for r in ratios)
+        + f"  -> best {ratio:.2f}x  (gate >= {min_ratio}x)"
+    )
+    path = _REPO_ROOT / "BENCH_service.json"
+    payload = (
+        json.loads(path.read_text())
+        if path.exists()
+        else {"benchmark": "bench_service_throughput"}
+    )
+    payload["transport"] = {
+        "n_items": n_items,
+        "shards": shards,
+        "trials": trials,
+        "methodology": (
+            "adjacent pickle/shm pairs after one warmup pair; "
+            "gate on best per-pair ratio"
+        ),
+        "rows": [
+            {
+                "configuration": f"engine process x{shards}",
+                "shards": shards,
+                "transport": mode,
+                "mips": round(best[mode], 3),
+                "mips_runs": [round(x, 3) for x in runs[mode]],
+            }
+            for mode in ("pickle", "shm")
+        ],
+        "ratio_runs": [round(r, 3) for r in ratios],
+        "shm_over_pickle": round(ratio, 3),
+        "min_ratio": min_ratio,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    if ratio < min_ratio:
+        print(
+            f"FAIL: shm transport is only {ratio:.2f}x the pickle "
+            f"baseline (gate >= {min_ratio}x)"
+        )
+        return 1
+    print("OK")
+    return 0
+
+
 if __name__ == "__main__":
     if "--check-obs" in sys.argv:
         rc = check_obs_overhead(n_items=200_000)
         sys.exit(rc if rc else check_windowed_overhead(n_items=200_000))
     if "--check-wal" in sys.argv:
         sys.exit(check_wal_overhead(n_items=200_000))
+    if "--check-transport" in sys.argv:
+        # 400k items: long enough runs that shm throughput is stable
+        # (short ~0.1s runs swing +-20% under ambient load)
+        sys.exit(check_transport(n_items=400_000))
     sys.exit(
-        "usage: python bench_service_throughput.py --check-obs | --check-wal"
+        "usage: python bench_service_throughput.py "
+        "--check-obs | --check-wal | --check-transport"
     )

@@ -81,6 +81,27 @@ def splitmix64(x: np.ndarray | int) -> np.ndarray | int:
     return int(z) if scalar else z
 
 
+def splitmix64_inplace(z: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """In-place :func:`splitmix64` over ``z``, with scratch buffer ``t``.
+
+    Bit-identical to the functional form (``uint64`` arithmetic wraps,
+    so the explicit masks there are no-ops on arrays), but with two
+    buffers total instead of a fresh temporary per sub-expression — on
+    hot paths the allocator traffic dominates the arithmetic.
+    """
+    with np.errstate(over="ignore"):
+        z += _SM_GAMMA
+        np.right_shift(z, np.uint64(30), out=t)
+        z ^= t
+        z *= _SM_M1
+        np.right_shift(z, np.uint64(27), out=t)
+        z ^= t
+        z *= _SM_M2
+        np.right_shift(z, np.uint64(31), out=t)
+        z ^= t
+    return z
+
+
 class HashFamily:
     """A family of ``k`` independent 64-bit hash functions.
 
@@ -118,8 +139,9 @@ class HashFamily:
         """Raw 64-bit hashes, shape ``(n, k)`` (or ``(k,)`` for a scalar)."""
         scalar = np.isscalar(keys) or isinstance(keys, (int, np.integer))
         arr = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
-        out = splitmix64(arr[:, None] ^ self._seeds[None, :])
-        return out[0] if scalar else out
+        z = arr[:, None] ^ self._seeds[None, :]
+        splitmix64_inplace(z, np.empty_like(z))
+        return z[0] if scalar else z
 
     def value(self, key: int, i: int) -> int:
         """Scalar hash of ``key`` under the ``i``-th function."""
@@ -129,7 +151,11 @@ class HashFamily:
         """Cell indices in ``[0, m)``, shape ``(n, k)`` (``(k,)`` scalar)."""
         if m < 1:
             raise ValueError(f"modulus must be >= 1, got {m}")
-        return self.values(keys) % np.uint64(m)
+        v = self.values(keys)
+        if isinstance(v, np.ndarray):
+            np.remainder(v, np.uint64(m), out=v)  # values() owns the buffer
+            return v
+        return v % np.uint64(m)
 
     def index(self, key: int, i: int, m: int) -> int:
         """Scalar index of ``key`` under the ``i``-th function."""

@@ -218,3 +218,50 @@ class SheSketchBase:
 
     def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
         raise NotImplementedError
+
+    # -- columnar fast path --------------------------------------------------
+
+    def _touch_columns(self, keys: np.ndarray, times: np.ndarray):
+        """``(touch_times, cell_idx, values, kind)`` for a batch, or ``None``.
+
+        Frame-backed sketches override this with their hashing step;
+        both insert paths (legacy ``apply_batch`` and the columnar
+        ``apply_columnar``) then consume identical columns.  Returning
+        ``None`` means "no columnar form" and the columnar entry falls
+        back to ``_insert_at``.
+        """
+        return None
+
+    def _insert_columnar(self, keys: np.ndarray, times: np.ndarray) -> None:
+        from repro.core.batch import apply_columnar
+
+        cols = self._touch_columns(keys, times)
+        if cols is None:
+            self._insert_at(keys, times)
+        else:
+            apply_columnar(self.frame, *cols)
+
+    def insert_at_columnar(self, keys, times) -> None:
+        """Columnar twin of :meth:`insert_at` (bit-identical results).
+
+        The shared-memory transport's apply entry: consumes ``(keys,
+        times)`` column batches straight from ring-buffer views via the
+        optimised :func:`repro.core.batch.apply_columnar` kernel.
+        """
+        arr = as_key_array(keys)
+        times = np.asarray(times, dtype=np.int64)
+        if arr.shape != times.shape:
+            raise ValueError(
+                f"keys ({arr.shape}) and times ({times.shape}) must align"
+            )
+        if arr.size == 0:
+            return
+        if int(times[0]) < self.t:
+            raise ValueError(
+                f"times must start at or after the clock ({self.t}), "
+                f"got {int(times[0])}"
+            )
+        if np.any(np.diff(times) < 0):
+            raise ValueError("times must be non-decreasing")
+        self._insert_columnar(arr, times)
+        self.t = int(times[-1]) + 1

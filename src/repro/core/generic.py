@@ -138,13 +138,16 @@ class GenericSheSketch(SheSketchBase):
             return (self._value_hash.values(keys)[:, 0] & mask).astype(np.uint64)
         return None
 
-    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+    def _touch_columns(self, keys: np.ndarray, times: np.ndarray):
         k = self.spec.locations
         idx = self.hashes.indices(keys, self.num_cells_total)
         ops = self._operands(keys)
         touch_times = np.repeat(times, k)
         touch_ops = None if ops is None else np.repeat(ops, k)
-        apply_batch(self.frame, touch_times, idx.reshape(-1), touch_ops, self.spec.update)
+        return touch_times, idx.reshape(-1), touch_ops, self.spec.update
+
+    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+        apply_batch(self.frame, *self._touch_columns(keys, times))
 
     def read_cells(self, keys, t: int | None = None) -> CellReadout:
         """Cleaned cell contents + age classification for queried keys."""

@@ -72,10 +72,16 @@ class SheBloomFilter(SheSketchBase):
 
     # -- insertion -----------------------------------------------------------
 
-    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+    def _touch_columns(self, keys: np.ndarray, times: np.ndarray):
+        # item-major times: apply_columnar expands to per-touch
+        # times itself (one repeat, inside the kernel)
         idx = self.hashes.indices(keys, self.num_bits)  # (n, k)
+        return times, idx.reshape(-1), None, UpdateKind.SET_ONE
+
+    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+        _, idx, values, kind = self._touch_columns(keys, times)
         touch_times = np.repeat(times, self.num_hashes)
-        apply_batch(self.frame, touch_times, idx.reshape(-1), None, UpdateKind.SET_ONE)
+        apply_batch(self.frame, touch_times, idx, values, kind)
 
     # -- queries ---------------------------------------------------------------
 

@@ -65,9 +65,12 @@ class SheBitmap(SheSketchBase):
             frame, self.config, m, dtype=np.uint8, empty_value=0, cell_bits=self.cell_bits
         )
 
-    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+    def _touch_columns(self, keys: np.ndarray, times: np.ndarray):
         idx = self.hashes.indices(keys, self.num_bits)[:, 0]
-        apply_batch(self.frame, times, idx, None, UpdateKind.SET_ONE)
+        return times, idx, None, UpdateKind.SET_ONE
+
+    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+        apply_batch(self.frame, *self._touch_columns(keys, times))
 
     def cardinality(self, t: int | None = None) -> float:
         """Estimate the number of distinct keys in the window."""

@@ -76,10 +76,16 @@ class SheCountMin(SheSketchBase):
             cell_bits=self.cell_bits,
         )
 
-    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+    def _touch_columns(self, keys: np.ndarray, times: np.ndarray):
+        # item-major times: apply_columnar expands to per-touch
+        # times itself (one repeat, inside the kernel)
         idx = self.hashes.indices(keys, self.num_counters)
+        return times, idx.reshape(-1), None, UpdateKind.ADD_ONE
+
+    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+        _, idx, values, kind = self._touch_columns(keys, times)
         touch_times = np.repeat(times, self.num_hashes)
-        apply_batch(self.frame, touch_times, idx.reshape(-1), None, UpdateKind.ADD_ONE)
+        apply_batch(self.frame, touch_times, idx, values, kind)
 
     def frequency(self, key: int, t: int | None = None) -> float:
         """Estimate how many times ``key`` appeared in the window."""

@@ -76,12 +76,15 @@ class SheHyperLogLog(SheSketchBase):
             cell_bits=self.cell_bits,
         )
 
-    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+    def _touch_columns(self, keys: np.ndarray, times: np.ndarray):
         idx = self._select.indices(keys, self.num_registers)[:, 0]
         ranks = leading_zeros_32(self._value.values(keys)[:, 0]) + 1
         # 5-bit registers saturate at 31
         ranks = np.minimum(ranks, 31)
-        apply_batch(self.frame, times, idx, ranks, UpdateKind.MAX_RANK)
+        return times, idx, ranks, UpdateKind.MAX_RANK
+
+    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+        apply_batch(self.frame, *self._touch_columns(keys, times))
 
     def cardinality(self, t: int | None = None) -> float:
         """Estimate the number of distinct keys in the window."""

@@ -148,11 +148,14 @@ class SheWindowedQuantile(GenericSheSketch):
 
     # -- SHE plumbing --------------------------------------------------------
 
-    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+    def _touch_columns(self, keys: np.ndarray, times: np.ndarray):
         # measurements index their bucket directly: no hashing, one
         # touched cell per sample, counts add under ADD_ONE
         idx = self.bucket_of(keys)
-        apply_batch(self.frame, times, idx, None, self.spec.update)
+        return times, idx, None, self.spec.update
+
+    def _insert_at(self, keys: np.ndarray, times: np.ndarray) -> None:
+        apply_batch(self.frame, *self._touch_columns(keys, times))
 
     # -- queries -------------------------------------------------------------
 
@@ -285,12 +288,15 @@ class ExemplarReservoir:
 
 # -- stage-level latency attribution ------------------------------------------
 
-#: the engine hot path, in pipeline order
+#: the engine hot path, in pipeline order (``shm_acquire`` /
+#: ``shm_release`` only fire under the shared-memory transport)
 ENGINE_STAGES = (
     "admit",
     "wal_append",
     "stamp",
+    "shm_acquire",
     "flush_rpc",
+    "shm_release",
     "apply",
     "query_fanin",
 )
@@ -380,15 +386,19 @@ class StageLatencyRecorder:
     # -- hot-path write side -------------------------------------------------
 
     def observe(self, stage: str, seconds: float, trace_id: str | None = None) -> None:
-        """Record one stage duration (engine thread / executor ack)."""
-        child = self._h_children.get(stage)
-        if child is None:
+        """Record one stage duration (engine thread / executor ack).
+
+        The steady-state cost is one lock plus one list append: the
+        cumulative histogram, windowed sketch, threshold counts, clock
+        read and exemplar offer are all deferred to the next drain
+        (every ``batch`` samples, or any read-side call), where they
+        run vectorised over the whole pending batch.
+        """
+        pending = self._pending.get(stage)
+        if pending is None:
             raise ValueError(f"unknown stage {stage!r}; stages: {self.stages}")
-        child.observe(seconds)
         with self._lock:
-            pending = self._pending[stage]
-            pending.append(seconds)
-            self._reservoirs[stage].offer(seconds, trace_id, self._clock())
+            pending.append((seconds, trace_id))
             if len(pending) >= self._batch:
                 self._drain_locked(stage)
 
@@ -396,8 +406,17 @@ class StageLatencyRecorder:
         pending = self._pending[stage]
         if not pending:
             return
-        arr_s = np.asarray(pending, dtype=np.float64)
+        arr_s = np.asarray([s for s, _ in pending], dtype=np.float64)
+        # traced samples are the tracer-sampled minority; exemplars
+        # share one wall-clock read per drain (freshness within one
+        # batch is indistinguishable to the read-side age filter)
+        now = self._clock()
+        reservoir = self._reservoirs[stage]
+        for seconds, trace_id in pending:
+            if trace_id is not None:
+                reservoir.offer(seconds, trace_id, now)
         pending.clear()
+        self._h_children[stage].observe_many(arr_s)
         micros = np.maximum(arr_s * 1e6, 1.0).astype(np.uint64)
         self._sketches[stage].insert_many(micros)
         self._seen[stage] += int(arr_s.size)

@@ -51,6 +51,7 @@ distributed sliding-window monitors:
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from collections.abc import Mapping
 from dataclasses import dataclass, field
@@ -71,8 +72,8 @@ from repro.service.errors import (
     ShardTimeoutError,
     ShardUnrecoverableError,
 )
-from repro.service.executor import ProcessExecutor, SerialExecutor
-from repro.service.sharding import DEFAULT_SHARD_SEED, shard_ids
+from repro.service.executor import TRANSPORTS, ProcessExecutor, SerialExecutor
+from repro.service.sharding import DEFAULT_SHARD_SEED, shard_ids, shard_of
 from repro.service.stats import EngineStats, format_stats
 from repro.service.wal import WAL_FSYNC_POLICIES, WriteAheadLog
 
@@ -166,6 +167,15 @@ class EngineConfig:
             cache only).  See docs/service.md "Durability model".
         wal_fsync_interval_s: max fsync staleness for ``"interval"``.
         wal_segment_bytes: WAL segment rotation size.
+        transport: how flush batches reach the shard sketches —
+            ``"pickle"`` ships arrays through executor pipes (the legacy
+            path, always available), ``"shm"`` copies each batch once
+            into a fixed-slot shared-memory ring and ships only slot
+            descriptors, applying through the columnar kernel
+            (:func:`repro.core.batch.apply_columnar`; bit-identical
+            results).  The default reads ``REPRO_TRANSPORT`` from the
+            environment (falling back to ``"pickle"``), so CI can run
+            whole suites under either transport.
         sketch_kwargs: forwarded to the sketch constructor (``seed``,
             ``alpha``, ``num_hashes``, ``frame``, ...).
     """
@@ -187,6 +197,9 @@ class EngineConfig:
     wal_fsync: str = "always"
     wal_fsync_interval_s: float = 1.0
     wal_segment_bytes: int = 64 * 1024 * 1024
+    transport: str = field(default_factory=lambda: os.environ.get(
+        "REPRO_TRANSPORT", "pickle"
+    ))
     sketch_kwargs: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -233,6 +246,11 @@ class EngineConfig:
                 f"got {self.wal_fsync_interval_s}"
             )
         require_positive_int("wal_segment_bytes", self.wal_segment_bytes)
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, "
+                f"got {self.transport!r}"
+            )
 
     @property
     def bounded(self) -> bool:
@@ -308,21 +326,45 @@ def _build_shards(config: EngineConfig) -> list:
 
 
 class _ShardBuffer:
-    """Pending (keys, times) chunks for one shard (and side, for MH)."""
+    """Pending (keys, times) chunks for one shard (and side, for MH).
 
-    __slots__ = ("keys", "times", "count")
+    Batch appends stage array slices; :meth:`append_one` stages bare
+    scalars in side lists that are sealed into one array chunk only
+    when the buffer is next drained/inspected, so the single-item
+    ingest path allocates no per-item arrays.
+    """
+
+    __slots__ = ("keys", "times", "count", "_pk", "_pt")
 
     def __init__(self) -> None:
         self.keys: list[np.ndarray] = []
         self.times: list[np.ndarray] = []
         self.count = 0
+        self._pk: list[int] = []
+        self._pt: list[int] = []
 
     def append(self, keys: np.ndarray, times: np.ndarray) -> None:
+        if self._pk:
+            self._seal()
         self.keys.append(keys)
         self.times.append(times)
         self.count += int(keys.size)
 
+    def append_one(self, key: int, time: int) -> None:
+        self._pk.append(key)
+        self._pt.append(time)
+        self.count += 1
+
+    def _seal(self) -> None:
+        """Convert staged scalars into one ordered array chunk."""
+        self.keys.append(np.asarray(self._pk, dtype=np.uint64))
+        self.times.append(np.asarray(self._pt, dtype=np.int64))
+        self._pk = []
+        self._pt = []
+
     def drain(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._pk:
+            self._seal()
         keys = np.concatenate(self.keys) if len(self.keys) > 1 else self.keys[0]
         times = np.concatenate(self.times) if len(self.times) > 1 else self.times[0]
         self.keys.clear()
@@ -341,6 +383,8 @@ class _ShardBuffer:
         """Drop up to ``n`` of the oldest buffered items; returns the
         number actually dropped.  Chunks are time-ordered front-to-back
         and ascending within, so popping from the front is oldest-first."""
+        if self._pk:
+            self._seal()
         dropped = 0
         while dropped < n and self.keys:
             head = self.keys[0]
@@ -357,9 +401,11 @@ class _ShardBuffer:
 
     def front_time(self) -> int | None:
         """Union-stream time of the oldest buffered item (None if empty)."""
-        if not self.times:
-            return None
-        return int(self.times[0][0])
+        if self.times:
+            return int(self.times[0][0])
+        if self._pt:
+            return self._pt[0]
+        return None
 
 
 class StreamEngine:
@@ -416,12 +462,14 @@ class StreamEngine:
                 f"got {len(shards)} shards for num_shards={config.num_shards}"
             )
         if executor == "serial":
-            self._exec = SerialExecutor(shards)
+            self._exec = SerialExecutor(shards, transport=config.transport)
         elif executor == "process":
             self._exec = ProcessExecutor(
                 shards,
                 num_workers=num_workers,
                 timeout_s=config.rpc_timeout_s,
+                transport=config.transport,
+                ring_slot_items=max(4 * config.flush_batch_size, 32768),
             )
         elif callable(executor):
             self._exec = executor(shards)
@@ -636,13 +684,27 @@ class StreamEngine:
         t0 = self._t[side]
         times = t0 + np.arange(arr.size, dtype=np.int64)
         self._t[side] = t0 + int(arr.size)
-        for s in range(self.config.num_shards):
-            mask = sids == s
-            n = int(np.count_nonzero(mask))
-            if n == 0:
-                continue
+        # partition in one vector pass: a stable sort by shard id turns
+        # the batch into contiguous per-shard runs whose slices are
+        # views, so buffers hold slices of one reordered array instead
+        # of num_shards masked copies; within-shard time order (hence
+        # bit-identical shard substreams) is preserved by stability
+        if self.config.num_shards == 1:
+            starts = (0,)
+            counts = np.asarray([arr.size], dtype=np.int64)
+            arr_p, times_p = arr, times
+        else:
+            order = np.argsort(sids, kind="stable")
+            counts = np.bincount(sids, minlength=self.config.num_shards)
+            starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+            arr_p = arr[order]
+            times_p = times[order]
+        for s in np.flatnonzero(counts):
+            s = int(s)
+            n = int(counts[s])
+            lo = int(starts[s])
             buf = self._buffers.setdefault((s, side), _ShardBuffer())
-            buf.append(arr[mask], times[mask])
+            buf.append(arr_p[lo : lo + n], times_p[lo : lo + n])
             self._m_shard_items[s].inc(n)
             depth = buf.count
             if self._two_stream:
@@ -869,13 +931,57 @@ class StreamEngine:
             remaining -= dropped
         return n - remaining
 
+    def ingest_one(self, key: int, side: int | None = None) -> None:
+        """Scalar fast path of :meth:`ingest` for one arrival.
+
+        Skips the batch path's array construction entirely — shard
+        assignment is a scalar :func:`repro.service.sharding.shard_of`
+        and the item is staged as a bare scalar in its shard buffer,
+        sealed into an array only at flush.  Whenever a slow-path
+        feature is active (admission control, WAL, stage telemetry)
+        it delegates to the batch path, so behaviour and resulting
+        state are identical either way.
+        """
+        if (
+            self.config.bounded
+            or self._wal is not None
+            or self._stages.enabled
+        ):
+            self.ingest(np.asarray([key], dtype=np.uint64), side)
+            return
+        self._check_open()
+        if self._two_stream:
+            if side not in (0, 1):
+                raise ValueError("two-stream engines need side=0 or side=1")
+        elif side not in (None, 0):
+            raise ValueError(f"single-stream engine got side={side}")
+        side = 0 if side is None else side
+        if not isinstance(key, (int, np.integer)):
+            raise TypeError(f"keys must be integers, got {type(key).__name__}")
+        key = int(key) & 0xFFFFFFFFFFFFFFFF  # uint64 wrap, as as_key_array
+        s = shard_of(key, self.config.num_shards, self.config.shard_seed)
+        t0 = self._t[side]
+        self._t[side] = t0 + 1
+        buf = self._buffers.setdefault((s, side), _ShardBuffer())
+        buf.append_one(key, t0)
+        self._m_shard_items[s].inc(1)
+        depth = buf.count
+        if self._two_stream:
+            other = self._buffers.get((s, 1 - side))
+            if other is not None:
+                depth += other.count
+        if depth > self._queue_high_water[s]:
+            self._queue_high_water[s] = depth
+        self.stats.record_ingest(1)
+        self._maybe_flush()
+
     # alias so sketch-shaped consumers (HeavyHitters, harness drivers)
     # can drive an engine where they would drive a sketch
     def insert_many(self, keys) -> None:
         self.ingest(keys)
 
     def insert(self, key: int) -> None:
-        self.ingest(np.asarray([key], dtype=np.uint64))
+        self.ingest_one(key)
 
     def _maybe_flush(self) -> None:
         full = [

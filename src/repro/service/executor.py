@@ -48,6 +48,7 @@ import traceback
 
 import numpy as np
 
+from repro.core.registry import descriptor_of
 from repro.obs import OBS_DISABLED
 from repro.obs.tracing import span_record
 from repro.persist import save_sketch
@@ -56,10 +57,27 @@ from repro.service.errors import (
     ShardFailedError,
     ShardTimeoutError,
 )
+from repro.service.shm import SlotRing, shm_available
 
 __all__ = ["SerialExecutor", "ProcessExecutor", "DEFAULT_RPC_TIMEOUT_S"]
 
 DEFAULT_RPC_TIMEOUT_S = 30.0
+
+#: flush transports: ``"pickle"`` ships arrays through the pipe (the
+#: legacy path, always available), ``"shm"`` ships slot descriptors into
+#: a shared-memory ring and applies via the columnar kernel
+TRANSPORTS = ("pickle", "shm")
+
+#: default ring geometry: slots sized for a few engine flush batches
+DEFAULT_RING_SLOT_ITEMS = 32768
+
+
+def _check_transport(transport: str) -> str:
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"transport must be one of {TRANSPORTS}, got {transport!r}"
+        )
+    return transport
 
 _UNSET = object()
 
@@ -80,6 +98,22 @@ def _apply_flush(sketch, keys: np.ndarray, times: np.ndarray, side: int | None) 
         sketch.insert_at(keys, times)
 
 
+def _apply_flush_columnar(
+    sketch, keys: np.ndarray, times: np.ndarray, side: int | None
+) -> None:
+    """Columnar flush apply, routed through the algorithm registry.
+
+    Registered kinds go through ``AlgoDescriptor.apply_columnar`` (the
+    optimised kernel); unregistered custom sketches fall back to the
+    legacy ``insert_at`` path.  Bit-identical either way.
+    """
+    desc = descriptor_of(sketch)
+    if desc is not None:
+        desc.apply_columnar(sketch, keys, times, side)
+    else:
+        _apply_flush(sketch, keys, times, side)
+
+
 def _apply_advance(sketch, t: int, side: int | None) -> None:
     if getattr(sketch, "two_stream", False):
         sketch.advance_to(t, side)
@@ -95,8 +129,15 @@ class SerialExecutor:
     fault-injection wrappers treat both uniformly.
     """
 
-    def __init__(self, shards, *, obs=None):
+    def __init__(self, shards, *, obs=None, transport: str = "pickle"):
         self._shards = list(shards)
+        # the in-process equivalent of the shm transport: no ring is
+        # needed, but flushes apply through the same columnar kernel so
+        # serial and process runs stay bit-identical per transport
+        self.transport = _check_transport(transport)
+        self._apply = (
+            _apply_flush_columnar if transport == "shm" else _apply_flush
+        )
         self.set_obs(obs)
 
     def set_obs(self, obs) -> None:
@@ -150,9 +191,9 @@ class SerialExecutor:
                 shard=shard_id,
                 items=int(keys.size),
             ):
-                _apply_flush(self._shards[shard_id], keys, times, side)
+                self._apply(self._shards[shard_id], keys, times, side)
         else:
-            _apply_flush(self._shards[shard_id], keys, times, side)
+            self._apply(self._shards[shard_id], keys, times, side)
         elapsed = time.perf_counter() - started
         self._h_apply.observe(elapsed)
         self.obs.stages.observe(
@@ -208,8 +249,17 @@ class SerialExecutor:
 # -- multiprocessing ---------------------------------------------------------
 
 
-def _worker_main(conn, shards: dict) -> None:
-    """Worker loop: apply commands to the shards this process owns."""
+def _worker_main(conn, shards: dict, ring_spec: tuple | None = None) -> None:
+    """Worker loop: apply commands to the shards this process owns.
+
+    ``ring_spec`` — ``(name, slot_items, num_slots)`` of the parent's
+    shared-memory ring under ``transport="shm"``; the worker attaches
+    read-only and serves ``flush_shm`` descriptors from zero-copy views.
+    """
+    ring = None
+    if ring_spec is not None:
+        name, slot_items, num_slots = ring_spec
+        ring = SlotRing(slot_items, num_slots, name=name)
     try:
         while True:
             cmd, *args = conn.recv()
@@ -232,6 +282,29 @@ def _worker_main(conn, shards: dict) -> None:
                                 "worker.apply", trace[0], trace[1],
                                 t0, dur_ms,
                                 shard=sid, items=int(keys.size),
+                            ),
+                        ))
+                elif cmd == "flush_shm":
+                    sid, slot, n, side, trace = args
+                    keys = ring.keys_view(slot, n)
+                    times = ring.times_view(slot, n)
+                    if trace is None:
+                        _apply_flush_columnar(shards[sid], keys, times, side)
+                        # drop the slot views so they never pin the
+                        # ring's mapping past this batch
+                        keys = times = None
+                        conn.send(("ok", None))
+                    else:
+                        t0 = time.perf_counter()
+                        _apply_flush_columnar(shards[sid], keys, times, side)
+                        dur_ms = (time.perf_counter() - t0) * 1e3
+                        keys = times = None
+                        conn.send((
+                            "ok",
+                            span_record(
+                                "worker.apply", trace[0], trace[1],
+                                t0, dur_ms,
+                                shard=sid, items=int(n),
                             ),
                         ))
                 elif cmd == "advance":
@@ -260,6 +333,9 @@ def _worker_main(conn, shards: dict) -> None:
                 conn.send(("err", traceback.format_exc()))
     except (EOFError, KeyboardInterrupt):  # parent died / interrupted
         pass
+    finally:
+        if ring is not None:
+            ring.close()
 
 
 class ProcessExecutor:
@@ -278,6 +354,14 @@ class ProcessExecutor:
             pre-fault-tolerance behaviour).  Enforced with
             ``conn.poll``, so a wedged worker costs at most one
             deadline, never a hang.
+        transport: ``"pickle"`` ships arrays through the pipes (legacy
+            path); ``"shm"`` ships slot descriptors into a shared-memory
+            ring — pipes stay the control plane — and workers apply
+            through the columnar kernel.  Falls back to pickle per batch
+            when a batch outgrows a slot or the ring is exhausted, and
+            wholesale when shared memory is unavailable.
+        ring_slot_items: slot capacity (items) of the shm ring; size it
+            at or above the engine's flush batch size.
     """
 
     def __init__(
@@ -286,6 +370,8 @@ class ProcessExecutor:
         *,
         num_workers: int | None = None,
         timeout_s: float | None = DEFAULT_RPC_TIMEOUT_S,
+        transport: str = "pickle",
+        ring_slot_items: int = DEFAULT_RING_SLOT_ITEMS,
     ):
         shards = list(shards)
         if not shards:
@@ -295,6 +381,16 @@ class ProcessExecutor:
         self._num_shards = len(shards)
         self.num_workers = min(num_workers or len(shards), len(shards))
         self.timeout_s = timeout_s
+        self.transport = _check_transport(transport)
+        self._ring: SlotRing | None = None
+        if self.transport == "shm":
+            if shm_available():
+                # enough slots for a full flush round (one per shard and
+                # side) plus headroom for supervisor replay traffic
+                num_slots = max(2 * self._num_shards + 2, 8)
+                self._ring = SlotRing(int(ring_slot_items), num_slots)
+            else:  # pragma: no cover - exotic platforms
+                self.transport = "pickle"
         self._conns: list = [None] * self.num_workers
         self._procs: list = [None] * self.num_workers
         # workers whose pipe can no longer be trusted (a missed deadline
@@ -314,6 +410,22 @@ class ProcessExecutor:
             labels=("op", "worker"),
             buckets=_RPC_BUCKETS,
         )
+        self._g_ring_in_use = self.obs.registry.gauge(
+            "engine_shm_ring_slots_in_use",
+            "Shared-memory ring slots currently handed to workers",
+        )
+        self._g_ring_total = self.obs.registry.gauge(
+            "engine_shm_ring_slots_total",
+            "Shared-memory ring capacity in slots",
+        )
+        self._c_shm_fallback = self.obs.registry.counter(
+            "executor_shm_fallback_total",
+            "Flush batches that fell back to the pickle path "
+            "(oversized batch or exhausted ring)",
+        )
+        if self._ring is not None:
+            self._g_ring_total.set(self._ring.num_slots)
+            self._g_ring_in_use.set(self._ring.in_use())
 
     # -- topology ------------------------------------------------------------
 
@@ -338,8 +450,13 @@ class ProcessExecutor:
 
     def _spawn(self, worker_id: int, owned: dict) -> None:
         parent_conn, child_conn = self._ctx.Pipe()
+        ring_spec = None
+        if self._ring is not None:
+            ring_spec = (
+                self._ring.name, self._ring.slot_items, self._ring.num_slots
+            )
         proc = self._ctx.Process(
-            target=_worker_main, args=(child_conn, owned), daemon=True
+            target=_worker_main, args=(child_conn, owned, ring_spec), daemon=True
         )
         proc.start()
         child_conn.close()
@@ -466,6 +583,43 @@ class ProcessExecutor:
 
     # -- protocol verbs ------------------------------------------------------
 
+    def _make_flush(self, shard_id, keys, times, side, trace):
+        """Build one flush message: a slot descriptor when the shm ring
+        can carry the batch, else the legacy pickled-array message.
+
+        Returns ``(message, slot)``; the caller owns releasing a
+        non-``None`` slot once the batch is acknowledged or failed.
+        """
+        if self._ring is not None:
+            n = int(keys.size)
+            if n <= self._ring.slot_items:
+                slot = self._ring.acquire()
+                if slot is not None:
+                    started = time.perf_counter()
+                    self._ring.write(slot, keys, times)
+                    self._g_ring_in_use.set(self._ring.in_use())
+                    self.obs.stages.observe(
+                        "shm_acquire",
+                        time.perf_counter() - started,
+                        trace[0] if trace is not None else None,
+                    )
+                    return ("flush_shm", shard_id, slot, n, side, trace), slot
+            # oversized batch or exhausted ring: pickle still works
+            self._c_shm_fallback.inc()
+        return ("flush", shard_id, keys, times, side, trace), None
+
+    def _release_slot(self, slot, trace=None) -> None:
+        if slot is None:
+            return
+        started = time.perf_counter()
+        self._ring.release(slot)
+        self._g_ring_in_use.set(self._ring.in_use())
+        self.obs.stages.observe(
+            "shm_release",
+            time.perf_counter() - started,
+            trace[0] if trace is not None else None,
+        )
+
     def flush(
         self,
         shard_id: int,
@@ -474,7 +628,12 @@ class ProcessExecutor:
         side: int | None = None,
         trace: tuple[str, str] | None = None,
     ) -> None:
-        payload = self._call(shard_id, "flush", shard_id, keys, times, side, trace)
+        keys = np.asarray(keys)
+        message, slot = self._make_flush(shard_id, keys, times, side, trace)
+        try:
+            payload = self._call(shard_id, *message)
+        finally:
+            self._release_slot(slot, trace)
         if payload is not None:
             self.obs.tracer.ingest((payload,))
             self._observe_apply(payload)
@@ -511,24 +670,31 @@ class ProcessExecutor:
         dead_workers: set[int] = set()
         errors: list[ShardFailedError | ShardDeadError | ShardTimeoutError] = []
         failed_shards: list[int] = []
-        pending: list[tuple[int, int]] = []  # (worker_id, shard_id) in send order
+        # (worker_id, shard_id, slot) in send order
+        pending: list[tuple[int, int, int | None]] = []
         for shard_id, keys, times, side in batches:
             w = self.worker_of(shard_id)
             if w in dead_workers:
                 failed_shards.append(shard_id)
                 continue
+            message, slot = self._make_flush(
+                shard_id, np.asarray(keys), times, side, trace
+            )
             try:
-                self._send(w, ("flush", shard_id, keys, times, side, trace),
-                           shard_ids=(shard_id,))
+                self._send(w, message, shard_ids=(shard_id,))
             except ShardDeadError as exc:
+                self._release_slot(slot, trace)
                 dead_workers.add(w)
                 errors.append(exc)
                 failed_shards.append(shard_id)
                 continue
-            pending.append((w, shard_id))
+            pending.append((w, shard_id, slot))
         # ack phase: one recv per surviving send, FIFO per worker
-        for w, shard_id in pending:
+        for w, shard_id, slot in pending:
             if w in dead_workers:
+                # the worker will never read this descriptor: its batch
+                # counts as unapplied and the parent reclaims the slot
+                self._release_slot(slot, trace)
                 failed_shards.append(shard_id)
                 continue
             try:
@@ -544,6 +710,8 @@ class ProcessExecutor:
                 # worker is alive and in protocol sync; only this batch failed
                 errors.append(exc)
                 failed_shards.append(shard_id)
+            finally:
+                self._release_slot(slot, trace)
         if errors:
             first = errors[0]
             raise type(first)(
@@ -639,6 +807,8 @@ class ProcessExecutor:
                 pass
         for w in range(self.num_workers):
             self._reap(w)
+        if self._ring is not None:
+            self._ring.close()
 
     def __enter__(self):
         return self

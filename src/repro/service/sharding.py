@@ -13,12 +13,23 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.common.hashing import splitmix64
+from repro.common.hashing import splitmix64, splitmix64_inplace
 from repro.common.validation import require_positive_int
 
-__all__ = ["DEFAULT_SHARD_SEED", "shard_ids", "partition"]
+__all__ = ["DEFAULT_SHARD_SEED", "shard_ids", "shard_of", "partition"]
 
 DEFAULT_SHARD_SEED = 0x5EA2D_C0DE
+
+
+def shard_of(key: int, num_shards: int, seed: int = DEFAULT_SHARD_SEED) -> int:
+    """Owning shard of one key — the scalar twin of :func:`shard_ids`.
+
+    Bit-identical to ``shard_ids(np.asarray([key], dtype=np.uint64), ...)[0]``
+    without building the array (the engine's single-item fast path).
+    """
+    if num_shards == 1:
+        return 0
+    return splitmix64((int(key) ^ seed) & 0xFFFFFFFFFFFFFFFF) % num_shards
 
 
 def shard_ids(keys: np.ndarray, num_shards: int, seed: int = DEFAULT_SHARD_SEED) -> np.ndarray:
@@ -26,8 +37,10 @@ def shard_ids(keys: np.ndarray, num_shards: int, seed: int = DEFAULT_SHARD_SEED)
     require_positive_int("num_shards", num_shards)
     if num_shards == 1:
         return np.zeros(keys.shape, dtype=np.int64)
-    mixed = splitmix64(np.asarray(keys, dtype=np.uint64) ^ np.uint64(seed))
-    return (mixed % np.uint64(num_shards)).astype(np.int64)
+    z = np.asarray(keys, dtype=np.uint64) ^ np.uint64(seed)  # owned copy
+    splitmix64_inplace(z, np.empty_like(z))
+    np.remainder(z, np.uint64(num_shards), out=z)
+    return z.astype(np.int64)
 
 
 def partition(
